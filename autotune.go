@@ -1,0 +1,451 @@
+// Package autotune is the public API of the multi-objective
+// auto-tuning framework for parallel codes — a reproduction of Jordan
+// et al., "A Multi-Objective Auto-Tuning Framework for Parallel Codes"
+// (SC 2012).
+//
+// The framework tunes parallel loop nests for several conflicting
+// objectives at once (execution time, parallel efficiency/resource
+// usage, optionally energy). Its static optimizer, RS-GDE3, combines
+// Generalized Differential Evolution 3 with a Rough-Set-based
+// search-space reduction and returns a Pareto set of configurations;
+// the multi-versioning backend packages one specialized code version
+// per Pareto point into a Unit whose version is chosen at run time by
+// a configurable policy.
+//
+// Quick start:
+//
+//	res, err := autotune.Tune("mm", autotune.WithMachine("Westmere"))
+//	// res.Unit holds the Pareto-optimal versions with metadata.
+//	rt, err := autotune.NewRuntime(res.Unit, autotune.WeightedSum{Weights: []float64{1, 1}})
+//	rt.Invoke() // selects and executes a version
+//
+// Six benchmark kernels are built in (the paper's mm, dsyrk,
+// jacobi-2d, 3d-stencil and n-body plus a 2mm extension), each
+// available both as an analytical performance-model target
+// (deterministic, fast — the paper-replication path) and as a real
+// goroutine-parallel implementation for measured tuning. Custom search
+// problems plug in through Optimize (any parameter Space and
+// Evaluator); arbitrary loop nests plug in through TuneSource (a text
+// program format with an automatically derived model); several regions
+// tune simultaneously through TuneAll.
+package autotune
+
+import (
+	"fmt"
+
+	"autotune/internal/codegen"
+	"autotune/internal/driver"
+	"autotune/internal/ir"
+	"autotune/internal/irparse"
+	"autotune/internal/kernels"
+	"autotune/internal/machine"
+	"autotune/internal/multiversion"
+	"autotune/internal/objective"
+	"autotune/internal/optimizer"
+	"autotune/internal/pareto"
+	"autotune/internal/rts"
+	"autotune/internal/skeleton"
+)
+
+// Re-exported core types. The aliases make the internal packages'
+// documented types part of the public surface without duplication.
+type (
+	// Machine describes a tuning target system.
+	Machine = machine.Machine
+	// Unit is a multi-versioned compilation result: one code version
+	// per Pareto point plus selection metadata.
+	Unit = multiversion.Unit
+	// Version is one specialized code version within a Unit.
+	Version = multiversion.Version
+	// Meta is the per-version trade-off metadata.
+	Meta = multiversion.Meta
+	// Entry is an executable version entry point.
+	Entry = multiversion.Entry
+	// Space is an integer parameter search space.
+	Space = skeleton.Space
+	// Param is one tunable dimension of a Space.
+	Param = skeleton.Param
+	// Config assigns a value to every Space parameter.
+	Config = skeleton.Config
+	// Evaluator maps configurations to minimized objective vectors.
+	Evaluator = objective.Evaluator
+	// Point couples a configuration with its objective vector.
+	Point = pareto.Point
+	// OptimizerOptions tunes the evolutionary search (population size,
+	// CR, F, stagnation window, seed).
+	OptimizerOptions = optimizer.Options
+	// OptimizerResult is the outcome of a search.
+	OptimizerResult = optimizer.Result
+	// Runtime dispatches invocations of a multi-versioned unit.
+	Runtime = rts.Runtime
+	// Policy selects the version to execute.
+	Policy = rts.Policy
+	// WeightedSum selects by a user-weighted sum over normalized
+	// objectives (the paper's runtime policy).
+	WeightedSum = rts.WeightedSum
+	// FastestWithinBudget selects the best `Optimize` objective among
+	// versions within a budget on the `Constrain` objective.
+	FastestWithinBudget = rts.FastestWithinBudget
+	// FixedPolicy pins one version.
+	FixedPolicy = rts.Fixed
+	// AdaptivePolicy refines version selection with measured
+	// execution times (epsilon-greedy feedback).
+	AdaptivePolicy = rts.Adaptive
+	// RuntimeContext carries dynamic conditions (available cores).
+	RuntimeContext = rts.Context
+	// Parameterized is the single-body alternative to multi-versioning
+	// (runtime tile/thread parameters instead of specialized code).
+	Parameterized = multiversion.Parameterized
+)
+
+// OnlineTuner refines a parameterized region at run time by randomized
+// hill climbing seeded from a compile-time configuration.
+type OnlineTuner = rts.OnlineTuner
+
+// NewOnlineTuner builds an online tuner over a parameterized region
+// with per-parameter inclusive bounds (layout [tiles..., threads]),
+// seeded from the metadata table at seedIdx.
+func NewOnlineTuner(region *Parameterized, lo, hi []int64, seedIdx int, seed int64) (*OnlineTuner, error) {
+	return rts.NewOnlineTuner(region, lo, hi, seedIdx, seed)
+}
+
+// InvokeTimed runs one invocation through the runtime and feeds the
+// measured wall time back into the adaptive policy.
+func InvokeTimed(rt *Runtime, a *AdaptivePolicy) (int, float64, error) {
+	return rts.InvokeTimed(rt, a)
+}
+
+// ParameterizedFromUnit derives a parameterized region from a
+// multi-versioned unit (see the §IV trade-off discussion).
+func ParameterizedFromUnit(u *Unit, entry multiversion.ParamEntry) (*Parameterized, error) {
+	return multiversion.FromUnit(u, entry)
+}
+
+// Method names a search strategy.
+type Method = driver.Method
+
+// Search strategies accepted by WithMethod.
+const (
+	// RSGDE3 is the paper's contribution: GDE3 + rough-set reduction.
+	RSGDE3 = driver.MethodRSGDE3
+	// GDE3 disables the rough-set reduction (ablation).
+	GDE3 = driver.MethodGDE3
+	// RandomSearch is the random baseline.
+	RandomSearch = driver.MethodRandom
+	// BruteForce exhaustively sweeps a regular grid.
+	BruteForce = driver.MethodBruteForce
+)
+
+// Westmere returns the simulated 4-socket Intel system of the paper's
+// Table I (40 cores, 30 MB shared L3 per socket).
+func Westmere() *Machine { return machine.Westmere() }
+
+// Barcelona returns the simulated 8-socket AMD system of the paper's
+// Table I (32 cores, 2 MB shared L3 per socket).
+func Barcelona() *Machine { return machine.Barcelona() }
+
+// MachineByName resolves "Westmere" or "Barcelona".
+func MachineByName(name string) (*Machine, error) { return machine.ByName(name) }
+
+// Kernels lists the built-in benchmark kernels.
+func Kernels() []string { return kernels.Names() }
+
+// TuneResult is the outcome of tuning one kernel.
+type TuneResult struct {
+	// Unit is the emitted multi-versioned unit (one version per
+	// Pareto point, sorted by the first objective).
+	Unit *Unit
+	// Front is the raw Pareto set.
+	Front []Point
+	// Evaluations is the number of configurations evaluated (the
+	// paper's E metric).
+	Evaluations int
+	// Iterations is the number of optimizer iterations.
+	Iterations int
+
+	output *driver.Output // retained for code emission
+	n      int64
+}
+
+// EmitC renders the tuned region as a complete multi-versioned
+// C/OpenMP translation unit: one specialized function per Pareto
+// point, the version table as static data, and a dispatch function.
+// funcName is the base name of the generated functions (default
+// "kernel").
+func (r *TuneResult) EmitC(funcName string) (string, error) {
+	if r.output == nil {
+		return "", fmt.Errorf("autotune: result carries no region information")
+	}
+	prog := r.output.Region.Outline(r.output.Kernel.IR(r.n))
+	programs := make([]*ir.Program, 0, len(r.Unit.Versions))
+	for _, v := range r.Unit.Versions {
+		tp, _, err := r.output.Region.Skeleton.Apply(prog, v.Meta.Config)
+		if err != nil {
+			return "", err
+		}
+		programs = append(programs, tp)
+	}
+	return codegen.EmitUnit(r.Unit, programs, codegen.Options{FuncName: funcName})
+}
+
+type tuneConfig struct {
+	opts driver.Options
+}
+
+// Option customizes Tune.
+type Option func(*tuneConfig) error
+
+// WithMachine selects a predefined target machine by name.
+func WithMachine(name string) Option {
+	return func(c *tuneConfig) error {
+		m, err := machine.ByName(name)
+		if err != nil {
+			return err
+		}
+		c.opts.Machine = m
+		return nil
+	}
+}
+
+// WithMachineSpec selects a custom target machine.
+func WithMachineSpec(m *Machine) Option {
+	return func(c *tuneConfig) error {
+		if err := m.Validate(); err != nil {
+			return err
+		}
+		c.opts.Machine = m
+		return nil
+	}
+}
+
+// WithMethod selects the search strategy (default RSGDE3).
+func WithMethod(m Method) Option {
+	return func(c *tuneConfig) error {
+		c.opts.Method = m
+		return nil
+	}
+}
+
+// WithSeed fixes the random seed of stochastic strategies.
+func WithSeed(seed int64) Option {
+	return func(c *tuneConfig) error {
+		c.opts.Optimizer.Seed = seed
+		return nil
+	}
+}
+
+// WithOptimizerOptions overrides all evolutionary-search parameters.
+func WithOptimizerOptions(o OptimizerOptions) Option {
+	return func(c *tuneConfig) error {
+		c.opts.Optimizer = o
+		return nil
+	}
+}
+
+// WithProblemSize overrides the kernel's default problem size.
+func WithProblemSize(n int64) Option {
+	return func(c *tuneConfig) error {
+		if n < 1 {
+			return fmt.Errorf("autotune: problem size must be positive")
+		}
+		c.opts.N = n
+		return nil
+	}
+}
+
+// WithNoise adds deterministic pseudo measurement noise of the given
+// relative amplitude to the simulated evaluator (medians over
+// repetitions are taken automatically).
+func WithNoise(amp float64) Option {
+	return func(c *tuneConfig) error {
+		if amp < 0 {
+			return fmt.Errorf("autotune: noise amplitude must be non-negative")
+		}
+		c.opts.NoiseAmp = amp
+		return nil
+	}
+}
+
+// WithEnergyObjective tunes for three objectives: time, resources and
+// modeled energy.
+func WithEnergyObjective() Option {
+	return func(c *tuneConfig) error {
+		c.opts.Objectives = []objective.ObjectiveKind{
+			objective.TimeObjective,
+			objective.ResourceObjective,
+			objective.EnergyObjective,
+		}
+		return nil
+	}
+}
+
+// WithMeasuredExecution switches from the analytical performance model
+// to timing the real goroutine-parallel kernel implementations. Use
+// small problem sizes; every candidate configuration is executed.
+func WithMeasuredExecution(reps int) Option {
+	return func(c *tuneConfig) error {
+		c.opts.Measured = true
+		c.opts.MeasuredReps = reps
+		return nil
+	}
+}
+
+// WithUnrollDimension adds the innermost-loop unroll factor (1..8) as
+// one more tuning dimension (simulated evaluation only). Emitted code
+// carries the chosen factor as an unroll pragma.
+func WithUnrollDimension() Option {
+	return func(c *tuneConfig) error {
+		c.opts.UnrollDim = true
+		return nil
+	}
+}
+
+// WithRandomBudget sets the evaluation budget of RandomSearch.
+func WithRandomBudget(budget int) Option {
+	return func(c *tuneConfig) error {
+		if budget < 1 {
+			return fmt.Errorf("autotune: random budget must be positive")
+		}
+		c.opts.RandomBudget = budget
+		return nil
+	}
+}
+
+// WithGridPoints sets the per-dimension point counts of BruteForce.
+func WithGridPoints(points []int) Option {
+	return func(c *tuneConfig) error {
+		c.opts.GridPoints = points
+		return nil
+	}
+}
+
+// Tune runs the full compiler pipeline (analyze → optimize →
+// multi-version) for one built-in kernel. The default machine is
+// Westmere and the default method RS-GDE3.
+func Tune(kernel string, options ...Option) (*TuneResult, error) {
+	c := tuneConfig{}
+	for _, o := range options {
+		if err := o(&c); err != nil {
+			return nil, err
+		}
+	}
+	if c.opts.Machine == nil {
+		c.opts.Machine = machine.Westmere()
+	}
+	out, err := driver.TuneKernel(kernel, c.opts)
+	if err != nil {
+		return nil, err
+	}
+	n := c.opts.N
+	if n == 0 {
+		n = out.Kernel.DefaultN
+		if c.opts.Measured {
+			n = out.Kernel.BenchN
+		}
+	}
+	return &TuneResult{
+		Unit:        out.Unit,
+		Front:       out.Result.Front,
+		Evaluations: out.Result.Evaluations,
+		Iterations:  out.Result.Iterations,
+		output:      out,
+		n:           n,
+	}, nil
+}
+
+// TuneSource parses a program in the MiniIR text format (see
+// internal/irparse for the grammar) and tunes its first region with an
+// automatically derived performance model. The resulting unit carries
+// code listings and trade-off metadata but no executable entries —
+// bind them with Unit.Bind when an execution vehicle exists.
+//
+// Example source:
+//
+//	program mm
+//	array A[256][256] elem 8
+//	array B[256][256] elem 8
+//	array C[256][256] elem 8
+//	for i = 0..256 { for j = 0..256 { for k = 0..256 {
+//	  C[i][j] = f(C[i][j], A[i][k], B[k][j]) flops 2
+//	}}}
+func TuneSource(src string, options ...Option) (*TuneResult, error) {
+	c := tuneConfig{}
+	for _, o := range options {
+		if err := o(&c); err != nil {
+			return nil, err
+		}
+	}
+	if c.opts.Machine == nil {
+		c.opts.Machine = machine.Westmere()
+	}
+	prog, err := irparse.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	out, err := driver.TuneProgram(prog, c.opts)
+	if err != nil {
+		return nil, err
+	}
+	return &TuneResult{
+		Unit:        out.Unit,
+		Front:       out.Result.Front,
+		Evaluations: out.Result.Evaluations,
+		Iterations:  out.Result.Iterations,
+		output:      out,
+		n:           1,
+	}, nil
+}
+
+// TuneAll tunes several regions (one per named kernel) simultaneously:
+// every program execution measures one candidate configuration of
+// every region, so the execution budget is shared across regions
+// instead of multiplied (paper §III-A). Only simulated evaluation is
+// supported. The returned slice holds one TuneResult per kernel; all
+// share the same Evaluations count (the joint execution total).
+func TuneAll(kernelNames []string, options ...Option) ([]*TuneResult, error) {
+	c := tuneConfig{}
+	for _, o := range options {
+		if err := o(&c); err != nil {
+			return nil, err
+		}
+	}
+	if c.opts.Machine == nil {
+		c.opts.Machine = machine.Westmere()
+	}
+	multi, err := driver.TuneKernels(kernelNames, c.opts)
+	if err != nil {
+		return nil, err
+	}
+	var out []*TuneResult
+	for _, o := range multi.Outputs {
+		n := c.opts.N
+		if n == 0 {
+			n = o.Kernel.DefaultN
+		}
+		out = append(out, &TuneResult{
+			Unit:        o.Unit,
+			Front:       o.Result.Front,
+			Evaluations: multi.Executions,
+			Iterations:  multi.Iterations,
+			output:      o,
+			n:           n,
+		})
+	}
+	return out, nil
+}
+
+// Optimize runs RS-GDE3 directly on a custom search problem: any
+// integer parameter space and any evaluator. This is the extension
+// point for tuning problems beyond the built-in kernels.
+func Optimize(space Space, eval Evaluator, opt OptimizerOptions) (*OptimizerResult, error) {
+	return optimizer.RSGDE3(space, eval, opt)
+}
+
+// NewRuntime builds a runtime dispatcher for a unit whose versions
+// have executable entries bound (units produced by Tune are ready;
+// deserialized units need Unit.Bind first).
+func NewRuntime(u *Unit, p Policy) (*Runtime, error) { return rts.New(u, p) }
+
+// DecodeUnit deserializes a unit produced by Unit.Encode. Entries are
+// unbound; attach them with Unit.Bind.
+func DecodeUnit(data []byte) (*Unit, error) { return multiversion.Decode(data) }

@@ -1,0 +1,331 @@
+package autotune
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestKernelsList(t *testing.T) {
+	ks := Kernels()
+	if len(ks) != 7 { // the paper's five plus the 2mm and atax extensions
+		t.Fatalf("kernels = %v", ks)
+	}
+}
+
+func TestMachines(t *testing.T) {
+	if Westmere().Cores() != 40 || Barcelona().Cores() != 32 {
+		t.Fatal("machine topology wrong")
+	}
+	m, err := MachineByName("Barcelona")
+	if err != nil || m.Name != "Barcelona" {
+		t.Fatal("MachineByName failed")
+	}
+	if _, err := MachineByName("?"); err == nil {
+		t.Fatal("unknown machine accepted")
+	}
+}
+
+func TestTuneDefaults(t *testing.T) {
+	res, err := Tune("mm", WithSeed(1),
+		WithOptimizerOptions(OptimizerOptions{PopSize: 10, Seed: 1, MaxIterations: 10}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Unit.Versions) == 0 || res.Evaluations == 0 {
+		t.Fatalf("result = %+v", res)
+	}
+}
+
+func TestTuneOptionErrors(t *testing.T) {
+	cases := []Option{
+		WithMachine("nope"),
+		WithProblemSize(0),
+		WithNoise(-1),
+		WithRandomBudget(0),
+		WithMachineSpec(&Machine{}),
+	}
+	for i, opt := range cases {
+		if _, err := Tune("mm", opt); err == nil {
+			t.Errorf("option case %d: error not propagated", i)
+		}
+	}
+	if _, err := Tune("unknown-kernel"); err == nil {
+		t.Error("unknown kernel accepted")
+	}
+}
+
+func TestTuneWithEnergyObjective(t *testing.T) {
+	res, err := Tune("mm",
+		WithMachine("Barcelona"),
+		WithEnergyObjective(),
+		WithOptimizerOptions(OptimizerOptions{PopSize: 10, Seed: 3, MaxIterations: 8}),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Unit.ObjectiveNames) != 3 || res.Unit.ObjectiveNames[2] != "energy" {
+		t.Fatalf("objective names = %v", res.Unit.ObjectiveNames)
+	}
+	for _, v := range res.Unit.Versions {
+		if len(v.Meta.Objectives) != 3 {
+			t.Fatal("3-objective metadata missing")
+		}
+	}
+}
+
+func TestEndToEndRuntimeFlow(t *testing.T) {
+	res, err := Tune("mm", WithSeed(2), WithProblemSize(128),
+		WithOptimizerOptions(OptimizerOptions{PopSize: 10, Seed: 2, MaxIterations: 10}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Replace real entries with counters for a fast test.
+	var mu sync.Mutex
+	runs := map[int]int{}
+	for i := range res.Unit.Versions {
+		i := i
+		res.Unit.Versions[i].Entry = func() error {
+			mu.Lock()
+			runs[i]++
+			mu.Unlock()
+			return nil
+		}
+	}
+	rt, err := NewRuntime(res.Unit, WeightedSum{Weights: []float64{1, 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fast, err := rt.Invoke()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.SetPolicy(WeightedSum{Weights: []float64{0, 1}}); err != nil {
+		t.Fatal(err)
+	}
+	eff, err := rt.Invoke()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Unit.Versions) > 1 && fast == eff {
+		t.Error("policy change did not change selection on a multi-point front")
+	}
+	if rt.Stats().Invocations != 2 {
+		t.Fatalf("stats = %+v", rt.Stats())
+	}
+}
+
+func TestUnitSerializationViaFacade(t *testing.T) {
+	res, err := Tune("jacobi-2d", WithSeed(4),
+		WithOptimizerOptions(OptimizerOptions{PopSize: 8, Seed: 4, MaxIterations: 6}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := res.Unit.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "objectives") {
+		t.Fatal("encoded unit lacks metadata")
+	}
+	u, err := DecodeUnit(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u.Region != res.Unit.Region {
+		t.Fatal("round trip lost region")
+	}
+}
+
+func TestOptimizeCustomProblem(t *testing.T) {
+	space := Space{Params: []Param{
+		{Name: "x", Min: 0, Max: 100},
+		{Name: "y", Min: 0, Max: 100},
+	}}
+	eval := &customEval{}
+	res, err := Optimize(space, eval, OptimizerOptions{PopSize: 12, Seed: 9, MaxIterations: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Front) == 0 {
+		t.Fatal("custom optimization found nothing")
+	}
+	// Known front: x+y == 100 line is the trade-off between
+	// f1 = x distance and f2 = y distance. Check non-domination only.
+	for _, p := range res.Front {
+		if len(p.Objectives) != 2 {
+			t.Fatal("bad objective arity")
+		}
+	}
+}
+
+// customEval minimizes f1 = (100-x)², f2 = (100-y)² subject to a
+// shared budget penalty when x+y > 100.
+type customEval struct {
+	mu   sync.Mutex
+	seen map[string][]float64
+}
+
+func (e *customEval) Evaluate(cfgs []Config) [][]float64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.seen == nil {
+		e.seen = map[string][]float64{}
+	}
+	out := make([][]float64, len(cfgs))
+	for i, c := range cfgs {
+		key := c.Key()
+		if v, ok := e.seen[key]; ok {
+			out[i] = v
+			continue
+		}
+		x, y := float64(c[0]), float64(c[1])
+		penalty := 0.0
+		if x+y > 100 {
+			penalty = (x + y - 100) * 10
+		}
+		v := []float64{(100-x)*(100-x) + penalty, (100-y)*(100-y) + penalty}
+		e.seen[key] = v
+		out[i] = v
+	}
+	return out
+}
+
+func (e *customEval) ObjectiveNames() []string { return []string{"f1", "f2"} }
+
+func (e *customEval) Evaluations() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return len(e.seen)
+}
+
+func TestTuneWithUnrollDimension(t *testing.T) {
+	res, err := Tune("mm",
+		WithUnrollDimension(),
+		WithSeed(6),
+		WithOptimizerOptions(OptimizerOptions{PopSize: 10, Seed: 6, MaxIterations: 12}),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sawUnroll := false
+	for _, v := range res.Unit.Versions {
+		if v.Meta.Unroll < 1 || v.Meta.Unroll > 8 {
+			t.Fatalf("unroll = %d out of range", v.Meta.Unroll)
+		}
+		if v.Meta.Unroll > 1 {
+			sawUnroll = true
+			if !strings.Contains(v.Code, "#pragma unroll(") {
+				t.Fatal("unrolled version lacks pragma in listing")
+			}
+		}
+	}
+	if !sawUnroll {
+		t.Log("note: no version chose unroll > 1 (landscape-dependent)")
+	}
+	// Measured tuning rejects the unroll dimension.
+	if _, err := Tune("mm", WithUnrollDimension(), WithMeasuredExecution(1)); err == nil {
+		t.Fatal("measured + unroll accepted")
+	}
+}
+
+func TestTuneAllFacade(t *testing.T) {
+	results, err := TuneAll([]string{"mm", "jacobi-2d"},
+		WithSeed(8),
+		WithOptimizerOptions(OptimizerOptions{PopSize: 10, Seed: 8, MaxIterations: 10}),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2 {
+		t.Fatalf("results = %d", len(results))
+	}
+	if results[0].Evaluations != results[1].Evaluations {
+		t.Fatal("joint results should share the execution count")
+	}
+	for _, r := range results {
+		if len(r.Unit.Versions) == 0 {
+			t.Fatal("empty unit")
+		}
+	}
+}
+
+func TestEmitCFacade(t *testing.T) {
+	res, err := Tune("mm", WithProblemSize(64), WithSeed(2),
+		WithOptimizerOptions(OptimizerOptions{PopSize: 8, Seed: 2, MaxIterations: 6}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	code, err := res.EmitC("mm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"void mm_v0(", "mm_dispatch", "static const double mm_objectives"} {
+		if !strings.Contains(code, want) {
+			t.Errorf("EmitC missing %q", want)
+		}
+	}
+	// Decoded units carry no region info.
+	blob, _ := res.Unit.Encode()
+	u, _ := DecodeUnit(blob)
+	bare := &TuneResult{Unit: u}
+	if _, err := bare.EmitC("x"); err == nil {
+		t.Error("EmitC without region info accepted")
+	}
+}
+
+func TestAdaptivePolicyViaFacade(t *testing.T) {
+	res, err := Tune("mm", WithProblemSize(64), WithSeed(4),
+		WithOptimizerOptions(OptimizerOptions{PopSize: 8, Seed: 4, MaxIterations: 8}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range res.Unit.Versions {
+		res.Unit.Versions[i].Entry = func() error { return nil }
+	}
+	a := &AdaptivePolicy{Epsilon: 0, Seed: 1}
+	rt, err := NewRuntime(res.Unit, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx, elapsed, err := InvokeTimed(rt, a)
+	if err != nil || elapsed < 0 {
+		t.Fatalf("InvokeTimed: %d, %v, %v", idx, elapsed, err)
+	}
+	if len(a.Measurements()[idx]) != 1 {
+		t.Fatal("measurement not recorded")
+	}
+}
+
+func TestTuneSource(t *testing.T) {
+	src := `
+program sweep
+array A[512][512] elem 8
+array B[512][512] elem 8
+for i = 0..512 {
+  for j = 0..512 {
+    B[i][j] = f(A[i][j], A[j][i]) flops 2
+  }
+}
+`
+	res, err := TuneSource(src, WithSeed(5),
+		WithOptimizerOptions(OptimizerOptions{PopSize: 10, Seed: 5, MaxIterations: 12}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Unit.Versions) == 0 {
+		t.Fatal("no versions")
+	}
+	// The C emitter works for parsed programs too.
+	code, err := res.EmitC("sweep")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(code, "void sweep_v0(") {
+		t.Fatal("EmitC broken for parsed programs")
+	}
+	// Parse errors propagate.
+	if _, err := TuneSource("not a program"); err == nil {
+		t.Fatal("garbage source accepted")
+	}
+}

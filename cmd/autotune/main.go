@@ -1,0 +1,145 @@
+// Command autotune tunes one of the built-in kernels for multiple
+// objectives and prints (or saves) the resulting multi-versioned unit.
+//
+// Usage:
+//
+//	autotune -kernel mm -machine Westmere [-method rs-gde3|gde3|random|brute-force]
+//	         [-seed N] [-n N] [-energy] [-measured] [-o unit.json] [-code]
+//
+// Example:
+//
+//	autotune -kernel mm -machine Barcelona -seed 1
+//	autotune -kernel jacobi-2d -energy -o jacobi.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"autotune"
+	"autotune/internal/machine"
+)
+
+func main() {
+	kernel := flag.String("kernel", "mm", "kernel to tune ("+strings.Join(autotune.Kernels(), ", ")+")")
+	machineName := flag.String("machine", "Westmere", "target machine (Westmere, Barcelona)")
+	method := flag.String("method", string(autotune.RSGDE3), "search method (rs-gde3, gde3, random, brute-force)")
+	seed := flag.Int64("seed", 1, "random seed")
+	n := flag.Int64("n", 0, "problem size (0 = kernel default)")
+	energy := flag.Bool("energy", false, "add the energy objective (3-objective tuning)")
+	measured := flag.Bool("measured", false, "tune by timing the real Go kernels instead of the model")
+	out := flag.String("o", "", "write the multi-versioned unit JSON to this file")
+	showCode := flag.Bool("code", false, "print the generated code listing of each version")
+	machineFile := flag.String("machine-file", "", "load a custom machine description from this JSON file")
+	unroll := flag.Bool("unroll", false, "add the innermost-loop unroll factor as a tuning dimension")
+	emitC := flag.String("emit-c", "", "write the multi-versioned C translation unit to this file")
+	programFile := flag.String("program", "", "tune a MiniIR text program from this file instead of a built-in kernel")
+	flag.Parse()
+
+	opts := []autotune.Option{
+		autotune.WithMethod(autotune.Method(*method)),
+		autotune.WithSeed(*seed),
+		autotune.WithNoise(0.01),
+	}
+	if *machineFile != "" {
+		data, err := os.ReadFile(*machineFile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "autotune:", err)
+			os.Exit(1)
+		}
+		m, err := machine.FromJSON(data)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "autotune:", err)
+			os.Exit(1)
+		}
+		opts = append(opts, autotune.WithMachineSpec(m))
+		*machineName = m.Name
+	} else {
+		opts = append(opts, autotune.WithMachine(*machineName))
+	}
+	if *unroll {
+		opts = append(opts, autotune.WithUnrollDimension())
+	}
+	if *n > 0 {
+		opts = append(opts, autotune.WithProblemSize(*n))
+	}
+	if *energy {
+		opts = append(opts, autotune.WithEnergyObjective())
+	}
+	if *measured {
+		opts = append(opts, autotune.WithMeasuredExecution(3))
+	}
+
+	var res *autotune.TuneResult
+	var err error
+	target := *kernel
+	if *programFile != "" {
+		src, rerr := os.ReadFile(*programFile)
+		if rerr != nil {
+			fmt.Fprintln(os.Stderr, "autotune:", rerr)
+			os.Exit(1)
+		}
+		res, err = autotune.TuneSource(string(src), opts...)
+		target = *programFile
+	} else {
+		res, err = autotune.Tune(*kernel, opts...)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "autotune:", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("%s on %s via %s: %d evaluations, %d iterations, %d Pareto-optimal versions\n",
+		target, *machineName, *method, res.Evaluations, res.Iterations, len(res.Unit.Versions))
+	fmt.Printf("%-4s %-18s %-8s %s\n", "#", "tiles", "threads", strings.Join(res.Unit.ObjectiveNames, " / "))
+	for i, v := range res.Unit.Versions {
+		objs := make([]string, len(v.Meta.Objectives))
+		for j, o := range v.Meta.Objectives {
+			objs[j] = fmt.Sprintf("%.4g", o)
+		}
+		tiles := make([]string, len(v.Meta.Tiles))
+		for j, t := range v.Meta.Tiles {
+			tiles[j] = fmt.Sprint(t)
+		}
+		fmt.Printf("%-4d %-18s %-8d %s\n", i, strings.Join(tiles, "x"), v.Meta.Threads, strings.Join(objs, " / "))
+		if *showCode {
+			fmt.Println(indent(v.Code, "     | "))
+		}
+	}
+
+	if *emitC != "" {
+		code, err := res.EmitC(strings.ReplaceAll(*kernel, "-", "_"))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "autotune:", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*emitC, []byte(code), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "autotune:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("C translation unit written to %s\n", *emitC)
+	}
+
+	if *out != "" {
+		data, err := res.Unit.Encode()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "autotune:", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*out, data, 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "autotune:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("multi-versioned unit written to %s\n", *out)
+	}
+}
+
+func indent(s, prefix string) string {
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	for i := range lines {
+		lines[i] = prefix + lines[i]
+	}
+	return strings.Join(lines, "\n")
+}

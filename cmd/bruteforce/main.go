@@ -1,0 +1,70 @@
+// Command bruteforce exhaustively sweeps the tile/thread grid of one
+// kernel on one machine, printing per-thread-count optima and the full
+// Pareto front — the paper's §V-B.1 "brute force" methodology as a
+// standalone tool.
+//
+// Usage:
+//
+//	bruteforce -kernel mm -machine Westmere [-points 24] [-csv]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"autotune/internal/experiments"
+	"autotune/internal/export"
+	"autotune/internal/kernels"
+	"autotune/internal/machine"
+)
+
+func main() {
+	kernel := flag.String("kernel", "mm", "kernel to sweep ("+strings.Join(kernels.Names(), ", ")+")")
+	machineName := flag.String("machine", "Westmere", "target machine")
+	mode := flag.String("mode", "full", "grid density (quick, full)")
+	csv := flag.Bool("csv", false, "emit the Fig. 8 point cloud as CSV on stdout")
+	flag.Parse()
+
+	k, err := kernels.ByName(*kernel)
+	if err != nil {
+		fatal(err)
+	}
+	m, err := machine.ByName(*machineName)
+	if err != nil {
+		fatal(err)
+	}
+	md := experiments.Full
+	if *mode == "quick" {
+		md = experiments.Quick
+	}
+
+	if *csv {
+		f8, err := experiments.Fig8(k, m, md)
+		if err != nil {
+			fatal(err)
+		}
+		if err := export.SeriesCSV(os.Stdout, f8.Series); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	t2, err := experiments.Table2(k, m, md)
+	if err != nil {
+		fatal(err)
+	}
+	t2.Render(os.Stdout)
+	fmt.Println()
+	t3, err := experiments.Table3(k, m, md)
+	if err != nil {
+		fatal(err)
+	}
+	t3.Render(os.Stdout)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "bruteforce:", err)
+	os.Exit(1)
+}

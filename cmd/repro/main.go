@@ -1,0 +1,241 @@
+// Command repro regenerates the paper's tables and figures on the
+// simulated machines.
+//
+// Usage:
+//
+//	repro [-exp all|fig1|fig2|table1|table2|table3|table4|table5|table6|fig8|fig9]
+//	      [-machine Westmere|Barcelona|all] [-kernel mm|...]
+//	      [-mode quick|full] [-reps N]
+//
+// The default regenerates everything at full (paper-scale) budget.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"autotune/internal/experiments"
+	"autotune/internal/export"
+	"autotune/internal/kernels"
+	"autotune/internal/machine"
+	"autotune/internal/pareto"
+)
+
+// paretoPoint aliases the front point type for the export helpers.
+type paretoPoint = pareto.Point
+
+func main() {
+	exp := flag.String("exp", "all", "experiment to regenerate (all, fig1, fig2, fig8, fig9, table1..table6, extended, validate)")
+	machName := flag.String("machine", "all", "target machine (Westmere, Barcelona, all)")
+	kernName := flag.String("kernel", "mm", "kernel for single-kernel experiments")
+	modeName := flag.String("mode", "full", "evaluation budget (quick, full)")
+	reps := flag.Int("reps", 5, "repetitions for stochastic strategies (Table VI)")
+	exportDir := flag.String("export", "", "also write figure data (CSV) and gnuplot scripts to this directory (fig2, fig8, fig9)")
+	flag.Parse()
+
+	mode := experiments.Full
+	if *modeName == "quick" {
+		mode = experiments.Quick
+	}
+
+	var machines []*machine.Machine
+	if *machName == "all" {
+		machines = []*machine.Machine{machine.Westmere(), machine.Barcelona()}
+	} else {
+		m, err := machine.ByName(*machName)
+		if err != nil {
+			fatal(err)
+		}
+		machines = []*machine.Machine{m}
+	}
+	k, err := kernels.ByName(*kernName)
+	if err != nil {
+		fatal(err)
+	}
+
+	w := os.Stdout
+	switch *exp {
+	case "all":
+		if err := experiments.RunAll(w, mode, *reps); err != nil {
+			fatal(err)
+		}
+	case "table1":
+		experiments.Table1(w)
+	case "table4":
+		experiments.Table4(w)
+	case "fig1":
+		for _, m := range machines {
+			r, err := experiments.Fig1(k, m, mode)
+			if err != nil {
+				fatal(err)
+			}
+			r.Render(w)
+		}
+	case "fig2":
+		for _, m := range machines {
+			threads := experiments.ThreadCounts(m)
+			points := 12
+			if mode == experiments.Quick {
+				points = 7
+			}
+			for _, th := range []int{threads[0], threads[len(threads)-1]} {
+				r, err := experiments.Fig2(k, m, th, 9, points)
+				if err != nil {
+					fatal(err)
+				}
+				r.Render(w)
+				fmt.Fprintln(w)
+				if *exportDir != "" {
+					base := fmt.Sprintf("fig2_%s_%dt", m.Name, th)
+					if err := exportHeatmap(*exportDir, base, r); err != nil {
+						fatal(err)
+					}
+				}
+			}
+		}
+	case "table2":
+		for _, m := range machines {
+			r, err := experiments.Table2(k, m, mode)
+			if err != nil {
+				fatal(err)
+			}
+			r.Render(w)
+			fmt.Fprintln(w)
+		}
+	case "table3":
+		for _, m := range machines {
+			r, err := experiments.Table3(k, m, mode)
+			if err != nil {
+				fatal(err)
+			}
+			r.Render(w)
+			fmt.Fprintln(w)
+		}
+	case "table5":
+		for _, m := range machines {
+			r, err := experiments.Table5(m, mode)
+			if err != nil {
+				fatal(err)
+			}
+			r.Render(w)
+			fmt.Fprintln(w)
+		}
+	case "table6":
+		for _, m := range machines {
+			r, err := experiments.Table6(m, mode, *reps)
+			if err != nil {
+				fatal(err)
+			}
+			r.Render(w)
+			fmt.Fprintln(w)
+		}
+	case "fig8":
+		for _, m := range machines {
+			r, err := experiments.Fig8(k, m, mode)
+			if err != nil {
+				fatal(err)
+			}
+			r.Render(w)
+			fmt.Fprintln(w)
+			if *exportDir != "" {
+				f, err := os.Create(filepath.Join(*exportDir, "fig8_"+m.Name+".csv"))
+				if err != nil {
+					fatal(err)
+				}
+				if err := export.SeriesCSV(f, r.Series); err != nil {
+					fatal(err)
+				}
+				f.Close()
+			}
+		}
+	case "extended":
+		for _, m := range machines {
+			r, err := experiments.Extended(m, mode, 1)
+			if err != nil {
+				fatal(err)
+			}
+			r.Render(w)
+			fmt.Fprintln(w)
+		}
+	case "validate":
+		r, err := experiments.Validation()
+		if err != nil {
+			fatal(err)
+		}
+		r.Render(w)
+	case "fig9":
+		for _, m := range machines {
+			_, f9, err := experiments.Table6Kernel(k, m, mode, 1)
+			if err != nil {
+				fatal(err)
+			}
+			f9.Render(w)
+			fmt.Fprintln(w)
+			if *exportDir != "" {
+				if err := exportFig9(*exportDir, m.Name, f9); err != nil {
+					fatal(err)
+				}
+			}
+		}
+	default:
+		fatal(fmt.Errorf("unknown experiment %q", *exp))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "repro:", err)
+	os.Exit(1)
+}
+
+// exportHeatmap writes a Fig. 2 panel as CSV plus a gnuplot script.
+func exportHeatmap(dir, base string, r *experiments.Fig2Result) error {
+	csvPath := filepath.Join(dir, base+".csv")
+	f, err := os.Create(csvPath)
+	if err != nil {
+		return err
+	}
+	if err := export.HeatmapCSV(f, r.T1, r.T2, r.RelTime); err != nil {
+		f.Close()
+		return err
+	}
+	f.Close()
+	g, err := os.Create(filepath.Join(dir, base+".gp"))
+	if err != nil {
+		return err
+	}
+	defer g.Close()
+	title := fmt.Sprintf("relative time, %d threads (%s)", r.Threads, r.Machine.Name)
+	return export.GnuplotHeatmap(g, title, csvPath)
+}
+
+// exportFig9 writes each strategy's front as CSV plus a combined
+// gnuplot script.
+func exportFig9(dir, machineName string, f9 *experiments.Fig9Result) error {
+	fronts := map[string][]paretoPoint{
+		"bruteforce": f9.BruteForce,
+		"random":     f9.Random,
+		"rsgde3":     f9.RSGDE3,
+	}
+	files := map[string]string{}
+	for name, front := range fronts {
+		path := filepath.Join(dir, fmt.Sprintf("fig9_%s_%s.csv", machineName, name))
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		err = export.FrontCSV(f, front, nil, []string{"time", "resources"})
+		f.Close()
+		if err != nil {
+			return err
+		}
+		files[name] = path
+	}
+	g, err := os.Create(filepath.Join(dir, "fig9_"+machineName+".gp"))
+	if err != nil {
+		return err
+	}
+	defer g.Close()
+	return export.GnuplotFronts(g, "Pareto fronts ("+machineName+")", files)
+}

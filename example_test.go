@@ -1,0 +1,126 @@
+package autotune_test
+
+import (
+	"fmt"
+
+	"autotune"
+)
+
+// ExampleTune tunes the matrix-multiplication kernel on the simulated
+// Westmere machine and reports the shape of the resulting Pareto set.
+// The model is deterministic, so the result is stable given the seed.
+func ExampleTune() {
+	res, err := autotune.Tune("mm",
+		autotune.WithMachine("Westmere"),
+		autotune.WithSeed(1),
+		autotune.WithOptimizerOptions(autotune.OptimizerOptions{
+			PopSize: 10, Seed: 1, MaxIterations: 10,
+		}),
+	)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println("objectives:", res.Unit.ObjectiveNames[0], "+", res.Unit.ObjectiveNames[1])
+	fmt.Println("versions sorted by time:", len(res.Unit.Versions) > 0)
+	fastest := res.Unit.Versions[0].Meta
+	fmt.Println("fastest version uses threads in range:", fastest.Threads >= 1 && fastest.Threads <= 40)
+	// Output:
+	// objectives: time + resources
+	// versions sorted by time: true
+	// fastest version uses threads in range: true
+}
+
+// ExampleUnit_SelectWeighted shows the runtime trade-off selection on a
+// hand-built version table.
+func ExampleUnit_SelectWeighted() {
+	u := &autotune.Unit{
+		Region:         "demo",
+		ObjectiveNames: []string{"time", "resources"},
+		Versions: []autotune.Version{
+			{Meta: autotune.Meta{Threads: 40, Objectives: []float64{0.05, 2.0}}},
+			{Meta: autotune.Meta{Threads: 8, Objectives: []float64{0.20, 1.6}}},
+			{Meta: autotune.Meta{Threads: 1, Objectives: []float64{1.00, 1.0}}},
+		},
+	}
+	fast, _ := u.SelectWeighted([]float64{1, 0})
+	green, _ := u.SelectWeighted([]float64{0, 1})
+	fmt.Println("latency-critical picks threads:", u.Versions[fast].Meta.Threads)
+	fmt.Println("efficiency-first picks threads:", u.Versions[green].Meta.Threads)
+	// Output:
+	// latency-critical picks threads: 40
+	// efficiency-first picks threads: 1
+}
+
+// ExampleOptimize runs RS-GDE3 on a custom two-objective problem.
+func ExampleOptimize() {
+	space := autotune.Space{Params: []autotune.Param{
+		{Name: "x", Min: 0, Max: 200},
+	}}
+	// Schaffer's problem: f1 = (x/50)², f2 = (x/50 − 2)²; the Pareto
+	// set is x in [0, 100].
+	eval := evalFunc(func(c autotune.Config) []float64 {
+		x := float64(c[0]) / 50
+		return []float64{x * x, (x - 2) * (x - 2)}
+	})
+	res, err := autotune.Optimize(space, eval, autotune.OptimizerOptions{Seed: 1})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	inParetoSet := true
+	for _, p := range res.Front {
+		x := p.Payload.(autotune.Config)[0]
+		if x > 110 {
+			inParetoSet = false
+		}
+	}
+	fmt.Println("found a front:", len(res.Front) > 0)
+	fmt.Println("front within the Pareto set:", inParetoSet)
+	// Output:
+	// found a front: true
+	// front within the Pareto set: true
+}
+
+// ExampleTuneSource tunes a program written in the MiniIR text format.
+func ExampleTuneSource() {
+	src := `
+program scale
+array A[1024][1024] elem 8
+array B[1024][1024] elem 8
+for i = 0..1024 {
+  for j = 0..1024 {
+    B[i][j] = f(A[i][j]) flops 1
+  }
+}
+`
+	res, err := autotune.TuneSource(src,
+		autotune.WithSeed(2),
+		autotune.WithOptimizerOptions(autotune.OptimizerOptions{
+			PopSize: 10, Seed: 2, MaxIterations: 8,
+		}),
+	)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println("region:", res.Unit.Region)
+	fmt.Println("nest depth feature:", res.Unit.Features["nestDepth"])
+	// Output:
+	// region: scale#0
+	// nest depth feature: 2
+}
+
+// evalFunc adapts a function to the Evaluator interface with caching.
+type evalFunc func(autotune.Config) []float64
+
+func (f evalFunc) Evaluate(cfgs []autotune.Config) [][]float64 {
+	out := make([][]float64, len(cfgs))
+	for i, c := range cfgs {
+		out[i] = f(c)
+	}
+	return out
+}
+
+func (f evalFunc) ObjectiveNames() []string { return []string{"f1", "f2"} }
+func (f evalFunc) Evaluations() int         { return 0 }

@@ -1,0 +1,38 @@
+// Emitc: runs the tuner and exports the result the way the paper's
+// source-to-source compiler would — as a compilable C/OpenMP
+// translation unit containing one specialized function per
+// Pareto-optimal version, the version table with trade-off metadata as
+// static data, and a dispatch function for the runtime system.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"autotune"
+)
+
+func main() {
+	res, err := autotune.Tune("mm",
+		autotune.WithMachine("Barcelona"),
+		autotune.WithProblemSize(512),
+		autotune.WithSeed(9),
+		autotune.WithOptimizerOptions(autotune.OptimizerOptions{
+			PopSize: 16, Seed: 9, MaxIterations: 25,
+		}),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "tuned mm@512 on Barcelona: %d versions from %d evaluations\n",
+		len(res.Unit.Versions), res.Evaluations)
+
+	code, err := res.EmitC("mm")
+	if err != nil {
+		log.Fatal(err)
+	}
+	// The generated translation unit goes to stdout; compile with e.g.
+	//   gcc -O3 -fopenmp -c mm_multiversion.c
+	fmt.Println(code)
+}

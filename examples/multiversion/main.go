@@ -1,0 +1,98 @@
+// Multiversion: demonstrates the runtime half of the framework. The
+// compiler emits a multi-versioned unit for the jacobi-2d kernel; the
+// program then serializes it (as a deployed binary would embed it),
+// reloads it, binds lightweight entries and drives the runtime system
+// through three scenarios:
+//
+//  1. a latency-critical phase (all weight on execution time),
+//  2. a throughput/efficiency phase (all weight on resource usage),
+//  3. a shrinking core budget (another job claims most of the machine),
+//
+// showing that the trade-off decision is deferred until execution and
+// re-made as conditions change — the point of multi-versioning.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"autotune"
+)
+
+func main() {
+	res, err := autotune.Tune("jacobi-2d",
+		autotune.WithMachine("Westmere"),
+		autotune.WithSeed(7),
+		autotune.WithNoise(0.01),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("tuned %s: %d versions\n", res.Unit.Region, len(res.Unit.Versions))
+
+	// Serialize the unit — this is what would be embedded in the
+	// multi-versioned executable — and reload it.
+	blob, err := res.Unit.Encode()
+	if err != nil {
+		log.Fatal(err)
+	}
+	unit, err := autotune.DecodeUnit(blob)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("serialized version table: %d bytes\n", len(blob))
+
+	// Bind entries. A real deployment would dispatch into the
+	// specialized compiled functions; here each entry just reports
+	// itself.
+	err = unit.Bind(func(m autotune.Meta) (autotune.Entry, error) {
+		return func() error {
+			fmt.Printf("    -> executing version: tiles=%v threads=%d (time=%.4fs, resources=%.4f)\n",
+				m.Tiles, m.Threads, m.Objectives[0], m.Objectives[1])
+			return nil
+		}, nil
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	rt, err := autotune.NewRuntime(unit, autotune.WeightedSum{Weights: []float64{1, 0}})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("\nphase 1: latency-critical (weights time=1, resources=0)")
+	if _, err := rt.Invoke(); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("\nphase 2: efficiency-focused (weights time=0, resources=1)")
+	if err := rt.SetPolicy(autotune.WeightedSum{Weights: []float64{0, 1}}); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := rt.Invoke(); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("\nphase 3: balanced, but only 8 cores remain available")
+	if err := rt.SetPolicy(autotune.WeightedSum{Weights: []float64{1, 1}}); err != nil {
+		log.Fatal(err)
+	}
+	rt.SetContext(autotune.RuntimeContext{AvailableCores: 8})
+	if _, err := rt.Invoke(); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("\nphase 4: deadline with a resource cap (fastest within budget)")
+	rt.SetContext(autotune.RuntimeContext{})
+	budget := unit.Versions[len(unit.Versions)-1].Meta.Objectives[1] * 1.5
+	if err := rt.SetPolicy(autotune.FastestWithinBudget{Optimize: 0, Constrain: 1, Budget: budget}); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := rt.Invoke(); err != nil {
+		log.Fatal(err)
+	}
+
+	st := rt.Stats()
+	fmt.Printf("\ninvocations: %d, distinct versions used: %d\n", st.Invocations, len(st.PerVersion))
+}

@@ -1,0 +1,43 @@
+// Quickstart: tune the matrix-multiplication kernel on the simulated
+// Westmere machine for execution time and resource usage, then print
+// the Pareto-optimal versions the compiler would embed into the
+// multi-versioned executable.
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"autotune"
+)
+
+func main() {
+	res, err := autotune.Tune("mm",
+		autotune.WithMachine("Westmere"),
+		autotune.WithSeed(42),
+		autotune.WithNoise(0.01),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("Tuned region %q with %d evaluations over %d iterations.\n",
+		res.Unit.Region, res.Evaluations, res.Iterations)
+	fmt.Printf("Pareto set: %d versions trading %s\n\n",
+		len(res.Unit.Versions), strings.Join(res.Unit.ObjectiveNames, " against "))
+
+	fmt.Printf("%-3s  %-16s  %7s  %12s  %12s\n", "#", "tiles", "threads", "time [s]", "resources")
+	for i, v := range res.Unit.Versions {
+		tiles := make([]string, len(v.Meta.Tiles))
+		for j, t := range v.Meta.Tiles {
+			tiles[j] = fmt.Sprint(t)
+		}
+		fmt.Printf("%-3d  %-16s  %7d  %12.5f  %12.5f\n",
+			i, strings.Join(tiles, "x"), v.Meta.Threads,
+			v.Meta.Objectives[0], v.Meta.Objectives[1])
+	}
+
+	fmt.Println("\nGenerated code of the fastest version:")
+	fmt.Println(res.Unit.Versions[0].Code)
+}

@@ -1,0 +1,3 @@
+module autotune
+
+go 1.22

@@ -1,0 +1,191 @@
+package cachesim
+
+import (
+	"testing"
+
+	"autotune/internal/machine"
+)
+
+func TestNewCacheValidation(t *testing.T) {
+	if _, err := NewCache("c", 1024, 63, 2); err == nil {
+		t.Error("non-power-of-two line size should fail")
+	}
+	if _, err := NewCache("c", 1024, 64, 0); err == nil {
+		t.Error("zero associativity should fail")
+	}
+	if _, err := NewCache("c", 64*3, 64, 2); err == nil {
+		t.Error("size not divisible into sets should fail")
+	}
+	c, err := NewCache("c", 30<<20, 64, 24)
+	if err != nil {
+		t.Fatalf("Westmere L3 geometry rejected: %v", err)
+	}
+	if c.Name() != "c" {
+		t.Error("Name wrong")
+	}
+}
+
+func TestCacheHitMiss(t *testing.T) {
+	c, _ := NewCache("L1", 1024, 64, 2) // 8 sets, 2 ways
+	if c.Access(0) {
+		t.Error("cold access should miss")
+	}
+	if !c.Access(0) {
+		t.Error("repeat access should hit")
+	}
+	if !c.Access(63) {
+		t.Error("same-line access should hit")
+	}
+	if c.Access(64) {
+		t.Error("next line should miss")
+	}
+	st := c.Stats()
+	if st.Accesses != 4 || st.Misses != 2 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.MissRate() != 0.5 {
+		t.Fatalf("miss rate = %v", st.MissRate())
+	}
+}
+
+func TestCacheLRUReplacement(t *testing.T) {
+	c, _ := NewCache("L1", 1024, 64, 2) // 8 sets
+	// Three blocks mapping to set 0: block ids 0, 8, 16.
+	a0, a8, a16 := uint64(0), uint64(8*64), uint64(16*64)
+	c.Access(a0)
+	c.Access(a8)
+	c.Access(a0)  // a0 most recently used
+	c.Access(a16) // evicts a8 (LRU)
+	if !c.Access(a0) {
+		t.Error("a0 should still be resident")
+	}
+	if c.Access(a8) {
+		t.Error("a8 should have been evicted")
+	}
+}
+
+func TestCacheCapacityWorkingSet(t *testing.T) {
+	c, _ := NewCache("L1", 32<<10, 64, 8)
+	// Working set half the cache: second pass must hit entirely.
+	lines := (32 << 10) / 64 / 2
+	for pass := 0; pass < 2; pass++ {
+		for i := 0; i < lines; i++ {
+			c.Access(uint64(i * 64))
+		}
+	}
+	st := c.Stats()
+	if st.Misses != uint64(lines) {
+		t.Fatalf("misses = %d, want %d (cold only)", st.Misses, lines)
+	}
+}
+
+func TestCacheThrashingWorkingSet(t *testing.T) {
+	c, _ := NewCache("L1", 1024, 64, 2)
+	// Working set 2x the cache, streamed cyclically: with LRU every
+	// access misses after warmup.
+	lines := 2 * 1024 / 64
+	for pass := 0; pass < 3; pass++ {
+		for i := 0; i < lines; i++ {
+			c.Access(uint64(i * 64))
+		}
+	}
+	st := c.Stats()
+	if st.MissRate() != 1.0 {
+		t.Fatalf("cyclic thrashing miss rate = %v, want 1.0", st.MissRate())
+	}
+}
+
+func TestCacheReset(t *testing.T) {
+	c, _ := NewCache("L1", 1024, 64, 2)
+	c.Access(0)
+	c.Reset()
+	if c.Stats().Accesses != 0 {
+		t.Error("stats not cleared")
+	}
+	if c.Access(0) {
+		t.Error("contents not cleared")
+	}
+}
+
+func TestMissRateEmptyCache(t *testing.T) {
+	var s Stats
+	if s.MissRate() != 0 {
+		t.Error("empty stats should have 0 miss rate")
+	}
+}
+
+func TestHierarchyPrivateAndShared(t *testing.T) {
+	m := machine.Barcelona()     // 4 cores per socket
+	h, err := NewHierarchy(m, 8) // 2 sockets
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 8 threads × (L1+L2 private) + 2 shared L3 instances.
+	want := 8*2 + 2
+	if len(h.Levels()) != want {
+		t.Fatalf("instances = %d, want %d", len(h.Levels()), want)
+	}
+}
+
+func TestHierarchySharedL3Visibility(t *testing.T) {
+	m := machine.Barcelona()
+	h, err := NewHierarchy(m, 2) // both threads on socket 0
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Thread 0 loads a line; thread 1's L1/L2 miss but shared L3 hits.
+	if lvl := h.Access(0, 4096); lvl != 3 {
+		t.Fatalf("cold access level = %d, want 3 (memory)", lvl)
+	}
+	if lvl := h.Access(1, 4096); lvl != 2 {
+		t.Fatalf("cross-thread access level = %d, want 2 (shared L3)", lvl)
+	}
+	if h.MemoryAccesses() != 1 {
+		t.Fatalf("memory accesses = %d, want 1", h.MemoryAccesses())
+	}
+}
+
+func TestHierarchyCrossSocketNoSharing(t *testing.T) {
+	m := machine.Barcelona()
+	h, err := NewHierarchy(m, 5) // threads 0-3 socket 0, thread 4 socket 1
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.Access(0, 4096)
+	if lvl := h.Access(4, 4096); lvl != 3 {
+		t.Fatalf("cross-socket access level = %d, want 3 (memory)", lvl)
+	}
+}
+
+func TestHierarchyLevelMissRateAndReset(t *testing.T) {
+	m := machine.Westmere()
+	h, err := NewHierarchy(m, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		h.Access(0, uint64(i*64))
+	}
+	if mr := h.LevelMissRate("L1"); mr != 1.0 {
+		t.Fatalf("streaming L1 miss rate = %v, want 1.0", mr)
+	}
+	for i := 0; i < 100; i++ {
+		h.Access(0, uint64(i*64))
+	}
+	if mr := h.LevelMissRate("L1"); mr != 0.5 {
+		t.Fatalf("after reuse pass L1 miss rate = %v, want 0.5", mr)
+	}
+	if h.LevelMissRate("L9") != 0 {
+		t.Error("unknown level should report 0")
+	}
+	h.Reset()
+	if h.MemoryAccesses() != 0 || h.LevelMissRate("L1") != 0 {
+		t.Error("reset did not clear hierarchy")
+	}
+}
+
+func TestHierarchyTooManyThreads(t *testing.T) {
+	if _, err := NewHierarchy(machine.Barcelona(), 33); err == nil {
+		t.Error("expected pin failure for 33 threads on 32 cores")
+	}
+}

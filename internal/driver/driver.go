@@ -1,0 +1,255 @@
+// Package driver implements the compiler driver orchestrating the
+// paper's Fig. 3 workflow: load a program (1), analyze it into tunable
+// regions with transformation skeletons (2), run the multi-objective
+// optimizer evaluating configurations on the target (3-4), and emit a
+// multi-versioned unit with one specialized code version per Pareto
+// point plus runtime metadata (5). The runtime system (internal/rts)
+// covers step (6).
+package driver
+
+import (
+	"fmt"
+	"sort"
+
+	"autotune/internal/analyzer"
+	"autotune/internal/features"
+	"autotune/internal/ir"
+	"autotune/internal/kernels"
+	"autotune/internal/machine"
+	"autotune/internal/multiversion"
+	"autotune/internal/objective"
+	"autotune/internal/optimizer"
+	"autotune/internal/skeleton"
+)
+
+// Method selects the search strategy.
+type Method string
+
+// Search strategies.
+const (
+	MethodRSGDE3     Method = "rs-gde3"
+	MethodGDE3       Method = "gde3"
+	MethodRandom     Method = "random"
+	MethodBruteForce Method = "brute-force"
+)
+
+// Options configures one tuning run.
+type Options struct {
+	// Machine is the tuning target (required).
+	Machine *machine.Machine
+	// N overrides the kernel's default problem size when > 0.
+	N int64
+	// Method defaults to MethodRSGDE3.
+	Method Method
+	// Optimizer carries the evolutionary parameters.
+	Optimizer optimizer.Options
+	// RandomBudget is the evaluation budget for MethodRandom
+	// (default 1000).
+	RandomBudget int
+	// GridPoints is the per-dimension point count for
+	// MethodBruteForce (default 12 per tile dim, all thread counts).
+	GridPoints []int
+	// NoiseAmp adds deterministic measurement noise (see
+	// objective.SimConfig).
+	NoiseAmp float64
+	// Objectives defaults to time + resources.
+	Objectives []objective.ObjectiveKind
+	// Measured switches the evaluator from the analytical model to
+	// timed execution of the real Go kernels.
+	Measured bool
+	// MeasuredReps is the median-of-k repetition count for measured
+	// tuning (default 3).
+	MeasuredReps int
+	// UnrollDim adds the innermost-loop unroll factor (1..8) as one
+	// more tuning dimension (simulated evaluator only).
+	UnrollDim bool
+}
+
+// Output is the result of tuning one kernel.
+type Output struct {
+	Kernel *kernels.Kernel
+	Region analyzer.Region
+	Result *optimizer.Result
+	Unit   *multiversion.Unit
+}
+
+// TuneKernel runs the full pipeline for a registered kernel.
+func TuneKernel(kernelName string, opt Options) (*Output, error) {
+	k, err := kernels.ByName(kernelName)
+	if err != nil {
+		return nil, err
+	}
+	if opt.Machine == nil {
+		return nil, fmt.Errorf("driver: machine required")
+	}
+	n := opt.N
+	if n == 0 {
+		n = k.DefaultN
+		if opt.Measured {
+			n = k.BenchN
+		}
+	}
+
+	// (1-2) Load and analyze.
+	prog := k.IR(n)
+	regions, err := analyzer.Analyze(prog, analyzer.Options{MaxThreads: opt.Machine.Cores()})
+	if err != nil {
+		return nil, err
+	}
+	region := regions[0]
+	if region.Band != k.TileDims {
+		return nil, fmt.Errorf("driver: analyzer band %d != kernel tile dims %d for %s",
+			region.Band, k.TileDims, k.Name)
+	}
+	if opt.UnrollDim {
+		if opt.Measured {
+			return nil, fmt.Errorf("driver: the unroll dimension needs the simulated evaluator")
+		}
+		region.Skeleton = skeleton.TiledParallelUnroll(region.Skeleton.Name,
+			region.Band, region.MaxTile, opt.Machine.Cores(), region.Collapsible, 8)
+	}
+	space := region.Skeleton.Space
+
+	// (3) Build the evaluator.
+	var eval objective.Evaluator
+	if opt.Measured {
+		m, err := objective.NewMeasured(k, n, opt.MeasuredReps)
+		if err != nil {
+			return nil, err
+		}
+		eval = m
+	} else {
+		s, err := objective.NewSim(objective.SimConfig{
+			Machine:    opt.Machine,
+			Kernel:     k,
+			N:          n,
+			NoiseAmp:   opt.NoiseAmp,
+			Objectives: opt.Objectives,
+			UnrollDim:  opt.UnrollDim,
+		})
+		if err != nil {
+			return nil, err
+		}
+		eval = s
+	}
+
+	// (4) Optimize.
+	res, err := runSearch(space, eval, opt)
+	if err != nil {
+		return nil, err
+	}
+	if len(res.Front) == 0 {
+		return nil, fmt.Errorf("driver: optimizer returned an empty front for %s", k.Name)
+	}
+
+	// (5) Multi-versioning backend.
+	unit, err := EmitUnit(k, prog, region, res, eval.ObjectiveNames(), n)
+	if err != nil {
+		return nil, err
+	}
+	return &Output{Kernel: k, Region: region, Result: res, Unit: unit}, nil
+}
+
+func runSearch(space skeleton.Space, eval objective.Evaluator, opt Options) (*optimizer.Result, error) {
+	method := opt.Method
+	if method == "" {
+		method = MethodRSGDE3
+	}
+	switch method {
+	case MethodRSGDE3:
+		return optimizer.RSGDE3(space, eval, opt.Optimizer)
+	case MethodGDE3:
+		return optimizer.GDE3(space, eval, opt.Optimizer)
+	case MethodRandom:
+		budget := opt.RandomBudget
+		if budget == 0 {
+			budget = 1000
+		}
+		return optimizer.Random(space, eval, budget, opt.Optimizer.Seed)
+	case MethodBruteForce:
+		points := opt.GridPoints
+		if len(points) == 0 {
+			points = make([]int, space.Dim())
+			for i := range points {
+				points[i] = 12
+			}
+			// Sample every thread count on the last dimension, capped.
+			last := space.Params[space.Dim()-1]
+			span := int(last.Max - last.Min + 1)
+			if span > 64 {
+				span = 64
+			}
+			points[space.Dim()-1] = span
+		}
+		grid, err := optimizer.RegularGrid(space, points)
+		if err != nil {
+			return nil, err
+		}
+		return optimizer.BruteForce(space, eval, grid)
+	default:
+		return nil, fmt.Errorf("driver: unknown method %q", method)
+	}
+}
+
+// EmitUnit builds the multi-versioned unit for a tuned region: one
+// version per Pareto point, each with the transformed code listing,
+// metadata and an executable entry bound to the kernel's real Go
+// implementation.
+func EmitUnit(k *kernels.Kernel, prog *ir.Program, region analyzer.Region,
+	res *optimizer.Result, objectiveNames []string, n int64) (*multiversion.Unit, error) {
+	unit := &multiversion.Unit{
+		Region:         region.Skeleton.Name,
+		ObjectiveNames: objectiveNames,
+	}
+	if fs, err := features.Extract(prog); err == nil {
+		unit.Features = fs.AsMap()
+	}
+	// Emit versions sorted by the first objective (fastest last) for a
+	// stable, readable table.
+	var front []struct {
+		cfg  skeleton.Config
+		objs []float64
+	}
+	for _, p := range res.Front {
+		front = append(front, struct {
+			cfg  skeleton.Config
+			objs []float64
+		}{p.Payload.(skeleton.Config), p.Objectives})
+	}
+	sort.Slice(front, func(a, b int) bool { return front[a].objs[0] < front[b].objs[0] })
+	// Outline the region (the backend's "outlining the selected regions
+	// into functions") so multi-region programs transform the right
+	// nest.
+	outlined := region.Outline(prog)
+	for _, fp := range front {
+		transformed, inst, err := region.Skeleton.Apply(outlined, fp.cfg)
+		if err != nil {
+			return nil, fmt.Errorf("driver: instantiating %v: %w", fp.cfg, err)
+		}
+		tiles := append([]int64(nil), fp.cfg[:region.Band]...)
+		threads := inst.Threads
+		meta := multiversion.Meta{
+			Config:     fp.cfg.Clone(),
+			Tiles:      tiles,
+			Threads:    threads,
+			Unroll:     inst.Unroll,
+			Objectives: append([]float64(nil), fp.objs...),
+		}
+		version := multiversion.Version{
+			Meta: meta,
+			Code: transformed.String(),
+		}
+		if k.Run != nil {
+			runN, runTiles := n, tiles
+			version.Entry = func() error {
+				_, err := k.Run(runN, runTiles, threads)
+				return err
+			}
+		}
+		unit.Versions = append(unit.Versions, version)
+	}
+	if err := unit.Validate(); err != nil {
+		return nil, err
+	}
+	return unit, nil
+}

@@ -1,0 +1,152 @@
+package driver
+
+import (
+	"strings"
+	"testing"
+
+	"autotune/internal/machine"
+	"autotune/internal/multiversion"
+	"autotune/internal/optimizer"
+	"autotune/internal/pareto"
+)
+
+func fastOpts() Options {
+	return Options{
+		Machine:   machine.Westmere(),
+		Optimizer: optimizer.Options{PopSize: 12, Seed: 1, MaxIterations: 15},
+	}
+}
+
+func TestTuneKernelRSGDE3(t *testing.T) {
+	out, err := TuneKernel("mm", fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Unit.Versions) == 0 {
+		t.Fatal("no versions emitted")
+	}
+	if out.Result.Evaluations <= 0 {
+		t.Fatal("no evaluations counted")
+	}
+	// Versions sorted by time.
+	prev := -1.0
+	for _, v := range out.Unit.Versions {
+		if v.Meta.Objectives[0] < prev {
+			t.Fatal("versions not sorted by first objective")
+		}
+		prev = v.Meta.Objectives[0]
+		if len(v.Meta.Tiles) != 3 {
+			t.Fatalf("tiles = %v", v.Meta.Tiles)
+		}
+		if v.Meta.Threads < 1 || v.Meta.Threads > 40 {
+			t.Fatalf("threads = %d", v.Meta.Threads)
+		}
+		if !strings.Contains(v.Code, "#pragma omp parallel for") {
+			t.Fatal("emitted code listing not parallelized")
+		}
+		if v.Entry == nil {
+			t.Fatal("entry not bound")
+		}
+	}
+	// Front points are mutually non-dominated.
+	for i := range out.Unit.Versions {
+		for j := range out.Unit.Versions {
+			if i == j {
+				continue
+			}
+			if pareto.Dominates(out.Unit.Versions[i].Meta.Objectives, out.Unit.Versions[j].Meta.Objectives) {
+				t.Fatal("version table contains dominated version")
+			}
+		}
+	}
+}
+
+func TestTuneKernelAllKernelsAllMethods(t *testing.T) {
+	for _, kname := range []string{"mm", "jacobi-2d", "n-body"} {
+		for _, method := range []Method{MethodRSGDE3, MethodGDE3, MethodRandom} {
+			opt := fastOpts()
+			opt.Method = method
+			opt.RandomBudget = 100
+			out, err := TuneKernel(kname, opt)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", kname, method, err)
+			}
+			if len(out.Unit.Versions) == 0 {
+				t.Fatalf("%s/%s: empty unit", kname, method)
+			}
+		}
+	}
+}
+
+func TestTuneKernelBruteForceSmallGrid(t *testing.T) {
+	opt := fastOpts()
+	opt.Method = MethodBruteForce
+	opt.GridPoints = []int{4, 4, 4, 3}
+	opt.N = 256
+	out, err := TuneKernel("mm", opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Result.Evaluations == 0 || len(out.Result.AllPoints) == 0 {
+		t.Fatal("brute force should retain all points")
+	}
+}
+
+func TestTuneKernelErrors(t *testing.T) {
+	if _, err := TuneKernel("nope", fastOpts()); err == nil {
+		t.Error("unknown kernel accepted")
+	}
+	if _, err := TuneKernel("mm", Options{}); err == nil {
+		t.Error("missing machine accepted")
+	}
+	opt := fastOpts()
+	opt.Method = Method("alien")
+	if _, err := TuneKernel("mm", opt); err == nil {
+		t.Error("unknown method accepted")
+	}
+}
+
+func TestUnitRoundTripAndRebind(t *testing.T) {
+	out, err := TuneKernel("mm", fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := out.Unit.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := multiversion.Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ran := 0
+	err = loaded.Bind(func(m multiversion.Meta) (multiversion.Entry, error) {
+		return func() error { ran++; return nil }, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := loaded.Versions[0].Entry(); err != nil || ran != 1 {
+		t.Fatal("rebound entry did not run")
+	}
+}
+
+func TestMeasuredTuningSmall(t *testing.T) {
+	if testing.Short() {
+		t.Skip("measured tuning executes real kernels")
+	}
+	opt := Options{
+		Machine:      machine.Westmere(),
+		Measured:     true,
+		N:            64,
+		MeasuredReps: 1,
+		Optimizer:    optimizer.Options{PopSize: 6, Seed: 2, MaxIterations: 3, Stagnation: 1},
+	}
+	out, err := TuneKernel("mm", opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Unit.Versions) == 0 {
+		t.Fatal("measured tuning produced no versions")
+	}
+}

@@ -1,0 +1,91 @@
+package driver
+
+import (
+	"fmt"
+
+	"autotune/internal/analyzer"
+	"autotune/internal/kernels"
+	"autotune/internal/objective"
+	"autotune/internal/optimizer"
+	"autotune/internal/skeleton"
+)
+
+// MultiOutput is the result of tuning several regions simultaneously.
+type MultiOutput struct {
+	// Outputs holds one per-region result (kernel, region, unit).
+	Outputs []*Output
+	// Executions is the number of joint program executions — shared
+	// across all regions, the point of simultaneous tuning.
+	Executions int
+	// Iterations is the number of lock-step optimizer iterations.
+	Iterations int
+}
+
+// TuneKernels tunes several regions (one per named kernel, as if they
+// were regions of one program) simultaneously: every program execution
+// measures one candidate configuration of every region, so the total
+// execution count is shared rather than multiplied (paper §III-A).
+// Only the simulated evaluator supports joint execution.
+func TuneKernels(kernelNames []string, opt Options) (*MultiOutput, error) {
+	if len(kernelNames) == 0 {
+		return nil, fmt.Errorf("driver: no kernels")
+	}
+	if opt.Machine == nil {
+		return nil, fmt.Errorf("driver: machine required")
+	}
+	if opt.Measured {
+		return nil, fmt.Errorf("driver: joint tuning supports the simulated evaluator only")
+	}
+	var (
+		ks      []*kernels.Kernel
+		regions []analyzer.Region
+		spaces  []skeleton.Space
+		progs   []int64
+	)
+	for _, name := range kernelNames {
+		k, err := kernels.ByName(name)
+		if err != nil {
+			return nil, err
+		}
+		n := opt.N
+		if n == 0 {
+			n = k.DefaultN
+		}
+		prog := k.IR(n)
+		rs, err := analyzer.Analyze(prog, analyzer.Options{MaxThreads: opt.Machine.Cores()})
+		if err != nil {
+			return nil, err
+		}
+		ks = append(ks, k)
+		regions = append(regions, rs[0])
+		spaces = append(spaces, rs[0].Skeleton.Space)
+		progs = append(progs, n)
+	}
+
+	eval, err := objective.NewSimJoint(opt.Machine, ks, progs, opt.NoiseAmp)
+	if err != nil {
+		return nil, err
+	}
+	multi, err := optimizer.MultiRSGDE3(spaces, eval, opt.Optimizer)
+	if err != nil {
+		return nil, err
+	}
+
+	out := &MultiOutput{Executions: multi.Executions, Iterations: multi.Iterations}
+	for r := range ks {
+		if len(multi.Regions[r].Front) == 0 {
+			return nil, fmt.Errorf("driver: empty front for region %s", ks[r].Name)
+		}
+		unit, err := EmitUnit(ks[r], ks[r].IR(progs[r]), regions[r], multi.Regions[r], eval.ObjectiveNames(), progs[r])
+		if err != nil {
+			return nil, err
+		}
+		out.Outputs = append(out.Outputs, &Output{
+			Kernel: ks[r],
+			Region: regions[r],
+			Result: multi.Regions[r],
+			Unit:   unit,
+		})
+	}
+	return out, nil
+}

@@ -1,0 +1,76 @@
+package driver
+
+import (
+	"testing"
+
+	"autotune/internal/machine"
+	"autotune/internal/optimizer"
+)
+
+func TestTuneKernelsJoint(t *testing.T) {
+	opt := Options{
+		Machine:   machine.Westmere(),
+		Optimizer: optimizer.Options{PopSize: 12, Seed: 1, MaxIterations: 20},
+	}
+	multi, err := TuneKernels([]string{"mm", "jacobi-2d"}, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(multi.Outputs) != 2 {
+		t.Fatalf("outputs = %d", len(multi.Outputs))
+	}
+	for _, out := range multi.Outputs {
+		if len(out.Unit.Versions) == 0 {
+			t.Fatalf("%s: empty unit", out.Kernel.Name)
+		}
+		if out.Result.Evaluations != multi.Executions {
+			t.Fatalf("%s: per-region E %d != shared executions %d",
+				out.Kernel.Name, out.Result.Evaluations, multi.Executions)
+		}
+	}
+	if multi.Executions == 0 || multi.Iterations == 0 {
+		t.Fatalf("metrics: %d/%d", multi.Executions, multi.Iterations)
+	}
+}
+
+// The point of simultaneous tuning: tuning K regions jointly costs far
+// fewer program executions than tuning them separately.
+func TestJointTuningSharesExecutions(t *testing.T) {
+	oopt := optimizer.Options{PopSize: 12, Seed: 2, MaxIterations: 25}
+	opt := Options{Machine: machine.Westmere(), Optimizer: oopt}
+	multi, err := TuneKernels([]string{"mm", "jacobi-2d", "n-body"}, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	separate := 0
+	for _, name := range []string{"mm", "jacobi-2d", "n-body"} {
+		out, err := TuneKernel(name, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		separate += out.Result.Evaluations
+	}
+	if multi.Executions >= separate {
+		t.Fatalf("joint executions %d not below separate total %d", multi.Executions, separate)
+	}
+	t.Logf("joint=%d separate=%d (%.0f%% saved)", multi.Executions, separate,
+		100*(1-float64(multi.Executions)/float64(separate)))
+}
+
+func TestTuneKernelsValidation(t *testing.T) {
+	opt := Options{Machine: machine.Westmere()}
+	if _, err := TuneKernels(nil, opt); err == nil {
+		t.Error("empty kernel list accepted")
+	}
+	if _, err := TuneKernels([]string{"mm"}, Options{}); err == nil {
+		t.Error("missing machine accepted")
+	}
+	if _, err := TuneKernels([]string{"nope"}, opt); err == nil {
+		t.Error("unknown kernel accepted")
+	}
+	mopt := opt
+	mopt.Measured = true
+	if _, err := TuneKernels([]string{"mm"}, mopt); err == nil {
+		t.Error("measured joint tuning should be rejected")
+	}
+}

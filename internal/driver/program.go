@@ -1,0 +1,148 @@
+package driver
+
+import (
+	"fmt"
+
+	"autotune/internal/analyzer"
+	"autotune/internal/genmodel"
+	"autotune/internal/ir"
+	"autotune/internal/kernels"
+	"autotune/internal/objective"
+	"autotune/internal/optimizer"
+	"autotune/internal/skeleton"
+)
+
+// TuneProgramAll tunes every region of an arbitrary MiniIR program
+// simultaneously: the analyzer enumerates the tunable nests, genmodel
+// derives a performance model per region, and the lock-step
+// multi-region RS-GDE3 shares each program execution across all
+// regions (paper §III-A). One multi-versioned unit is emitted per
+// region.
+func TuneProgramAll(prog *ir.Program, opt Options) (*MultiOutput, error) {
+	if prog == nil {
+		return nil, fmt.Errorf("driver: nil program")
+	}
+	if opt.Machine == nil {
+		return nil, fmt.Errorf("driver: machine required")
+	}
+	if opt.Measured {
+		return nil, fmt.Errorf("driver: parsed programs have no measured implementation")
+	}
+	regions, err := analyzer.Analyze(prog, analyzer.Options{MaxThreads: opt.Machine.Cores()})
+	if err != nil {
+		return nil, err
+	}
+	var (
+		synths []*kernels.Kernel
+		spaces []skeleton.Space
+	)
+	for i := range regions {
+		km, err := genmodel.Derive(prog, regions[i])
+		if err != nil {
+			return nil, fmt.Errorf("driver: region %d: %w", i, err)
+		}
+		synths = append(synths, &kernels.Kernel{
+			Name:     regions[i].Skeleton.Name,
+			DefaultN: 1,
+			BenchN:   1,
+			TileDims: regions[i].Band,
+			Collapse: regions[i].Collapsible,
+			IR:       func(n int64) *ir.Program { return prog.Clone() },
+			Model:    km,
+		})
+		spaces = append(spaces, regions[i].Skeleton.Space)
+	}
+	eval, err := objective.NewSimJoint(opt.Machine, synths, make([]int64, len(synths)), opt.NoiseAmp)
+	if err != nil {
+		return nil, err
+	}
+	multi, err := optimizer.MultiRSGDE3(spaces, eval, opt.Optimizer)
+	if err != nil {
+		return nil, err
+	}
+	out := &MultiOutput{Executions: multi.Executions, Iterations: multi.Iterations}
+	for i := range regions {
+		if len(multi.Regions[i].Front) == 0 {
+			return nil, fmt.Errorf("driver: empty front for region %d", i)
+		}
+		unit, err := EmitUnit(synths[i], prog, regions[i], multi.Regions[i], eval.ObjectiveNames(), 1)
+		if err != nil {
+			return nil, err
+		}
+		out.Outputs = append(out.Outputs, &Output{
+			Kernel: synths[i],
+			Region: regions[i],
+			Result: multi.Regions[i],
+			Unit:   unit,
+		})
+	}
+	return out, nil
+}
+
+// TuneProgram tunes an arbitrary MiniIR program (e.g. parsed from the
+// text format by internal/irparse): the analyzer finds the first
+// tunable region, genmodel derives an analytical performance model
+// from its access structure, and the usual optimize → multi-version
+// pipeline runs against it. Since the program has no executable Go
+// implementation, the emitted unit's versions carry code listings and
+// metadata but no bound entries — attach entries with Unit.Bind when
+// an execution vehicle exists.
+func TuneProgram(prog *ir.Program, opt Options) (*Output, error) {
+	if prog == nil {
+		return nil, fmt.Errorf("driver: nil program")
+	}
+	if opt.Machine == nil {
+		return nil, fmt.Errorf("driver: machine required")
+	}
+	if opt.Measured {
+		return nil, fmt.Errorf("driver: parsed programs have no measured implementation")
+	}
+	regions, err := analyzer.Analyze(prog, analyzer.Options{MaxThreads: opt.Machine.Cores()})
+	if err != nil {
+		return nil, err
+	}
+	region := regions[0]
+	km, err := genmodel.Derive(prog, region)
+	if err != nil {
+		return nil, err
+	}
+	if opt.UnrollDim {
+		region.Skeleton = skeleton.TiledParallelUnroll(region.Skeleton.Name,
+			region.Band, region.MaxTile, opt.Machine.Cores(), region.Collapsible, 8)
+	}
+
+	// A synthetic kernel wraps the derived model so the standard
+	// evaluator and backend apply unchanged.
+	synth := &kernels.Kernel{
+		Name:     prog.Name,
+		DefaultN: 1,
+		BenchN:   1,
+		TileDims: region.Band,
+		Collapse: region.Collapsible,
+		IR:       func(n int64) *ir.Program { return prog.Clone() },
+		Model:    km,
+	}
+	eval, err := objective.NewSim(objective.SimConfig{
+		Machine:    opt.Machine,
+		Kernel:     synth,
+		N:          1,
+		NoiseAmp:   opt.NoiseAmp,
+		Objectives: opt.Objectives,
+		UnrollDim:  opt.UnrollDim,
+	})
+	if err != nil {
+		return nil, err
+	}
+	res, err := runSearch(region.Skeleton.Space, eval, opt)
+	if err != nil {
+		return nil, err
+	}
+	if len(res.Front) == 0 {
+		return nil, fmt.Errorf("driver: optimizer returned an empty front for %s", prog.Name)
+	}
+	unit, err := EmitUnit(synth, prog, region, res, eval.ObjectiveNames(), 1)
+	if err != nil {
+		return nil, err
+	}
+	return &Output{Kernel: synth, Region: region, Result: res, Unit: unit}, nil
+}

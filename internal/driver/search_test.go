@@ -1,0 +1,59 @@
+package driver
+
+import (
+	"testing"
+
+	"autotune/internal/machine"
+	"autotune/internal/optimizer"
+)
+
+func TestBruteForceDefaultGrid(t *testing.T) {
+	if testing.Short() {
+		t.Skip("default brute-force grid is large")
+	}
+	// No GridPoints: the driver derives 12 points per tile dimension
+	// and samples every thread count (capped at 64).
+	out, err := TuneKernel("jacobi-2d", Options{
+		Machine: machine.Westmere(),
+		Method:  MethodBruteForce,
+		N:       512,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 12 × 12 tile points (deduplicated) × up to 40 threads.
+	if out.Result.Evaluations < 1000 {
+		t.Fatalf("default grid evaluated only %d configs", out.Result.Evaluations)
+	}
+	if len(out.Unit.Versions) == 0 {
+		t.Fatal("no versions")
+	}
+}
+
+func TestGDE3MethodThroughDriver(t *testing.T) {
+	out, err := TuneKernel("mm", Options{
+		Machine:   machine.Westmere(),
+		Method:    MethodGDE3,
+		Optimizer: optimizer.Options{PopSize: 10, Seed: 3, MaxIterations: 8},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Unit.Versions) == 0 {
+		t.Fatal("no versions")
+	}
+}
+
+func TestRandomBudgetThroughDriver(t *testing.T) {
+	out, err := TuneKernel("mm", Options{
+		Machine:      machine.Westmere(),
+		Method:       MethodRandom,
+		RandomBudget: 64,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Result.Evaluations > 64 {
+		t.Fatalf("random exceeded budget: %d", out.Result.Evaluations)
+	}
+}

@@ -1,0 +1,78 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"autotune/internal/machine"
+)
+
+func TestExtendedComparisonQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs four strategies over all kernels")
+	}
+	res, err := Extended(machine.Westmere(), Quick, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 5 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	for _, row := range res.Rows {
+		for _, s := range res.Strategies {
+			sum, ok := row.Summaries[s]
+			if !ok {
+				t.Fatalf("%s: missing strategy %s", row.Kernel, s)
+			}
+			if sum.Size == 0 {
+				t.Errorf("%s/%s: empty front", row.Kernel, s)
+			}
+			if sum.HasHV && (sum.HV < 0 || sum.HV > 1) {
+				t.Errorf("%s/%s: HV = %v", row.Kernel, s, sum.HV)
+			}
+		}
+		// The brute-force front covers itself: epsilon 0, coverage 1.
+		bf := row.Summaries["brute-force"]
+		if bf.Epsilon > 1e-9 || bf.Covers < 1 {
+			t.Errorf("%s: brute-force self-indicators wrong: %+v", row.Kernel, bf)
+		}
+	}
+	var buf bytes.Buffer
+	res.Render(&buf)
+	for _, want := range []string{"rs-gde3", "nsga2", "eps+", "IGD"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("render missing %q", want)
+		}
+	}
+}
+
+func TestValidationExperiment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trace-driven simulation")
+	}
+	res, err := Validation()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Reports) != 6 {
+		t.Fatalf("reports = %d", len(res.Reports))
+	}
+	// The contrasting BLAS kernels must validate strongly at every
+	// level on both machines.
+	for _, rep := range res.Reports {
+		if rep.Kernel == "jacobi-2d" {
+			continue // intentionally flat landscape
+		}
+		for lvl, tau := range rep.RankAgreement {
+			if tau < 0.5 {
+				t.Errorf("%s/%s %s: rank agreement %.2f < 0.5", rep.Kernel, rep.Machine, lvl, tau)
+			}
+		}
+	}
+	var buf bytes.Buffer
+	res.Render(&buf)
+	if !strings.Contains(buf.String(), "Kendall tau") {
+		t.Error("render broken")
+	}
+}

@@ -1,0 +1,241 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+
+	"autotune/internal/kernels"
+	"autotune/internal/machine"
+	"autotune/internal/pareto"
+	"autotune/internal/perfmodel"
+	"autotune/internal/skeleton"
+)
+
+// Fig1Result is the efficiency-and-speedup trade-off data of Fig. 1.
+type Fig1Result struct {
+	Machine *machine.Machine
+	Threads []int
+	Speedup []float64
+	Eff     []float64
+}
+
+// Fig1 reproduces Fig. 1: the speedup/efficiency trade-off of mm over
+// all thread counts (best tiles per thread count).
+func Fig1(k *kernels.Kernel, m *machine.Machine, mode Mode) (*Fig1Result, error) {
+	bests, err := bestPerThreadCount(k, m, mode)
+	if err != nil {
+		return nil, err
+	}
+	res := &Fig1Result{Machine: m}
+	tseq := bests[0].Time
+	for _, b := range bests {
+		res.Threads = append(res.Threads, b.Threads)
+		res.Speedup = append(res.Speedup, perfmodel.Speedup(tseq, b.Time))
+		res.Eff = append(res.Eff, perfmodel.Efficiency(tseq, b.Time, b.Threads))
+	}
+	return res, nil
+}
+
+// Render writes the series plus an ASCII chart.
+func (r *Fig1Result) Render(w io.Writer) {
+	fmt.Fprintf(w, "Fig. 1: efficiency and speedup trade-off (%s)\n", r.Machine.Name)
+	header := []string{"Threads", "Speedup", "Efficiency", ""}
+	var rows [][]string
+	maxSp := r.Speedup[len(r.Speedup)-1]
+	for i := range r.Threads {
+		bar := strings.Repeat("#", int(30*r.Speedup[i]/maxSp))
+		rows = append(rows, []string{
+			fmt.Sprint(r.Threads[i]),
+			fmt.Sprintf("%.2f", r.Speedup[i]),
+			fmt.Sprintf("%.3f", r.Eff[i]),
+			bar,
+		})
+	}
+	renderTable(w, header, rows)
+}
+
+// Fig2Result is one heat map of relative execution time over (t1, t2)
+// for a fixed thread count and fixed remaining tile sizes.
+type Fig2Result struct {
+	Machine  *machine.Machine
+	Threads  int
+	T1, T2   []int64
+	RelTime  [][]float64 // normalized to the map's own minimum
+	BestT1   int64
+	BestT2   int64
+	FixedT3  int64
+	TileDims int
+}
+
+// Fig2 reproduces one panel of Fig. 2: the relative execution time of
+// (ti, tj) combinations at a fixed tk for a given thread count.
+func Fig2(k *kernels.Kernel, m *machine.Machine, threads int, fixedT3 int64, points int) (*Fig2Result, error) {
+	eval, err := newEvaluator(k, m)
+	if err != nil {
+		return nil, err
+	}
+	vals := tileGridValues(k.DefaultN, points)
+	res := &Fig2Result{
+		Machine: m, Threads: threads, T1: vals, T2: vals,
+		FixedT3: fixedT3, TileDims: k.TileDims,
+	}
+	best := math.Inf(1)
+	res.RelTime = make([][]float64, len(vals))
+	for i, t1 := range vals {
+		res.RelTime[i] = make([]float64, len(vals))
+		for j, t2 := range vals {
+			tiles := []int64{t1, t2}
+			if k.TileDims == 3 {
+				tiles = append(tiles, fixedT3)
+			}
+			t, err := evalTime(eval, tiles, threads)
+			if err != nil {
+				return nil, err
+			}
+			res.RelTime[i][j] = t
+			if t < best {
+				best = t
+				res.BestT1, res.BestT2 = t1, t2
+			}
+		}
+	}
+	for i := range res.RelTime {
+		for j := range res.RelTime[i] {
+			res.RelTime[i][j] /= best
+		}
+	}
+	return res, nil
+}
+
+// Render draws the heat map with ASCII shading (darker = faster, as in
+// the paper).
+func (r *Fig2Result) Render(w io.Writer) {
+	fmt.Fprintf(w, "Fig. 2: relative time over (t1, t2), %d threads, t3=%d (%s); darker = faster\n",
+		r.Threads, r.FixedT3, r.Machine.Name)
+	shades := []byte("@#*+=-:. ") // fastest to slowest
+	fmt.Fprintf(w, "best: t1=%d t2=%d\n", r.BestT1, r.BestT2)
+	for i := range r.RelTime {
+		var b strings.Builder
+		for j := range r.RelTime[i] {
+			rel := r.RelTime[i][j]
+			idx := int((rel - 1) / 0.25)
+			if idx >= len(shades) {
+				idx = len(shades) - 1
+			}
+			b.WriteByte(shades[idx])
+		}
+		fmt.Fprintf(w, "t1=%-6d |%s|\n", r.T1[i], b.String())
+	}
+}
+
+// Fig8Result holds the time-vs-resources scatter of all brute-force
+// configurations, grouped by thread count (paper Fig. 8).
+type Fig8Result struct {
+	Machine *machine.Machine
+	// Series maps thread count -> (time, resources) points.
+	Series map[int][][2]float64
+}
+
+// Fig8 reproduces Fig. 8's data: execution time and resource usage of
+// every configuration evaluated by the brute-force sweep.
+func Fig8(k *kernels.Kernel, m *machine.Machine, mode Mode) (*Fig8Result, error) {
+	eval, err := newEvaluator(k, m)
+	if err != nil {
+		return nil, err
+	}
+	grid := tileOnlyGrid(k, mode)
+	var tileSets [][]int64
+	cur := make([]int64, k.TileDims)
+	var rec func(d int)
+	rec = func(d int) {
+		if d == k.TileDims {
+			tileSets = append(tileSets, append([]int64(nil), cur...))
+			return
+		}
+		for _, v := range grid[d] {
+			cur[d] = v
+			rec(d + 1)
+		}
+	}
+	rec(0)
+	res := &Fig8Result{Machine: m, Series: map[int][][2]float64{}}
+	for _, th := range ThreadCounts(m) {
+		cfgs := make([]skeleton.Config, len(tileSets))
+		for i, ts := range tileSets {
+			cfgs[i] = append(append(skeleton.Config{}, ts...), int64(th))
+		}
+		objs := eval.Evaluate(cfgs)
+		for _, o := range objs {
+			if o != nil {
+				res.Series[th] = append(res.Series[th], [2]float64{o[0], o[1]})
+			}
+		}
+	}
+	return res, nil
+}
+
+// Render summarizes each per-thread-count series (full point clouds are
+// too large for text output).
+func (r *Fig8Result) Render(w io.Writer) {
+	fmt.Fprintf(w, "Fig. 8: execution time vs resource usage per thread count (%s)\n", r.Machine.Name)
+	header := []string{"Threads", "Points", "min time", "min resources", "time@minRes"}
+	var rows [][]string
+	for _, th := range ThreadCounts(r.Machine) {
+		pts := r.Series[th]
+		if len(pts) == 0 {
+			continue
+		}
+		minT, minR, tAtMinR := math.Inf(1), math.Inf(1), 0.0
+		for _, p := range pts {
+			if p[0] < minT {
+				minT = p[0]
+			}
+			if p[1] < minR {
+				minR = p[1]
+				tAtMinR = p[0]
+			}
+		}
+		rows = append(rows, []string{
+			fmt.Sprint(th), fmt.Sprint(len(pts)),
+			fmt.Sprintf("%.4fs", minT),
+			fmt.Sprintf("%.4f", minR),
+			fmt.Sprintf("%.4fs", tAtMinR),
+		})
+	}
+	renderTable(w, header, rows)
+}
+
+// Fig9Result holds the Pareto fronts computed by the three strategies
+// (paper Fig. 9).
+type Fig9Result struct {
+	Machine    *machine.Machine
+	BruteForce []pareto.Point
+	Random     []pareto.Point
+	RSGDE3     []pareto.Point
+}
+
+// Render prints the three fronts as (time, resources) pairs.
+func (r *Fig9Result) Render(w io.Writer) {
+	fmt.Fprintf(w, "Fig. 9: Pareto fronts by optimization strategy (%s)\n", r.Machine.Name)
+	dump := func(name string, front []pareto.Point) {
+		fmt.Fprintf(w, "  %-12s (%2d points):", name, len(front))
+		objs := frontObjectives(front)
+		// Sort by time for readability.
+		for i := 0; i < len(objs); i++ {
+			for j := i + 1; j < len(objs); j++ {
+				if objs[j][0] < objs[i][0] {
+					objs[i], objs[j] = objs[j], objs[i]
+				}
+			}
+		}
+		for _, o := range objs {
+			fmt.Fprintf(w, " (%.3f,%.2f)", o[0], o[1])
+		}
+		fmt.Fprintln(w)
+	}
+	dump("brute force", r.BruteForce)
+	dump("random", r.Random)
+	dump("RS-GDE3", r.RSGDE3)
+}

@@ -1,0 +1,99 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"autotune/internal/kernels"
+	"autotune/internal/machine"
+)
+
+// RunAll regenerates every table and figure in paper order, writing
+// the renderings to w. It is the engine behind `cmd/repro -exp all`.
+func RunAll(w io.Writer, mode Mode, reps int) error {
+	mm, err := kernels.ByName("mm")
+	if err != nil {
+		return err
+	}
+	machines := []*machine.Machine{machine.Westmere(), machine.Barcelona()}
+
+	Table1(w)
+	fmt.Fprintln(w)
+
+	for _, m := range machines {
+		f1, err := Fig1(mm, m, mode)
+		if err != nil {
+			return err
+		}
+		f1.Render(w)
+		fmt.Fprintln(w)
+	}
+
+	// Fig. 2: heat maps for the extreme thread counts on Westmere.
+	wst := machines[0]
+	points := 12
+	if mode == Quick {
+		points = 7
+	}
+	for _, th := range []int{1, ThreadCounts(wst)[len(ThreadCounts(wst))-1]} {
+		f2, err := Fig2(mm, wst, th, 9, points)
+		if err != nil {
+			return err
+		}
+		f2.Render(w)
+		fmt.Fprintln(w)
+	}
+
+	for _, m := range machines {
+		t2, err := Table2(mm, m, mode)
+		if err != nil {
+			return err
+		}
+		t2.Render(w)
+		fmt.Fprintln(w)
+		t3, err := Table3(mm, m, mode)
+		if err != nil {
+			return err
+		}
+		t3.Render(w)
+		fmt.Fprintln(w)
+	}
+
+	Table4(w)
+	fmt.Fprintln(w)
+
+	for _, m := range machines {
+		t5, err := Table5(m, mode)
+		if err != nil {
+			return err
+		}
+		t5.Render(w)
+		fmt.Fprintln(w)
+	}
+
+	for _, m := range machines {
+		f8, err := Fig8(mm, m, mode)
+		if err != nil {
+			return err
+		}
+		f8.Render(w)
+		fmt.Fprintln(w)
+	}
+
+	for _, m := range machines {
+		t6, err := Table6(m, mode, reps)
+		if err != nil {
+			return err
+		}
+		t6.Render(w)
+		fmt.Fprintln(w)
+		// Fig. 9 reuses the Table VI machinery for mm.
+		_, f9, err := Table6Kernel(mm, m, mode, 1)
+		if err != nil {
+			return err
+		}
+		f9.Render(w)
+		fmt.Fprintln(w)
+	}
+	return nil
+}

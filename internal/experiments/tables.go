@@ -1,0 +1,264 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"autotune/internal/kernels"
+	"autotune/internal/machine"
+	"autotune/internal/perfmodel"
+)
+
+// Table1 renders the machine configuration table (paper Table I).
+func Table1(w io.Writer) {
+	fmt.Fprintln(w, "Table I: evaluated parallel computing systems (simulated)")
+	header := []string{"System", "Sockets/Cores", "L1d/i", "L2", "L3", "Clock", "Kernel"}
+	var rows [][]string
+	for _, name := range machine.Names() {
+		m, _ := machine.ByName(name)
+		l1, _ := m.CacheByName("L1")
+		l2, _ := m.CacheByName("L2")
+		l3, _ := m.CacheByName("L3")
+		rows = append(rows, []string{
+			m.Name,
+			fmt.Sprintf("%d/%d", m.Sockets, m.Cores()),
+			fmt.Sprintf("%dK/%dK", l1.SizeBytes>>10, l1.SizeBytes>>10),
+			fmt.Sprintf("%dK", l2.SizeBytes>>10),
+			fmt.Sprintf("%dM", l3.SizeBytes>>20),
+			fmt.Sprintf("%.1fGHz", m.ClockGHz),
+			m.KernelVersion,
+		})
+	}
+	renderTable(w, header, rows)
+}
+
+// Table2Result holds the Table II reproduction for one machine:
+// per-thread-count optimal tiles and the cross-thread loss matrix.
+type Table2Result struct {
+	Machine *machine.Machine
+	Bests   []BestConfig
+	// Loss[i][j] is the relative loss of running the configuration
+	// tuned for Bests[i].Threads with Bests[j].Threads, versus the
+	// configuration tuned for Bests[j].Threads (diagonal = 0).
+	Loss [][]float64
+	// Avg[i] is the mean off-diagonal loss of row i.
+	Avg []float64
+	// UntiledLoss[j] is the loss of the untiled code at
+	// Bests[j].Threads (the "GCC -O3" row).
+	UntiledLoss []float64
+}
+
+// Table2 reproduces the paper's Table II on one machine for one kernel
+// (the paper shows mm).
+func Table2(k *kernels.Kernel, m *machine.Machine, mode Mode) (*Table2Result, error) {
+	bests, err := bestPerThreadCount(k, m, mode)
+	if err != nil {
+		return nil, err
+	}
+	eval, err := newEvaluator(k, m)
+	if err != nil {
+		return nil, err
+	}
+	nT := len(bests)
+	res := &Table2Result{Machine: m, Bests: bests}
+	res.Loss = make([][]float64, nT)
+	res.Avg = make([]float64, nT)
+	for i := range bests {
+		res.Loss[i] = make([]float64, nT)
+		var offDiag []float64
+		for j := range bests {
+			t, err := evalTime(eval, bests[i].Tiles, bests[j].Threads)
+			if err != nil {
+				return nil, err
+			}
+			loss := t/bests[j].Time - 1
+			if loss < 0 {
+				loss = 0 // grid noise can leave a hair of slack
+			}
+			res.Loss[i][j] = loss
+			if i != j {
+				offDiag = append(offDiag, loss)
+			}
+		}
+		res.Avg[i] = meanOf(offDiag)
+	}
+	// Unit tiles reproduce the original (untiled) loop order and the
+	// plain parallel outer loop — the "GCC -O3" baseline.
+	untiled := make([]int64, k.TileDims)
+	for i := range untiled {
+		untiled[i] = 1
+	}
+	res.UntiledLoss = make([]float64, nT)
+	for j := range bests {
+		t, err := evalTime(eval, untiled, bests[j].Threads)
+		if err != nil {
+			return nil, err
+		}
+		res.UntiledLoss[j] = t/bests[j].Time - 1
+	}
+	return res, nil
+}
+
+// Render writes the table.
+func (r *Table2Result) Render(w io.Writer) {
+	fmt.Fprintf(w, "Table II: optimal tiling parameters per thread count (%s)\n", r.Machine.Name)
+	header := []string{"Tuned for", "opt. tiles"}
+	for _, b := range r.Bests {
+		header = append(header, fmt.Sprintf("@%dc", b.Threads))
+	}
+	header = append(header, "Avg")
+	var rows [][]string
+	for i, b := range r.Bests {
+		row := []string{fmt.Sprintf("%d cores", b.Threads), tilesString(b.Tiles)}
+		for j := range r.Bests {
+			if i == j {
+				row = append(row, "-")
+			} else {
+				row = append(row, fmt.Sprintf("%.1f%%", 100*r.Loss[i][j]))
+			}
+		}
+		row = append(row, fmt.Sprintf("%.1f%%", 100*r.Avg[i]))
+		rows = append(rows, row)
+	}
+	untiledRow := []string{"untiled -O3", "-"}
+	for j := range r.Bests {
+		untiledRow = append(untiledRow, fmt.Sprintf("%.0f%%", 100*r.UntiledLoss[j]))
+	}
+	untiledRow = append(untiledRow, "")
+	rows = append(rows, untiledRow)
+	renderTable(w, header, rows)
+}
+
+// Table3Result holds the speedup/efficiency properties of the
+// per-thread-count optima (paper Table III).
+type Table3Result struct {
+	Machine *machine.Machine
+	Rows    []Table3Row
+}
+
+// Table3Row is one Pareto point's properties.
+type Table3Row struct {
+	Threads      int
+	Speedup      float64
+	Efficiency   float64
+	RelTime      float64 // t_p / t_s
+	RelResources float64 // threads·t_p / t_s
+}
+
+// Table3 reproduces the paper's Table III from the Table II sweep.
+func Table3(k *kernels.Kernel, m *machine.Machine, mode Mode) (*Table3Result, error) {
+	bests, err := bestPerThreadCount(k, m, mode)
+	if err != nil {
+		return nil, err
+	}
+	tseq := bests[0].Time
+	res := &Table3Result{Machine: m}
+	for _, b := range bests {
+		res.Rows = append(res.Rows, Table3Row{
+			Threads:      b.Threads,
+			Speedup:      perfmodel.Speedup(tseq, b.Time),
+			Efficiency:   perfmodel.Efficiency(tseq, b.Time, b.Threads),
+			RelTime:      b.Time / tseq,
+			RelResources: float64(b.Threads) * b.Time / tseq,
+		})
+	}
+	return res, nil
+}
+
+// Render writes the table.
+func (r *Table3Result) Render(w io.Writer) {
+	fmt.Fprintf(w, "Table III: impact of thread count on speedup and efficiency (%s)\n", r.Machine.Name)
+	header := []string{"Cores", "Speedup", "Efficiency", "Rel. Time", "Rel. Resources"}
+	var rows [][]string
+	for _, row := range r.Rows {
+		rows = append(rows, []string{
+			fmt.Sprint(row.Threads),
+			fmt.Sprintf("%.5f", row.Speedup),
+			fmt.Sprintf("%.5f", row.Efficiency),
+			fmt.Sprintf("%.0f%%", 100*row.RelTime),
+			fmt.Sprintf("%.0f%%", 100*row.RelResources),
+		})
+	}
+	renderTable(w, header, rows)
+}
+
+// Table4 renders the kernel complexity table (paper Table IV).
+func Table4(w io.Writer) {
+	fmt.Fprintln(w, "Table IV: investigated kernels")
+	header := []string{"Kernel", "Computation", "Memory", "Problem size N"}
+	var rows [][]string
+	for _, k := range kernels.Paper() {
+		rows = append(rows, []string{
+			k.Name, k.Complexity.Compute, k.Complexity.Memory, fmt.Sprint(k.DefaultN),
+		})
+	}
+	renderTable(w, header, rows)
+}
+
+// Table5Result summarizes per-kernel thread-specific tuning impact on
+// one machine (paper Table V): for each tuned-for thread count the mean
+// loss across all other thread counts, the overall average, and the
+// worst loss of the 1-thread configuration.
+type Table5Result struct {
+	Machine *machine.Machine
+	Rows    []Table5Row
+}
+
+// Table5Row is one kernel's summary.
+type Table5Row struct {
+	Kernel string
+	// PerTuned[i] is the average loss of the configuration tuned for
+	// the i-th thread count when run at all other thread counts.
+	PerTuned []float64
+	Avg      float64
+	OneTMax  float64
+}
+
+// Table5 reproduces the paper's Table V for all kernels on one machine.
+func Table5(m *machine.Machine, mode Mode) (*Table5Result, error) {
+	res := &Table5Result{Machine: m}
+	for _, k := range kernels.Paper() {
+		t2, err := Table2(k, m, mode)
+		if err != nil {
+			return nil, err
+		}
+		row := Table5Row{Kernel: k.Name, PerTuned: t2.Avg}
+		var all []float64
+		for i := range t2.Loss {
+			for j := range t2.Loss[i] {
+				if i != j {
+					all = append(all, t2.Loss[i][j])
+				}
+			}
+		}
+		row.Avg = meanOf(all)
+		for j := range t2.Loss[0] {
+			if t2.Loss[0][j] > row.OneTMax {
+				row.OneTMax = t2.Loss[0][j]
+			}
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// Render writes the table.
+func (r *Table5Result) Render(w io.Writer) {
+	fmt.Fprintf(w, "Table V: impact of thread-specific optimization (%s)\n", r.Machine.Name)
+	threads := ThreadCounts(r.Machine)
+	header := []string{"Kernel"}
+	for _, t := range threads {
+		header = append(header, fmt.Sprintf("tuned@%d", t))
+	}
+	header = append(header, "avg", "1tmax")
+	var rows [][]string
+	for _, row := range r.Rows {
+		cells := []string{row.Kernel}
+		for _, v := range row.PerTuned {
+			cells = append(cells, fmt.Sprintf("%.1f%%", 100*v))
+		}
+		cells = append(cells, fmt.Sprintf("%.1f%%", 100*row.Avg), fmt.Sprintf("%.1f%%", 100*row.OneTMax))
+		rows = append(rows, cells)
+	}
+	renderTable(w, header, rows)
+}

@@ -1,0 +1,155 @@
+// Package export writes experiment results in formats external tools
+// consume: CSV for point clouds and series, JSON for fronts, and
+// ready-to-run gnuplot scripts for the paper's figures. It decouples
+// the plotting workflow from the text renderings in
+// internal/experiments.
+package export
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"autotune/internal/pareto"
+	"autotune/internal/skeleton"
+)
+
+// FrontJSON serializes a Pareto front as a JSON array of
+// {config, objectives} records.
+func FrontJSON(w io.Writer, front []pareto.Point, objectiveNames []string) error {
+	type rec struct {
+		Config     []int64            `json:"config,omitempty"`
+		Objectives map[string]float64 `json:"objectives"`
+	}
+	var out []rec
+	for _, p := range front {
+		r := rec{Objectives: map[string]float64{}}
+		if cfg, ok := p.Payload.(skeleton.Config); ok {
+			r.Config = append([]int64(nil), cfg...)
+		}
+		for i, v := range p.Objectives {
+			name := fmt.Sprintf("f%d", i)
+			if i < len(objectiveNames) {
+				name = objectiveNames[i]
+			}
+			r.Objectives[name] = v
+		}
+		out = append(out, r)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// FrontCSV writes a front as CSV: config columns then objectives.
+func FrontCSV(w io.Writer, front []pareto.Point, paramNames, objectiveNames []string) error {
+	header := append(append([]string{}, paramNames...), objectiveNames...)
+	if _, err := fmt.Fprintln(w, strings.Join(header, ",")); err != nil {
+		return err
+	}
+	for _, p := range front {
+		var cells []string
+		if cfg, ok := p.Payload.(skeleton.Config); ok {
+			for _, v := range cfg {
+				cells = append(cells, fmt.Sprint(v))
+			}
+		}
+		for _, o := range p.Objectives {
+			cells = append(cells, fmt.Sprintf("%g", o))
+		}
+		if _, err := fmt.Fprintln(w, strings.Join(cells, ",")); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// SeriesCSV writes per-thread-count (x, y) point series as long-format
+// CSV: series,x,y.
+func SeriesCSV(w io.Writer, series map[int][][2]float64) error {
+	if _, err := fmt.Fprintln(w, "threads,time,resources"); err != nil {
+		return err
+	}
+	var keys []int
+	for k := range series {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	for _, k := range keys {
+		for _, p := range series[k] {
+			if _, err := fmt.Fprintf(w, "%d,%g,%g\n", k, p[0], p[1]); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// HeatmapCSV writes a relative-time matrix as long-format CSV:
+// t1,t2,relTime.
+func HeatmapCSV(w io.Writer, t1, t2 []int64, rel [][]float64) error {
+	if len(rel) != len(t1) {
+		return fmt.Errorf("export: %d rows for %d t1 values", len(rel), len(t1))
+	}
+	if _, err := fmt.Fprintln(w, "t1,t2,relTime"); err != nil {
+		return err
+	}
+	for i := range rel {
+		if len(rel[i]) != len(t2) {
+			return fmt.Errorf("export: row %d has %d cols for %d t2 values", i, len(rel[i]), len(t2))
+		}
+		for j := range rel[i] {
+			if _, err := fmt.Fprintf(w, "%d,%d,%g\n", t1[i], t2[j], rel[i][j]); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// GnuplotFronts emits a gnuplot script plotting one or more front CSV
+// files (as produced by FrontCSV with time/resources objectives) into
+// a Fig. 9-style comparison.
+func GnuplotFronts(w io.Writer, title string, csvFiles map[string]string) error {
+	if len(csvFiles) == 0 {
+		return fmt.Errorf("export: no CSV files")
+	}
+	fmt.Fprintln(w, "set datafile separator ','")
+	fmt.Fprintf(w, "set title %q\n", title)
+	fmt.Fprintln(w, "set xlabel 'execution time [s]'")
+	fmt.Fprintln(w, "set ylabel 'resource usage'")
+	fmt.Fprintln(w, "set key top right")
+	var names []string
+	for name := range csvFiles {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	// The objectives are the last two columns of each CSV; a stats
+	// pass discovers the column count so config columns of any width
+	// work.
+	var plots []string
+	for _, name := range names {
+		plots = append(plots, fmt.Sprintf("%q skip 1 using (column(cols-1)):(column(cols)) with linespoints title %q",
+			csvFiles[name], name))
+	}
+	fmt.Fprintf(w, "stats %q skip 1 nooutput\n", csvFiles[names[0]])
+	fmt.Fprintln(w, "cols = STATS_columns")
+	fmt.Fprintf(w, "plot %s\n", strings.Join(plots, ", \\\n     "))
+	return nil
+}
+
+// GnuplotHeatmap emits a gnuplot script rendering a HeatmapCSV file as
+// a Fig. 2-style map.
+func GnuplotHeatmap(w io.Writer, title, csvFile string) error {
+	fmt.Fprintln(w, "set datafile separator ','")
+	fmt.Fprintf(w, "set title %q\n", title)
+	fmt.Fprintln(w, "set xlabel 't2'")
+	fmt.Fprintln(w, "set ylabel 't1'")
+	fmt.Fprintln(w, "set logscale xy 2")
+	fmt.Fprintln(w, "set palette negative")
+	fmt.Fprintln(w, "set view map")
+	fmt.Fprintf(w, "splot %q skip 1 using 2:1:3 with points pointtype 5 pointsize 2 palette notitle\n", csvFile)
+	return nil
+}

@@ -1,0 +1,140 @@
+package export
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"autotune/internal/pareto"
+	"autotune/internal/skeleton"
+)
+
+func sampleFront() []pareto.Point {
+	return []pareto.Point{
+		{Payload: skeleton.Config{64, 64, 64, 10}, Objectives: []float64{0.12, 1.2}},
+		{Payload: skeleton.Config{32, 32, 64, 40}, Objectives: []float64{0.04, 1.6}},
+	}
+}
+
+func TestFrontJSON(t *testing.T) {
+	var buf bytes.Buffer
+	if err := FrontJSON(&buf, sampleFront(), []string{"time", "resources"}); err != nil {
+		t.Fatal(err)
+	}
+	var out []map[string]interface{}
+	if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 2 {
+		t.Fatalf("records = %d", len(out))
+	}
+	objs := out[0]["objectives"].(map[string]interface{})
+	if objs["time"].(float64) != 0.12 {
+		t.Fatalf("objectives = %v", objs)
+	}
+	cfg := out[1]["config"].([]interface{})
+	if len(cfg) != 4 || cfg[3].(float64) != 40 {
+		t.Fatalf("config = %v", cfg)
+	}
+}
+
+func TestFrontJSONUnnamedObjectives(t *testing.T) {
+	var buf bytes.Buffer
+	if err := FrontJSON(&buf, sampleFront(), nil); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"f0"`) {
+		t.Fatal("fallback objective names missing")
+	}
+}
+
+func TestFrontCSV(t *testing.T) {
+	var buf bytes.Buffer
+	err := FrontCSV(&buf, sampleFront(),
+		[]string{"t1", "t2", "t3", "threads"}, []string{"time", "resources"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("lines = %d", len(lines))
+	}
+	if lines[0] != "t1,t2,t3,threads,time,resources" {
+		t.Fatalf("header = %q", lines[0])
+	}
+	if lines[2] != "32,32,64,40,0.04,1.6" {
+		t.Fatalf("row = %q", lines[2])
+	}
+}
+
+func TestSeriesCSV(t *testing.T) {
+	var buf bytes.Buffer
+	err := SeriesCSV(&buf, map[int][][2]float64{
+		10: {{0.1, 1.0}},
+		1:  {{1.0, 1.0}, {2.0, 2.0}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("lines = %v", lines)
+	}
+	// Sorted by thread count.
+	if !strings.HasPrefix(lines[1], "1,") || !strings.HasPrefix(lines[3], "10,") {
+		t.Fatalf("ordering wrong: %v", lines)
+	}
+}
+
+func TestHeatmapCSV(t *testing.T) {
+	var buf bytes.Buffer
+	err := HeatmapCSV(&buf,
+		[]int64{1, 2}, []int64{10, 20},
+		[][]float64{{1.0, 1.5}, {2.0, 2.5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "2,20,2.5") {
+		t.Fatalf("csv = %s", buf.String())
+	}
+	// Shape validation.
+	if err := HeatmapCSV(&buf, []int64{1}, []int64{1}, nil); err == nil {
+		t.Error("row mismatch accepted")
+	}
+	if err := HeatmapCSV(&buf, []int64{1}, []int64{1, 2}, [][]float64{{1}}); err == nil {
+		t.Error("col mismatch accepted")
+	}
+}
+
+func TestGnuplotFronts(t *testing.T) {
+	var buf bytes.Buffer
+	err := GnuplotFronts(&buf, "Fig 9", map[string]string{
+		"rs-gde3":     "rs.csv",
+		"brute-force": "bf.csv",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := buf.String()
+	for _, want := range []string{"set title \"Fig 9\"", "stats", "plot", "\"rs.csv\"", "\"bf.csv\"", "linespoints"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("script missing %q:\n%s", want, s)
+		}
+	}
+	if err := GnuplotFronts(&buf, "x", nil); err == nil {
+		t.Error("empty file set accepted")
+	}
+}
+
+func TestGnuplotHeatmap(t *testing.T) {
+	var buf bytes.Buffer
+	if err := GnuplotHeatmap(&buf, "Fig 2", "hm.csv"); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"set view map", "splot", "\"hm.csv\"", "palette"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("script missing %q", want)
+		}
+	}
+}

@@ -1,0 +1,110 @@
+package features
+
+import (
+	"testing"
+
+	"autotune/internal/ir"
+	"autotune/internal/kernels"
+)
+
+func TestExtractMM(t *testing.T) {
+	mm, _ := kernels.ByName("mm")
+	s, err := Extract(mm.IR(64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.NestDepth != 3 || s.Statements != 1 {
+		t.Fatalf("structure: %+v", s)
+	}
+	if s.Iterations != 64*64*64 {
+		t.Fatalf("iterations = %d", s.Iterations)
+	}
+	if s.FlopsPerIteration != 2 || s.ReadsPerIteration != 3 || s.WritesPerIteration != 1 {
+		t.Fatalf("per-iteration: %+v", s)
+	}
+	if s.Arrays != 3 || s.FootprintBytes != 3*8*64*64 {
+		t.Fatalf("footprint: %+v", s)
+	}
+	// mm accesses: C[i][j] (k-coeff 0), C write, A[i][k] (unit), B[k][j]
+	// (j is not innermost ... innermost is k: B last index j coeff_k=0).
+	// Unit stride in k: only A[i][k] → 1/4.
+	if s.UnitStrideFraction != 0.25 {
+		t.Fatalf("unit stride = %v", s.UnitStrideFraction)
+	}
+	if s.ReductionAccesses != 1 {
+		t.Fatalf("reductions = %d", s.ReductionAccesses)
+	}
+	if s.ArithmeticIntensity <= 0 {
+		t.Fatalf("intensity = %v", s.ArithmeticIntensity)
+	}
+}
+
+func TestExtractAllKernels(t *testing.T) {
+	for _, k := range kernels.All() {
+		s, err := Extract(k.IR(32))
+		if err != nil {
+			t.Fatalf("%s: %v", k.Name, err)
+		}
+		if s.NestDepth < 2 || s.FlopsPerIteration <= 0 || s.Arrays < 1 {
+			t.Errorf("%s: implausible features %+v", k.Name, s)
+		}
+		m := s.AsMap()
+		if len(m) != 11 {
+			t.Errorf("%s: AsMap has %d entries", k.Name, len(m))
+		}
+		if m["nestDepth"] != float64(s.NestDepth) {
+			t.Errorf("%s: AsMap mismatch", k.Name)
+		}
+	}
+}
+
+func TestExtractStencilsNoReduction(t *testing.T) {
+	j2, _ := kernels.ByName("jacobi-2d")
+	s, err := Extract(j2.IR(32))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.ReductionAccesses != 0 {
+		t.Fatalf("jacobi reductions = %d, want 0", s.ReductionAccesses)
+	}
+	// jacobi's innermost index is j; all 6 accesses have unit j stride.
+	if s.UnitStrideFraction != 1 {
+		t.Fatalf("jacobi unit stride = %v", s.UnitStrideFraction)
+	}
+}
+
+func TestExtractSymbolicBounds(t *testing.T) {
+	stmt := &ir.Stmt{
+		Label:  "tri",
+		Writes: []ir.Access{{Array: "A", Indices: []ir.Affine{ir.Var("i"), ir.Var("j")}}},
+		Flops:  1,
+	}
+	jl := &ir.Loop{Var: "j", Lo: ir.Con(0), Hi: ir.Var("i"), Step: 1, Body: []ir.Node{stmt}}
+	il := &ir.Loop{Var: "i", Lo: ir.Con(0), Hi: ir.Con(16), Step: 1, Body: []ir.Node{jl}}
+	p := &ir.Program{Name: "tri", Arrays: []ir.Array{{Name: "A", ElemBytes: 8, Dims: []int64{16, 16}}}, Root: []ir.Node{il}}
+	s, err := Extract(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Iterations != 0 {
+		t.Fatalf("symbolic iterations = %d, want 0", s.Iterations)
+	}
+}
+
+func TestExtractErrors(t *testing.T) {
+	if _, err := Extract(&ir.Program{Name: "empty"}); err == nil {
+		t.Error("empty program accepted")
+	}
+	p := &ir.Program{Name: "stmt-only", Root: []ir.Node{&ir.Stmt{Label: "s"}}}
+	if _, err := Extract(p); err == nil {
+		t.Error("loopless program accepted")
+	}
+	bad := &ir.Program{Name: "bad", Root: []ir.Node{
+		&ir.Loop{Var: "i", Lo: ir.Con(0), Hi: ir.Con(4), Step: 1, Body: []ir.Node{
+			&ir.Stmt{Writes: []ir.Access{{Array: "Z", Indices: []ir.Affine{ir.Var("i")}}}},
+		}},
+	}}
+	if _, err := Extract(bad); err == nil {
+		t.Error("invalid program accepted")
+	}
+}

@@ -1,0 +1,582 @@
+// Package ir defines MiniIR, a compact loop-nest intermediate
+// representation in the spirit of the Insieme Parallel Intermediate
+// Representation (INSPIRE) restricted to what the auto-tuner needs:
+// perfectly or imperfectly nested counted loops with affine bounds,
+// statements with affine array accesses, and parallel annotations.
+//
+// The analyzer (internal/analyzer) finds tunable regions in a MiniIR
+// program, the polyhedral package checks transformation legality, and
+// the transform package rewrites MiniIR into tiled/collapsed/unrolled
+// variants. MiniIR programs can also be lowered to memory-address
+// traces (internal/trace) for cache simulation.
+package ir
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Affine is an affine expression over loop iterators:
+// Const + Σ Coeffs[v]·v. Iterator names are strings; a missing name has
+// coefficient zero.
+type Affine struct {
+	Const  int64
+	Coeffs map[string]int64
+}
+
+// Con returns a constant affine expression.
+func Con(c int64) Affine { return Affine{Const: c} }
+
+// Var returns the affine expression 1·name.
+func Var(name string) Affine {
+	return Affine{Coeffs: map[string]int64{name: 1}}
+}
+
+// Term returns the affine expression coeff·name + 0.
+func Term(name string, coeff int64) Affine {
+	return Affine{Coeffs: map[string]int64{name: coeff}}
+}
+
+// Add returns a + b.
+func (a Affine) Add(b Affine) Affine {
+	out := Affine{Const: a.Const + b.Const, Coeffs: map[string]int64{}}
+	for v, c := range a.Coeffs {
+		out.Coeffs[v] += c
+	}
+	for v, c := range b.Coeffs {
+		out.Coeffs[v] += c
+	}
+	out.normalize()
+	return out
+}
+
+// AddConst returns a + c.
+func (a Affine) AddConst(c int64) Affine { return a.Add(Con(c)) }
+
+// Scale returns k·a.
+func (a Affine) Scale(k int64) Affine {
+	out := Affine{Const: a.Const * k, Coeffs: map[string]int64{}}
+	for v, c := range a.Coeffs {
+		out.Coeffs[v] = c * k
+	}
+	out.normalize()
+	return out
+}
+
+// Sub returns a - b.
+func (a Affine) Sub(b Affine) Affine { return a.Add(b.Scale(-1)) }
+
+// Coeff returns the coefficient of iterator v (0 if absent).
+func (a Affine) Coeff(v string) int64 { return a.Coeffs[v] }
+
+// IsConst reports whether the expression has no iterator terms.
+func (a Affine) IsConst() bool {
+	for _, c := range a.Coeffs {
+		if c != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Vars returns the iterator names with non-zero coefficients, sorted.
+func (a Affine) Vars() []string {
+	var vs []string
+	for v, c := range a.Coeffs {
+		if c != 0 {
+			vs = append(vs, v)
+		}
+	}
+	sort.Strings(vs)
+	return vs
+}
+
+// Eval evaluates the expression under the given iterator assignment.
+// Iterators missing from env evaluate as zero.
+func (a Affine) Eval(env map[string]int64) int64 {
+	v := a.Const
+	for name, c := range a.Coeffs {
+		v += c * env[name]
+	}
+	return v
+}
+
+// Subst substitutes iterator v with expression e.
+func (a Affine) Subst(v string, e Affine) Affine {
+	c := a.Coeff(v)
+	if c == 0 {
+		return a.clone()
+	}
+	out := a.clone()
+	delete(out.Coeffs, v)
+	return out.Add(e.Scale(c))
+}
+
+// Rename renames iterator old to newName.
+func (a Affine) Rename(old, newName string) Affine {
+	return a.Subst(old, Var(newName))
+}
+
+// Equal reports structural equality after normalization.
+func (a Affine) Equal(b Affine) bool {
+	d := a.Sub(b)
+	return d.Const == 0 && d.IsConst()
+}
+
+func (a *Affine) normalize() {
+	for v, c := range a.Coeffs {
+		if c == 0 {
+			delete(a.Coeffs, v)
+		}
+	}
+}
+
+// Copy returns a deep copy of the expression (its coefficient map is
+// not shared with the original).
+func (a Affine) Copy() Affine { return a.clone() }
+
+func (a Affine) clone() Affine {
+	out := Affine{Const: a.Const, Coeffs: map[string]int64{}}
+	for v, c := range a.Coeffs {
+		out.Coeffs[v] = c
+	}
+	return out
+}
+
+// String renders the expression in source-like form, e.g. "2*i + j + 3".
+func (a Affine) String() string {
+	var parts []string
+	for _, v := range a.Vars() {
+		c := a.Coeffs[v]
+		switch c {
+		case 1:
+			parts = append(parts, v)
+		case -1:
+			parts = append(parts, "-"+v)
+		default:
+			parts = append(parts, fmt.Sprintf("%d*%s", c, v))
+		}
+	}
+	if a.Const != 0 || len(parts) == 0 {
+		parts = append(parts, fmt.Sprintf("%d", a.Const))
+	}
+	s := strings.Join(parts, " + ")
+	return strings.ReplaceAll(s, "+ -", "- ")
+}
+
+// Array declares an array with an element size and per-dimension
+// extents.
+type Array struct {
+	Name      string
+	ElemBytes int
+	Dims      []int64
+}
+
+// Bytes returns the total footprint of the array.
+func (a Array) Bytes() int64 {
+	n := int64(a.ElemBytes)
+	for _, d := range a.Dims {
+		n *= d
+	}
+	return n
+}
+
+// Access is an affine array reference A[f1(iv)][f2(iv)]...
+type Access struct {
+	Array   string
+	Indices []Affine
+}
+
+// String renders the access.
+func (ac Access) String() string {
+	var b strings.Builder
+	b.WriteString(ac.Array)
+	for _, ix := range ac.Indices {
+		fmt.Fprintf(&b, "[%s]", ix.String())
+	}
+	return b.String()
+}
+
+// Clone deep-copies the access.
+func (ac Access) Clone() Access {
+	out := Access{Array: ac.Array, Indices: make([]Affine, len(ac.Indices))}
+	for i, ix := range ac.Indices {
+		out.Indices[i] = ix.clone()
+	}
+	return out
+}
+
+// Rename renames an iterator in all index expressions.
+func (ac Access) Rename(old, newName string) Access {
+	out := Access{Array: ac.Array, Indices: make([]Affine, len(ac.Indices))}
+	for i, ix := range ac.Indices {
+		out.Indices[i] = ix.Rename(old, newName)
+	}
+	return out
+}
+
+// Subst substitutes iterator v with e in all index expressions.
+func (ac Access) Subst(v string, e Affine) Access {
+	out := Access{Array: ac.Array, Indices: make([]Affine, len(ac.Indices))}
+	for i, ix := range ac.Indices {
+		out.Indices[i] = ix.Subst(v, e)
+	}
+	return out
+}
+
+// Node is a MiniIR tree node: either *Loop or *Stmt.
+type Node interface {
+	isNode()
+	// CloneNode returns a deep copy.
+	CloneNode() Node
+}
+
+// Stmt is a computational statement characterized by its array reads,
+// writes, and floating-point operation count. The actual arithmetic is
+// irrelevant to the tuner; only the access pattern and cost matter.
+type Stmt struct {
+	Label  string
+	Writes []Access
+	Reads  []Access
+	Flops  int64
+}
+
+func (*Stmt) isNode() {}
+
+// CloneNode deep-copies the statement.
+func (s *Stmt) CloneNode() Node {
+	c := &Stmt{Label: s.Label, Flops: s.Flops}
+	for _, w := range s.Writes {
+		c.Writes = append(c.Writes, w.Clone())
+	}
+	for _, r := range s.Reads {
+		c.Reads = append(c.Reads, r.Clone())
+	}
+	return c
+}
+
+// RenameIter renames an iterator in every access of the statement.
+func (s *Stmt) RenameIter(old, newName string) {
+	for i := range s.Writes {
+		s.Writes[i] = s.Writes[i].Rename(old, newName)
+	}
+	for i := range s.Reads {
+		s.Reads[i] = s.Reads[i].Rename(old, newName)
+	}
+}
+
+// SubstIter substitutes iterator v by e in every access.
+func (s *Stmt) SubstIter(v string, e Affine) {
+	for i := range s.Writes {
+		s.Writes[i] = s.Writes[i].Subst(v, e)
+	}
+	for i := range s.Reads {
+		s.Reads[i] = s.Reads[i].Subst(v, e)
+	}
+}
+
+// Accesses returns all accesses; writes first.
+func (s *Stmt) Accesses() []Access {
+	out := make([]Access, 0, len(s.Writes)+len(s.Reads))
+	out = append(out, s.Writes...)
+	out = append(out, s.Reads...)
+	return out
+}
+
+// Loop is a counted loop: for Var := Lo; Var < min(Hi, Caps...); Var += Step.
+//
+// Caps holds additional upper bounds; the effective bound is the
+// minimum of Hi and all Caps. Tiling produces point loops of the form
+// "for i = it; i < min(it+T, N)", which is expressed as Hi = it+T with
+// Caps = [N].
+//
+// Parallel marks the loop as parallelized across threads (the outermost
+// loop of a tuned region after transformation). Collapse, when > 1,
+// states that this parallel loop and the next Collapse-1 perfectly
+// nested inner loops are distributed jointly (OpenMP collapse
+// semantics); it does not change the iteration order, only the
+// parallel-distribution granularity.
+type Loop struct {
+	Var      string
+	Lo, Hi   Affine // half-open interval [Lo, Hi)
+	Caps     []Affine
+	Step     int64 // > 0
+	Parallel bool
+	Collapse int // 0 or 1 = no collapsing
+	// UnrollPragma > 1 asks the backend compiler to unroll this loop
+	// by the given factor (emitted as a pragma rather than performed
+	// structurally, keeping non-constant bounds legal).
+	UnrollPragma int64
+	Body         []Node
+}
+
+func (*Loop) isNode() {}
+
+// CloneNode deep-copies the loop and its body.
+func (l *Loop) CloneNode() Node {
+	c := &Loop{Var: l.Var, Lo: l.Lo.clone(), Hi: l.Hi.clone(), Step: l.Step,
+		Parallel: l.Parallel, Collapse: l.Collapse, UnrollPragma: l.UnrollPragma}
+	for _, cap := range l.Caps {
+		c.Caps = append(c.Caps, cap.clone())
+	}
+	for _, n := range l.Body {
+		c.Body = append(c.Body, n.CloneNode())
+	}
+	return c
+}
+
+// EffectiveHi evaluates min(Hi, Caps...) under env.
+func (l *Loop) EffectiveHi(env map[string]int64) int64 {
+	hi := l.Hi.Eval(env)
+	for _, c := range l.Caps {
+		if v := c.Eval(env); v < hi {
+			hi = v
+		}
+	}
+	return hi
+}
+
+// TripCount returns the number of iterations under env, i.e.
+// ceil((min(Hi,Caps)-Lo)/Step), clamped at zero.
+func (l *Loop) TripCount(env map[string]int64) int64 {
+	span := l.EffectiveHi(env) - l.Lo.Eval(env)
+	if span <= 0 {
+		return 0
+	}
+	return (span + l.Step - 1) / l.Step
+}
+
+// Program is a MiniIR compilation unit: array declarations plus a
+// top-level statement list.
+type Program struct {
+	Name   string
+	Arrays []Array
+	Root   []Node
+}
+
+// Clone deep-copies the program.
+func (p *Program) Clone() *Program {
+	c := &Program{Name: p.Name}
+	for _, a := range p.Arrays {
+		aa := a
+		aa.Dims = append([]int64(nil), a.Dims...)
+		c.Arrays = append(c.Arrays, aa)
+	}
+	for _, n := range p.Root {
+		c.Root = append(c.Root, n.CloneNode())
+	}
+	return c
+}
+
+// ArrayByName returns the declaration of the named array.
+func (p *Program) ArrayByName(name string) (Array, bool) {
+	for _, a := range p.Arrays {
+		if a.Name == name {
+			return a, true
+		}
+	}
+	return Array{}, false
+}
+
+// Validate checks that every access targets a declared array with a
+// matching dimensionality, every iterator used in an index or bound is
+// bound by an enclosing loop, loop steps are positive, and loop
+// variable names in a nest are unique.
+func (p *Program) Validate() error {
+	decl := map[string]Array{}
+	for _, a := range p.Arrays {
+		if a.Name == "" {
+			return fmt.Errorf("ir: array with empty name")
+		}
+		if a.ElemBytes <= 0 {
+			return fmt.Errorf("ir: array %s has non-positive element size", a.Name)
+		}
+		for _, d := range a.Dims {
+			if d <= 0 {
+				return fmt.Errorf("ir: array %s has non-positive dimension", a.Name)
+			}
+		}
+		if _, dup := decl[a.Name]; dup {
+			return fmt.Errorf("ir: duplicate array %s", a.Name)
+		}
+		decl[a.Name] = a
+	}
+	return validateNodes(p.Root, decl, map[string]bool{})
+}
+
+func validateNodes(ns []Node, decl map[string]Array, bound map[string]bool) error {
+	for _, n := range ns {
+		switch x := n.(type) {
+		case *Loop:
+			if x.Step <= 0 {
+				return fmt.Errorf("ir: loop %s has non-positive step", x.Var)
+			}
+			if bound[x.Var] {
+				return fmt.Errorf("ir: loop variable %s shadows an enclosing loop", x.Var)
+			}
+			bounds := append([]Affine{x.Lo, x.Hi}, x.Caps...)
+			for _, bexpr := range bounds {
+				for _, v := range bexpr.Vars() {
+					if !bound[v] {
+						return fmt.Errorf("ir: bound of loop %s uses unbound iterator %s", x.Var, v)
+					}
+				}
+			}
+			if x.Collapse < 0 {
+				return fmt.Errorf("ir: loop %s has negative collapse count", x.Var)
+			}
+			bound[x.Var] = true
+			if err := validateNodes(x.Body, decl, bound); err != nil {
+				return err
+			}
+			delete(bound, x.Var)
+		case *Stmt:
+			for _, ac := range x.Accesses() {
+				a, ok := decl[ac.Array]
+				if !ok {
+					return fmt.Errorf("ir: access to undeclared array %s", ac.Array)
+				}
+				if len(ac.Indices) != len(a.Dims) {
+					return fmt.Errorf("ir: access %s has %d indices, array has %d dims",
+						ac.String(), len(ac.Indices), len(a.Dims))
+				}
+				for _, ix := range ac.Indices {
+					for _, v := range ix.Vars() {
+						if !bound[v] {
+							return fmt.Errorf("ir: access %s uses unbound iterator %s", ac.String(), v)
+						}
+					}
+				}
+			}
+		default:
+			return fmt.Errorf("ir: unknown node type %T", n)
+		}
+	}
+	return nil
+}
+
+// PerfectNest returns the loops of the outermost perfect nest rooted at
+// n and the statements at its innermost level. A nest is perfect while
+// each loop body contains exactly one node that is a loop; the chain
+// stops at the first multi-node or statement-only body.
+func PerfectNest(n Node) (loops []*Loop, body []*Stmt) {
+	cur := n
+	for {
+		l, ok := cur.(*Loop)
+		if !ok {
+			break
+		}
+		loops = append(loops, l)
+		if len(l.Body) == 1 {
+			if inner, ok := l.Body[0].(*Loop); ok {
+				cur = inner
+				continue
+			}
+		}
+		for _, bn := range l.Body {
+			if s, ok := bn.(*Stmt); ok {
+				body = append(body, s)
+			}
+		}
+		break
+	}
+	return loops, body
+}
+
+// Walk calls fn for every node in pre-order. Returning false from fn
+// stops descent into that node's children.
+func Walk(ns []Node, fn func(Node) bool) {
+	for _, n := range ns {
+		if !fn(n) {
+			continue
+		}
+		if l, ok := n.(*Loop); ok {
+			Walk(l.Body, fn)
+		}
+	}
+}
+
+// Stmts returns all statements in the subtree, in textual order.
+func Stmts(ns []Node) []*Stmt {
+	var out []*Stmt
+	Walk(ns, func(n Node) bool {
+		if s, ok := n.(*Stmt); ok {
+			out = append(out, s)
+		}
+		return true
+	})
+	return out
+}
+
+// Loops returns all loops in the subtree, outermost first.
+func Loops(ns []Node) []*Loop {
+	var out []*Loop
+	Walk(ns, func(n Node) bool {
+		if l, ok := n.(*Loop); ok {
+			out = append(out, l)
+		}
+		return true
+	})
+	return out
+}
+
+// String renders the program as pseudo-C for debugging and for the
+// multi-versioning backend's human-readable code listing.
+func (p *Program) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "// program %s\n", p.Name)
+	for _, a := range p.Arrays {
+		fmt.Fprintf(&b, "double %s", a.Name)
+		for _, d := range a.Dims {
+			fmt.Fprintf(&b, "[%d]", d)
+		}
+		b.WriteString(";\n")
+	}
+	printNodes(&b, p.Root, 0)
+	return b.String()
+}
+
+func printNodes(b *strings.Builder, ns []Node, depth int) {
+	ind := strings.Repeat("  ", depth)
+	for _, n := range ns {
+		switch x := n.(type) {
+		case *Loop:
+			par := ""
+			if x.Parallel {
+				par = "#pragma omp parallel for"
+				if x.Collapse > 1 {
+					par += fmt.Sprintf(" collapse(%d)", x.Collapse)
+				}
+				par += "\n" + ind
+			}
+			step := ""
+			if x.Step != 1 {
+				step = fmt.Sprintf(" += %d", x.Step)
+			} else {
+				step = "++"
+			}
+			if x.UnrollPragma > 1 {
+				fmt.Fprintf(b, "%s#pragma unroll(%d)\n", ind, x.UnrollPragma)
+			}
+			hi := x.Hi.String()
+			for _, c := range x.Caps {
+				hi = fmt.Sprintf("min(%s, %s)", hi, c.String())
+			}
+			fmt.Fprintf(b, "%s%sfor (%s = %s; %s < %s; %s%s) {\n",
+				ind, par, x.Var, x.Lo.String(), x.Var, hi, x.Var, step)
+			printNodes(b, x.Body, depth+1)
+			fmt.Fprintf(b, "%s}\n", ind)
+		case *Stmt:
+			var lhs, rhs []string
+			for _, w := range x.Writes {
+				lhs = append(lhs, w.String())
+			}
+			for _, r := range x.Reads {
+				rhs = append(rhs, r.String())
+			}
+			fmt.Fprintf(b, "%s%s = f(%s); // %s, %d flops\n",
+				ind, strings.Join(lhs, ", "), strings.Join(rhs, ", "), x.Label, x.Flops)
+		}
+	}
+}

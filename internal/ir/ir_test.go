@@ -1,0 +1,320 @@
+package ir
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestAffineArithmetic(t *testing.T) {
+	a := Var("i").Scale(2).Add(Con(3)) // 2i + 3
+	b := Var("j").Add(Var("i"))        // i + j
+	sum := a.Add(b)                    // 3i + j + 3
+	if sum.Coeff("i") != 3 || sum.Coeff("j") != 1 || sum.Const != 3 {
+		t.Fatalf("sum = %v", sum)
+	}
+	diff := a.Sub(a)
+	if !diff.IsConst() || diff.Const != 0 {
+		t.Fatalf("a-a = %v, want 0", diff)
+	}
+}
+
+func TestAffineEval(t *testing.T) {
+	e := Term("i", 2).Add(Term("j", -1)).AddConst(5)
+	got := e.Eval(map[string]int64{"i": 3, "j": 4})
+	if got != 2*3-4+5 {
+		t.Fatalf("eval = %d, want 7", got)
+	}
+	// Missing iterators evaluate as zero.
+	if e.Eval(nil) != 5 {
+		t.Fatalf("eval(nil) = %d, want 5", e.Eval(nil))
+	}
+}
+
+func TestAffineSubst(t *testing.T) {
+	// i -> 2t + 1 in expression 3i + j
+	e := Term("i", 3).Add(Var("j"))
+	got := e.Subst("i", Term("t", 2).AddConst(1))
+	if got.Coeff("t") != 6 || got.Coeff("j") != 1 || got.Const != 3 {
+		t.Fatalf("subst = %v", got)
+	}
+	// Substituting an absent iterator is identity.
+	id := e.Subst("z", Con(9))
+	if !id.Equal(e) {
+		t.Fatalf("subst absent = %v", id)
+	}
+}
+
+func TestAffineRenameAndVars(t *testing.T) {
+	e := Var("i").Add(Var("k"))
+	r := e.Rename("i", "ii")
+	vs := r.Vars()
+	if len(vs) != 2 || vs[0] != "ii" || vs[1] != "k" {
+		t.Fatalf("vars = %v", vs)
+	}
+}
+
+func TestAffineString(t *testing.T) {
+	cases := []struct {
+		e    Affine
+		want string
+	}{
+		{Con(0), "0"},
+		{Con(-4), "-4"},
+		{Var("i"), "i"},
+		{Term("i", -1), "-i"},
+		{Term("i", 2).Add(Var("j")).AddConst(3), "2*i + j + 3"},
+		{Var("i").AddConst(-1), "i - 1"},
+	}
+	for _, c := range cases {
+		if got := c.e.String(); got != c.want {
+			t.Errorf("String() = %q, want %q", got, c.want)
+		}
+	}
+}
+
+func TestAffineNormalizeDropsZeros(t *testing.T) {
+	e := Var("i").Sub(Var("i"))
+	if len(e.Vars()) != 0 {
+		t.Fatalf("zero coefficient not dropped: %v", e)
+	}
+}
+
+func TestArrayBytes(t *testing.T) {
+	a := Array{Name: "A", ElemBytes: 8, Dims: []int64{100, 50}}
+	if a.Bytes() != 8*100*50 {
+		t.Fatalf("Bytes = %d", a.Bytes())
+	}
+}
+
+// mmProgram builds the paper's Fig. 7 IJK matrix-multiply nest.
+func mmProgram(n int64) *Program {
+	stmt := &Stmt{
+		Label:  "C[i][j] += A[i][k]*B[k][j]",
+		Writes: []Access{{Array: "C", Indices: []Affine{Var("i"), Var("j")}}},
+		Reads: []Access{
+			{Array: "C", Indices: []Affine{Var("i"), Var("j")}},
+			{Array: "A", Indices: []Affine{Var("i"), Var("k")}},
+			{Array: "B", Indices: []Affine{Var("k"), Var("j")}},
+		},
+		Flops: 2,
+	}
+	kl := &Loop{Var: "k", Lo: Con(0), Hi: Con(n), Step: 1, Body: []Node{stmt}}
+	jl := &Loop{Var: "j", Lo: Con(0), Hi: Con(n), Step: 1, Body: []Node{kl}}
+	il := &Loop{Var: "i", Lo: Con(0), Hi: Con(n), Step: 1, Body: []Node{jl}}
+	return &Program{
+		Name: "mm",
+		Arrays: []Array{
+			{Name: "A", ElemBytes: 8, Dims: []int64{n, n}},
+			{Name: "B", ElemBytes: 8, Dims: []int64{n, n}},
+			{Name: "C", ElemBytes: 8, Dims: []int64{n, n}},
+		},
+		Root: []Node{il},
+	}
+}
+
+func TestValidateAcceptsMM(t *testing.T) {
+	if err := mmProgram(16).Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateRejections(t *testing.T) {
+	base := func() *Program { return mmProgram(8) }
+	cases := []struct {
+		name   string
+		mutate func(*Program)
+	}{
+		{"undeclared array", func(p *Program) {
+			s := Stmts(p.Root)[0]
+			s.Reads = append(s.Reads, Access{Array: "Z", Indices: []Affine{Con(0), Con(0)}})
+		}},
+		{"dimension mismatch", func(p *Program) {
+			s := Stmts(p.Root)[0]
+			s.Reads[0].Indices = s.Reads[0].Indices[:1]
+		}},
+		{"unbound iterator in access", func(p *Program) {
+			s := Stmts(p.Root)[0]
+			s.Reads[0] = s.Reads[0].Rename("i", "w")
+		}},
+		{"non-positive step", func(p *Program) {
+			Loops(p.Root)[0].Step = 0
+		}},
+		{"shadowed loop var", func(p *Program) {
+			Loops(p.Root)[2].Var = "i"
+		}},
+		{"unbound iterator in bound", func(p *Program) {
+			Loops(p.Root)[0].Hi = Var("q")
+		}},
+		{"duplicate array", func(p *Program) {
+			p.Arrays = append(p.Arrays, Array{Name: "A", ElemBytes: 8, Dims: []int64{1}})
+		}},
+		{"bad element size", func(p *Program) { p.Arrays[0].ElemBytes = 0 }},
+		{"bad dim", func(p *Program) { p.Arrays[0].Dims[0] = 0 }},
+	}
+	for _, c := range cases {
+		p := base()
+		c.mutate(p)
+		if err := p.Validate(); err == nil {
+			t.Errorf("%s: expected validation error", c.name)
+		}
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	p := mmProgram(8)
+	c := p.Clone()
+	Loops(c.Root)[0].Hi = Con(99)
+	Stmts(c.Root)[0].Flops = 42
+	if Loops(p.Root)[0].Hi.Const != 8 {
+		t.Fatal("clone shares loop bounds with original")
+	}
+	if Stmts(p.Root)[0].Flops != 2 {
+		t.Fatal("clone shares statements with original")
+	}
+	c.Arrays[0].Dims[0] = 1
+	if p.Arrays[0].Dims[0] != 8 {
+		t.Fatal("clone shares array dims")
+	}
+}
+
+func TestPerfectNest(t *testing.T) {
+	p := mmProgram(8)
+	loops, body := PerfectNest(p.Root[0])
+	if len(loops) != 3 {
+		t.Fatalf("nest depth = %d, want 3", len(loops))
+	}
+	if loops[0].Var != "i" || loops[1].Var != "j" || loops[2].Var != "k" {
+		t.Fatalf("loop order = %s,%s,%s", loops[0].Var, loops[1].Var, loops[2].Var)
+	}
+	if len(body) != 1 {
+		t.Fatalf("body stmts = %d, want 1", len(body))
+	}
+}
+
+func TestPerfectNestStopsAtImperfection(t *testing.T) {
+	p := mmProgram(8)
+	// Insert a statement next to the k loop, making the j body imperfect.
+	jl := Loops(p.Root)[1]
+	jl.Body = append(jl.Body, &Stmt{Label: "extra"})
+	loops, _ := PerfectNest(p.Root[0])
+	if len(loops) != 2 {
+		t.Fatalf("nest depth = %d, want 2 (stops at imperfect body)", len(loops))
+	}
+}
+
+func TestTripCount(t *testing.T) {
+	l := &Loop{Var: "i", Lo: Con(0), Hi: Con(10), Step: 3}
+	if got := l.TripCount(nil); got != 4 {
+		t.Fatalf("trip = %d, want 4", got)
+	}
+	l2 := &Loop{Var: "i", Lo: Con(5), Hi: Con(5), Step: 1}
+	if got := l2.TripCount(nil); got != 0 {
+		t.Fatalf("empty trip = %d, want 0", got)
+	}
+	// Bound depending on an outer iterator.
+	l3 := &Loop{Var: "j", Lo: Con(0), Hi: Var("i"), Step: 1}
+	if got := l3.TripCount(map[string]int64{"i": 7}); got != 7 {
+		t.Fatalf("trip = %d, want 7", got)
+	}
+}
+
+func TestWalkPreOrderAndPruning(t *testing.T) {
+	p := mmProgram(8)
+	var visited []string
+	Walk(p.Root, func(n Node) bool {
+		if l, ok := n.(*Loop); ok {
+			visited = append(visited, l.Var)
+			return l.Var != "j" // prune below j
+		}
+		visited = append(visited, "stmt")
+		return true
+	})
+	if strings.Join(visited, ",") != "i,j" {
+		t.Fatalf("visited = %v", visited)
+	}
+}
+
+func TestStmtsAndLoops(t *testing.T) {
+	p := mmProgram(8)
+	if len(Stmts(p.Root)) != 1 {
+		t.Fatal("Stmts wrong")
+	}
+	ls := Loops(p.Root)
+	if len(ls) != 3 || ls[0].Var != "i" {
+		t.Fatal("Loops wrong")
+	}
+}
+
+func TestProgramString(t *testing.T) {
+	s := mmProgram(4).String()
+	for _, want := range []string{"program mm", "double A[4][4];", "for (i = 0; i < 4; i++)", "C[i][j]", "2 flops"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() missing %q in:\n%s", want, s)
+		}
+	}
+}
+
+func TestProgramStringParallelAndStep(t *testing.T) {
+	p := mmProgram(4)
+	l := Loops(p.Root)[0]
+	l.Parallel = true
+	l.Step = 2
+	s := p.String()
+	if !strings.Contains(s, "#pragma omp parallel for") || !strings.Contains(s, "i += 2") {
+		t.Errorf("parallel/step rendering missing:\n%s", s)
+	}
+}
+
+func TestStmtRenameAndSubst(t *testing.T) {
+	s := Stmts(mmProgram(4).Root)[0]
+	s.RenameIter("i", "ii")
+	if s.Writes[0].Indices[0].Coeff("ii") != 1 || s.Writes[0].Indices[0].Coeff("i") != 0 {
+		t.Fatalf("rename failed: %v", s.Writes[0])
+	}
+	s.SubstIter("ii", Term("t", 4).Add(Var("u")))
+	if s.Writes[0].Indices[0].Coeff("t") != 4 || s.Writes[0].Indices[0].Coeff("u") != 1 {
+		t.Fatalf("subst failed: %v", s.Writes[0])
+	}
+}
+
+func TestArrayByName(t *testing.T) {
+	p := mmProgram(4)
+	a, ok := p.ArrayByName("B")
+	if !ok || a.Name != "B" {
+		t.Fatal("ArrayByName failed")
+	}
+	if _, ok := p.ArrayByName("Q"); ok {
+		t.Fatal("found nonexistent array")
+	}
+}
+
+// Property: Add is commutative and Eval is linear w.r.t. Add.
+func TestAffineAddProperty(t *testing.T) {
+	f := func(c1, c2, i1, i2 int32, vi, vj int16) bool {
+		a := Term("i", int64(c1)).AddConst(int64(i1))
+		b := Term("j", int64(c2)).AddConst(int64(i2))
+		env := map[string]int64{"i": int64(vi), "j": int64(vj)}
+		ab := a.Add(b)
+		ba := b.Add(a)
+		return ab.Equal(ba) && ab.Eval(env) == a.Eval(env)+b.Eval(env)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Subst then Eval equals Eval with the substituted value.
+func TestAffineSubstEvalProperty(t *testing.T) {
+	f := func(ci, cj, k int16, vj int16) bool {
+		e := Term("i", int64(ci)).Add(Term("j", int64(cj))).AddConst(3)
+		repl := Term("j", int64(k)).AddConst(1) // i := k*j + 1
+		sub := e.Subst("i", repl)
+		env := map[string]int64{"j": int64(vj)}
+		envWithI := map[string]int64{"j": int64(vj), "i": repl.Eval(env)}
+		return sub.Eval(env) == e.Eval(envWithI)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

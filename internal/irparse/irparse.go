@@ -1,0 +1,425 @@
+// Package irparse parses a compact text format for MiniIR programs, so
+// tunable loop nests can be supplied as files rather than Go code —
+// the user-facing analogue of the paper's C input path (label 1 in
+// Fig. 3).
+//
+// Grammar (line oriented; '#' starts a comment):
+//
+//	program <name>
+//	array <name>[<dim>][<dim>]... elem <bytes>
+//	for <var> = <lo>..<hi> [step <s>] {
+//	  <writes> = f(<reads>) flops <n>
+//	  ...nested for...
+//	}
+//
+// Bounds are integers or affine expressions over enclosing iterators
+// (e.g. "i+1", "2*i", "n" is not supported — sizes are concrete).
+// Accesses are A[expr][expr]... with affine index expressions; the
+// statement form lists one or more written accesses, then the read
+// accesses, e.g.:
+//
+//	C[i][j] = f(C[i][j], A[i][k], B[k][j]) flops 2
+package irparse
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"autotune/internal/ir"
+)
+
+// Parse builds a MiniIR program from the text format.
+func Parse(src string) (*ir.Program, error) {
+	p := &parser{}
+	p.tokenizeLines(src)
+	prog, err := p.parseProgram()
+	if err != nil {
+		return nil, err
+	}
+	if err := prog.Validate(); err != nil {
+		return nil, fmt.Errorf("irparse: parsed program invalid: %w", err)
+	}
+	return prog, nil
+}
+
+type line struct {
+	no   int
+	text string
+}
+
+type parser struct {
+	lines []line
+	pos   int
+}
+
+func (p *parser) tokenizeLines(src string) {
+	for i, raw := range strings.Split(src, "\n") {
+		text := raw
+		if idx := strings.Index(text, "#"); idx >= 0 {
+			text = text[:idx]
+		}
+		text = strings.TrimSpace(text)
+		if text == "" {
+			continue
+		}
+		// Split trailing '{' or standalone '}' into separate logical
+		// lines for a simpler parser.
+		for text != "" {
+			switch {
+			case text == "}":
+				p.lines = append(p.lines, line{i + 1, "}"})
+				text = ""
+			case strings.HasSuffix(text, "{"):
+				head := strings.TrimSpace(strings.TrimSuffix(text, "{"))
+				if head != "" {
+					p.lines = append(p.lines, line{i + 1, head + " {"})
+				} else {
+					p.lines = append(p.lines, line{i + 1, "{"})
+				}
+				text = ""
+			case strings.HasSuffix(text, "}"):
+				p.lines = append(p.lines, line{i + 1, strings.TrimSpace(strings.TrimSuffix(text, "}"))})
+				p.lines = append(p.lines, line{i + 1, "}"})
+				text = ""
+			default:
+				p.lines = append(p.lines, line{i + 1, text})
+				text = ""
+			}
+		}
+	}
+}
+
+func (p *parser) peek() (line, bool) {
+	if p.pos >= len(p.lines) {
+		return line{}, false
+	}
+	return p.lines[p.pos], true
+}
+
+func (p *parser) next() (line, bool) {
+	l, ok := p.peek()
+	if ok {
+		p.pos++
+	}
+	return l, ok
+}
+
+func (p *parser) errf(l line, format string, args ...interface{}) error {
+	return fmt.Errorf("irparse: line %d: %s", l.no, fmt.Sprintf(format, args...))
+}
+
+func (p *parser) parseProgram() (*ir.Program, error) {
+	l, ok := p.next()
+	if !ok || !strings.HasPrefix(l.text, "program ") {
+		return nil, fmt.Errorf("irparse: expected 'program <name>' header")
+	}
+	prog := &ir.Program{Name: strings.TrimSpace(strings.TrimPrefix(l.text, "program "))}
+	if prog.Name == "" {
+		return nil, p.errf(l, "empty program name")
+	}
+	for {
+		l, ok := p.peek()
+		if !ok {
+			break
+		}
+		switch {
+		case strings.HasPrefix(l.text, "array "):
+			p.pos++
+			a, err := p.parseArray(l)
+			if err != nil {
+				return nil, err
+			}
+			prog.Arrays = append(prog.Arrays, a)
+		case strings.HasPrefix(l.text, "for "):
+			loop, err := p.parseFor()
+			if err != nil {
+				return nil, err
+			}
+			prog.Root = append(prog.Root, loop)
+		default:
+			return nil, p.errf(l, "expected 'array' or 'for', got %q", l.text)
+		}
+	}
+	return prog, nil
+}
+
+// parseArray handles: array A[64][32] elem 8
+func (p *parser) parseArray(l line) (ir.Array, error) {
+	rest := strings.TrimSpace(strings.TrimPrefix(l.text, "array "))
+	elemIdx := strings.Index(rest, " elem ")
+	if elemIdx < 0 {
+		return ir.Array{}, p.errf(l, "array declaration needs 'elem <bytes>'")
+	}
+	decl := strings.TrimSpace(rest[:elemIdx])
+	elemStr := strings.TrimSpace(rest[elemIdx+len(" elem "):])
+	elem, err := strconv.Atoi(elemStr)
+	if err != nil || elem <= 0 {
+		return ir.Array{}, p.errf(l, "bad element size %q", elemStr)
+	}
+	open := strings.Index(decl, "[")
+	if open < 0 {
+		return ir.Array{}, p.errf(l, "array declaration needs dimensions")
+	}
+	name := strings.TrimSpace(decl[:open])
+	dimsPart := decl[open:]
+	dims, err := parseBracketed(dimsPart)
+	if err != nil {
+		return ir.Array{}, p.errf(l, "%v", err)
+	}
+	a := ir.Array{Name: name, ElemBytes: elem}
+	for _, d := range dims {
+		v, err := strconv.ParseInt(strings.TrimSpace(d), 10, 64)
+		if err != nil || v <= 0 {
+			return ir.Array{}, p.errf(l, "bad dimension %q", d)
+		}
+		a.Dims = append(a.Dims, v)
+	}
+	return a, nil
+}
+
+// parseBracketed splits "[a][b][c]" into its bracket contents.
+func parseBracketed(s string) ([]string, error) {
+	var out []string
+	for s = strings.TrimSpace(s); s != ""; s = strings.TrimSpace(s) {
+		if s[0] != '[' {
+			return nil, fmt.Errorf("expected '[' in %q", s)
+		}
+		close := strings.Index(s, "]")
+		if close < 0 {
+			return nil, fmt.Errorf("unterminated '[' in %q", s)
+		}
+		out = append(out, s[1:close])
+		s = s[close+1:]
+	}
+	return out, nil
+}
+
+// parseFor handles: for i = 0..64 [step 2] { body }
+func (p *parser) parseFor() (*ir.Loop, error) {
+	l, _ := p.next()
+	header := strings.TrimSuffix(strings.TrimSpace(l.text), "{")
+	header = strings.TrimSpace(header)
+	fields := strings.Fields(header)
+	// for <var> = <lo>..<hi> [step <s>]
+	if len(fields) < 4 || fields[0] != "for" || fields[2] != "=" {
+		return nil, p.errf(l, "bad for header %q", l.text)
+	}
+	loop := &ir.Loop{Var: fields[1], Step: 1}
+	rangeStr := fields[3]
+	dots := strings.Index(rangeStr, "..")
+	if dots < 0 {
+		return nil, p.errf(l, "for range needs '..' in %q", rangeStr)
+	}
+	lo, err := parseAffine(rangeStr[:dots])
+	if err != nil {
+		return nil, p.errf(l, "bad lower bound: %v", err)
+	}
+	hi, err := parseAffine(rangeStr[dots+2:])
+	if err != nil {
+		return nil, p.errf(l, "bad upper bound: %v", err)
+	}
+	loop.Lo, loop.Hi = lo, hi
+	if len(fields) >= 6 && fields[4] == "step" {
+		s, err := strconv.ParseInt(fields[5], 10, 64)
+		if err != nil || s <= 0 {
+			return nil, p.errf(l, "bad step %q", fields[5])
+		}
+		loop.Step = s
+	}
+	if !strings.HasSuffix(strings.TrimSpace(l.text), "{") {
+		return nil, p.errf(l, "for header must end with '{'")
+	}
+	for {
+		nl, ok := p.peek()
+		if !ok {
+			return nil, p.errf(l, "unterminated for body")
+		}
+		if nl.text == "}" {
+			p.pos++
+			return loop, nil
+		}
+		if strings.HasPrefix(nl.text, "for ") {
+			inner, err := p.parseFor()
+			if err != nil {
+				return nil, err
+			}
+			loop.Body = append(loop.Body, inner)
+			continue
+		}
+		p.pos++
+		stmt, err := p.parseStmt(nl)
+		if err != nil {
+			return nil, err
+		}
+		loop.Body = append(loop.Body, stmt)
+	}
+}
+
+// parseStmt handles: C[i][j], X[i] = f(A[i][k], B[k][j]) flops 2
+func (p *parser) parseStmt(l line) (*ir.Stmt, error) {
+	text := l.text
+	flops := int64(1)
+	if idx := strings.LastIndex(text, " flops "); idx >= 0 {
+		f, err := strconv.ParseInt(strings.TrimSpace(text[idx+len(" flops "):]), 10, 64)
+		if err != nil || f < 0 {
+			return nil, p.errf(l, "bad flops count")
+		}
+		flops = f
+		text = strings.TrimSpace(text[:idx])
+	}
+	eq := strings.Index(text, "=")
+	if eq < 0 {
+		return nil, p.errf(l, "statement needs '='")
+	}
+	lhs := strings.TrimSpace(text[:eq])
+	rhs := strings.TrimSpace(text[eq+1:])
+	if !strings.HasPrefix(rhs, "f(") || !strings.HasSuffix(rhs, ")") {
+		return nil, p.errf(l, "statement right-hand side must be f(...)")
+	}
+	inner := strings.TrimSpace(rhs[2 : len(rhs)-1])
+	stmt := &ir.Stmt{Label: l.text, Flops: flops}
+	for _, w := range splitTopLevel(lhs) {
+		ac, err := parseAccess(w)
+		if err != nil {
+			return nil, p.errf(l, "bad write %q: %v", w, err)
+		}
+		stmt.Writes = append(stmt.Writes, ac)
+	}
+	if inner != "" {
+		for _, r := range splitTopLevel(inner) {
+			ac, err := parseAccess(r)
+			if err != nil {
+				return nil, p.errf(l, "bad read %q: %v", r, err)
+			}
+			stmt.Reads = append(stmt.Reads, ac)
+		}
+	}
+	if len(stmt.Writes) == 0 {
+		return nil, p.errf(l, "statement needs at least one write")
+	}
+	return stmt, nil
+}
+
+// splitTopLevel splits a comma-separated list, respecting brackets.
+func splitTopLevel(s string) []string {
+	var out []string
+	depth := 0
+	start := 0
+	for i, r := range s {
+		switch r {
+		case '[':
+			depth++
+		case ']':
+			depth--
+		case ',':
+			if depth == 0 {
+				out = append(out, strings.TrimSpace(s[start:i]))
+				start = i + 1
+			}
+		}
+	}
+	if tail := strings.TrimSpace(s[start:]); tail != "" {
+		out = append(out, tail)
+	}
+	return out
+}
+
+// parseAccess handles A[i][2*j+1].
+func parseAccess(s string) (ir.Access, error) {
+	s = strings.TrimSpace(s)
+	open := strings.Index(s, "[")
+	if open <= 0 {
+		return ir.Access{}, fmt.Errorf("access needs array[index] form")
+	}
+	name := strings.TrimSpace(s[:open])
+	idxs, err := parseBracketed(s[open:])
+	if err != nil {
+		return ir.Access{}, err
+	}
+	ac := ir.Access{Array: name}
+	for _, ix := range idxs {
+		e, err := parseAffine(ix)
+		if err != nil {
+			return ir.Access{}, fmt.Errorf("index %q: %w", ix, err)
+		}
+		ac.Indices = append(ac.Indices, e)
+	}
+	return ac, nil
+}
+
+// parseAffine parses "2*i + j - 3" style expressions.
+func parseAffine(s string) (ir.Affine, error) {
+	s = strings.ReplaceAll(s, " ", "")
+	if s == "" {
+		return ir.Affine{}, fmt.Errorf("empty expression")
+	}
+	out := ir.Con(0)
+	// Split into signed terms.
+	terms := []string{}
+	cur := strings.Builder{}
+	for i, r := range s {
+		if (r == '+' || r == '-') && i > 0 && s[i-1] != '*' {
+			terms = append(terms, cur.String())
+			cur.Reset()
+			if r == '-' {
+				cur.WriteByte('-')
+			}
+			continue
+		}
+		cur.WriteRune(r)
+	}
+	terms = append(terms, cur.String())
+	for _, t := range terms {
+		if t == "" {
+			return ir.Affine{}, fmt.Errorf("bad expression %q", s)
+		}
+		sign := int64(1)
+		if t[0] == '-' {
+			sign = -1
+			t = t[1:]
+		}
+		if t == "" {
+			return ir.Affine{}, fmt.Errorf("dangling sign in %q", s)
+		}
+		if star := strings.Index(t, "*"); star >= 0 {
+			coeff, err := strconv.ParseInt(t[:star], 10, 64)
+			if err != nil {
+				return ir.Affine{}, fmt.Errorf("bad coefficient in %q", t)
+			}
+			name := t[star+1:]
+			if !isIdent(name) {
+				return ir.Affine{}, fmt.Errorf("bad iterator in %q", t)
+			}
+			out = out.Add(ir.Term(name, sign*coeff))
+			continue
+		}
+		if v, err := strconv.ParseInt(t, 10, 64); err == nil {
+			out = out.AddConst(sign * v)
+			continue
+		}
+		if !isIdent(t) {
+			return ir.Affine{}, fmt.Errorf("bad term %q", t)
+		}
+		out = out.Add(ir.Term(t, sign))
+	}
+	return out, nil
+}
+
+func isIdent(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_':
+		case r >= '0' && r <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,185 @@
+// Package metrics implements front-quality indicators from the
+// multi-objective optimization literature beyond the hypervolume the
+// paper reports: the additive epsilon indicator, the coverage
+// (C-)metric, Schott's spacing, and (inverted) generational distance.
+// They complement V(S) in the extended strategy comparison and the
+// ablation benchmarks.
+//
+// All indicators assume minimized objective vectors.
+package metrics
+
+import (
+	"errors"
+	"math"
+
+	"autotune/internal/pareto"
+)
+
+// ErrEmpty is returned when an indicator needs a non-empty front.
+var ErrEmpty = errors.New("metrics: empty front")
+
+// AdditiveEpsilon returns the smallest eps such that every point of
+// reference is weakly dominated by some point of front after
+// subtracting eps from each front objective — i.e. how far front must
+// be shifted to cover reference. 0 means front covers reference.
+func AdditiveEpsilon(front, reference [][]float64) (float64, error) {
+	if len(front) == 0 || len(reference) == 0 {
+		return 0, ErrEmpty
+	}
+	eps := math.Inf(-1)
+	for _, r := range reference {
+		best := math.Inf(1)
+		for _, f := range front {
+			if len(f) != len(r) {
+				return 0, errors.New("metrics: dimension mismatch")
+			}
+			worst := math.Inf(-1)
+			for c := range f {
+				if d := f[c] - r[c]; d > worst {
+					worst = d
+				}
+			}
+			if worst < best {
+				best = worst
+			}
+		}
+		if best > eps {
+			eps = best
+		}
+	}
+	return eps, nil
+}
+
+// Coverage returns the C-metric C(A, B): the fraction of points in B
+// weakly dominated by at least one point in A. C(A,B)=1 means A covers
+// B entirely; the metric is not symmetric.
+func Coverage(a, b [][]float64) (float64, error) {
+	if len(b) == 0 {
+		return 0, ErrEmpty
+	}
+	covered := 0
+	for _, pb := range b {
+		for _, pa := range a {
+			if pareto.WeaklyDominates(pa, pb) {
+				covered++
+				break
+			}
+		}
+	}
+	return float64(covered) / float64(len(b)), nil
+}
+
+// Spacing returns Schott's spacing metric: the standard deviation of
+// nearest-neighbour Manhattan distances within the front. 0 means
+// perfectly even spacing; a single-point front has spacing 0.
+func Spacing(front [][]float64) (float64, error) {
+	n := len(front)
+	if n == 0 {
+		return 0, ErrEmpty
+	}
+	if n == 1 {
+		return 0, nil
+	}
+	d := make([]float64, n)
+	for i := range front {
+		best := math.Inf(1)
+		for j := range front {
+			if i == j {
+				continue
+			}
+			dist := 0.0
+			for c := range front[i] {
+				dist += math.Abs(front[i][c] - front[j][c])
+			}
+			if dist < best {
+				best = dist
+			}
+		}
+		d[i] = best
+	}
+	mean := 0.0
+	for _, x := range d {
+		mean += x
+	}
+	mean /= float64(n)
+	varsum := 0.0
+	for _, x := range d {
+		varsum += (x - mean) * (x - mean)
+	}
+	return math.Sqrt(varsum / float64(n-1)), nil
+}
+
+// GenerationalDistance returns the average Euclidean distance from
+// each front point to its nearest reference point: how close the
+// front sits to a (better) reference set.
+func GenerationalDistance(front, reference [][]float64) (float64, error) {
+	return meanNearest(front, reference)
+}
+
+// InvertedGenerationalDistance returns the average distance from each
+// reference point to its nearest front point: how well the front
+// covers the reference set.
+func InvertedGenerationalDistance(front, reference [][]float64) (float64, error) {
+	return meanNearest(reference, front)
+}
+
+func meanNearest(from, to [][]float64) (float64, error) {
+	if len(from) == 0 || len(to) == 0 {
+		return 0, ErrEmpty
+	}
+	sum := 0.0
+	for _, f := range from {
+		best := math.Inf(1)
+		for _, t := range to {
+			if len(t) != len(f) {
+				return 0, errors.New("metrics: dimension mismatch")
+			}
+			d := 0.0
+			for c := range f {
+				diff := f[c] - t[c]
+				d += diff * diff
+			}
+			if d < best {
+				best = d
+			}
+		}
+		sum += math.Sqrt(best)
+	}
+	return sum / float64(len(from)), nil
+}
+
+// Summary bundles all indicators of one front against a reference.
+type Summary struct {
+	Size     int
+	Epsilon  float64
+	Covers   float64 // C(front, reference)
+	Covered  float64 // C(reference, front)
+	Spacing  float64
+	GD       float64
+	IGD      float64
+	HV       float64 // normalized hypervolume, if bounds provided
+	HasHV    bool
+	HVError  error
+	ErrState error
+}
+
+// Summarize computes every indicator for front vs reference. ideal and
+// nadir, when non-nil, also produce the normalized hypervolume.
+func Summarize(front, reference [][]float64, ideal, nadir []float64) Summary {
+	s := Summary{Size: len(front)}
+	var err error
+	if s.Epsilon, err = AdditiveEpsilon(front, reference); err != nil {
+		s.ErrState = err
+		return s
+	}
+	s.Covers, _ = Coverage(front, reference)
+	s.Covered, _ = Coverage(reference, front)
+	s.Spacing, _ = Spacing(front)
+	s.GD, _ = GenerationalDistance(front, reference)
+	s.IGD, _ = InvertedGenerationalDistance(front, reference)
+	if ideal != nil && nadir != nil {
+		hv, err := pareto.NormalizedHypervolume(front, ideal, nadir)
+		s.HV, s.HasHV, s.HVError = hv, err == nil, err
+	}
+	return s
+}

@@ -1,0 +1,178 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func approx(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestAdditiveEpsilonIdentity(t *testing.T) {
+	f := [][]float64{{1, 2}, {2, 1}}
+	eps, err := AdditiveEpsilon(f, f)
+	if err != nil || !approx(eps, 0) {
+		t.Fatalf("eps = %v, %v", eps, err)
+	}
+}
+
+func TestAdditiveEpsilonShift(t *testing.T) {
+	front := [][]float64{{2, 2}}
+	ref := [][]float64{{1, 1}}
+	eps, err := AdditiveEpsilon(front, ref)
+	if err != nil || !approx(eps, 1) {
+		t.Fatalf("eps = %v, want 1", eps)
+	}
+	// A dominating front has negative epsilon.
+	eps, _ = AdditiveEpsilon(ref, front)
+	if !approx(eps, -1) {
+		t.Fatalf("eps = %v, want -1", eps)
+	}
+}
+
+func TestAdditiveEpsilonErrors(t *testing.T) {
+	if _, err := AdditiveEpsilon(nil, [][]float64{{1}}); err != ErrEmpty {
+		t.Fatal("empty front accepted")
+	}
+	if _, err := AdditiveEpsilon([][]float64{{1}}, [][]float64{{1, 2}}); err == nil {
+		t.Fatal("dimension mismatch accepted")
+	}
+}
+
+func TestCoverage(t *testing.T) {
+	a := [][]float64{{1, 1}}
+	b := [][]float64{{2, 2}, {0.5, 3}}
+	c, err := Coverage(a, b)
+	if err != nil || !approx(c, 0.5) {
+		t.Fatalf("C(a,b) = %v, want 0.5", c)
+	}
+	c, _ = Coverage(b, a)
+	if !approx(c, 0) {
+		t.Fatalf("C(b,a) = %v, want 0", c)
+	}
+	if _, err := Coverage(a, nil); err != ErrEmpty {
+		t.Fatal("empty b accepted")
+	}
+}
+
+func TestSpacing(t *testing.T) {
+	// Perfectly even staircase: spacing 0.
+	even := [][]float64{{0, 4}, {1, 3}, {2, 2}, {3, 1}, {4, 0}}
+	s, err := Spacing(even)
+	if err != nil || !approx(s, 0) {
+		t.Fatalf("spacing = %v, want 0", s)
+	}
+	uneven := [][]float64{{0, 10}, {1, 9}, {10, 0}}
+	s2, _ := Spacing(uneven)
+	if s2 <= 0 {
+		t.Fatalf("uneven spacing = %v, want > 0", s2)
+	}
+	one, _ := Spacing([][]float64{{1, 1}})
+	if one != 0 {
+		t.Fatal("single point spacing should be 0")
+	}
+	if _, err := Spacing(nil); err != ErrEmpty {
+		t.Fatal("empty front accepted")
+	}
+}
+
+func TestGDAndIGD(t *testing.T) {
+	front := [][]float64{{1, 0}, {0, 1}}
+	ref := [][]float64{{0, 0}}
+	gd, err := GenerationalDistance(front, ref)
+	if err != nil || !approx(gd, 1) {
+		t.Fatalf("GD = %v, want 1", gd)
+	}
+	igd, err := InvertedGenerationalDistance(front, ref)
+	if err != nil || !approx(igd, 1) {
+		t.Fatalf("IGD = %v, want 1", igd)
+	}
+	same, _ := GenerationalDistance(front, front)
+	if !approx(same, 0) {
+		t.Fatalf("GD to itself = %v", same)
+	}
+	if _, err := GenerationalDistance(front, [][]float64{{1}}); err == nil {
+		t.Fatal("dimension mismatch accepted")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	front := [][]float64{{0.2, 0.8}, {0.8, 0.2}}
+	ref := [][]float64{{0.1, 0.9}, {0.9, 0.1}, {0.4, 0.4}}
+	s := Summarize(front, ref, []float64{0, 0}, []float64{1, 1})
+	if s.ErrState != nil {
+		t.Fatal(s.ErrState)
+	}
+	if s.Size != 2 || !s.HasHV || s.HV <= 0 {
+		t.Fatalf("summary = %+v", s)
+	}
+	if s.Epsilon <= 0 {
+		t.Fatalf("epsilon = %v, want > 0 (ref not covered)", s.Epsilon)
+	}
+	// Without bounds, no hypervolume.
+	s2 := Summarize(front, ref, nil, nil)
+	if s2.HasHV {
+		t.Fatal("hypervolume computed without bounds")
+	}
+	// Empty front reports the error.
+	s3 := Summarize(nil, ref, nil, nil)
+	if s3.ErrState == nil {
+		t.Fatal("empty front not reported")
+	}
+}
+
+// Property: epsilon(A, B) <= 0 whenever A weakly covers B point-wise,
+// and Coverage is always within [0,1].
+func TestIndicatorRangesProperty(t *testing.T) {
+	f := func(raw []uint16) bool {
+		var a, b [][]float64
+		for i := 0; i+1 < len(raw); i += 2 {
+			p := []float64{float64(raw[i] % 100), float64(raw[i+1] % 100)}
+			if len(a) <= len(b) {
+				a = append(a, p)
+			} else {
+				b = append(b, p)
+			}
+		}
+		if len(a) == 0 || len(b) == 0 {
+			return true
+		}
+		c1, err1 := Coverage(a, b)
+		c2, err2 := Coverage(b, a)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		if c1 < 0 || c1 > 1 || c2 < 0 || c2 > 1 {
+			return false
+		}
+		// Self-coverage is always 1 (every point weakly dominates
+		// itself).
+		self, _ := Coverage(a, a)
+		return self == 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: GD(front, ref) is zero iff every front point is in ref
+// (checked in the "is in" direction), and always non-negative.
+func TestGDNonNegativeProperty(t *testing.T) {
+	f := func(raw []uint8) bool {
+		var pts [][]float64
+		for i := 0; i+1 < len(raw); i += 2 {
+			pts = append(pts, []float64{float64(raw[i]), float64(raw[i+1])})
+		}
+		if len(pts) < 2 {
+			return true
+		}
+		gd, err := GenerationalDistance(pts[:1], pts)
+		if err != nil {
+			return false
+		}
+		return gd == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

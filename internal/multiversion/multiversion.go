@@ -1,0 +1,228 @@
+// Package multiversion implements the backend stage of the framework
+// (label 5 in the paper's Fig. 3): for each tuned region it aggregates
+// one specialized code version per Pareto-optimal configuration into a
+// version table, annotated with the meta-information — the represented
+// objective trade-off — the runtime system consults when selecting a
+// version.
+//
+// A Unit is the analogue of the paper's "multi-versioned executable":
+// serializable metadata plus (for in-process use) an executable entry
+// point per version. The JSON form round-trips everything except the
+// entry closures, which are re-attached on load via a Binder.
+package multiversion
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+
+	"autotune/internal/skeleton"
+)
+
+// Meta is the per-version meta-information embedded in the version
+// table: the configuration and the objective trade-off it represents.
+type Meta struct {
+	// Config is the raw optimizer configuration [tiles..., threads].
+	Config skeleton.Config `json:"config"`
+	// Tiles are the bound tile sizes.
+	Tiles []int64 `json:"tiles"`
+	// Threads is the bound thread count.
+	Threads int `json:"threads"`
+	// Unroll is the bound innermost-loop unroll factor (0 or 1 =
+	// none).
+	Unroll int64 `json:"unroll,omitempty"`
+	// Objectives are the (minimized) objective values measured for
+	// this version during tuning.
+	Objectives []float64 `json:"objectives"`
+}
+
+// Entry executes one code version. It is attached in process and not
+// serialized.
+type Entry func() error
+
+// Version is one specialized code version.
+type Version struct {
+	Meta Meta `json:"meta"`
+	// Code is the human-readable listing of the transformed region
+	// (the source the backend would emit).
+	Code string `json:"code,omitempty"`
+	// Entry runs the version; nil for deserialized units until bound.
+	Entry Entry `json:"-"`
+}
+
+// Unit is the multi-versioned compilation result for one region.
+type Unit struct {
+	// Region names the tuned region.
+	Region string `json:"region"`
+	// ObjectiveNames labels the objective vector components.
+	ObjectiveNames []string `json:"objectiveNames"`
+	// Features carries the region's compiler-deduced static features
+	// (internal/features), available to runtime decision making.
+	Features map[string]float64 `json:"features,omitempty"`
+	// Versions is the version table, one entry per Pareto point.
+	Versions []Version `json:"versions"`
+}
+
+// Validate checks structural consistency.
+func (u *Unit) Validate() error {
+	if u.Region == "" {
+		return errors.New("multiversion: unit without region name")
+	}
+	if len(u.Versions) == 0 {
+		return errors.New("multiversion: unit without versions")
+	}
+	m := len(u.ObjectiveNames)
+	if m == 0 {
+		return errors.New("multiversion: unit without objective names")
+	}
+	for i, v := range u.Versions {
+		if len(v.Meta.Objectives) != m {
+			return fmt.Errorf("multiversion: version %d has %d objectives, want %d",
+				i, len(v.Meta.Objectives), m)
+		}
+		if v.Meta.Threads < 1 {
+			return fmt.Errorf("multiversion: version %d has invalid thread count %d", i, v.Meta.Threads)
+		}
+	}
+	return nil
+}
+
+// Metas returns the version table's meta rows.
+func (u *Unit) Metas() []Meta {
+	out := make([]Meta, len(u.Versions))
+	for i, v := range u.Versions {
+		out[i] = v.Meta
+	}
+	return out
+}
+
+// SelectWeighted returns the index of the version minimizing the
+// weighted sum Σ w_c · f̂_c(v) over objectives normalized to [0,1]
+// across the table — the runtime policy described in the paper's §IV.
+// Weights need not sum to 1; negative weights are rejected.
+func (u *Unit) SelectWeighted(weights []float64) (int, error) {
+	if len(weights) != len(u.ObjectiveNames) {
+		return 0, fmt.Errorf("multiversion: %d weights for %d objectives", len(weights), len(u.ObjectiveNames))
+	}
+	for _, w := range weights {
+		if w < 0 || math.IsNaN(w) {
+			return 0, errors.New("multiversion: weights must be non-negative")
+		}
+	}
+	if len(u.Versions) == 0 {
+		return 0, errors.New("multiversion: empty version table")
+	}
+	m := len(u.ObjectiveNames)
+	lo := make([]float64, m)
+	hi := make([]float64, m)
+	for c := 0; c < m; c++ {
+		lo[c], hi[c] = math.Inf(1), math.Inf(-1)
+		for _, v := range u.Versions {
+			x := v.Meta.Objectives[c]
+			if x < lo[c] {
+				lo[c] = x
+			}
+			if x > hi[c] {
+				hi[c] = x
+			}
+		}
+	}
+	best, bestScore := 0, math.Inf(1)
+	for i, v := range u.Versions {
+		score := 0.0
+		for c := 0; c < m; c++ {
+			span := hi[c] - lo[c]
+			norm := 0.0
+			if span > 0 {
+				norm = (v.Meta.Objectives[c] - lo[c]) / span
+			}
+			score += weights[c] * norm
+		}
+		if score < bestScore {
+			best, bestScore = i, score
+		}
+	}
+	return best, nil
+}
+
+// SelectConstrained returns the version with the best value in the
+// `optimize` objective among versions whose `constrain` objective does
+// not exceed budget. If none qualifies, the version with the smallest
+// constrained objective is returned (graceful degradation).
+func (u *Unit) SelectConstrained(optimize, constrain int, budget float64) (int, error) {
+	m := len(u.ObjectiveNames)
+	if optimize < 0 || optimize >= m || constrain < 0 || constrain >= m {
+		return 0, errors.New("multiversion: objective index out of range")
+	}
+	if len(u.Versions) == 0 {
+		return 0, errors.New("multiversion: empty version table")
+	}
+	best, bestVal := -1, math.Inf(1)
+	fallback, fallbackVal := 0, math.Inf(1)
+	for i, v := range u.Versions {
+		c := v.Meta.Objectives[constrain]
+		if c < fallbackVal {
+			fallback, fallbackVal = i, c
+		}
+		if c <= budget && v.Meta.Objectives[optimize] < bestVal {
+			best, bestVal = i, v.Meta.Objectives[optimize]
+		}
+	}
+	if best < 0 {
+		return fallback, nil
+	}
+	return best, nil
+}
+
+// SelectMaxThreads returns the fastest version among those using at
+// most maxThreads threads, supporting runtime adaptation to shrinking
+// core budgets. The returned bool is false when no version fits.
+func (u *Unit) SelectMaxThreads(maxThreads int, timeObjective int) (int, bool) {
+	best, bestVal := -1, math.Inf(1)
+	for i, v := range u.Versions {
+		if v.Meta.Threads > maxThreads {
+			continue
+		}
+		if v.Meta.Objectives[timeObjective] < bestVal {
+			best, bestVal = i, v.Meta.Objectives[timeObjective]
+		}
+	}
+	return best, best >= 0
+}
+
+// MarshalJSON-friendly encode/decode helpers.
+
+// Encode serializes the unit (without entry closures).
+func (u *Unit) Encode() ([]byte, error) {
+	return json.MarshalIndent(u, "", "  ")
+}
+
+// Decode deserializes a unit. Entries are nil afterwards; use Bind.
+func Decode(data []byte) (*Unit, error) {
+	var u Unit
+	if err := json.Unmarshal(data, &u); err != nil {
+		return nil, fmt.Errorf("multiversion: %w", err)
+	}
+	if err := u.Validate(); err != nil {
+		return nil, err
+	}
+	return &u, nil
+}
+
+// Binder attaches an executable entry point to a version's metadata —
+// the in-process analogue of the dynamic linker resolving the function
+// pointers of the embedded version table.
+type Binder func(m Meta) (Entry, error)
+
+// Bind attaches entries to every version.
+func (u *Unit) Bind(b Binder) error {
+	for i := range u.Versions {
+		e, err := b(u.Versions[i].Meta)
+		if err != nil {
+			return fmt.Errorf("multiversion: binding version %d: %w", i, err)
+		}
+		u.Versions[i].Entry = e
+	}
+	return nil
+}

@@ -1,0 +1,123 @@
+package multiversion
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Prune returns a copy of the unit keeping at most k versions, chosen
+// to preserve the trade-off coverage of the front: the extreme version
+// of every objective is always kept, and the remaining slots go to the
+// versions with the largest crowding distance (the most isolated
+// points). Embedded version tables cost binary size and selection
+// time, so deployments may cap them; the paper's |S| of 10-30 versions
+// motivates exactly this knob.
+func Prune(u *Unit, k int) (*Unit, error) {
+	if err := u.Validate(); err != nil {
+		return nil, err
+	}
+	if k < 1 {
+		return nil, fmt.Errorf("multiversion: prune target %d must be >= 1", k)
+	}
+	out := &Unit{
+		Region:         u.Region,
+		ObjectiveNames: append([]string(nil), u.ObjectiveNames...),
+	}
+	if u.Features != nil {
+		out.Features = map[string]float64{}
+		for key, v := range u.Features {
+			out.Features[key] = v
+		}
+	}
+	if len(u.Versions) <= k {
+		out.Versions = append(out.Versions, u.Versions...)
+		return out, nil
+	}
+
+	m := len(u.ObjectiveNames)
+	n := len(u.Versions)
+	keep := make([]bool, n)
+
+	// Always keep each objective's best version.
+	for c := 0; c < m; c++ {
+		best, bestVal := 0, math.Inf(1)
+		for i, v := range u.Versions {
+			if v.Meta.Objectives[c] < bestVal {
+				best, bestVal = i, v.Meta.Objectives[c]
+			}
+		}
+		keep[best] = true
+	}
+
+	// Crowding distance over the whole table.
+	dist := crowding(u.Versions)
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return dist[order[a]] > dist[order[b]] })
+	kept := 0
+	for i := range keep {
+		if keep[i] {
+			kept++
+		}
+	}
+	for _, i := range order {
+		if kept >= k {
+			break
+		}
+		if !keep[i] {
+			keep[i] = true
+			kept++
+		}
+	}
+	// If the extremes alone exceed k (tiny k, many objectives), drop
+	// the least crowded extremes from the end of the order.
+	if kept > k {
+		for j := len(order) - 1; j >= 0 && kept > k; j-- {
+			if keep[order[j]] {
+				keep[order[j]] = false
+				kept--
+			}
+		}
+	}
+	for i, v := range u.Versions {
+		if keep[i] {
+			out.Versions = append(out.Versions, v)
+		}
+	}
+	return out, nil
+}
+
+// crowding computes the NSGA-II crowding distance over the version
+// table's objective vectors.
+func crowding(versions []Version) []float64 {
+	n := len(versions)
+	dist := make([]float64, n)
+	if n == 0 {
+		return dist
+	}
+	m := len(versions[0].Meta.Objectives)
+	order := make([]int, n)
+	for c := 0; c < m; c++ {
+		for i := range order {
+			order[i] = i
+		}
+		sort.Slice(order, func(a, b int) bool {
+			return versions[order[a]].Meta.Objectives[c] < versions[order[b]].Meta.Objectives[c]
+		})
+		lo := versions[order[0]].Meta.Objectives[c]
+		hi := versions[order[n-1]].Meta.Objectives[c]
+		dist[order[0]] = math.Inf(1)
+		dist[order[n-1]] = math.Inf(1)
+		if hi == lo {
+			continue
+		}
+		for j := 1; j < n-1; j++ {
+			dist[order[j]] += (versions[order[j+1]].Meta.Objectives[c] -
+				versions[order[j-1]].Meta.Objectives[c]) / (hi - lo)
+		}
+	}
+	return dist
+}

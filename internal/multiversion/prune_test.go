@@ -1,0 +1,119 @@
+package multiversion
+
+import (
+	"testing"
+
+	"autotune/internal/skeleton"
+)
+
+func frontUnit(times []float64) *Unit {
+	u := &Unit{Region: "r", ObjectiveNames: []string{"time", "resources"}}
+	for i, tm := range times {
+		u.Versions = append(u.Versions, Version{Meta: Meta{
+			Config:     skeleton.Config{int64(i)},
+			Tiles:      []int64{int64(i)},
+			Threads:    i + 1,
+			Objectives: []float64{tm, 2 - tm}, // staircase front
+		}})
+	}
+	return u
+}
+
+func TestPruneKeepsExtremesAndCount(t *testing.T) {
+	u := frontUnit([]float64{0.1, 0.2, 0.3, 0.9, 1.0, 1.5})
+	p, err := Prune(u, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Versions) != 3 {
+		t.Fatalf("pruned to %d versions", len(p.Versions))
+	}
+	haveMinTime, haveMinRes := false, false
+	for _, v := range p.Versions {
+		if v.Meta.Objectives[0] == 0.1 {
+			haveMinTime = true
+		}
+		if v.Meta.Objectives[0] == 1.5 { // min resources = 2-1.5
+			haveMinRes = true
+		}
+	}
+	if !haveMinTime || !haveMinRes {
+		t.Fatal("extremes dropped by pruning")
+	}
+}
+
+func TestPruneNoOpWhenSmall(t *testing.T) {
+	u := frontUnit([]float64{0.1, 0.5})
+	p, err := Prune(u, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Versions) != 2 {
+		t.Fatalf("no-op prune changed count: %d", len(p.Versions))
+	}
+}
+
+func TestPruneToOne(t *testing.T) {
+	u := frontUnit([]float64{0.1, 0.5, 0.9})
+	p, err := Prune(u, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Versions) != 1 {
+		t.Fatalf("pruned to %d", len(p.Versions))
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPruneValidation(t *testing.T) {
+	u := frontUnit([]float64{0.1})
+	if _, err := Prune(u, 0); err == nil {
+		t.Error("k=0 accepted")
+	}
+	bad := &Unit{}
+	if _, err := Prune(bad, 2); err == nil {
+		t.Error("invalid unit accepted")
+	}
+}
+
+func TestPrunePreservesMetadataAndFeatures(t *testing.T) {
+	u := frontUnit([]float64{0.1, 0.5, 0.9, 1.3})
+	u.Features = map[string]float64{"nestDepth": 3}
+	p, err := Prune(u, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Region != "r" || p.Features["nestDepth"] != 3 {
+		t.Fatal("metadata lost")
+	}
+	// Features map is a copy.
+	p.Features["nestDepth"] = 9
+	if u.Features["nestDepth"] != 3 {
+		t.Fatal("features aliased")
+	}
+}
+
+func TestPruneSpreadBetterThanPrefix(t *testing.T) {
+	// A clustered front: most points bunched near the fast end. The
+	// pruned set must cover the full extent, not just the cluster.
+	u := frontUnit([]float64{0.10, 0.11, 0.12, 0.13, 0.14, 1.0, 1.9})
+	p, err := Prune(u, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo, hi := 10.0, -10.0
+	for _, v := range p.Versions {
+		tm := v.Meta.Objectives[0]
+		if tm < lo {
+			lo = tm
+		}
+		if tm > hi {
+			hi = tm
+		}
+	}
+	if lo != 0.10 || hi != 1.9 {
+		t.Fatalf("pruned range [%v, %v] does not span the front", lo, hi)
+	}
+}

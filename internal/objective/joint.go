@@ -1,0 +1,141 @@
+package objective
+
+import (
+	"fmt"
+	"sync"
+
+	"autotune/internal/kernels"
+	"autotune/internal/machine"
+	"autotune/internal/perfmodel"
+	"autotune/internal/skeleton"
+	"autotune/internal/stats"
+)
+
+// SimJoint evaluates several regions (kernels) at once on one
+// simulated machine: column i of a joint batch forms one program
+// execution instantiating every region's i-th candidate configuration.
+// Each execution yields a measurement per region — the multi-region
+// evaluation scheme of the paper's §III-A, under which tuning K
+// regions costs no more program executions than tuning one.
+type SimJoint struct {
+	machine *machine.Machine
+	kernels []*kernels.Kernel
+	ns      []int64
+	model   *perfmodel.Model
+	reps    int
+	noise   float64
+
+	mu    sync.Mutex
+	execs int
+	cache map[string][]float64 // per-region config cache (model is region-separable)
+}
+
+// NewSimJoint builds a joint evaluator for the named regions. ns may
+// be nil (kernel defaults) or hold one problem size per region.
+func NewSimJoint(m *machine.Machine, regionKernels []*kernels.Kernel, ns []int64, noiseAmp float64) (*SimJoint, error) {
+	if m == nil || len(regionKernels) == 0 {
+		return nil, fmt.Errorf("objective: machine and regions required")
+	}
+	if ns == nil {
+		ns = make([]int64, len(regionKernels))
+	}
+	if len(ns) != len(regionKernels) {
+		return nil, fmt.Errorf("objective: %d sizes for %d regions", len(ns), len(regionKernels))
+	}
+	sizes := make([]int64, len(regionKernels))
+	for i, k := range regionKernels {
+		sizes[i] = ns[i]
+		if sizes[i] == 0 {
+			sizes[i] = k.DefaultN
+		}
+	}
+	mo := perfmodel.New(m)
+	mo.NoiseAmp = noiseAmp
+	return &SimJoint{
+		machine: m,
+		kernels: regionKernels,
+		ns:      sizes,
+		model:   mo,
+		reps:    3,
+		noise:   noiseAmp,
+		cache:   map[string][]float64{},
+	}, nil
+}
+
+// ObjectiveNames implements optimizer.JointEvaluator.
+func (s *SimJoint) ObjectiveNames() []string { return []string{"time", "resources"} }
+
+// Executions implements optimizer.JointEvaluator.
+func (s *SimJoint) Executions() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.execs
+}
+
+// EvaluateJoint implements optimizer.JointEvaluator. Every column is
+// one program execution regardless of per-region cache hits — the
+// program must run as long as any region needs a fresh measurement,
+// and with the batch aligned the runs are shared.
+func (s *SimJoint) EvaluateJoint(cfgs [][]skeleton.Config) [][][]float64 {
+	if len(cfgs) != len(s.kernels) {
+		return nil
+	}
+	batch := 0
+	for _, row := range cfgs {
+		if len(row) > batch {
+			batch = len(row)
+		}
+	}
+	out := make([][][]float64, len(s.kernels))
+	for r := range s.kernels {
+		out[r] = make([][]float64, len(cfgs[r]))
+		for i, cfg := range cfgs[r] {
+			out[r][i] = s.regionObjectives(r, cfg)
+		}
+	}
+	s.mu.Lock()
+	s.execs += batch
+	s.mu.Unlock()
+	return out
+}
+
+func (s *SimJoint) regionObjectives(r int, cfg skeleton.Config) []float64 {
+	key := fmt.Sprintf("%d|%s", r, cfg.Key())
+	s.mu.Lock()
+	if v, ok := s.cache[key]; ok {
+		s.mu.Unlock()
+		return v
+	}
+	s.mu.Unlock()
+	k := s.kernels[r]
+	if len(cfg) != k.TileDims+1 {
+		return s.store(key, nil)
+	}
+	tiles := make([]int64, k.TileDims)
+	copy(tiles, cfg[:k.TileDims])
+	threads := int(cfg[k.TileDims])
+	reps := s.reps
+	if s.noise == 0 {
+		reps = 1
+	}
+	times := make([]float64, 0, reps)
+	for rep := 0; rep < reps; rep++ {
+		t, err := s.model.Time(k.Model, s.ns[r], tiles, threads, rep)
+		if err != nil {
+			return s.store(key, nil)
+		}
+		times = append(times, t)
+	}
+	med := stats.MustMedian(times)
+	return s.store(key, []float64{med, perfmodel.Resources(med, threads)})
+}
+
+func (s *SimJoint) store(key string, v []float64) []float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if existing, ok := s.cache[key]; ok {
+		return existing
+	}
+	s.cache[key] = v
+	return v
+}

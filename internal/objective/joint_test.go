@@ -1,0 +1,128 @@
+package objective
+
+import (
+	"testing"
+
+	"autotune/internal/kernels"
+	"autotune/internal/machine"
+	"autotune/internal/skeleton"
+)
+
+func newJoint(t *testing.T) *SimJoint {
+	t.Helper()
+	mm, _ := kernels.ByName("mm")
+	j2, _ := kernels.ByName("jacobi-2d")
+	s, err := NewSimJoint(machine.Westmere(), []*kernels.Kernel{mm, j2}, nil, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestNewSimJointValidation(t *testing.T) {
+	mm, _ := kernels.ByName("mm")
+	if _, err := NewSimJoint(nil, []*kernels.Kernel{mm}, nil, 0); err == nil {
+		t.Error("nil machine accepted")
+	}
+	if _, err := NewSimJoint(machine.Westmere(), nil, nil, 0); err == nil {
+		t.Error("no regions accepted")
+	}
+	if _, err := NewSimJoint(machine.Westmere(), []*kernels.Kernel{mm}, []int64{1, 2}, 0); err == nil {
+		t.Error("size/region mismatch accepted")
+	}
+	s, err := NewSimJoint(machine.Westmere(), []*kernels.Kernel{mm}, []int64{512}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if names := s.ObjectiveNames(); len(names) != 2 || names[0] != "time" {
+		t.Fatalf("names = %v", names)
+	}
+}
+
+func TestEvaluateJointCountsExecutionsPerColumn(t *testing.T) {
+	s := newJoint(t)
+	cfgs := [][]skeleton.Config{
+		{{64, 64, 64, 4}, {32, 32, 32, 8}}, // mm region: 2 candidates
+		{{128, 128, 4}, {64, 64, 8}},       // jacobi region: 2 candidates
+	}
+	objs := s.EvaluateJoint(cfgs)
+	if len(objs) != 2 || len(objs[0]) != 2 || len(objs[1]) != 2 {
+		t.Fatalf("objs shape wrong: %v", objs)
+	}
+	for r := range objs {
+		for i := range objs[r] {
+			if objs[r][i] == nil || objs[r][i][0] <= 0 {
+				t.Fatalf("region %d candidate %d = %v", r, i, objs[r][i])
+			}
+		}
+	}
+	// Two columns = two program executions, despite four region
+	// measurements.
+	if s.Executions() != 2 {
+		t.Fatalf("executions = %d, want 2", s.Executions())
+	}
+	// Re-evaluating cached configs still costs executions (the program
+	// must run for any region needing a measurement).
+	s.EvaluateJoint(cfgs)
+	if s.Executions() != 4 {
+		t.Fatalf("executions = %d, want 4", s.Executions())
+	}
+}
+
+func TestEvaluateJointInvalidConfigs(t *testing.T) {
+	s := newJoint(t)
+	objs := s.EvaluateJoint([][]skeleton.Config{
+		{{64, 64, 64}},   // missing threads for mm
+		{{128, 128, 99}}, // thread count beyond cores for jacobi
+	})
+	if objs[0][0] != nil {
+		t.Error("short mm config accepted")
+	}
+	if objs[1][0] != nil {
+		t.Error("oversubscribed jacobi config accepted")
+	}
+	// Wrong region count returns nil.
+	if out := s.EvaluateJoint([][]skeleton.Config{{{1, 1, 1, 1}}}); out != nil {
+		t.Error("region-count mismatch accepted")
+	}
+}
+
+func TestEvaluateJointDeterministic(t *testing.T) {
+	a, b := newJoint(t), newJoint(t)
+	cfgs := [][]skeleton.Config{
+		{{64, 64, 64, 4}},
+		{{128, 128, 4}},
+	}
+	ra := a.EvaluateJoint(cfgs)
+	rb := b.EvaluateJoint(cfgs)
+	for r := range ra {
+		for i := range ra[r] {
+			for j := range ra[r][i] {
+				if ra[r][i][j] != rb[r][i][j] {
+					t.Fatal("joint evaluation not deterministic")
+				}
+			}
+		}
+	}
+}
+
+func TestSimParallelismOption(t *testing.T) {
+	mm, _ := kernels.ByName("mm")
+	s, err := NewSim(SimConfig{Machine: machine.Westmere(), Kernel: mm, Parallelism: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cfgs []skeleton.Config
+	for i := int64(1); i <= 16; i++ {
+		cfgs = append(cfgs, skeleton.Config{8 * i, 8 * i, 8, 4})
+	}
+	objs := s.Evaluate(cfgs)
+	for i, o := range objs {
+		if o == nil {
+			t.Fatalf("config %d failed", i)
+		}
+	}
+	if s.Evaluations() != 16 {
+		t.Fatalf("evaluations = %d", s.Evaluations())
+	}
+}

@@ -1,0 +1,306 @@
+// Package objective defines the multi-objective evaluation layer: the
+// objective function f: C -> R^m of the paper's §III-B, mapping a
+// configuration (tile sizes + thread count) to a vector of minimized
+// objective values.
+//
+// Two evaluator implementations are provided: a simulated evaluator
+// backed by the analytical performance model (the reproducible path
+// used by the paper-replication experiments) and a measured evaluator
+// that runs the real goroutine-parallel kernels and times them.
+// Both take medians over repetitions, cache evaluated configurations,
+// evaluate batches in parallel (the paper's compiler evaluates
+// configurations concurrently), and count evaluations — the E metric
+// of Table VI.
+package objective
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"time"
+
+	"autotune/internal/kernels"
+	"autotune/internal/machine"
+	"autotune/internal/perfmodel"
+	"autotune/internal/skeleton"
+	"autotune/internal/stats"
+)
+
+// Evaluator evaluates configurations against m >= 2 objectives, all
+// minimized.
+type Evaluator interface {
+	// Evaluate returns one objective vector per configuration, in
+	// order. A nil vector marks a failed evaluation (invalid
+	// configuration).
+	Evaluate(cfgs []skeleton.Config) [][]float64
+	// ObjectiveNames returns the objective labels, e.g.
+	// ["time", "resources"].
+	ObjectiveNames() []string
+	// Evaluations returns the number of distinct configurations
+	// evaluated so far (cache hits do not count twice).
+	Evaluations() int
+}
+
+// ObjectiveKind selects an objective for the simulated evaluator.
+type ObjectiveKind int
+
+const (
+	// TimeObjective is the predicted execution time in seconds.
+	TimeObjective ObjectiveKind = iota
+	// ResourceObjective is threads × time — the minimized counterpart
+	// of parallel efficiency (paper Fig. 8's "resource usage").
+	ResourceObjective
+	// EnergyObjective is the modeled energy in joules (extension).
+	EnergyObjective
+)
+
+// String returns the objective label.
+func (o ObjectiveKind) String() string {
+	switch o {
+	case TimeObjective:
+		return "time"
+	case ResourceObjective:
+		return "resources"
+	case EnergyObjective:
+		return "energy"
+	default:
+		return fmt.Sprintf("ObjectiveKind(%d)", int(o))
+	}
+}
+
+// SimConfig configures a simulated evaluator.
+type SimConfig struct {
+	Machine *machine.Machine
+	Kernel  *kernels.Kernel
+	// N is the problem size; 0 uses the kernel's DefaultN.
+	N int64
+	// Reps is the number of repeated "measurements" whose median is
+	// reported; 0 means 3. With zero noise a single evaluation is
+	// performed regardless.
+	Reps int
+	// NoiseAmp is the relative measurement-noise amplitude (e.g.
+	// 0.01); 0 disables noise.
+	NoiseAmp float64
+	// Objectives defaults to [TimeObjective, ResourceObjective].
+	Objectives []ObjectiveKind
+	// Parallelism bounds concurrent evaluations; 0 means 8.
+	Parallelism int
+	// UnrollDim extends the configuration layout with a trailing
+	// innermost-loop unroll factor: [tiles..., threads, unroll].
+	UnrollDim bool
+}
+
+// Sim is the simulated evaluator.
+type Sim struct {
+	cfg   SimConfig
+	model *perfmodel.Model
+
+	mu    sync.Mutex
+	cache map[string][]float64
+	evals int
+}
+
+// NewSim builds a simulated evaluator. The configuration layout is
+// [tile_1 ... tile_d, threads].
+func NewSim(cfg SimConfig) (*Sim, error) {
+	if cfg.Machine == nil || cfg.Kernel == nil {
+		return nil, fmt.Errorf("objective: machine and kernel required")
+	}
+	if cfg.N == 0 {
+		cfg.N = cfg.Kernel.DefaultN
+	}
+	if cfg.Reps == 0 {
+		cfg.Reps = 3
+	}
+	if len(cfg.Objectives) == 0 {
+		cfg.Objectives = []ObjectiveKind{TimeObjective, ResourceObjective}
+	}
+	if cfg.Parallelism == 0 {
+		cfg.Parallelism = 8
+	}
+	mo := perfmodel.New(cfg.Machine)
+	mo.NoiseAmp = cfg.NoiseAmp
+	return &Sim{cfg: cfg, model: mo, cache: map[string][]float64{}}, nil
+}
+
+// ObjectiveNames implements Evaluator.
+func (s *Sim) ObjectiveNames() []string {
+	names := make([]string, len(s.cfg.Objectives))
+	for i, o := range s.cfg.Objectives {
+		names[i] = o.String()
+	}
+	return names
+}
+
+// Evaluations implements Evaluator.
+func (s *Sim) Evaluations() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.evals
+}
+
+// EvaluateOne evaluates a single configuration.
+func (s *Sim) EvaluateOne(cfg skeleton.Config) []float64 {
+	return s.Evaluate([]skeleton.Config{cfg})[0]
+}
+
+// Evaluate implements Evaluator. Configurations are evaluated
+// concurrently, mimicking the paper's parallel evaluation of
+// independent configurations, and memoized.
+func (s *Sim) Evaluate(cfgs []skeleton.Config) [][]float64 {
+	out := make([][]float64, len(cfgs))
+	sem := make(chan struct{}, s.cfg.Parallelism)
+	var wg sync.WaitGroup
+	for i, cfg := range cfgs {
+		key := cfg.Key()
+		s.mu.Lock()
+		cached, ok := s.cache[key]
+		s.mu.Unlock()
+		if ok {
+			out[i] = cached
+			continue
+		}
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int, cfg skeleton.Config, key string) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			objs := s.evaluate(cfg)
+			s.mu.Lock()
+			if _, dup := s.cache[key]; !dup {
+				s.cache[key] = objs
+				s.evals++
+			}
+			out[i] = s.cache[key]
+			s.mu.Unlock()
+		}(i, cfg, key)
+	}
+	wg.Wait()
+	return out
+}
+
+func (s *Sim) evaluate(cfg skeleton.Config) []float64 {
+	d := s.cfg.Kernel.TileDims
+	want := d + 1
+	if s.cfg.UnrollDim {
+		want++
+	}
+	if len(cfg) != want {
+		return nil
+	}
+	tiles := make([]int64, d)
+	copy(tiles, cfg[:d])
+	threads := int(cfg[d])
+	unroll := int64(1)
+	if s.cfg.UnrollDim {
+		unroll = cfg[d+1]
+	}
+	reps := s.cfg.Reps
+	if s.cfg.NoiseAmp == 0 {
+		reps = 1
+	}
+	times := make([]float64, 0, reps)
+	for r := 0; r < reps; r++ {
+		t, err := s.model.TimeUnrolled(s.cfg.Kernel.Model, s.cfg.N, tiles, threads, unroll, r)
+		if err != nil {
+			return nil
+		}
+		times = append(times, t)
+	}
+	med := stats.MustMedian(times)
+	objs := make([]float64, len(s.cfg.Objectives))
+	for i, o := range s.cfg.Objectives {
+		switch o {
+		case TimeObjective:
+			objs[i] = med
+		case ResourceObjective:
+			objs[i] = perfmodel.Resources(med, threads)
+		case EnergyObjective:
+			objs[i] = s.model.Energy(med, threads)
+		default:
+			objs[i] = math.NaN()
+		}
+	}
+	return objs
+}
+
+// Measured evaluates configurations by executing the kernel's real Go
+// implementation and timing it.
+type Measured struct {
+	kernel *kernels.Kernel
+	n      int64
+	reps   int
+
+	mu    sync.Mutex
+	cache map[string][]float64
+	evals int
+}
+
+// NewMeasured builds a measured evaluator. n == 0 uses the kernel's
+// BenchN (a size small enough for interactive tuning). Objectives are
+// fixed to [time, resources].
+func NewMeasured(k *kernels.Kernel, n int64, reps int) (*Measured, error) {
+	if k == nil {
+		return nil, fmt.Errorf("objective: kernel required")
+	}
+	if n == 0 {
+		n = k.BenchN
+	}
+	if reps <= 0 {
+		reps = 3
+	}
+	return &Measured{kernel: k, n: n, reps: reps, cache: map[string][]float64{}}, nil
+}
+
+// ObjectiveNames implements Evaluator.
+func (m *Measured) ObjectiveNames() []string { return []string{"time", "resources"} }
+
+// Evaluations implements Evaluator.
+func (m *Measured) Evaluations() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.evals
+}
+
+// Evaluate implements Evaluator. Measured evaluations run one at a
+// time: concurrent timed runs would perturb each other.
+func (m *Measured) Evaluate(cfgs []skeleton.Config) [][]float64 {
+	out := make([][]float64, len(cfgs))
+	for i, cfg := range cfgs {
+		key := cfg.Key()
+		m.mu.Lock()
+		cached, ok := m.cache[key]
+		m.mu.Unlock()
+		if ok {
+			out[i] = cached
+			continue
+		}
+		objs := m.evaluate(cfg)
+		m.mu.Lock()
+		m.cache[key] = objs
+		m.evals++
+		m.mu.Unlock()
+		out[i] = objs
+	}
+	return out
+}
+
+func (m *Measured) evaluate(cfg skeleton.Config) []float64 {
+	d := m.kernel.TileDims
+	if len(cfg) != d+1 {
+		return nil
+	}
+	tiles := make([]int64, d)
+	copy(tiles, cfg[:d])
+	threads := int(cfg[d])
+	times := make([]float64, 0, m.reps)
+	for r := 0; r < m.reps; r++ {
+		start := time.Now()
+		if _, err := m.kernel.Run(m.n, tiles, threads); err != nil {
+			return nil
+		}
+		times = append(times, time.Since(start).Seconds())
+	}
+	med := stats.MustMedian(times)
+	return []float64{med, perfmodel.Resources(med, threads)}
+}

@@ -1,0 +1,168 @@
+package objective
+
+import (
+	"testing"
+
+	"autotune/internal/kernels"
+	"autotune/internal/machine"
+	"autotune/internal/skeleton"
+)
+
+func newSim(t *testing.T, noise float64) *Sim {
+	t.Helper()
+	mm, err := kernels.ByName("mm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewSim(SimConfig{Machine: machine.Westmere(), Kernel: mm, NoiseAmp: noise})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestNewSimValidation(t *testing.T) {
+	if _, err := NewSim(SimConfig{}); err == nil {
+		t.Fatal("missing machine/kernel should fail")
+	}
+}
+
+func TestSimEvaluateBasics(t *testing.T) {
+	s := newSim(t, 0)
+	objs := s.Evaluate([]skeleton.Config{{64, 64, 64, 10}})
+	if len(objs) != 1 || len(objs[0]) != 2 {
+		t.Fatalf("objs = %v", objs)
+	}
+	tm, res := objs[0][0], objs[0][1]
+	if tm <= 0 || res <= 0 {
+		t.Fatalf("objectives = %v", objs[0])
+	}
+	// resources = threads*time.
+	if diff := res - 10*tm; diff > 1e-12 || diff < -1e-12 {
+		t.Fatalf("resources %v != 10*time %v", res, tm)
+	}
+	names := s.ObjectiveNames()
+	if names[0] != "time" || names[1] != "resources" {
+		t.Fatalf("names = %v", names)
+	}
+}
+
+func TestSimInvalidConfigs(t *testing.T) {
+	s := newSim(t, 0)
+	objs := s.Evaluate([]skeleton.Config{
+		{64, 64, 64},     // missing threads
+		{64, 64, 64, 0},  // bad thread count
+		{64, 64, 64, 41}, // exceeds cores
+		{0, 64, 64, 4},   // bad tile
+		{64, 64, 64, 4},  // valid
+	})
+	for i := 0; i < 4; i++ {
+		if objs[i] != nil {
+			t.Errorf("config %d should fail, got %v", i, objs[i])
+		}
+	}
+	if objs[4] == nil {
+		t.Error("valid config failed")
+	}
+}
+
+func TestSimCachingCountsOnce(t *testing.T) {
+	s := newSim(t, 0)
+	cfg := skeleton.Config{32, 32, 32, 4}
+	s.Evaluate([]skeleton.Config{cfg, cfg})
+	s.Evaluate([]skeleton.Config{cfg})
+	if s.Evaluations() != 1 {
+		t.Fatalf("evaluations = %d, want 1 (cached)", s.Evaluations())
+	}
+	// A second distinct config increments.
+	s.Evaluate([]skeleton.Config{{16, 16, 16, 2}})
+	if s.Evaluations() != 2 {
+		t.Fatalf("evaluations = %d, want 2", s.Evaluations())
+	}
+}
+
+func TestSimDeterministicAcrossBatches(t *testing.T) {
+	a := newSim(t, 0.01)
+	b := newSim(t, 0.01)
+	cfgs := []skeleton.Config{{64, 64, 64, 10}, {32, 128, 8, 20}}
+	ra := a.Evaluate(cfgs)
+	rb := b.Evaluate(cfgs)
+	for i := range ra {
+		for j := range ra[i] {
+			if ra[i][j] != rb[i][j] {
+				t.Fatalf("evaluators disagree: %v vs %v", ra[i], rb[i])
+			}
+		}
+	}
+}
+
+func TestSimNoiseMedianStable(t *testing.T) {
+	noisy := newSim(t, 0.02)
+	clean := newSim(t, 0)
+	cfg := skeleton.Config{64, 64, 64, 10}
+	n := noisy.EvaluateOne(cfg)
+	c := clean.EvaluateOne(cfg)
+	rel := (n[0] - c[0]) / c[0]
+	if rel > 0.021 || rel < -0.021 {
+		t.Fatalf("median-of-3 noise too large: %v", rel)
+	}
+}
+
+func TestSimEnergyObjective(t *testing.T) {
+	mm, _ := kernels.ByName("mm")
+	s, err := NewSim(SimConfig{
+		Machine:    machine.Westmere(),
+		Kernel:     mm,
+		Objectives: []ObjectiveKind{TimeObjective, ResourceObjective, EnergyObjective},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	objs := s.EvaluateOne(skeleton.Config{64, 64, 64, 10})
+	if len(objs) != 3 || objs[2] <= 0 {
+		t.Fatalf("objs = %v", objs)
+	}
+	if s.ObjectiveNames()[2] != "energy" {
+		t.Fatalf("names = %v", s.ObjectiveNames())
+	}
+}
+
+func TestObjectiveKindString(t *testing.T) {
+	if TimeObjective.String() != "time" || ResourceObjective.String() != "resources" ||
+		EnergyObjective.String() != "energy" {
+		t.Error("objective names wrong")
+	}
+	if ObjectiveKind(9).String() == "" {
+		t.Error("unknown kind should stringify")
+	}
+}
+
+func TestMeasuredEvaluator(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real kernel execution")
+	}
+	mm, _ := kernels.ByName("mm")
+	m, err := NewMeasured(mm, 64, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	objs := m.Evaluate([]skeleton.Config{{16, 16, 16, 2}, {16, 16, 16, 2}})
+	if objs[0] == nil || len(objs[0]) != 2 || objs[0][0] <= 0 {
+		t.Fatalf("objs = %v", objs)
+	}
+	if m.Evaluations() != 1 {
+		t.Fatalf("evaluations = %d, want 1 (cached)", m.Evaluations())
+	}
+	if bad := m.Evaluate([]skeleton.Config{{16, 16}}); bad[0] != nil {
+		t.Error("invalid config should fail")
+	}
+	if m.ObjectiveNames()[0] != "time" {
+		t.Error("names wrong")
+	}
+}
+
+func TestNewMeasuredValidation(t *testing.T) {
+	if _, err := NewMeasured(nil, 0, 0); err == nil {
+		t.Fatal("nil kernel should fail")
+	}
+}

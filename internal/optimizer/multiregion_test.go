@@ -1,0 +1,100 @@
+package optimizer
+
+import (
+	"sync"
+	"testing"
+
+	"autotune/internal/skeleton"
+)
+
+// jointFuncEvaluator wraps per-region functions for MultiRSGDE3 tests.
+type jointFuncEvaluator struct {
+	mu    sync.Mutex
+	fns   []func(skeleton.Config) []float64
+	execs int
+}
+
+func (e *jointFuncEvaluator) EvaluateJoint(cfgs [][]skeleton.Config) [][][]float64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make([][][]float64, len(cfgs))
+	batch := 0
+	for r := range cfgs {
+		if len(cfgs[r]) > batch {
+			batch = len(cfgs[r])
+		}
+		out[r] = make([][]float64, len(cfgs[r]))
+		for i, c := range cfgs[r] {
+			out[r][i] = e.fns[r](c)
+		}
+	}
+	e.execs += batch
+	return out
+}
+
+func (e *jointFuncEvaluator) Executions() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.execs
+}
+
+func (e *jointFuncEvaluator) ObjectiveNames() []string { return []string{"f1", "f2"} }
+
+func TestMultiRSGDE3TwoRegions(t *testing.T) {
+	// Region 0: Schaffer; region 1: shifted Schaffer (optimum x in [1,3]).
+	shifted := func(c skeleton.Config) []float64 {
+		x := float64(c[0]) / 100
+		return []float64{(x - 1) * (x - 1), (x - 3) * (x - 3)}
+	}
+	eval := &jointFuncEvaluator{fns: []func(skeleton.Config) []float64{schaffer, shifted}}
+	spaces := []skeleton.Space{schafferSpace(), schafferSpace()}
+	res, err := MultiRSGDE3(spaces, eval, Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Regions) != 2 {
+		t.Fatalf("regions = %d", len(res.Regions))
+	}
+	for r, reg := range res.Regions {
+		if len(reg.Front) == 0 {
+			t.Fatalf("region %d: empty front", r)
+		}
+		if reg.Evaluations != res.Executions {
+			t.Fatalf("region %d: E %d != executions %d", r, reg.Evaluations, res.Executions)
+		}
+	}
+	// Region fronts converge to their own (different) Pareto sets.
+	for _, p := range res.Regions[0].Front {
+		x := float64(p.Payload.(skeleton.Config)[0]) / 100
+		if x < -0.3 || x > 2.3 {
+			t.Errorf("region 0 x = %v outside [0,2]", x)
+		}
+	}
+	for _, p := range res.Regions[1].Front {
+		x := float64(p.Payload.(skeleton.Config)[0]) / 100
+		if x < 0.7 || x > 3.3 {
+			t.Errorf("region 1 x = %v outside [1,3]", x)
+		}
+	}
+}
+
+func TestMultiRSGDE3SingleRegionMatchesShape(t *testing.T) {
+	eval := &jointFuncEvaluator{fns: []func(skeleton.Config) []float64{schaffer}}
+	res, err := MultiRSGDE3([]skeleton.Space{schafferSpace()}, eval, Options{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Regions[0].Front) == 0 {
+		t.Fatal("empty front")
+	}
+}
+
+func TestMultiRSGDE3Validation(t *testing.T) {
+	eval := &jointFuncEvaluator{fns: []func(skeleton.Config) []float64{schaffer}}
+	if _, err := MultiRSGDE3(nil, eval, Options{}); err == nil {
+		t.Error("no regions accepted")
+	}
+	if _, err := MultiRSGDE3([]skeleton.Space{{}}, eval, Options{}); err == nil {
+		t.Error("invalid space accepted")
+	}
+}

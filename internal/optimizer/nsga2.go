@@ -1,0 +1,154 @@
+// NSGA-II: the classic multi-objective genetic algorithm, provided as
+// an additional comparison baseline beyond the paper's three
+// strategies. It shares the non-dominated-sorting and crowding-distance
+// machinery with GDE3's truncation step but uses binary-tournament
+// selection, uniform crossover and integer mutation instead of
+// differential evolution, making it a meaningful algorithmic contrast
+// for the ablation benchmarks.
+
+package optimizer
+
+import (
+	"math"
+
+	"autotune/internal/objective"
+	"autotune/internal/pareto"
+	"autotune/internal/skeleton"
+	"autotune/internal/stats"
+)
+
+// NSGA2Options configures the NSGA-II baseline. Zero values pick
+// defaults matching the RS-GDE3 configuration where applicable.
+type NSGA2Options struct {
+	// PopSize is the population size (default 30).
+	PopSize int
+	// CrossoverRate is the per-gene uniform crossover probability
+	// (default 0.5).
+	CrossoverRate float64
+	// MutationRate is the per-gene mutation probability (default
+	// 1/dim).
+	MutationRate float64
+	// Stagnation stops the run after this many non-improving
+	// generations (default 3).
+	Stagnation int
+	// MaxGenerations caps the run (default 200).
+	MaxGenerations int
+	// Seed drives the random source.
+	Seed int64
+}
+
+func (o NSGA2Options) withDefaults(dim int) NSGA2Options {
+	if o.PopSize == 0 {
+		o.PopSize = 30
+	}
+	if o.CrossoverRate == 0 {
+		o.CrossoverRate = 0.5
+	}
+	if o.MutationRate == 0 {
+		o.MutationRate = 1 / float64(dim)
+	}
+	if o.Stagnation == 0 {
+		o.Stagnation = 3
+	}
+	if o.MaxGenerations == 0 {
+		o.MaxGenerations = 200
+	}
+	return o
+}
+
+// NSGA2 runs the NSGA-II baseline on the given space and evaluator.
+func NSGA2(space skeleton.Space, eval objective.Evaluator, opt NSGA2Options) (*Result, error) {
+	if err := space.Validate(); err != nil {
+		return nil, err
+	}
+	opt = opt.withDefaults(space.Dim())
+	rng := stats.NewRand(opt.Seed)
+
+	pop := make([]individual, opt.PopSize)
+	cfgs := make([]skeleton.Config, opt.PopSize)
+	for i := range cfgs {
+		cfgs[i] = space.Random(rng)
+	}
+	objs := eval.Evaluate(cfgs)
+	archive := pareto.NewArchive()
+	for i := range pop {
+		pop[i] = individual{cfg: cfgs[i], objs: objs[i]}
+		if objs[i] != nil {
+			archive.Add(pareto.Point{Payload: cfgs[i], Objectives: objs[i]})
+		}
+	}
+
+	stagnant := 0
+	gen := 0
+	for gen = 0; gen < opt.MaxGenerations && stagnant < opt.Stagnation; gen++ {
+		ranks := nonDominatedSort(pop)
+		rankOf := make([]int, len(pop))
+		for r, members := range ranks {
+			for _, i := range members {
+				rankOf[i] = r
+			}
+		}
+		// Crowding per rank for tournament tie-breaking.
+		crowd := make([]float64, len(pop))
+		for _, members := range ranks {
+			d := crowdingDistance(pop, members)
+			for k, i := range members {
+				crowd[i] = d[k]
+			}
+		}
+		tournament := func() individual {
+			a, b := rng.Intn(len(pop)), rng.Intn(len(pop))
+			switch {
+			case rankOf[a] < rankOf[b]:
+				return pop[a]
+			case rankOf[b] < rankOf[a]:
+				return pop[b]
+			case crowd[a] >= crowd[b]:
+				return pop[a]
+			default:
+				return pop[b]
+			}
+		}
+		// Offspring generation.
+		children := make([]skeleton.Config, opt.PopSize)
+		for i := range children {
+			p1, p2 := tournament(), tournament()
+			child := p1.cfg.Clone()
+			for g := range child {
+				if rng.Float64() < opt.CrossoverRate && g < len(p2.cfg) {
+					child[g] = p2.cfg[g]
+				}
+				if rng.Float64() < opt.MutationRate {
+					p := space.Params[g]
+					// Polynomial-ish integer mutation: gaussian step
+					// scaled to a tenth of the range.
+					span := float64(p.Max - p.Min)
+					step := int64(math.Round(rng.NormFloat64() * span / 10))
+					child[g] += step
+				}
+			}
+			children[i] = space.Clip(child)
+		}
+		childObjs := eval.Evaluate(children)
+		improved := false
+		combined := append([]individual{}, pop...)
+		for i := range children {
+			combined = append(combined, individual{cfg: children[i], objs: childObjs[i]})
+			if childObjs[i] != nil &&
+				archive.Add(pareto.Point{Payload: children[i], Objectives: childObjs[i]}) {
+				improved = true
+			}
+		}
+		pop = truncate(combined, opt.PopSize)
+		if improved {
+			stagnant = 0
+		} else {
+			stagnant++
+		}
+	}
+	return &Result{
+		Front:       archive.Points(),
+		Evaluations: eval.Evaluations(),
+		Iterations:  gen,
+	}, nil
+}

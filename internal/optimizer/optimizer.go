@@ -1,0 +1,487 @@
+// Package optimizer implements the static multi-objective optimizers
+// of the framework: the paper's core contribution RS-GDE3 (Generalized
+// Differential Evolution 3 combined with Rough-Set-based search-space
+// reduction, §III-B), plain GDE3 (the rough-set mechanism disabled, for
+// ablation), and the two baselines of the evaluation — exhaustive
+// brute-force grid search and random search.
+//
+// All optimizers consume a skeleton.Space describing the tunable
+// parameters and an objective.Evaluator computing the (minimized)
+// objective vectors, and produce a Pareto set of configurations
+// together with the evaluation count E reported in Table VI.
+package optimizer
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"autotune/internal/objective"
+	"autotune/internal/pareto"
+	"autotune/internal/roughset"
+	"autotune/internal/skeleton"
+	"autotune/internal/stats"
+)
+
+// Options configures the evolutionary optimizers. Zero values select
+// the paper's defaults.
+type Options struct {
+	// PopSize is the population size (paper: 30).
+	PopSize int
+	// CR is the crossover rate of Algorithm 1 (paper: 0.5).
+	CR float64
+	// F is the differential weight of Algorithm 1 (paper: 0.5).
+	F float64
+	// Stagnation is the number of consecutive non-improving
+	// iterations after which the search stops (paper: 3).
+	Stagnation int
+	// MaxIterations is a safety cap (default 200).
+	MaxIterations int
+	// Seed drives all stochastic choices.
+	Seed int64
+	// DisableRoughSet turns RS-GDE3 into plain GDE3 (the search box
+	// stays the full space). Used for the ablation study.
+	DisableRoughSet bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.PopSize == 0 {
+		o.PopSize = 30
+	}
+	if o.CR == 0 {
+		o.CR = 0.5
+	}
+	if o.F == 0 {
+		o.F = 0.5
+	}
+	if o.Stagnation == 0 {
+		o.Stagnation = 3
+	}
+	if o.MaxIterations == 0 {
+		o.MaxIterations = 200
+	}
+	return o
+}
+
+// Result is the outcome of one optimizer run.
+type Result struct {
+	// Front is the final Pareto set; each point's Payload is its
+	// skeleton.Config.
+	Front []pareto.Point
+	// Evaluations is the number of distinct configurations evaluated
+	// (the E metric of Table VI).
+	Evaluations int
+	// Iterations is the number of optimizer iterations performed
+	// (0 for the one-shot baselines).
+	Iterations int
+	// AllPoints holds every successfully evaluated point when the
+	// optimizer retains them (brute force does; the evolutionary
+	// optimizers do not, to bound memory).
+	AllPoints []pareto.Point
+}
+
+// Configs extracts the configurations of the front.
+func (r *Result) Configs() []skeleton.Config {
+	out := make([]skeleton.Config, len(r.Front))
+	for i, p := range r.Front {
+		out[i] = p.Payload.(skeleton.Config)
+	}
+	return out
+}
+
+type individual struct {
+	cfg  skeleton.Config
+	objs []float64 // nil = failed evaluation
+}
+
+// RSGDE3 runs the paper's search: differential evolution over the
+// (gradually reduced) search box, stopping after Options.Stagnation
+// consecutive iterations without archive improvement.
+func RSGDE3(space skeleton.Space, eval objective.Evaluator, opt Options) (*Result, error) {
+	opt = opt.withDefaults()
+	if err := space.Validate(); err != nil {
+		return nil, err
+	}
+	rng := stats.NewRand(opt.Seed)
+	pop := make([]individual, opt.PopSize)
+	cfgs := make([]skeleton.Config, opt.PopSize)
+	for i := range pop {
+		cfgs[i] = space.Random(rng)
+	}
+	objs := eval.Evaluate(cfgs)
+	archive := pareto.NewArchive()
+	for i := range pop {
+		pop[i] = individual{cfg: cfgs[i], objs: objs[i]}
+		if objs[i] != nil {
+			archive.Add(pareto.Point{Payload: cfgs[i], Objectives: objs[i]})
+		}
+	}
+
+	box := space.FullBox()
+	stagnant := 0
+	iters := 0
+	for iters = 0; iters < opt.MaxIterations && stagnant < opt.Stagnation; iters++ {
+		// Rough-set reduction needs a populated non-dominated region to
+		// compute meaningful walls: with very few non-dominated points
+		// the box degenerates and every trial collapses onto a handful
+		// of (cached) configurations. Keep the full space in that case,
+		// and re-expand while the search stagnates so it can escape a
+		// prematurely narrowed region — the "gradual steering" the
+		// paper describes.
+		if !opt.DisableRoughSet {
+			nonDom, dom := splitPop(pop)
+			if len(nonDom) >= 3 && stagnant == 0 {
+				box = roughset.Reduce(space, nonDom, dom)
+			} else {
+				box = space.FullBox()
+			}
+		}
+		// Generate one trial per population member (Algorithm 1).
+		trials := make([]skeleton.Config, len(pop))
+		for i := range pop {
+			trials[i] = mutate(pop[i].cfg, pop, i, box, opt, rng)
+		}
+		trialObjs := eval.Evaluate(trials)
+		improved := false
+		for i := range trials {
+			if trialObjs[i] == nil {
+				continue
+			}
+			if archive.Add(pareto.Point{Payload: trials[i], Objectives: trialObjs[i]}) {
+				improved = true
+			}
+		}
+		pop = gde3Select(pop, trials, trialObjs, opt.PopSize)
+		if improved {
+			stagnant = 0
+		} else {
+			stagnant++
+		}
+	}
+	return &Result{
+		Front:       archive.Points(),
+		Evaluations: eval.Evaluations(),
+		Iterations:  iters,
+	}, nil
+}
+
+// GDE3 is RS-GDE3 with the rough-set reduction disabled.
+func GDE3(space skeleton.Space, eval objective.Evaluator, opt Options) (*Result, error) {
+	opt = opt.withDefaults()
+	opt.DisableRoughSet = true
+	return RSGDE3(space, eval, opt)
+}
+
+// mutate implements Algorithm 1: pick three distinct other members
+// b, c, d; per component, with probability CR (or forcedly at one
+// random index) take b + F*(c-d), otherwise keep a's value; then map
+// the real vector to the closest configuration within the current box.
+func mutate(a skeleton.Config, pop []individual, self int, box skeleton.Box, opt Options, rng randInterface) skeleton.Config {
+	idx := pickDistinct(rng, len(pop), self, 3)
+	b, c, d := pop[idx[0]].cfg, pop[idx[1]].cfg, pop[idx[2]].cfg
+	dim := len(a)
+	r := make([]float64, dim)
+	forced := rng.Intn(dim)
+	for i := 0; i < dim; i++ {
+		if rng.Float64() < opt.CR || i == forced {
+			r[i] = float64(b[i]) + opt.F*float64(c[i]-d[i])
+		} else {
+			r[i] = float64(a[i])
+		}
+	}
+	return box.ClosestTo(r)
+}
+
+// randInterface is the subset of *rand.Rand the optimizer uses; a named
+// interface keeps mutate testable with deterministic sequences.
+type randInterface interface {
+	Float64() float64
+	Intn(n int) int
+}
+
+// pickDistinct draws k distinct indices from [0,n) avoiding self.
+func pickDistinct(rng randInterface, n, self, k int) []int {
+	out := make([]int, 0, k)
+	if n <= k {
+		// Tiny populations: allow repeats rather than spinning.
+		for len(out) < k {
+			out = append(out, rng.Intn(n))
+		}
+		return out
+	}
+	used := map[int]bool{self: true}
+	for len(out) < k {
+		x := rng.Intn(n)
+		if !used[x] {
+			used[x] = true
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+// gde3Select applies the GDE3 replacement rule: a trial dominating its
+// parent replaces it; a dominated trial is discarded; mutually
+// non-dominated pairs keep both, and the grown population is truncated
+// back to popSize by non-dominated sorting with crowding distance.
+func gde3Select(pop []individual, trials []skeleton.Config, trialObjs [][]float64, popSize int) []individual {
+	next := make([]individual, 0, 2*len(pop))
+	for i := range pop {
+		parent := pop[i]
+		trial := individual{cfg: trials[i], objs: trialObjs[i]}
+		switch {
+		case trial.objs == nil:
+			next = append(next, parent)
+		case parent.objs == nil:
+			next = append(next, trial)
+		case pareto.WeaklyDominates(trial.objs, parent.objs):
+			next = append(next, trial)
+		case pareto.Dominates(parent.objs, trial.objs):
+			next = append(next, parent)
+		default:
+			next = append(next, parent, trial)
+		}
+	}
+	if len(next) <= popSize {
+		return next
+	}
+	return truncate(next, popSize)
+}
+
+// truncate keeps popSize individuals preferring lower non-domination
+// rank and, within the splitting rank, higher crowding distance.
+func truncate(pop []individual, popSize int) []individual {
+	ranks := nonDominatedSort(pop)
+	out := make([]individual, 0, popSize)
+	for _, rank := range ranks {
+		if len(out)+len(rank) <= popSize {
+			for _, i := range rank {
+				out = append(out, pop[i])
+			}
+			continue
+		}
+		remaining := popSize - len(out)
+		if remaining <= 0 {
+			break
+		}
+		dist := crowdingDistance(pop, rank)
+		order := make([]int, len(rank))
+		for i := range order {
+			order[i] = i
+		}
+		sort.Slice(order, func(a, b int) bool { return dist[order[a]] > dist[order[b]] })
+		for _, oi := range order[:remaining] {
+			out = append(out, pop[rank[oi]])
+		}
+		break
+	}
+	return out
+}
+
+// nonDominatedSort partitions population indices into fronts: rank 0 is
+// non-dominated, rank 1 is non-dominated once rank 0 is removed, etc.
+// Failed individuals (nil objectives) form the final rank.
+func nonDominatedSort(pop []individual) [][]int {
+	var failed []int
+	alive := make([]int, 0, len(pop))
+	for i := range pop {
+		if pop[i].objs == nil {
+			failed = append(failed, i)
+		} else {
+			alive = append(alive, i)
+		}
+	}
+	var ranks [][]int
+	remaining := alive
+	for len(remaining) > 0 {
+		var front, rest []int
+		for _, i := range remaining {
+			dominated := false
+			for _, j := range remaining {
+				if i != j && pareto.Dominates(pop[j].objs, pop[i].objs) {
+					dominated = true
+					break
+				}
+			}
+			if dominated {
+				rest = append(rest, i)
+			} else {
+				front = append(front, i)
+			}
+		}
+		if len(front) == 0 {
+			// All mutually "dominated" cannot happen with a strict
+			// dominance relation, but guard against infinite loops.
+			front = remaining
+			rest = nil
+		}
+		ranks = append(ranks, front)
+		remaining = rest
+	}
+	if len(failed) > 0 {
+		ranks = append(ranks, failed)
+	}
+	return ranks
+}
+
+// crowdingDistance computes the NSGA-II crowding distance for the
+// population members indexed by front.
+func crowdingDistance(pop []individual, front []int) []float64 {
+	n := len(front)
+	dist := make([]float64, n)
+	if n == 0 {
+		return dist
+	}
+	m := len(pop[front[0]].objs)
+	order := make([]int, n)
+	for obj := 0; obj < m; obj++ {
+		for i := range order {
+			order[i] = i
+		}
+		sort.Slice(order, func(a, b int) bool {
+			return pop[front[order[a]]].objs[obj] < pop[front[order[b]]].objs[obj]
+		})
+		lo := pop[front[order[0]]].objs[obj]
+		hi := pop[front[order[n-1]]].objs[obj]
+		dist[order[0]] = math.Inf(1)
+		dist[order[n-1]] = math.Inf(1)
+		if hi == lo {
+			continue
+		}
+		for k := 1; k < n-1; k++ {
+			dist[order[k]] += (pop[front[order[k+1]]].objs[obj] - pop[front[order[k-1]]].objs[obj]) / (hi - lo)
+		}
+	}
+	return dist
+}
+
+func splitPop(pop []individual) (nonDom, dom []skeleton.Config) {
+	cfgs := make([]skeleton.Config, len(pop))
+	objs := make([][]float64, len(pop))
+	for i := range pop {
+		cfgs[i] = pop[i].cfg
+		objs[i] = pop[i].objs
+	}
+	return roughset.Split(cfgs, objs, pareto.Dominates)
+}
+
+// Random implements the paper's random-search baseline: draw `budget`
+// random configurations, evaluate them all and return the non-dominated
+// subset.
+func Random(space skeleton.Space, eval objective.Evaluator, budget int, seed int64) (*Result, error) {
+	if err := space.Validate(); err != nil {
+		return nil, err
+	}
+	if budget <= 0 {
+		return nil, errors.New("optimizer: random search needs a positive budget")
+	}
+	rng := stats.NewRand(seed)
+	cfgs := make([]skeleton.Config, budget)
+	for i := range cfgs {
+		cfgs[i] = space.Random(rng)
+	}
+	objs := eval.Evaluate(cfgs)
+	archive := pareto.NewArchive()
+	for i := range cfgs {
+		if objs[i] != nil {
+			archive.Add(pareto.Point{Payload: cfgs[i], Objectives: objs[i]})
+		}
+	}
+	return &Result{
+		Front:       archive.Points(),
+		Evaluations: eval.Evaluations(),
+	}, nil
+}
+
+// Grid describes an explicit brute-force sampling grid: one value list
+// per space dimension.
+type Grid [][]int64
+
+// RegularGrid builds a grid with `points` evenly spaced values per
+// dimension (always including both bounds when points >= 2).
+func RegularGrid(space skeleton.Space, points []int) (Grid, error) {
+	if len(points) != space.Dim() {
+		return nil, fmt.Errorf("optimizer: grid wants %d dimension sizes, got %d", space.Dim(), len(points))
+	}
+	g := make(Grid, space.Dim())
+	for d, p := range space.Params {
+		k := points[d]
+		if k < 1 {
+			return nil, fmt.Errorf("optimizer: dimension %s needs >= 1 grid point", p.Name)
+		}
+		span := p.Max - p.Min
+		if int64(k) > span+1 {
+			k = int(span + 1)
+		}
+		vals := make([]int64, 0, k)
+		if k == 1 {
+			vals = append(vals, p.Min)
+		} else {
+			for i := 0; i < k; i++ {
+				v := p.Min + int64(math.Round(float64(i)*float64(span)/float64(k-1)))
+				vals = append(vals, v)
+			}
+		}
+		// Deduplicate after rounding.
+		uniq := vals[:1]
+		for _, v := range vals[1:] {
+			if v != uniq[len(uniq)-1] {
+				uniq = append(uniq, v)
+			}
+		}
+		g[d] = uniq
+	}
+	return g, nil
+}
+
+// Size returns the number of grid configurations.
+func (g Grid) Size() int {
+	total := 1
+	for _, vals := range g {
+		total *= len(vals)
+	}
+	return total
+}
+
+// BruteForce exhaustively evaluates every configuration of the grid and
+// returns the Pareto front plus all evaluated points (consumed by the
+// Table II / Fig. 8 analyses).
+func BruteForce(space skeleton.Space, eval objective.Evaluator, grid Grid) (*Result, error) {
+	if err := space.Validate(); err != nil {
+		return nil, err
+	}
+	if len(grid) != space.Dim() {
+		return nil, fmt.Errorf("optimizer: grid dims %d != space dims %d", len(grid), space.Dim())
+	}
+	var cfgs []skeleton.Config
+	cur := make(skeleton.Config, space.Dim())
+	var rec func(d int)
+	rec = func(d int) {
+		if d == space.Dim() {
+			cfgs = append(cfgs, cur.Clone())
+			return
+		}
+		for _, v := range grid[d] {
+			cur[d] = v
+			rec(d + 1)
+		}
+	}
+	rec(0)
+	objs := eval.Evaluate(cfgs)
+	archive := pareto.NewArchive()
+	var all []pareto.Point
+	for i := range cfgs {
+		if objs[i] == nil {
+			continue
+		}
+		p := pareto.Point{Payload: cfgs[i], Objectives: objs[i]}
+		all = append(all, p)
+		archive.Add(p)
+	}
+	return &Result{
+		Front:       archive.Points(),
+		Evaluations: eval.Evaluations(),
+		AllPoints:   all,
+	}, nil
+}

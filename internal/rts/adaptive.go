@@ -1,0 +1,141 @@
+package rts
+
+import (
+	"errors"
+	"math"
+	"sync"
+	"time"
+
+	"autotune/internal/multiversion"
+	"autotune/internal/stats"
+)
+
+// Adaptive is a feedback-driven selection policy: it starts from the
+// compile-time objective metadata but refines its choice with measured
+// execution times of the versions it actually runs — the paper's
+// "real-time system monitoring results for their decision-making
+// processes" (§IV, Insieme Runtime System). An epsilon-greedy schedule
+// balances exploiting the empirically fastest version against
+// exploring the others whose static metadata makes them plausible.
+//
+// Adaptive is stateful: construct one per runtime and share it only
+// with that runtime. It is safe for concurrent use.
+type Adaptive struct {
+	// Epsilon is the exploration probability (default 0.1).
+	Epsilon float64
+	// TimeObjective is the index of the time objective in the
+	// metadata (default 0).
+	TimeObjective int
+	// Window is how many recent measurements per version are kept
+	// (default 8).
+	Window int
+	// Seed drives exploration.
+	Seed int64
+
+	once sync.Once
+	mu   sync.Mutex
+	rng  interface{ Float64() float64 }
+	rsrc interface{ Intn(n int) int }
+	meas map[int][]float64
+}
+
+// Name implements Policy.
+func (a *Adaptive) Name() string { return "adaptive" }
+
+func (a *Adaptive) init() {
+	a.once.Do(func() {
+		if a.Epsilon == 0 {
+			a.Epsilon = 0.1
+		}
+		if a.Window == 0 {
+			a.Window = 8
+		}
+		r := stats.NewRand(a.Seed)
+		a.rng = r
+		a.rsrc = r
+		a.meas = map[int][]float64{}
+	})
+}
+
+// Select implements Policy: with probability Epsilon it explores a
+// uniformly random feasible version; otherwise it exploits the version
+// with the best score, where measured medians override the static
+// metadata once available.
+func (a *Adaptive) Select(u *multiversion.Unit, ctx Context) (int, error) {
+	a.init()
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	var feasible []int
+	for i, v := range u.Versions {
+		if ctx.AvailableCores > 0 && v.Meta.Threads > ctx.AvailableCores {
+			continue
+		}
+		feasible = append(feasible, i)
+	}
+	if len(feasible) == 0 {
+		return 0, errors.New("rts: no feasible version")
+	}
+	if a.rng.Float64() < a.Epsilon {
+		return feasible[a.rsrc.Intn(len(feasible))], nil
+	}
+	best, bestScore := feasible[0], math.Inf(1)
+	for _, i := range feasible {
+		score := a.score(u, i)
+		if score < bestScore {
+			best, bestScore = i, score
+		}
+	}
+	return best, nil
+}
+
+// score returns the measured median time when available, falling back
+// to the static metadata.
+func (a *Adaptive) score(u *multiversion.Unit, idx int) float64 {
+	if ms := a.meas[idx]; len(ms) > 0 {
+		return stats.MustMedian(ms)
+	}
+	objs := u.Versions[idx].Meta.Objectives
+	if a.TimeObjective < len(objs) {
+		return objs[a.TimeObjective]
+	}
+	return math.Inf(1)
+}
+
+// Observe records a measured execution time for a version, displacing
+// the oldest sample beyond the window.
+func (a *Adaptive) Observe(version int, seconds float64) {
+	a.init()
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	ms := append(a.meas[version], seconds)
+	if len(ms) > a.Window {
+		ms = ms[len(ms)-a.Window:]
+	}
+	a.meas[version] = ms
+}
+
+// Measurements returns a copy of the recorded samples per version.
+func (a *Adaptive) Measurements() map[int][]float64 {
+	a.init()
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	out := map[int][]float64{}
+	for k, v := range a.meas {
+		out[k] = append([]float64(nil), v...)
+	}
+	return out
+}
+
+// InvokeTimed runs one invocation through the runtime, feeding the
+// measured wall time back into the adaptive policy. It is a
+// convenience for the common monitor-and-refine loop.
+func InvokeTimed(rt *Runtime, a *Adaptive) (int, float64, error) {
+	start := time.Now()
+	idx, err := rt.Invoke()
+	elapsed := time.Since(start).Seconds()
+	if err != nil {
+		return idx, elapsed, err
+	}
+	a.Observe(idx, elapsed)
+	return idx, elapsed, nil
+}

@@ -1,0 +1,152 @@
+package rts
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"autotune/internal/multiversion"
+)
+
+// Manager arbitrates a machine-wide core budget among several
+// multi-versioned regions — the paper's "system wide performance
+// settings may be considered" scenario. Each registered region has its
+// own runtime and policy; the manager constrains every selection by
+// the cores currently unclaimed by other in-flight invocations, so
+// concurrently running regions co-exist instead of oversubscribing the
+// machine.
+type Manager struct {
+	totalCores int
+
+	mu      sync.Mutex
+	regions map[string]*Runtime
+	inUse   int
+	stats   map[string]*InvocationStats
+}
+
+// NewManager builds a manager for a machine with the given core count.
+func NewManager(totalCores int) (*Manager, error) {
+	if totalCores < 1 {
+		return nil, errors.New("rts: manager needs at least one core")
+	}
+	return &Manager{
+		totalCores: totalCores,
+		regions:    map[string]*Runtime{},
+		stats:      map[string]*InvocationStats{},
+	}, nil
+}
+
+// Register adds a region's runtime under its unit's region name.
+func (m *Manager) Register(rt *Runtime) error {
+	name := rt.Unit().Region
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, dup := m.regions[name]; dup {
+		return fmt.Errorf("rts: region %q already registered", name)
+	}
+	m.regions[name] = rt
+	m.stats[name] = &InvocationStats{PerVersion: map[int]int{}}
+	return nil
+}
+
+// Regions lists the registered region names, sorted.
+func (m *Manager) Regions() []string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var names []string
+	for n := range m.regions {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// CoresInUse returns the cores currently claimed by in-flight
+// invocations.
+func (m *Manager) CoresInUse() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.inUse
+}
+
+// Invoke runs one invocation of the named region. The selection is
+// constrained to versions fitting the currently free cores; the chosen
+// version's cores are claimed for the duration of the execution.
+// Returns the selected version index.
+func (m *Manager) Invoke(region string) (int, error) {
+	m.mu.Lock()
+	rt, ok := m.regions[region]
+	if !ok {
+		m.mu.Unlock()
+		return 0, fmt.Errorf("rts: unknown region %q", region)
+	}
+	free := m.totalCores - m.inUse
+	m.mu.Unlock()
+	if free < 1 {
+		return 0, fmt.Errorf("rts: no cores free for region %q", region)
+	}
+
+	// Constrain the region's policy by the free-core budget, then
+	// claim the selected version's cores before executing.
+	rt.SetContext(Context{AvailableCores: free})
+	m.mu.Lock()
+	policy := rt.policy
+	m.mu.Unlock()
+	idx, err := policy.Select(rt.unit, Context{AvailableCores: free})
+	if err != nil {
+		return 0, fmt.Errorf("rts: region %q: %w", region, err)
+	}
+	if idx < 0 || idx >= len(rt.unit.Versions) {
+		return 0, fmt.Errorf("rts: region %q: invalid selection %d", region, idx)
+	}
+	need := rt.unit.Versions[idx].Meta.Threads
+	m.mu.Lock()
+	if m.totalCores-m.inUse < need {
+		m.mu.Unlock()
+		return 0, fmt.Errorf("rts: region %q lost its cores to a concurrent invocation", region)
+	}
+	m.inUse += need
+	m.mu.Unlock()
+	defer func() {
+		m.mu.Lock()
+		m.inUse -= need
+		m.mu.Unlock()
+	}()
+
+	if err := rt.unit.Versions[idx].Entry(); err != nil {
+		return idx, fmt.Errorf("rts: region %q version %d: %w", region, idx, err)
+	}
+	m.mu.Lock()
+	st := m.stats[region]
+	st.Invocations++
+	st.PerVersion[idx]++
+	m.mu.Unlock()
+	return idx, nil
+}
+
+// Stats returns a copy of the per-region invocation statistics.
+func (m *Manager) Stats() map[string]InvocationStats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := map[string]InvocationStats{}
+	for name, st := range m.stats {
+		cp := InvocationStats{Invocations: st.Invocations, PerVersion: map[int]int{}}
+		for k, v := range st.PerVersion {
+			cp.PerVersion[k] = v
+		}
+		out[name] = cp
+	}
+	return out
+}
+
+// Unit returns the registered unit for a region (nil if absent) —
+// convenience for inspecting metadata.
+func (m *Manager) Unit(region string) *multiversion.Unit {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if rt, ok := m.regions[region]; ok {
+		return rt.Unit()
+	}
+	return nil
+}

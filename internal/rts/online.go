@@ -1,0 +1,162 @@
+package rts
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"autotune/internal/multiversion"
+	"autotune/internal/stats"
+)
+
+// OnlineTuner refines a parameterized region while the application
+// runs — the "online tuning of program parameters" approach the paper
+// contrasts with its offline search (§I). It needs the parameterized
+// code path (multiversion.Parameterized), because multi-versioned
+// units can only execute their compiled Pareto points; parameterized
+// code can execute arbitrary neighbours.
+//
+// The tuner performs randomized hill climbing seeded from a
+// compile-time configuration: every Step proposes a neighbour of the
+// incumbent (one parameter nudged geometrically), measures it, and
+// accepts improvements. Combining both worlds — offline RS-GDE3 for
+// the seed, online refinement for drift (input changes, co-runners) —
+// is exactly the hybrid the paper's future work sketches.
+type OnlineTuner struct {
+	region *multiversion.Parameterized
+	lo, hi []int64 // inclusive bounds per parameter [tiles..., threads]
+
+	// Measure times one configuration; the default executes the
+	// region's entry and returns the wall time. Injectable for tests
+	// and for model-backed simulations.
+	Measure func(tiles []int64, threads int) (float64, error)
+
+	rng       interface{ Intn(n int) int }
+	rngF      interface{ Float64() float64 }
+	best      []int64
+	bestTime  float64
+	steps     int
+	accepted  int
+	haveFirst bool
+}
+
+// NewOnlineTuner builds a tuner over the parameterized region with the
+// given per-parameter inclusive bounds (layout [tiles..., threads]) and
+// the seed configuration taken from the metadata table at seedIdx.
+func NewOnlineTuner(region *multiversion.Parameterized, lo, hi []int64, seedIdx int, seed int64) (*OnlineTuner, error) {
+	if region == nil || region.Entry == nil {
+		return nil, errors.New("rts: online tuner needs a parameterized region")
+	}
+	if len(lo) != len(hi) || len(lo) == 0 {
+		return nil, errors.New("rts: online tuner needs aligned bounds")
+	}
+	for i := range lo {
+		if lo[i] > hi[i] || lo[i] < 1 {
+			return nil, fmt.Errorf("rts: bad bound [%d, %d] at parameter %d", lo[i], hi[i], i)
+		}
+	}
+	if seedIdx < 0 || seedIdx >= len(region.Metas) {
+		return nil, fmt.Errorf("rts: seed index %d out of range", seedIdx)
+	}
+	meta := region.Metas[seedIdx]
+	cfg := append(append([]int64{}, meta.Tiles...), int64(meta.Threads))
+	if len(cfg) != len(lo) {
+		return nil, fmt.Errorf("rts: seed has %d parameters, bounds have %d", len(cfg), len(lo))
+	}
+	r := stats.NewRand(seed)
+	o := &OnlineTuner{
+		region: region,
+		lo:     append([]int64{}, lo...),
+		hi:     append([]int64{}, hi...),
+		rng:    r,
+		rngF:   r,
+		best:   cfg,
+	}
+	o.Measure = func(tiles []int64, threads int) (float64, error) {
+		start := time.Now()
+		if err := region.InvokeConfig(tiles, threads); err != nil {
+			return 0, err
+		}
+		return time.Since(start).Seconds(), nil
+	}
+	return o, nil
+}
+
+// Best returns the incumbent configuration and its measured time
+// (NaN-free only after the first Step).
+func (o *OnlineTuner) Best() (tiles []int64, threads int, seconds float64) {
+	n := len(o.best)
+	return append([]int64{}, o.best[:n-1]...), int(o.best[n-1]), o.bestTime
+}
+
+// Stats returns (steps performed, proposals accepted).
+func (o *OnlineTuner) Stats() (steps, accepted int) { return o.steps, o.accepted }
+
+// Step measures the incumbent on the first call; afterwards it
+// proposes one nudged neighbour, measures it, and keeps it when
+// faster. It returns whether the incumbent improved.
+func (o *OnlineTuner) Step() (bool, error) {
+	o.steps++
+	if !o.haveFirst {
+		t, err := o.measure(o.best)
+		if err != nil {
+			return false, err
+		}
+		o.bestTime = t
+		o.haveFirst = true
+		return true, nil
+	}
+	cand := append([]int64{}, o.best...)
+	dim := o.rng.Intn(len(cand))
+	// Geometric nudge: multiply or divide by a factor in (1, 2].
+	factor := 1 + o.rngF.Float64()
+	v := float64(cand[dim])
+	if o.rngF.Float64() < 0.5 {
+		v /= factor
+	} else {
+		v *= factor
+	}
+	nv := int64(v + 0.5)
+	if nv < o.lo[dim] {
+		nv = o.lo[dim]
+	}
+	if nv > o.hi[dim] {
+		nv = o.hi[dim]
+	}
+	if nv == cand[dim] {
+		return false, nil // degenerate proposal; costs nothing
+	}
+	cand[dim] = nv
+	t, err := o.measure(cand)
+	if err != nil {
+		// A failing configuration is simply rejected.
+		return false, nil
+	}
+	if t < o.bestTime {
+		o.best = cand
+		o.bestTime = t
+		o.accepted++
+		return true, nil
+	}
+	return false, nil
+}
+
+// Run performs n steps and returns the number of improvements.
+func (o *OnlineTuner) Run(n int) (int, error) {
+	improved := 0
+	for i := 0; i < n; i++ {
+		ok, err := o.Step()
+		if err != nil {
+			return improved, err
+		}
+		if ok {
+			improved++
+		}
+	}
+	return improved, nil
+}
+
+func (o *OnlineTuner) measure(cfg []int64) (float64, error) {
+	n := len(cfg)
+	return o.Measure(cfg[:n-1], int(cfg[n-1]))
+}

@@ -1,0 +1,147 @@
+package rts
+
+import (
+	"math"
+	"testing"
+
+	"autotune/internal/multiversion"
+	"autotune/internal/skeleton"
+)
+
+func paramRegion(t *testing.T) *multiversion.Parameterized {
+	t.Helper()
+	u := &multiversion.Unit{
+		Region:         "r",
+		ObjectiveNames: []string{"time", "resources"},
+		Versions: []multiversion.Version{
+			{Meta: multiversion.Meta{Config: skeleton.Config{64, 64, 4},
+				Tiles: []int64{64, 64}, Threads: 4, Objectives: []float64{0.5, 2.0}}},
+		},
+	}
+	p, err := multiversion.FromUnit(u, func(tiles []int64, threads int) error { return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// bowl is a synthetic cost landscape with its optimum at
+// tiles=(128, 32), threads=8.
+func bowl(tiles []int64, threads int) (float64, error) {
+	d := func(x int64, opt float64) float64 {
+		r := math.Log(float64(x)) - math.Log(opt)
+		return r * r
+	}
+	return 0.01 + d(tiles[0], 128) + d(tiles[1], 32) + d(int64(threads), 8), nil
+}
+
+func TestOnlineTunerConvergesOnBowl(t *testing.T) {
+	p := paramRegion(t)
+	o, err := NewOnlineTuner(p, []int64{1, 1, 1}, []int64{1024, 1024, 40}, 0, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o.Measure = bowl
+	if _, err := o.Run(300); err != nil {
+		t.Fatal(err)
+	}
+	start, _ := bowl([]int64{64, 64}, 4)
+	_, _, best := o.Best()
+	if best >= start {
+		t.Fatalf("online tuning did not improve: %v >= %v", best, start)
+	}
+	tiles, threads, _ := o.Best()
+	// Within a reasonable neighbourhood of the optimum.
+	if tiles[0] < 32 || tiles[0] > 512 || threads < 2 || threads > 32 {
+		t.Fatalf("converged to implausible config %v/%d", tiles, threads)
+	}
+	steps, accepted := o.Stats()
+	if steps != 300 || accepted == 0 {
+		t.Fatalf("stats = %d/%d", steps, accepted)
+	}
+}
+
+func TestOnlineTunerFirstStepMeasuresSeed(t *testing.T) {
+	p := paramRegion(t)
+	o, err := NewOnlineTuner(p, []int64{1, 1, 1}, []int64{1024, 1024, 40}, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	calls := 0
+	o.Measure = func(tiles []int64, threads int) (float64, error) {
+		calls++
+		return 1.0, nil
+	}
+	improved, err := o.Step()
+	if err != nil || !improved {
+		t.Fatalf("first step: %v, %v", improved, err)
+	}
+	if calls != 1 {
+		t.Fatalf("calls = %d", calls)
+	}
+	_, _, best := o.Best()
+	if best != 1.0 {
+		t.Fatalf("seed time = %v", best)
+	}
+}
+
+func TestOnlineTunerRejectsFailures(t *testing.T) {
+	p := paramRegion(t)
+	o, _ := NewOnlineTuner(p, []int64{1, 1, 1}, []int64{1024, 1024, 40}, 0, 2)
+	first := true
+	o.Measure = func(tiles []int64, threads int) (float64, error) {
+		if first {
+			first = false
+			return 1.0, nil
+		}
+		return 0, errSentinel
+	}
+	if _, err := o.Run(20); err != nil {
+		t.Fatal(err)
+	}
+	tiles, threads, best := o.Best()
+	if best != 1.0 || tiles[0] != 64 || threads != 4 {
+		t.Fatal("failed proposals must not displace the incumbent")
+	}
+}
+
+var errSentinel = errorString("nope")
+
+type errorString string
+
+func (e errorString) Error() string { return string(e) }
+
+func TestOnlineTunerValidation(t *testing.T) {
+	p := paramRegion(t)
+	if _, err := NewOnlineTuner(nil, []int64{1}, []int64{2}, 0, 1); err == nil {
+		t.Error("nil region accepted")
+	}
+	if _, err := NewOnlineTuner(p, []int64{1, 1}, []int64{2}, 0, 1); err == nil {
+		t.Error("misaligned bounds accepted")
+	}
+	if _, err := NewOnlineTuner(p, []int64{5, 5, 5}, []int64{2, 2, 2}, 0, 1); err == nil {
+		t.Error("inverted bounds accepted")
+	}
+	if _, err := NewOnlineTuner(p, []int64{1, 1, 1}, []int64{9, 9, 9}, 7, 1); err == nil {
+		t.Error("bad seed index accepted")
+	}
+	if _, err := NewOnlineTuner(p, []int64{1, 1}, []int64{9, 9}, 0, 1); err == nil {
+		t.Error("bound/seed dimension mismatch accepted")
+	}
+}
+
+func TestOnlineTunerDefaultMeasureTimesEntry(t *testing.T) {
+	p := paramRegion(t)
+	o, err := NewOnlineTuner(p, []int64{1, 1, 1}, []int64{1024, 1024, 40}, 0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Default Measure wall-times the parameterized entry.
+	improved, err := o.Step()
+	if err != nil || !improved {
+		t.Fatalf("step: %v, %v", improved, err)
+	}
+	if _, _, best := o.Best(); best < 0 {
+		t.Fatal("negative measured time")
+	}
+}

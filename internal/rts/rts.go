@@ -1,0 +1,203 @@
+// Package rts is the runtime-system component of the framework (label
+// 6 in the paper's Fig. 3): when a multi-versioned region is invoked,
+// the runtime selects one of its code versions according to a
+// dynamically configurable policy, executes it, and records invocation
+// statistics.
+//
+// Policies implement the strategies sketched in the paper: a
+// user-supplied weighted sum over the objective metadata, constraint
+// policies ("fastest within a resource budget"), and adaptation to a
+// changing number of available cores. The policy may be swapped at any
+// time — the trade-off decision is deferred until execution, which is
+// the point of multi-versioning.
+package rts
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"autotune/internal/multiversion"
+)
+
+// Context carries the runtime conditions a policy may react to.
+type Context struct {
+	// AvailableCores caps the thread count of eligible versions;
+	// 0 means unrestricted.
+	AvailableCores int
+}
+
+// Policy selects a version index from a unit under a runtime context.
+type Policy interface {
+	// Select returns the chosen version index.
+	Select(u *multiversion.Unit, ctx Context) (int, error)
+	// Name identifies the policy in logs and stats.
+	Name() string
+}
+
+// WeightedSum implements the paper's Σ w_c·f_c(v) selection.
+type WeightedSum struct {
+	Weights []float64
+}
+
+// Name implements Policy.
+func (p WeightedSum) Name() string { return "weighted-sum" }
+
+// Select implements Policy. When the context restricts the core
+// budget, versions needing more threads are excluded before the
+// weighted scoring.
+func (p WeightedSum) Select(u *multiversion.Unit, ctx Context) (int, error) {
+	if ctx.AvailableCores <= 0 {
+		return u.SelectWeighted(p.Weights)
+	}
+	// Restrict to feasible versions by building a filtered view.
+	var feasible []int
+	for i, v := range u.Versions {
+		if v.Meta.Threads <= ctx.AvailableCores {
+			feasible = append(feasible, i)
+		}
+	}
+	if len(feasible) == 0 {
+		return 0, fmt.Errorf("rts: no version fits %d cores", ctx.AvailableCores)
+	}
+	sub := &multiversion.Unit{Region: u.Region, ObjectiveNames: u.ObjectiveNames}
+	for _, i := range feasible {
+		sub.Versions = append(sub.Versions, u.Versions[i])
+	}
+	j, err := sub.SelectWeighted(p.Weights)
+	if err != nil {
+		return 0, err
+	}
+	return feasible[j], nil
+}
+
+// FastestWithinBudget selects the version with the lowest value of the
+// Optimize objective among versions whose Constrain objective stays
+// within Budget.
+type FastestWithinBudget struct {
+	Optimize  int
+	Constrain int
+	Budget    float64
+}
+
+// Name implements Policy.
+func (p FastestWithinBudget) Name() string { return "fastest-within-budget" }
+
+// Select implements Policy.
+func (p FastestWithinBudget) Select(u *multiversion.Unit, ctx Context) (int, error) {
+	idx, err := u.SelectConstrained(p.Optimize, p.Constrain, p.Budget)
+	if err != nil {
+		return 0, err
+	}
+	if ctx.AvailableCores > 0 && u.Versions[idx].Meta.Threads > ctx.AvailableCores {
+		if j, ok := u.SelectMaxThreads(ctx.AvailableCores, p.Optimize); ok {
+			return j, nil
+		}
+		return 0, fmt.Errorf("rts: no version fits %d cores", ctx.AvailableCores)
+	}
+	return idx, nil
+}
+
+// Fixed always selects one version — useful for pinning and tests.
+type Fixed struct{ Index int }
+
+// Name implements Policy.
+func (p Fixed) Name() string { return "fixed" }
+
+// Select implements Policy.
+func (p Fixed) Select(u *multiversion.Unit, ctx Context) (int, error) {
+	if p.Index < 0 || p.Index >= len(u.Versions) {
+		return 0, fmt.Errorf("rts: fixed index %d out of range", p.Index)
+	}
+	return p.Index, nil
+}
+
+// InvocationStats records which versions ran.
+type InvocationStats struct {
+	Invocations int
+	// PerVersion counts invocations per version index.
+	PerVersion map[int]int
+}
+
+// Runtime dispatches invocations of a multi-versioned region.
+type Runtime struct {
+	mu     sync.Mutex
+	unit   *multiversion.Unit
+	policy Policy
+	ctx    Context
+	stats  InvocationStats
+}
+
+// New builds a runtime for the unit with the given initial policy.
+// Every version must have an executable entry bound.
+func New(u *multiversion.Unit, p Policy) (*Runtime, error) {
+	if err := u.Validate(); err != nil {
+		return nil, err
+	}
+	for i, v := range u.Versions {
+		if v.Entry == nil {
+			return nil, fmt.Errorf("rts: version %d has no entry bound", i)
+		}
+	}
+	if p == nil {
+		return nil, errors.New("rts: nil policy")
+	}
+	return &Runtime{unit: u, policy: p, stats: InvocationStats{PerVersion: map[int]int{}}}, nil
+}
+
+// SetPolicy swaps the selection policy; takes effect on the next
+// invocation.
+func (r *Runtime) SetPolicy(p Policy) error {
+	if p == nil {
+		return errors.New("rts: nil policy")
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.policy = p
+	return nil
+}
+
+// SetContext updates the runtime conditions (e.g. a shrunk core
+// budget).
+func (r *Runtime) SetContext(ctx Context) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.ctx = ctx
+}
+
+// Invoke selects a version under the current policy and context,
+// executes it, and returns the selected index.
+func (r *Runtime) Invoke() (int, error) {
+	r.mu.Lock()
+	policy, ctx := r.policy, r.ctx
+	r.mu.Unlock()
+	idx, err := policy.Select(r.unit, ctx)
+	if err != nil {
+		return 0, err
+	}
+	if idx < 0 || idx >= len(r.unit.Versions) {
+		return 0, fmt.Errorf("rts: policy %s selected invalid version %d", policy.Name(), idx)
+	}
+	if err := r.unit.Versions[idx].Entry(); err != nil {
+		return idx, fmt.Errorf("rts: version %d failed: %w", idx, err)
+	}
+	r.mu.Lock()
+	r.stats.Invocations++
+	r.stats.PerVersion[idx]++
+	r.mu.Unlock()
+	return idx, nil
+}
+
+// Stats returns a copy of the invocation statistics.
+func (r *Runtime) Stats() InvocationStats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := InvocationStats{Invocations: r.stats.Invocations, PerVersion: map[int]int{}}
+	for k, v := range r.stats.PerVersion {
+		out.PerVersion[k] = v
+	}
+	return out
+}
+
+// Unit returns the underlying multi-versioned unit.
+func (r *Runtime) Unit() *multiversion.Unit { return r.unit }

@@ -1,0 +1,264 @@
+// Package sched models the parallel-loop scheduling strategies a
+// runtime system can apply when executing a tuned region: static block
+// (what the paper's runtime and our real kernels use), static cyclic,
+// dynamic chunked self-scheduling, and guided self-scheduling. The
+// paper's §III leaves "dynamic or static task schedulers ... extended
+// to exploit this additional flexibility" as future work; this package
+// provides the simulation machinery to study that interaction (see
+// the scheduling ablation benchmark) and a real work-stealing-free
+// dynamic executor for goroutine pools.
+package sched
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// Policy selects the iteration-distribution strategy.
+type Policy int
+
+const (
+	// StaticBlock assigns contiguous blocks of ~iters/threads.
+	StaticBlock Policy = iota
+	// StaticCyclic deals iterations round-robin with the given chunk.
+	StaticCyclic
+	// Dynamic lets idle workers grab the next chunk (self-scheduling).
+	Dynamic
+	// Guided uses exponentially shrinking chunks (remaining/threads,
+	// floored at the chunk size).
+	Guided
+)
+
+// String names the policy.
+func (p Policy) String() string {
+	switch p {
+	case StaticBlock:
+		return "static"
+	case StaticCyclic:
+		return "cyclic"
+	case Dynamic:
+		return "dynamic"
+	case Guided:
+		return "guided"
+	default:
+		return fmt.Sprintf("Policy(%d)", int(p))
+	}
+}
+
+// Result summarizes one simulated schedule.
+type Result struct {
+	// Makespan is the finishing time of the slowest worker.
+	Makespan float64
+	// PerThread is each worker's accumulated busy time.
+	PerThread []float64
+	// Chunks is the number of dispatch operations performed (the
+	// scheduling-overhead proxy).
+	Chunks int
+}
+
+// Imbalance returns makespan / (total work / threads) — 1.0 is a
+// perfect schedule.
+func (r Result) Imbalance() float64 {
+	total := 0.0
+	for _, t := range r.PerThread {
+		total += t
+	}
+	if total == 0 {
+		return 1
+	}
+	ideal := total / float64(len(r.PerThread))
+	return r.Makespan / ideal
+}
+
+// Simulate distributes iterations with the given per-iteration costs
+// over `threads` workers under a policy and returns the resulting
+// schedule. chunk is the chunk size for cyclic/dynamic/guided
+// (minimum 1; ignored by StaticBlock).
+func Simulate(costs []float64, threads int, p Policy, chunk int) (Result, error) {
+	n := len(costs)
+	if threads < 1 {
+		return Result{}, errors.New("sched: threads must be >= 1")
+	}
+	if n == 0 {
+		return Result{PerThread: make([]float64, threads)}, nil
+	}
+	if chunk < 1 {
+		chunk = 1
+	}
+	load := make([]float64, threads)
+	chunks := 0
+	switch p {
+	case StaticBlock:
+		for t := 0; t < threads; t++ {
+			lo, hi := t*n/threads, (t+1)*n/threads
+			if lo < hi {
+				chunks++
+			}
+			for i := lo; i < hi; i++ {
+				load[t] += costs[i]
+			}
+		}
+	case StaticCyclic:
+		for base, t := 0, 0; base < n; base, t = base+chunk, (t+1)%threads {
+			chunks++
+			for i := base; i < base+chunk && i < n; i++ {
+				load[t] += costs[i]
+			}
+		}
+	case Dynamic, Guided:
+		// Event simulation: the least-loaded worker grabs the next
+		// chunk.
+		next := 0
+		for next < n {
+			t := argmin(load)
+			size := chunk
+			if p == Guided {
+				if g := (n - next) / threads; g > size {
+					size = g
+				}
+			}
+			chunks++
+			for i := next; i < next+size && i < n; i++ {
+				load[t] += costs[i]
+			}
+			next += size
+		}
+	default:
+		return Result{}, fmt.Errorf("sched: unknown policy %v", p)
+	}
+	mk := 0.0
+	for _, l := range load {
+		if l > mk {
+			mk = l
+		}
+	}
+	return Result{Makespan: mk, PerThread: load, Chunks: chunks}, nil
+}
+
+func argmin(xs []float64) int {
+	best := 0
+	for i, x := range xs {
+		if x < xs[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+// UniformImbalance returns the imbalance factor of scheduling `iters`
+// equal-cost iterations on `threads` workers under StaticBlock —
+// the ceil-based factor the performance model charges.
+func UniformImbalance(iters int64, threads int) float64 {
+	if iters < 1 || threads <= 1 {
+		return 1
+	}
+	maxIters := (iters + int64(threads) - 1) / int64(threads)
+	return float64(maxIters) * float64(threads) / float64(iters)
+}
+
+// Run executes fn(i) for i in [0, n) on `threads` goroutines under the
+// given policy — a real executor mirroring the simulation semantics.
+// Errors from fn abort scheduling (already-started iterations finish);
+// the first error is returned.
+func Run(n, threads int, p Policy, chunk int, fn func(i int) error) error {
+	if threads < 1 {
+		return errors.New("sched: threads must be >= 1")
+	}
+	if n <= 0 {
+		return nil
+	}
+	if chunk < 1 {
+		chunk = 1
+	}
+	var (
+		errMu    sync.Mutex
+		firstErr error
+		aborted  atomic.Bool
+	)
+	record := func(err error) {
+		if err == nil {
+			return
+		}
+		errMu.Lock()
+		if firstErr == nil {
+			firstErr = err
+			aborted.Store(true)
+		}
+		errMu.Unlock()
+	}
+	var wg sync.WaitGroup
+	switch p {
+	case StaticBlock:
+		for t := 0; t < threads; t++ {
+			lo, hi := t*n/threads, (t+1)*n/threads
+			if lo == hi {
+				continue
+			}
+			wg.Add(1)
+			go func(lo, hi int) {
+				defer wg.Done()
+				for i := lo; i < hi; i++ {
+					if aborted.Load() {
+						return
+					}
+					record(fn(i))
+				}
+			}(lo, hi)
+		}
+	case StaticCyclic:
+		for t := 0; t < threads; t++ {
+			wg.Add(1)
+			go func(t int) {
+				defer wg.Done()
+				for base := t * chunk; base < n; base += threads * chunk {
+					for i := base; i < base+chunk && i < n; i++ {
+						if aborted.Load() {
+							return
+						}
+						record(fn(i))
+					}
+				}
+			}(t)
+		}
+	case Dynamic, Guided:
+		var cursor int64
+		remaining := int64(n)
+		for t := 0; t < threads; t++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					if aborted.Load() {
+						return
+					}
+					size := int64(chunk)
+					if p == Guided {
+						if g := atomic.LoadInt64(&remaining) / int64(threads); g > size {
+							size = g
+						}
+					}
+					lo := atomic.AddInt64(&cursor, size) - size
+					if lo >= int64(n) {
+						return
+					}
+					hi := lo + size
+					if hi > int64(n) {
+						hi = int64(n)
+					}
+					atomic.AddInt64(&remaining, -(hi - lo))
+					for i := lo; i < hi; i++ {
+						record(fn(int(i)))
+					}
+				}
+			}()
+		}
+	default:
+		return fmt.Errorf("sched: unknown policy %v", p)
+	}
+	wg.Wait()
+	errMu.Lock()
+	defer errMu.Unlock()
+	return firstErr
+}

@@ -1,0 +1,366 @@
+// Package skeleton defines transformation skeletons: generic sequences
+// of code transformations with unbound parameters (tile sizes, unroll
+// factors, thread counts, optional flags), together with the parameter
+// spaces the optimizer searches.
+//
+// A Skeleton couples a parameter Space with an instantiation function
+// that binds a concrete Config to a transformation sequence
+// (internal/transform steps) plus the execution parameters (thread
+// count) the evaluator needs. The optimizer treats all tuning options
+// uniformly as integer dimensions, exactly as the paper describes.
+package skeleton
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"strings"
+
+	"autotune/internal/ir"
+	"autotune/internal/transform"
+)
+
+// ParamKind distinguishes how a parameter is interpreted when a
+// configuration is instantiated.
+type ParamKind int
+
+const (
+	// TileSize parameters feed the tiling transformation.
+	TileSize ParamKind = iota
+	// ThreadCount parameters select the number of worker threads.
+	ThreadCount
+	// UnrollFactor parameters feed the unrolling transformation.
+	UnrollFactor
+	// Flag parameters enable optional skeleton parts (0 or 1).
+	Flag
+	// Choice parameters select among alternatives (e.g. which
+	// skeleton variant to use).
+	Choice
+)
+
+// String returns the kind name.
+func (k ParamKind) String() string {
+	switch k {
+	case TileSize:
+		return "tile"
+	case ThreadCount:
+		return "threads"
+	case UnrollFactor:
+		return "unroll"
+	case Flag:
+		return "flag"
+	case Choice:
+		return "choice"
+	default:
+		return fmt.Sprintf("ParamKind(%d)", int(k))
+	}
+}
+
+// Param is one tunable dimension with inclusive integer bounds.
+type Param struct {
+	Name     string
+	Kind     ParamKind
+	Min, Max int64
+}
+
+// Space is an ordered list of parameters; it defines the search space C
+// of the multi-objective optimization problem.
+type Space struct {
+	Params []Param
+}
+
+// Dim returns the number of parameters.
+func (s Space) Dim() int { return len(s.Params) }
+
+// Size returns the cardinality |C| of the space, saturating at
+// math.MaxInt64 on overflow.
+func (s Space) Size() int64 {
+	total := int64(1)
+	for _, p := range s.Params {
+		span := p.Max - p.Min + 1
+		if span <= 0 {
+			return 0
+		}
+		if total > math.MaxInt64/span {
+			return math.MaxInt64
+		}
+		total *= span
+	}
+	return total
+}
+
+// Validate checks bounds sanity.
+func (s Space) Validate() error {
+	if len(s.Params) == 0 {
+		return fmt.Errorf("skeleton: empty parameter space")
+	}
+	seen := map[string]bool{}
+	for _, p := range s.Params {
+		if p.Name == "" {
+			return fmt.Errorf("skeleton: parameter with empty name")
+		}
+		if seen[p.Name] {
+			return fmt.Errorf("skeleton: duplicate parameter %s", p.Name)
+		}
+		seen[p.Name] = true
+		if p.Min > p.Max {
+			return fmt.Errorf("skeleton: parameter %s has min %d > max %d", p.Name, p.Min, p.Max)
+		}
+		if p.Kind == Flag && (p.Min < 0 || p.Max > 1) {
+			return fmt.Errorf("skeleton: flag %s must be within [0,1]", p.Name)
+		}
+	}
+	return nil
+}
+
+// Config assigns one value per parameter, aligned with Space.Params.
+type Config []int64
+
+// Clone copies the configuration.
+func (c Config) Clone() Config { return append(Config(nil), c...) }
+
+// Key returns a map-key string identity for caching.
+func (c Config) Key() string {
+	parts := make([]string, len(c))
+	for i, v := range c {
+		parts[i] = fmt.Sprint(v)
+	}
+	return strings.Join(parts, ",")
+}
+
+// Equal reports element-wise equality.
+func (c Config) Equal(o Config) bool {
+	if len(c) != len(o) {
+		return false
+	}
+	for i := range c {
+		if c[i] != o[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// In reports whether the configuration lies within the space bounds.
+func (s Space) In(c Config) bool {
+	if len(c) != len(s.Params) {
+		return false
+	}
+	for i, p := range s.Params {
+		if c[i] < p.Min || c[i] > p.Max {
+			return false
+		}
+	}
+	return true
+}
+
+// Clip clamps every component of c to the space bounds, returning a new
+// configuration.
+func (s Space) Clip(c Config) Config {
+	out := c.Clone()
+	for i, p := range s.Params {
+		if i >= len(out) {
+			break
+		}
+		if out[i] < p.Min {
+			out[i] = p.Min
+		}
+		if out[i] > p.Max {
+			out[i] = p.Max
+		}
+	}
+	return out
+}
+
+// Random draws a uniform random configuration from the space.
+func (s Space) Random(rng *rand.Rand) Config {
+	c := make(Config, len(s.Params))
+	for i, p := range s.Params {
+		span := p.Max - p.Min + 1
+		c[i] = p.Min + rng.Int63n(span)
+	}
+	return c
+}
+
+// Box is an axis-aligned hyper-rectangle inside a Space: the reduced
+// search space computed by the rough-set mechanism. Bounds are
+// inclusive.
+type Box struct {
+	Lo, Hi []int64
+}
+
+// FullBox returns the box spanning the entire space.
+func (s Space) FullBox() Box {
+	b := Box{Lo: make([]int64, len(s.Params)), Hi: make([]int64, len(s.Params))}
+	for i, p := range s.Params {
+		b.Lo[i] = p.Min
+		b.Hi[i] = p.Max
+	}
+	return b
+}
+
+// Contains reports whether c lies within the box.
+func (b Box) Contains(c Config) bool {
+	if len(c) != len(b.Lo) {
+		return false
+	}
+	for i := range c {
+		if c[i] < b.Lo[i] || c[i] > b.Hi[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// ClosestTo maps an arbitrary real-valued vector to the nearest
+// configuration inside the box (the B.getClosestTo(r) operation of the
+// paper's Algorithm 1): each component is rounded to the nearest
+// integer and clamped to the box bounds.
+func (b Box) ClosestTo(v []float64) Config {
+	c := make(Config, len(b.Lo))
+	for i := range b.Lo {
+		x := int64(math.Round(v[i]))
+		if x < b.Lo[i] {
+			x = b.Lo[i]
+		}
+		if x > b.Hi[i] {
+			x = b.Hi[i]
+		}
+		c[i] = x
+	}
+	return c
+}
+
+// Random draws a uniform random configuration from the box.
+func (b Box) Random(rng *rand.Rand) Config {
+	c := make(Config, len(b.Lo))
+	for i := range b.Lo {
+		span := b.Hi[i] - b.Lo[i] + 1
+		c[i] = b.Lo[i] + rng.Int63n(span)
+	}
+	return c
+}
+
+// Volume returns the number of configurations inside the box,
+// saturating at math.MaxInt64.
+func (b Box) Volume() int64 {
+	total := int64(1)
+	for i := range b.Lo {
+		span := b.Hi[i] - b.Lo[i] + 1
+		if span <= 0 {
+			return 0
+		}
+		if total > math.MaxInt64/span {
+			return math.MaxInt64
+		}
+		total *= span
+	}
+	return total
+}
+
+// Instance is the result of binding a Config to a skeleton: the
+// transformation steps to apply to the region's MiniIR plus the
+// execution parameters consumed by the evaluator rather than the code
+// generator.
+type Instance struct {
+	Steps   []transform.Step
+	Threads int
+	Unroll  int64
+}
+
+// Skeleton is a generic transformation sequence with unbound
+// parameters.
+type Skeleton struct {
+	Name        string
+	Space       Space
+	Instantiate func(cfg Config) (Instance, error)
+}
+
+// Apply instantiates the skeleton for cfg and applies the resulting
+// transformation sequence to the program.
+func (sk *Skeleton) Apply(p *ir.Program, cfg Config) (*ir.Program, Instance, error) {
+	if !sk.Space.In(cfg) {
+		return nil, Instance{}, fmt.Errorf("skeleton %s: configuration %v outside space", sk.Name, cfg)
+	}
+	inst, err := sk.Instantiate(cfg)
+	if err != nil {
+		return nil, Instance{}, fmt.Errorf("skeleton %s: %w", sk.Name, err)
+	}
+	out, err := transform.Sequence(p, inst.Steps...)
+	if err != nil {
+		return nil, Instance{}, fmt.Errorf("skeleton %s: %w", sk.Name, err)
+	}
+	return out, inst, nil
+}
+
+// TiledParallel builds the paper's standard skeleton for a nest of
+// depth `band`: tile the band with one tile-size parameter per loop,
+// collapse the two outermost tile loops (when the band allows it) and
+// parallelize the outermost loop with a tunable thread count.
+//
+// Parameter layout: [t1 .. t_band, threads].
+// Tile sizes range over [1, maxTile]; thread counts over [1, maxThreads].
+func TiledParallel(name string, band int, maxTile int64, maxThreads int, collapse bool) *Skeleton {
+	space := Space{}
+	for i := 0; i < band; i++ {
+		space.Params = append(space.Params, Param{
+			Name: fmt.Sprintf("t%d", i+1), Kind: TileSize, Min: 1, Max: maxTile,
+		})
+	}
+	space.Params = append(space.Params, Param{
+		Name: "threads", Kind: ThreadCount, Min: 1, Max: int64(maxThreads),
+	})
+	return &Skeleton{
+		Name:  name,
+		Space: space,
+		Instantiate: func(cfg Config) (Instance, error) {
+			if len(cfg) != band+1 {
+				return Instance{}, fmt.Errorf("want %d parameters, got %d", band+1, len(cfg))
+			}
+			tiles := make([]int64, band)
+			copy(tiles, cfg[:band])
+			threads := int(cfg[band])
+			col := 1
+			// Collapsing needs two tiled outer loops; with unit tiles
+			// the tile loops vanish, so fall back to collapse(1).
+			if collapse && band >= 2 && tiles[0] > 1 && tiles[1] > 1 {
+				col = 2
+			}
+			steps := []transform.Step{
+				transform.TileStep(tiles),
+				transform.ParallelizeStep(col),
+			}
+			return Instance{Steps: steps, Threads: threads, Unroll: 1}, nil
+		},
+	}
+}
+
+// TiledParallelUnroll extends TiledParallel with an innermost-loop
+// unroll factor as one more tuning dimension ("unrolling factors" are
+// among the paper's example parameters). Parameter layout:
+// [t1 .. t_band, threads, unroll], unroll in [1, maxUnroll].
+func TiledParallelUnroll(name string, band int, maxTile int64, maxThreads int, collapse bool, maxUnroll int64) *Skeleton {
+	base := TiledParallel(name, band, maxTile, maxThreads, collapse)
+	space := base.Space
+	space.Params = append(space.Params, Param{
+		Name: "unroll", Kind: UnrollFactor, Min: 1, Max: maxUnroll,
+	})
+	baseInst := base.Instantiate
+	return &Skeleton{
+		Name:  name,
+		Space: space,
+		Instantiate: func(cfg Config) (Instance, error) {
+			if len(cfg) != band+2 {
+				return Instance{}, fmt.Errorf("want %d parameters, got %d", band+2, len(cfg))
+			}
+			inst, err := baseInst(cfg[:band+1])
+			if err != nil {
+				return Instance{}, err
+			}
+			unroll := cfg[band+1]
+			inst.Unroll = unroll
+			inst.Steps = append(inst.Steps, transform.AnnotateUnrollStep(unroll))
+			return inst, nil
+		},
+	}
+}

@@ -1,0 +1,240 @@
+package skeleton
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"autotune/internal/ir"
+	"autotune/internal/stats"
+)
+
+func space3() Space {
+	return Space{Params: []Param{
+		{Name: "t1", Kind: TileSize, Min: 1, Max: 700},
+		{Name: "t2", Kind: TileSize, Min: 1, Max: 700},
+		{Name: "threads", Kind: ThreadCount, Min: 1, Max: 40},
+	}}
+}
+
+func TestSpaceValidate(t *testing.T) {
+	if err := space3().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Space{
+		{},
+		{Params: []Param{{Name: "", Min: 0, Max: 1}}},
+		{Params: []Param{{Name: "a", Min: 2, Max: 1}}},
+		{Params: []Param{{Name: "a", Min: 0, Max: 1}, {Name: "a", Min: 0, Max: 1}}},
+		{Params: []Param{{Name: "f", Kind: Flag, Min: 0, Max: 2}}},
+	}
+	for i, s := range bad {
+		if err := s.Validate(); err == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+}
+
+func TestSpaceSize(t *testing.T) {
+	s := space3()
+	if got := s.Size(); got != 700*700*40 {
+		t.Fatalf("Size = %d", got)
+	}
+	huge := Space{Params: []Param{
+		{Name: "a", Min: 0, Max: math.MaxInt64 - 1},
+		{Name: "b", Min: 0, Max: math.MaxInt64 - 1},
+	}}
+	if huge.Size() != math.MaxInt64 {
+		t.Fatal("Size should saturate")
+	}
+}
+
+func TestConfigKeyEqualClone(t *testing.T) {
+	c := Config{3, 5, 7}
+	if c.Key() != "3,5,7" {
+		t.Fatalf("Key = %q", c.Key())
+	}
+	d := c.Clone()
+	d[0] = 9
+	if c[0] != 3 {
+		t.Fatal("Clone aliases")
+	}
+	if !c.Equal(Config{3, 5, 7}) || c.Equal(d) || c.Equal(Config{3, 5}) {
+		t.Fatal("Equal wrong")
+	}
+}
+
+func TestInClipRandom(t *testing.T) {
+	s := space3()
+	if !s.In(Config{1, 700, 40}) {
+		t.Fatal("boundary config should be in space")
+	}
+	if s.In(Config{0, 1, 1}) || s.In(Config{1, 1, 41}) || s.In(Config{1, 1}) {
+		t.Fatal("out-of-space configs accepted")
+	}
+	clipped := s.Clip(Config{-5, 9999, 12})
+	if !clipped.Equal(Config{1, 700, 12}) {
+		t.Fatalf("Clip = %v", clipped)
+	}
+	rng := stats.NewRand(1)
+	for i := 0; i < 100; i++ {
+		if !s.In(s.Random(rng)) {
+			t.Fatal("Random produced out-of-space config")
+		}
+	}
+}
+
+func TestBoxOperations(t *testing.T) {
+	s := space3()
+	full := s.FullBox()
+	if full.Volume() != s.Size() {
+		t.Fatal("full box volume != space size")
+	}
+	b := Box{Lo: []int64{10, 20, 2}, Hi: []int64{20, 40, 8}}
+	if !b.Contains(Config{10, 40, 5}) || b.Contains(Config{9, 30, 5}) || b.Contains(Config{10, 30}) {
+		t.Fatal("Contains wrong")
+	}
+	if b.Volume() != 11*21*7 {
+		t.Fatalf("Volume = %d", b.Volume())
+	}
+	got := b.ClosestTo([]float64{3.7, 29.4, 100})
+	if !got.Equal(Config{10, 29, 8}) {
+		t.Fatalf("ClosestTo = %v", got)
+	}
+	rng := stats.NewRand(2)
+	for i := 0; i < 100; i++ {
+		if !b.Contains(b.Random(rng)) {
+			t.Fatal("Box.Random escaped the box")
+		}
+	}
+}
+
+func TestParamKindString(t *testing.T) {
+	kinds := map[ParamKind]string{TileSize: "tile", ThreadCount: "threads", UnrollFactor: "unroll", Flag: "flag", Choice: "choice"}
+	for k, want := range kinds {
+		if k.String() != want {
+			t.Errorf("%d = %q, want %q", k, k.String(), want)
+		}
+	}
+	if ParamKind(42).String() == "" {
+		t.Error("unknown kind should stringify")
+	}
+}
+
+func mmProgram(n int64) *ir.Program {
+	stmt := &ir.Stmt{
+		Label:  "mm",
+		Writes: []ir.Access{{Array: "C", Indices: []ir.Affine{ir.Var("i"), ir.Var("j")}}},
+		Reads: []ir.Access{
+			{Array: "C", Indices: []ir.Affine{ir.Var("i"), ir.Var("j")}},
+			{Array: "A", Indices: []ir.Affine{ir.Var("i"), ir.Var("k")}},
+			{Array: "B", Indices: []ir.Affine{ir.Var("k"), ir.Var("j")}},
+		},
+		Flops: 2,
+	}
+	kl := &ir.Loop{Var: "k", Lo: ir.Con(0), Hi: ir.Con(n), Step: 1, Body: []ir.Node{stmt}}
+	jl := &ir.Loop{Var: "j", Lo: ir.Con(0), Hi: ir.Con(n), Step: 1, Body: []ir.Node{kl}}
+	il := &ir.Loop{Var: "i", Lo: ir.Con(0), Hi: ir.Con(n), Step: 1, Body: []ir.Node{jl}}
+	return &ir.Program{
+		Name: "mm",
+		Arrays: []ir.Array{
+			{Name: "A", ElemBytes: 8, Dims: []int64{n, n}},
+			{Name: "B", ElemBytes: 8, Dims: []int64{n, n}},
+			{Name: "C", ElemBytes: 8, Dims: []int64{n, n}},
+		},
+		Root: []ir.Node{il},
+	}
+}
+
+func TestTiledParallelSkeleton(t *testing.T) {
+	sk := TiledParallel("mm3d", 3, 700, 40, true)
+	if err := sk.Space.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if sk.Space.Dim() != 4 {
+		t.Fatalf("dim = %d, want 4", sk.Space.Dim())
+	}
+	p := mmProgram(64)
+	out, inst, err := sk.Apply(p, Config{16, 32, 8, 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inst.Threads != 10 {
+		t.Fatalf("threads = %d", inst.Threads)
+	}
+	loops, _ := ir.PerfectNest(out.Root[0])
+	if loops[0].Var != "i_t" || !loops[0].Parallel || loops[0].Collapse != 2 {
+		t.Fatalf("outer = %s parallel=%v collapse=%d", loops[0].Var, loops[0].Parallel, loops[0].Collapse)
+	}
+	if err := out.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTiledParallelUnitTilesFallBackToCollapse1(t *testing.T) {
+	sk := TiledParallel("mm3d", 3, 700, 40, true)
+	out, _, err := sk.Apply(mmProgram(64), Config{1, 1, 1, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	loops, _ := ir.PerfectNest(out.Root[0])
+	if loops[0].Var != "i" || loops[0].Collapse != 1 {
+		t.Fatalf("unit tiles: outer=%s collapse=%d", loops[0].Var, loops[0].Collapse)
+	}
+}
+
+func TestSkeletonApplyRejectsOutOfSpace(t *testing.T) {
+	sk := TiledParallel("mm3d", 3, 700, 40, true)
+	if _, _, err := sk.Apply(mmProgram(64), Config{0, 1, 1, 4}); err == nil {
+		t.Fatal("expected out-of-space error")
+	}
+	if _, _, err := sk.Apply(mmProgram(64), Config{1, 1, 1}); err == nil {
+		t.Fatal("expected dimension mismatch error")
+	}
+}
+
+func TestSkeletonNoCollapseVariant(t *testing.T) {
+	sk := TiledParallel("mm3d-nc", 3, 700, 40, false)
+	out, _, err := sk.Apply(mmProgram(64), Config{16, 16, 16, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	loops, _ := ir.PerfectNest(out.Root[0])
+	if loops[0].Collapse != 1 {
+		t.Fatalf("collapse = %d, want 1", loops[0].Collapse)
+	}
+}
+
+// Property: ClosestTo always lands inside the box.
+func TestClosestToInBoxProperty(t *testing.T) {
+	b := Box{Lo: []int64{1, 1, 1}, Hi: []int64{700, 700, 40}}
+	f := func(x, y, z float64) bool {
+		if math.IsNaN(x) || math.IsNaN(y) || math.IsNaN(z) {
+			return true
+		}
+		return b.Contains(b.ClosestTo([]float64{x, y, z}))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Clip result is always inside the space and is the identity
+// for configurations already inside.
+func TestClipProperty(t *testing.T) {
+	s := space3()
+	f := func(a, b, c int64) bool {
+		cfg := Config{a % 2000, b % 2000, c % 100}
+		clipped := s.Clip(cfg)
+		if !s.In(clipped) {
+			return false
+		}
+		if s.In(cfg) && !clipped.Equal(cfg) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

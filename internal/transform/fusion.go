@@ -1,0 +1,153 @@
+package transform
+
+import (
+	"fmt"
+
+	"autotune/internal/ir"
+	"autotune/internal/polyhedral"
+)
+
+// Fuse merges two adjacent top-level loops with identical bounds and
+// step into one loop whose body concatenates both bodies (loop
+// fusion). Legality: fusing is safe when no dependence from the first
+// loop's statements to the second's becomes backward-carried after
+// fusion; with identical iteration spaces this reduces to requiring
+// that every cross-loop dependence has a non-negative distance in the
+// fused iterator — checked via the polyhedral tests. The second loop's
+// iterator is renamed to the first's.
+func Fuse(p *ir.Program, first, second int) (*ir.Program, error) {
+	out := p.Clone()
+	if first < 0 || second >= len(out.Root) || second != first+1 {
+		return nil, fmt.Errorf("transform: Fuse wants adjacent top-level indices, got %d,%d", first, second)
+	}
+	l1, ok1 := out.Root[first].(*ir.Loop)
+	l2, ok2 := out.Root[second].(*ir.Loop)
+	if !ok1 || !ok2 {
+		return nil, fmt.Errorf("transform: Fuse targets must be loops")
+	}
+	if !l1.Lo.Equal(l2.Lo) || !l1.Hi.Equal(l2.Hi) || l1.Step != l2.Step ||
+		len(l1.Caps) != 0 || len(l2.Caps) != 0 {
+		return nil, fmt.Errorf("transform: Fuse requires identical rectangular bounds")
+	}
+	// Rename l2's iterator throughout its body.
+	if l2.Var != l1.Var {
+		renameInBody(l2.Body, l2.Var, l1.Var)
+	}
+	// Legality: analyze the fused nest; dependences between the two
+	// bodies must not be backward in the fused loop.
+	fused := &ir.Loop{Var: l1.Var, Lo: l1.Lo, Hi: l1.Hi, Step: l1.Step,
+		Body: append(append([]ir.Node{}, l1.Body...), l2.Body...)}
+	stmts := ir.Stmts([]ir.Node{fused})
+	deps := polyhedral.Analyze([]*ir.Loop{fused}, stmts)
+	for _, d := range deps {
+		if len(d.Directions) > 0 && d.Directions[0] == polyhedral.DirNeg {
+			return nil, fmt.Errorf("transform: fusion would create a backward dependence on %s", d.Array)
+		}
+	}
+	newRoot := append([]ir.Node{}, out.Root[:first]...)
+	newRoot = append(newRoot, fused)
+	newRoot = append(newRoot, out.Root[second+1:]...)
+	out.Root = newRoot
+	return out, nil
+}
+
+// Fission splits a top-level loop whose body holds several statements
+// into one loop per statement (loop distribution). Legality: the
+// original statement order must be preservable — a dependence from a
+// later statement to an earlier one carried by the loop would be
+// violated; such cycles are rejected. Perfectly nested inner loops are
+// not split.
+func Fission(p *ir.Program, index int) (*ir.Program, error) {
+	out := p.Clone()
+	if index < 0 || index >= len(out.Root) {
+		return nil, fmt.Errorf("transform: Fission index %d out of range", index)
+	}
+	l, ok := out.Root[index].(*ir.Loop)
+	if !ok {
+		return nil, fmt.Errorf("transform: Fission target must be a loop")
+	}
+	if len(l.Body) < 2 {
+		return nil, fmt.Errorf("transform: Fission needs at least two body nodes")
+	}
+	// Legality: between any pair of body statements, a loop-carried
+	// dependence from a LATER statement to an EARLIER one would be
+	// reversed by distribution. Analyze each ordered pair.
+	var bodyStmts []*ir.Stmt
+	for _, n := range l.Body {
+		if s, ok := n.(*ir.Stmt); ok {
+			bodyStmts = append(bodyStmts, s)
+		} else {
+			return nil, fmt.Errorf("transform: Fission supports statement bodies only")
+		}
+	}
+	for i := range bodyStmts {
+		for j := i + 1; j < len(bodyStmts); j++ {
+			// Does statement j write something statement i reads or
+			// writes (with a loop-carried distance)? Then after
+			// distribution, loop j runs entirely after loop i and the
+			// dependence j -> i (backward in text) must not exist
+			// carried forward.
+			deps := polyhedral.Analyze([]*ir.Loop{l}, []*ir.Stmt{bodyStmts[j], bodyStmts[i]})
+			for _, d := range deps {
+				if d.CarriedBy(0) && crossPair(d, bodyStmts[j], bodyStmts[i]) {
+					return nil, fmt.Errorf("transform: fission would violate a carried dependence on %s", d.Array)
+				}
+			}
+		}
+	}
+	var loops []ir.Node
+	for _, s := range bodyStmts {
+		nl := &ir.Loop{Var: l.Var, Lo: l.Lo.Copy(), Hi: l.Hi.Copy(), Step: l.Step,
+			Parallel: l.Parallel, Collapse: l.Collapse,
+			Body: []ir.Node{s.CloneNode()}}
+		loops = append(loops, nl)
+	}
+	newRoot := append([]ir.Node{}, out.Root[:index]...)
+	newRoot = append(newRoot, loops...)
+	newRoot = append(newRoot, out.Root[index+1:]...)
+	out.Root = newRoot
+	return out, nil
+}
+
+// crossPair conservatively reports whether the dependence touches
+// arrays used by both statements (Analyze already restricts to the
+// pair, so any carried dependence between distinct statements is a
+// cross dependence; self-dependences of one statement are filtered by
+// checking both statements use the array).
+func crossPair(d polyhedral.Dependence, a, b *ir.Stmt) bool {
+	usesArray := func(s *ir.Stmt, arr string) bool {
+		for _, ac := range s.Accesses() {
+			if ac.Array == arr {
+				return true
+			}
+		}
+		return false
+	}
+	return usesArray(a, d.Array) && usesArray(b, d.Array)
+}
+
+func renameInBody(ns []ir.Node, old, newName string) {
+	ir.Walk(ns, func(n ir.Node) bool {
+		switch x := n.(type) {
+		case *ir.Stmt:
+			x.RenameIter(old, newName)
+		case *ir.Loop:
+			x.Lo = x.Lo.Rename(old, newName)
+			x.Hi = x.Hi.Rename(old, newName)
+			for i := range x.Caps {
+				x.Caps[i] = x.Caps[i].Rename(old, newName)
+			}
+		}
+		return true
+	})
+}
+
+// FuseStep returns a Step applying Fuse.
+func FuseStep(first, second int) Step {
+	return func(p *ir.Program) (*ir.Program, error) { return Fuse(p, first, second) }
+}
+
+// FissionStep returns a Step applying Fission.
+func FissionStep(index int) Step {
+	return func(p *ir.Program) (*ir.Program, error) { return Fission(p, index) }
+}

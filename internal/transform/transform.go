@@ -1,0 +1,305 @@
+// Package transform implements the loop transformations the
+// auto-tuner's transformation skeletons are built from: rectangular
+// tiling of a permutable band, loop collapsing before parallelization,
+// loop interchange, unrolling, and parallelization of the outermost
+// loop.
+//
+// Transformations operate on MiniIR (internal/ir) and return new
+// programs, leaving their input untouched. Legality is *not* re-checked
+// here — the analyzer (internal/analyzer) combines the polyhedral
+// legality tests with these mechanical rewrites; transform only
+// validates structural applicability (nest depth, rectangularity where
+// required).
+package transform
+
+import (
+	"fmt"
+
+	"autotune/internal/ir"
+)
+
+// Tile strip-mines the outermost band of `len(tiles)` loops of the
+// perfect nest rooted at the program's first top-level node and sinks
+// the point loops inside, producing the classic tiled form:
+//
+//	for it ...  for jt ...          (tile loops, step = tile size)
+//	  for i = it; i < min(it+Ti, N) (point loops, step = 1)
+//
+// A tile size of 0 or 1 leaves the corresponding loop untiled but the
+// loop still counts toward the band. Tile sizes larger than the
+// iteration count are legal (single tile). The original program is not
+// modified.
+func Tile(p *ir.Program, tiles []int64) (*ir.Program, error) {
+	out := p.Clone()
+	if len(out.Root) == 0 {
+		return nil, fmt.Errorf("transform: empty program")
+	}
+	loops, _ := ir.PerfectNest(out.Root[0])
+	if len(tiles) == 0 {
+		return out, nil
+	}
+	if len(tiles) > len(loops) {
+		return nil, fmt.Errorf("transform: %d tile sizes for a %d-deep nest", len(tiles), len(loops))
+	}
+	for _, t := range tiles {
+		if t < 0 {
+			return nil, fmt.Errorf("transform: negative tile size %d", t)
+		}
+	}
+	band := loops[:len(tiles)]
+
+	// Build the new nest: tile loops for every tiled level, then the
+	// remaining structure with point loops substituted in place.
+	var tileLoops []*ir.Loop
+	pointLoops := make([]*ir.Loop, len(band))
+	for idx, l := range band {
+		t := tiles[idx]
+		if t <= 1 {
+			// Untiled level: keep the loop as-is in point position.
+			pointLoops[idx] = l
+			continue
+		}
+		if l.Step != 1 {
+			return nil, fmt.Errorf("transform: cannot tile loop %s with step %d", l.Var, l.Step)
+		}
+		tv := l.Var + "_t"
+		caps := make([]ir.Affine, len(l.Caps))
+		for ci, c := range l.Caps {
+			caps[ci] = c.Copy()
+		}
+		tileLoops = append(tileLoops, &ir.Loop{
+			Var:  tv,
+			Lo:   l.Lo.Copy(),
+			Hi:   l.Hi.Copy(),
+			Caps: caps,
+			Step: t,
+		})
+		pointCaps := make([]ir.Affine, 0, len(l.Caps)+1)
+		for _, c := range l.Caps {
+			pointCaps = append(pointCaps, c.Copy())
+		}
+		pointCaps = append(pointCaps, l.Hi.Copy())
+		pointLoops[idx] = &ir.Loop{
+			Var:  l.Var,
+			Lo:   ir.Var(tv),
+			Hi:   ir.Var(tv).AddConst(t),
+			Caps: pointCaps,
+			Step: 1,
+		}
+	}
+
+	// Stitch: tile loops outermost, then point loops in original
+	// order, then the body below the band.
+	innerBody := band[len(band)-1].Body
+	chain := append(append([]*ir.Loop{}, tileLoops...), pointLoops...)
+	for i := 0; i < len(chain)-1; i++ {
+		chain[i].Body = []ir.Node{chain[i+1]}
+	}
+	chain[len(chain)-1].Body = innerBody
+	out.Root[0] = chain[0]
+	return out, nil
+}
+
+// Interchange permutes the loops of the outermost perfect nest
+// according to perm: the loop at original position perm[i] moves to
+// position i. perm must be a permutation of 0..depth-1 covering a
+// prefix of the nest.
+func Interchange(p *ir.Program, perm []int) (*ir.Program, error) {
+	out := p.Clone()
+	if len(out.Root) == 0 {
+		return nil, fmt.Errorf("transform: empty program")
+	}
+	loops, _ := ir.PerfectNest(out.Root[0])
+	n := len(perm)
+	if n > len(loops) {
+		return nil, fmt.Errorf("transform: permutation of length %d exceeds nest depth %d", n, len(loops))
+	}
+	seen := make([]bool, n)
+	for _, x := range perm {
+		if x < 0 || x >= n || seen[x] {
+			return nil, fmt.Errorf("transform: invalid permutation %v", perm)
+		}
+		seen[x] = true
+	}
+	// Rectangularity check: after interchange every loop bound must
+	// still refer only to iterators that remain outer.
+	pos := make([]int, n) // pos[orig] = new position
+	for newPos, orig := range perm {
+		pos[orig] = newPos
+	}
+	for orig := 0; orig < n; orig++ {
+		for _, b := range append([]ir.Affine{loops[orig].Lo, loops[orig].Hi}, loops[orig].Caps...) {
+			for _, v := range b.Vars() {
+				for other := 0; other < n; other++ {
+					if loops[other].Var == v && pos[other] > pos[orig] {
+						return nil, fmt.Errorf("transform: interchange would move loop %s inside its bound dependency %s",
+							loops[orig].Var, v)
+					}
+				}
+			}
+		}
+	}
+	innerBody := loops[n-1].Body
+	reordered := make([]*ir.Loop, n)
+	for newPos, orig := range perm {
+		reordered[newPos] = loops[orig]
+	}
+	for i := 0; i < n-1; i++ {
+		reordered[i].Body = []ir.Node{reordered[i+1]}
+	}
+	reordered[n-1].Body = innerBody
+	out.Root[0] = reordered[0]
+	return out, nil
+}
+
+// Parallelize marks the outermost loop of the program as parallel,
+// collapsing the given number of perfectly nested loops into the
+// parallel distribution (collapse=1 parallelizes just the outermost
+// loop). The collapsed loops must be rectangular: bounds of an inner
+// collapsed loop must not depend on outer collapsed iterators.
+func Parallelize(p *ir.Program, collapse int) (*ir.Program, error) {
+	if collapse < 1 {
+		return nil, fmt.Errorf("transform: collapse must be >= 1, got %d", collapse)
+	}
+	out := p.Clone()
+	if len(out.Root) == 0 {
+		return nil, fmt.Errorf("transform: empty program")
+	}
+	loops, _ := ir.PerfectNest(out.Root[0])
+	if len(loops) == 0 {
+		return nil, fmt.Errorf("transform: no loop to parallelize")
+	}
+	if collapse > len(loops) {
+		return nil, fmt.Errorf("transform: collapse %d exceeds nest depth %d", collapse, len(loops))
+	}
+	for i := 1; i < collapse; i++ {
+		for _, b := range append([]ir.Affine{loops[i].Lo, loops[i].Hi}, loops[i].Caps...) {
+			for j := 0; j < i; j++ {
+				if b.Coeff(loops[j].Var) != 0 {
+					return nil, fmt.Errorf("transform: collapsed loop %s has non-rectangular bound on %s",
+						loops[i].Var, loops[j].Var)
+				}
+			}
+		}
+	}
+	loops[0].Parallel = true
+	loops[0].Collapse = collapse
+	return out, nil
+}
+
+// Unroll unrolls the innermost loop of the outermost perfect nest by
+// the given factor, replicating the loop body with substituted
+// iterator values. The loop must have step 1 and a constant trip count
+// divisible by the factor (the analyzer only proposes such factors).
+func Unroll(p *ir.Program, factor int64) (*ir.Program, error) {
+	if factor < 1 {
+		return nil, fmt.Errorf("transform: unroll factor must be >= 1, got %d", factor)
+	}
+	out := p.Clone()
+	if factor == 1 {
+		return out, nil
+	}
+	if len(out.Root) == 0 {
+		return nil, fmt.Errorf("transform: empty program")
+	}
+	loops, stmts := ir.PerfectNest(out.Root[0])
+	if len(loops) == 0 {
+		return nil, fmt.Errorf("transform: no loop to unroll")
+	}
+	l := loops[len(loops)-1]
+	if l.Step != 1 {
+		return nil, fmt.Errorf("transform: cannot unroll loop %s with step %d", l.Var, l.Step)
+	}
+	if !l.Lo.IsConst() || !l.Hi.IsConst() || len(l.Caps) > 0 {
+		return nil, fmt.Errorf("transform: unroll requires constant rectangular bounds on %s", l.Var)
+	}
+	trip := l.Hi.Const - l.Lo.Const
+	if trip%factor != 0 {
+		return nil, fmt.Errorf("transform: trip count %d not divisible by unroll factor %d", trip, factor)
+	}
+	if len(stmts) == 0 {
+		return nil, fmt.Errorf("transform: loop %s has no statements to unroll", l.Var)
+	}
+	var newBody []ir.Node
+	for u := int64(0); u < factor; u++ {
+		for _, n := range l.Body {
+			cp := n.CloneNode()
+			if s, ok := cp.(*ir.Stmt); ok {
+				s.SubstIter(l.Var, ir.Var(l.Var).AddConst(u))
+				s.Label = fmt.Sprintf("%s (unroll %d)", s.Label, u)
+			}
+			newBody = append(newBody, cp)
+		}
+	}
+	l.Body = newBody
+	l.Step = factor
+	return out, nil
+}
+
+// AnnotateUnroll marks the innermost loop of the outermost perfect
+// nest with an unroll pragma of the given factor. Unlike Unroll it is
+// legal for any bounds (the backend compiler handles remainders);
+// factor 1 clears the annotation.
+func AnnotateUnroll(p *ir.Program, factor int64) (*ir.Program, error) {
+	if factor < 1 {
+		return nil, fmt.Errorf("transform: unroll pragma factor must be >= 1, got %d", factor)
+	}
+	out := p.Clone()
+	if len(out.Root) == 0 {
+		return nil, fmt.Errorf("transform: empty program")
+	}
+	loops, _ := ir.PerfectNest(out.Root[0])
+	if len(loops) == 0 {
+		return nil, fmt.Errorf("transform: no loop to annotate")
+	}
+	inner := loops[len(loops)-1]
+	if factor == 1 {
+		inner.UnrollPragma = 0
+	} else {
+		inner.UnrollPragma = factor
+	}
+	return out, nil
+}
+
+// AnnotateUnrollStep returns a Step applying AnnotateUnroll.
+func AnnotateUnrollStep(factor int64) Step {
+	return func(p *ir.Program) (*ir.Program, error) { return AnnotateUnroll(p, factor) }
+}
+
+// Sequence applies a list of transformation steps in order. Each step
+// is a function from program to program; Sequence stops at the first
+// error.
+type Step func(*ir.Program) (*ir.Program, error)
+
+// TileStep returns a Step applying Tile with the given sizes.
+func TileStep(tiles []int64) Step {
+	return func(p *ir.Program) (*ir.Program, error) { return Tile(p, tiles) }
+}
+
+// InterchangeStep returns a Step applying Interchange.
+func InterchangeStep(perm []int) Step {
+	return func(p *ir.Program) (*ir.Program, error) { return Interchange(p, perm) }
+}
+
+// ParallelizeStep returns a Step applying Parallelize.
+func ParallelizeStep(collapse int) Step {
+	return func(p *ir.Program) (*ir.Program, error) { return Parallelize(p, collapse) }
+}
+
+// UnrollStep returns a Step applying Unroll.
+func UnrollStep(factor int64) Step {
+	return func(p *ir.Program) (*ir.Program, error) { return Unroll(p, factor) }
+}
+
+// Sequence applies steps left to right.
+func Sequence(p *ir.Program, steps ...Step) (*ir.Program, error) {
+	cur := p
+	for i, s := range steps {
+		next, err := s(cur)
+		if err != nil {
+			return nil, fmt.Errorf("transform: step %d: %w", i, err)
+		}
+		cur = next
+	}
+	return cur, nil
+}

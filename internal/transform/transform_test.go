@@ -1,0 +1,337 @@
+package transform
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"autotune/internal/ir"
+)
+
+func mmProgram(n int64) *ir.Program {
+	stmt := &ir.Stmt{
+		Label:  "mm",
+		Writes: []ir.Access{{Array: "C", Indices: []ir.Affine{ir.Var("i"), ir.Var("j")}}},
+		Reads: []ir.Access{
+			{Array: "C", Indices: []ir.Affine{ir.Var("i"), ir.Var("j")}},
+			{Array: "A", Indices: []ir.Affine{ir.Var("i"), ir.Var("k")}},
+			{Array: "B", Indices: []ir.Affine{ir.Var("k"), ir.Var("j")}},
+		},
+		Flops: 2,
+	}
+	kl := &ir.Loop{Var: "k", Lo: ir.Con(0), Hi: ir.Con(n), Step: 1, Body: []ir.Node{stmt}}
+	jl := &ir.Loop{Var: "j", Lo: ir.Con(0), Hi: ir.Con(n), Step: 1, Body: []ir.Node{kl}}
+	il := &ir.Loop{Var: "i", Lo: ir.Con(0), Hi: ir.Con(n), Step: 1, Body: []ir.Node{jl}}
+	return &ir.Program{
+		Name: "mm",
+		Arrays: []ir.Array{
+			{Name: "A", ElemBytes: 8, Dims: []int64{n, n}},
+			{Name: "B", ElemBytes: 8, Dims: []int64{n, n}},
+			{Name: "C", ElemBytes: 8, Dims: []int64{n, n}},
+		},
+		Root: []ir.Node{il},
+	}
+}
+
+// iterationCount walks the loop tree executing bounds, counting
+// innermost statement executions. It is the ground truth for semantic
+// preservation: any legal restructuring must execute each statement the
+// same number of times.
+func iterationCount(ns []ir.Node, env map[string]int64) int64 {
+	var count int64
+	for _, n := range ns {
+		switch x := n.(type) {
+		case *ir.Stmt:
+			count++
+		case *ir.Loop:
+			lo := x.Lo.Eval(env)
+			hi := x.EffectiveHi(env)
+			for v := lo; v < hi; v += x.Step {
+				env[x.Var] = v
+				count += iterationCount(x.Body, env)
+			}
+			delete(env, x.Var)
+		}
+	}
+	return count
+}
+
+func TestTilePreservesIterationCount(t *testing.T) {
+	const n = 12
+	orig := mmProgram(n)
+	want := iterationCount(orig.Root, map[string]int64{})
+	if want != n*n*n {
+		t.Fatalf("baseline count = %d", want)
+	}
+	for _, tiles := range [][]int64{{4, 4, 4}, {5, 3, 7}, {12, 12, 12}, {100, 1, 2}, {1, 1, 1}, {4}, {4, 6}} {
+		tiled, err := Tile(orig, tiles)
+		if err != nil {
+			t.Fatalf("Tile(%v): %v", tiles, err)
+		}
+		if err := tiled.Validate(); err != nil {
+			t.Fatalf("Tile(%v) produced invalid IR: %v", tiles, err)
+		}
+		got := iterationCount(tiled.Root, map[string]int64{})
+		if got != want {
+			t.Errorf("Tile(%v): iterations = %d, want %d", tiles, got, want)
+		}
+	}
+}
+
+func TestTileDoesNotModifyInput(t *testing.T) {
+	orig := mmProgram(8)
+	before := orig.String()
+	if _, err := Tile(orig, []int64{4, 4, 4}); err != nil {
+		t.Fatal(err)
+	}
+	if orig.String() != before {
+		t.Fatal("Tile mutated its input program")
+	}
+}
+
+func TestTileStructure(t *testing.T) {
+	tiled, err := Tile(mmProgram(16), []int64{4, 8, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	loops, _ := ir.PerfectNest(tiled.Root[0])
+	var order []string
+	for _, l := range loops {
+		order = append(order, l.Var)
+	}
+	want := "i_t,j_t,k_t,i,j,k"
+	if strings.Join(order, ",") != want {
+		t.Fatalf("loop order = %v, want %s", order, want)
+	}
+	if loops[0].Step != 4 || loops[1].Step != 8 || loops[2].Step != 2 {
+		t.Fatalf("tile loop steps = %d,%d,%d", loops[0].Step, loops[1].Step, loops[2].Step)
+	}
+	// Point loops are capped by the original bound.
+	if len(loops[3].Caps) != 1 || loops[3].Caps[0].Const != 16 {
+		t.Fatalf("point loop caps = %v", loops[3].Caps)
+	}
+}
+
+func TestTilePartialAndUnit(t *testing.T) {
+	// Tile size 1 leaves the level untiled: only j gets a tile loop.
+	tiled, err := Tile(mmProgram(16), []int64{1, 4, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	loops, _ := ir.PerfectNest(tiled.Root[0])
+	var order []string
+	for _, l := range loops {
+		order = append(order, l.Var)
+	}
+	if strings.Join(order, ",") != "j_t,i,j,k" {
+		t.Fatalf("loop order = %v", order)
+	}
+}
+
+func TestTileErrors(t *testing.T) {
+	if _, err := Tile(&ir.Program{Name: "empty"}, []int64{2}); err == nil {
+		t.Error("empty program should fail")
+	}
+	if _, err := Tile(mmProgram(8), []int64{2, 2, 2, 2}); err == nil {
+		t.Error("too many tile sizes should fail")
+	}
+	if _, err := Tile(mmProgram(8), []int64{-1}); err == nil {
+		t.Error("negative tile size should fail")
+	}
+	p := mmProgram(8)
+	loops, _ := ir.PerfectNest(p.Root[0])
+	loops[0].Step = 2
+	if _, err := Tile(p, []int64{4}); err == nil {
+		t.Error("tiling a non-unit-step loop should fail")
+	}
+}
+
+func TestInterchange(t *testing.T) {
+	p := mmProgram(8)
+	want := iterationCount(p.Root, map[string]int64{})
+	ikj, err := Interchange(p, []int{0, 2, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	loops, _ := ir.PerfectNest(ikj.Root[0])
+	if loops[0].Var != "i" || loops[1].Var != "k" || loops[2].Var != "j" {
+		t.Fatalf("order = %s,%s,%s, want i,k,j", loops[0].Var, loops[1].Var, loops[2].Var)
+	}
+	if got := iterationCount(ikj.Root, map[string]int64{}); got != want {
+		t.Fatalf("iterations = %d, want %d", got, want)
+	}
+	if err := ikj.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInterchangeRejectsTriangularViolation(t *testing.T) {
+	// j's bound depends on i; moving j outside i must fail.
+	stmt := &ir.Stmt{Label: "s", Writes: []ir.Access{{Array: "A", Indices: []ir.Affine{ir.Var("i"), ir.Var("j")}}}}
+	jl := &ir.Loop{Var: "j", Lo: ir.Con(0), Hi: ir.Var("i"), Step: 1, Body: []ir.Node{stmt}}
+	il := &ir.Loop{Var: "i", Lo: ir.Con(0), Hi: ir.Con(8), Step: 1, Body: []ir.Node{jl}}
+	p := &ir.Program{Name: "tri", Arrays: []ir.Array{{Name: "A", ElemBytes: 8, Dims: []int64{8, 8}}}, Root: []ir.Node{il}}
+	if _, err := Interchange(p, []int{1, 0}); err == nil {
+		t.Error("interchange across a triangular bound should fail")
+	}
+}
+
+func TestInterchangeInvalidPerm(t *testing.T) {
+	p := mmProgram(8)
+	for _, perm := range [][]int{{0, 0, 1}, {0, 1, 3}, {-1, 0, 1}, {0, 1, 2, 3}} {
+		if _, err := Interchange(p, perm); err == nil {
+			t.Errorf("perm %v should fail", perm)
+		}
+	}
+}
+
+func TestParallelize(t *testing.T) {
+	p, err := Parallelize(mmProgram(8), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loops, _ := ir.PerfectNest(p.Root[0])
+	if !loops[0].Parallel || loops[0].Collapse != 2 {
+		t.Fatalf("outer loop parallel=%v collapse=%d", loops[0].Parallel, loops[0].Collapse)
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParallelizeErrors(t *testing.T) {
+	if _, err := Parallelize(mmProgram(8), 0); err == nil {
+		t.Error("collapse 0 should fail")
+	}
+	if _, err := Parallelize(mmProgram(8), 4); err == nil {
+		t.Error("collapse beyond depth should fail")
+	}
+	if _, err := Parallelize(&ir.Program{Name: "e"}, 1); err == nil {
+		t.Error("empty program should fail")
+	}
+	// Non-rectangular collapse.
+	stmt := &ir.Stmt{Label: "s", Writes: []ir.Access{{Array: "A", Indices: []ir.Affine{ir.Var("i"), ir.Var("j")}}}}
+	jl := &ir.Loop{Var: "j", Lo: ir.Con(0), Hi: ir.Var("i"), Step: 1, Body: []ir.Node{stmt}}
+	il := &ir.Loop{Var: "i", Lo: ir.Con(0), Hi: ir.Con(8), Step: 1, Body: []ir.Node{jl}}
+	p := &ir.Program{Name: "tri", Arrays: []ir.Array{{Name: "A", ElemBytes: 8, Dims: []int64{8, 8}}}, Root: []ir.Node{il}}
+	if _, err := Parallelize(p, 2); err == nil {
+		t.Error("non-rectangular collapse should fail")
+	}
+}
+
+func TestUnrollPreservesAccessesPerIteration(t *testing.T) {
+	p := mmProgram(8)
+	u, err := Unroll(p, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := u.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	loops, _ := ir.PerfectNest(u.Root[0])
+	inner := loops[len(loops)-1]
+	if inner.Step != 4 {
+		t.Fatalf("unrolled step = %d, want 4", inner.Step)
+	}
+	if len(inner.Body) != 4 {
+		t.Fatalf("unrolled body statements = %d, want 4", len(inner.Body))
+	}
+	// Statement copies access k, k+1, k+2, k+3.
+	for off, n := range inner.Body {
+		s := n.(*ir.Stmt)
+		ix := s.Reads[1].Indices[1] // A[i][k+off]
+		if ix.Coeff("k") != 1 || ix.Const != int64(off) {
+			t.Errorf("unroll copy %d reads A[i][%s]", off, ix.String())
+		}
+	}
+	// Total statement executions unchanged.
+	if got, want := iterationCount(u.Root, map[string]int64{}), int64(8*8*8); got != want {
+		t.Fatalf("iterations = %d, want %d", got, want)
+	}
+}
+
+func TestUnrollErrors(t *testing.T) {
+	if _, err := Unroll(mmProgram(8), 0); err == nil {
+		t.Error("factor 0 should fail")
+	}
+	if _, err := Unroll(mmProgram(8), 3); err == nil {
+		t.Error("non-divisible factor should fail")
+	}
+	if _, err := Unroll(&ir.Program{Name: "e"}, 2); err == nil {
+		t.Error("empty program should fail")
+	}
+	u, err := Unroll(mmProgram(8), 1)
+	if err != nil || len(ir.Stmts(u.Root)) != 1 {
+		t.Error("factor 1 should be identity")
+	}
+}
+
+func TestSequenceComposesAndStopsOnError(t *testing.T) {
+	p := mmProgram(16)
+	out, err := Sequence(p,
+		TileStep([]int64{4, 4, 4}),
+		ParallelizeStep(2),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loops, _ := ir.PerfectNest(out.Root[0])
+	if loops[0].Var != "i_t" || !loops[0].Parallel || loops[0].Collapse != 2 {
+		t.Fatalf("sequence result wrong: %s parallel=%v", loops[0].Var, loops[0].Parallel)
+	}
+	if got := iterationCount(out.Root, map[string]int64{}); got != 16*16*16 {
+		t.Fatalf("iterations = %d", got)
+	}
+	_, err = Sequence(p, TileStep([]int64{-2}), ParallelizeStep(1))
+	if err == nil || !strings.Contains(err.Error(), "step 0") {
+		t.Fatalf("expected step-0 error, got %v", err)
+	}
+	// Interchange and Unroll steps compose too.
+	out2, err := Sequence(mmProgram(8), InterchangeStep([]int{1, 0, 2}), UnrollStep(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	loops2, _ := ir.PerfectNest(out2.Root[0])
+	if loops2[0].Var != "j" {
+		t.Fatalf("interchange step did not apply: %s", loops2[0].Var)
+	}
+}
+
+// Property: tiling with arbitrary positive tile sizes preserves the
+// exact iteration count for arbitrary (small) problem sizes.
+func TestTileIterationCountProperty(t *testing.T) {
+	f := func(rawN uint8, t1, t2, t3 uint8) bool {
+		n := int64(rawN%20) + 1
+		tiles := []int64{int64(t1%25) + 1, int64(t2%25) + 1, int64(t3%25) + 1}
+		p := mmProgram(n)
+		tiled, err := Tile(p, tiles)
+		if err != nil {
+			return false
+		}
+		return iterationCount(tiled.Root, map[string]int64{}) == n*n*n
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: tiling then parallelizing preserves iteration count and
+// validity regardless of collapse depth within the tile-loop band.
+func TestTileParallelizeProperty(t *testing.T) {
+	f := func(rawN, t1, t2 uint8, c uint8) bool {
+		n := int64(rawN%12) + 2
+		tiles := []int64{int64(t1%8) + 2, int64(t2%8) + 2}
+		p := mmProgram(n)
+		out, err := Sequence(p, TileStep(tiles), ParallelizeStep(int(c%2)+1))
+		if err != nil {
+			return false
+		}
+		if out.Validate() != nil {
+			return false
+		}
+		return iterationCount(out.Root, map[string]int64{}) == n*n*n
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

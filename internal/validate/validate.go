@@ -1,0 +1,196 @@
+// Package validate cross-checks the analytical performance model
+// (internal/perfmodel) against the trace-driven cache simulator
+// (internal/cachesim): the same tiled kernel configurations are (a)
+// lowered to MiniIR, transformed, traced and replayed through a
+// simulated cache hierarchy, and (b) fed to the kernel's LevelTraffic
+// reuse-distance analysis. The per-level byte counts are compared by
+// rank agreement — the model does not have to match absolute traffic,
+// but it must order configurations the way the simulator does, since
+// the optimizer only consumes the ordering.
+//
+// This is the grounding required by the substitution rule in
+// DESIGN.md §2 ("weak cache control → build an honest model and
+// validate it").
+package validate
+
+import (
+	"fmt"
+
+	"autotune/internal/cachesim"
+	"autotune/internal/ir"
+	"autotune/internal/kernels"
+	"autotune/internal/machine"
+	"autotune/internal/perfmodel"
+	"autotune/internal/trace"
+	"autotune/internal/transform"
+)
+
+// traceProgram lowers the program to a single-threaded address trace.
+func traceProgram(p *ir.Program, maxAccesses int) ([]uint64, error) {
+	traces, err := trace.Generate(p, 1, maxAccesses)
+	if err != nil {
+		return nil, err
+	}
+	return traces[0], nil
+}
+
+// LevelComparison is one cache level's simulated vs modeled traffic
+// for one configuration.
+type LevelComparison struct {
+	Level      string
+	SimBytes   float64
+	ModelBytes float64
+}
+
+// ConfigResult is the comparison for one tile configuration.
+type ConfigResult struct {
+	Tiles  []int64
+	Levels []LevelComparison
+}
+
+// Report is the complete validation result.
+type Report struct {
+	Kernel  string
+	Machine string
+	N       int64
+	Configs []ConfigResult
+	// RankAgreement maps level name to the Kendall tau-a rank
+	// correlation between simulated and modeled traffic across the
+	// configurations (1 = identical ordering, -1 = inverted).
+	RankAgreement map[string]float64
+}
+
+// usableFraction mirrors the model's conflict-miss derating so both
+// sides see the same effective capacities.
+func usableFraction(assoc int) float64 {
+	if assoc <= 0 {
+		return 1
+	}
+	return 1 - 1/(1+float64(assoc))
+}
+
+// CacheModel traces each tiled configuration of the kernel through the
+// machine's simulated cache hierarchy (single-threaded — the reuse
+// structure, not contention, is under test) and compares per-level
+// traffic against the kernel's LevelTraffic model.
+func CacheModel(k *kernels.Kernel, m *machine.Machine, n int64, tileSets [][]int64, maxAccesses int) (*Report, error) {
+	if len(tileSets) < 2 {
+		return nil, fmt.Errorf("validate: need at least 2 configurations to rank")
+	}
+	report := &Report{Kernel: k.Name, Machine: m.Name, N: n, RankAgreement: map[string]float64{}}
+	levelNames := make([]string, len(m.Caches))
+	for i, lvl := range m.Caches {
+		levelNames[i] = lvl.Name
+	}
+	for _, tiles := range tileSets {
+		if len(tiles) != k.TileDims {
+			return nil, fmt.Errorf("validate: kernel %s wants %d tile sizes, got %d", k.Name, k.TileDims, len(tiles))
+		}
+		prog, err := transform.Tile(k.IR(n), tiles)
+		if err != nil {
+			return nil, err
+		}
+		traces, err := traceProgram(prog, maxAccesses)
+		if err != nil {
+			return nil, err
+		}
+		h, err := cachesim.NewHierarchy(m, 1)
+		if err != nil {
+			return nil, err
+		}
+		for _, addr := range traces {
+			h.Access(0, addr)
+		}
+		// Bytes flowing into level i = misses at level i × line size
+		// (each miss installs one line fetched from outside).
+		cr := ConfigResult{Tiles: append([]int64(nil), tiles...)}
+		stats := h.Levels()
+		for i, lvl := range m.Caches {
+			var misses uint64
+			for _, s := range stats {
+				if matchesLevel(s.Name, lvl.Name) {
+					misses += s.Stats.Misses
+				}
+			}
+			cap := perfmodel.Capacity{
+				PerThread: int64(float64(lvl.SizeBytes) * usableFraction(lvl.Associativity)),
+				Total:     int64(float64(lvl.SizeBytes) * usableFraction(lvl.Associativity)),
+				Sharers:   1,
+			}
+			cr.Levels = append(cr.Levels, LevelComparison{
+				Level:      lvl.Name,
+				SimBytes:   float64(misses) * float64(lvl.LineBytes),
+				ModelBytes: k.Model.LevelTraffic(n, tiles, cap),
+			})
+			_ = i
+		}
+		report.Configs = append(report.Configs, cr)
+	}
+	for li, name := range levelNames {
+		var sim, model []float64
+		for _, cr := range report.Configs {
+			sim = append(sim, cr.Levels[li].SimBytes)
+			model = append(model, cr.Levels[li].ModelBytes)
+		}
+		report.RankAgreement[name] = kendallTau(sim, model)
+	}
+	return report, nil
+}
+
+func matchesLevel(instance, level string) bool {
+	return len(instance) >= len(level) && instance[:len(level)] == level &&
+		(len(instance) == len(level) || instance[len(level)] == '.')
+}
+
+// tieTolerance is the relative difference below which two traffic
+// values count as tied: simulated traffic carries edge effects (halo
+// lines, alignment) the model does not represent, so near-equal values
+// must not count as ordering disagreements.
+const tieTolerance = 0.05
+
+// kendallTau computes the tau-a rank correlation between two equally
+// long series with relative tie tolerance; tied pairs count as
+// agreement when tied in both.
+func kendallTau(a, b []float64) float64 {
+	n := len(a)
+	if n < 2 {
+		return 0
+	}
+	concordant, discordant, pairs := 0, 0, 0
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			pairs++
+			da := sign(a[j], a[i])
+			db := sign(b[j], b[i])
+			switch {
+			case da == db:
+				concordant++
+			case da == 0 || db == 0:
+				// Tie on one side only: neither concordant nor
+				// discordant.
+			default:
+				discordant++
+			}
+		}
+	}
+	return float64(concordant-discordant) / float64(pairs)
+}
+
+// sign compares x and y under the relative tie tolerance.
+func sign(x, y float64) int {
+	diff := x - y
+	scale := x
+	if y > scale {
+		scale = y
+	}
+	if scale < 0 {
+		scale = -scale
+	}
+	if diff <= tieTolerance*scale && diff >= -tieTolerance*scale {
+		return 0
+	}
+	if diff > 0 {
+		return 1
+	}
+	return -1
+}

@@ -1,0 +1,104 @@
+package validate
+
+import (
+	"testing"
+
+	"autotune/internal/kernels"
+	"autotune/internal/machine"
+)
+
+func TestKendallTau(t *testing.T) {
+	if tau := kendallTau([]float64{1, 2, 3}, []float64{10, 20, 30}); tau != 1 {
+		t.Fatalf("identical order tau = %v", tau)
+	}
+	if tau := kendallTau([]float64{1, 2, 3}, []float64{30, 20, 10}); tau != -1 {
+		t.Fatalf("inverted order tau = %v", tau)
+	}
+	if tau := kendallTau([]float64{1}, []float64{1}); tau != 0 {
+		t.Fatalf("single element tau = %v", tau)
+	}
+	// Ties in both count as concordant.
+	if tau := kendallTau([]float64{1, 1}, []float64{5, 5}); tau != 1 {
+		t.Fatalf("tied pairs tau = %v", tau)
+	}
+}
+
+func TestMatchesLevel(t *testing.T) {
+	if !matchesLevel("L1.t0", "L1") || !matchesLevel("L3.s1", "L3") || !matchesLevel("L2", "L2") {
+		t.Fatal("expected matches failed")
+	}
+	if matchesLevel("L12.t0", "L1") {
+		t.Fatal("prefix confusion: L12 matched L1")
+	}
+}
+
+func TestCacheModelValidationMM(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trace-driven simulation")
+	}
+	mm, _ := kernels.ByName("mm")
+	m := machine.Westmere()
+	// Small problem with contrasting tilings: L1-friendly, L2-sized,
+	// oversized, and untiled.
+	tileSets := [][]int64{
+		{8, 8, 8},
+		{16, 16, 16},
+		{32, 32, 32},
+		{64, 64, 64},
+		{1, 1, 1},
+	}
+	rep, err := CacheModel(mm, m, 64, tileSets, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Configs) != len(tileSets) {
+		t.Fatalf("configs = %d", len(rep.Configs))
+	}
+	for _, cr := range rep.Configs {
+		for _, lc := range cr.Levels {
+			if lc.SimBytes < 0 || lc.ModelBytes < 0 {
+				t.Fatalf("negative traffic: %+v", lc)
+			}
+		}
+	}
+	// The model must broadly order configurations like the simulator
+	// at the innermost level, where the tiling effect is strongest.
+	if tau := rep.RankAgreement["L1"]; tau < 0.2 {
+		t.Errorf("L1 rank agreement = %.2f, want positive correlation", tau)
+	}
+}
+
+func TestCacheModelValidationJacobi(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trace-driven simulation")
+	}
+	j2, _ := kernels.ByName("jacobi-2d")
+	m := machine.Barcelona()
+	tileSets := [][]int64{
+		{8, 8},
+		{32, 32},
+		{128, 128},
+	}
+	rep, err := CacheModel(j2, m, 128, tileSets, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.RankAgreement) != 3 {
+		t.Fatalf("levels = %v", rep.RankAgreement)
+	}
+}
+
+func TestCacheModelErrors(t *testing.T) {
+	mm, _ := kernels.ByName("mm")
+	m := machine.Westmere()
+	if _, err := CacheModel(mm, m, 32, [][]int64{{8, 8, 8}}, 0); err == nil {
+		t.Error("single configuration accepted")
+	}
+	if _, err := CacheModel(mm, m, 32, [][]int64{{8, 8}, {4, 4}}, 0); err == nil {
+		t.Error("wrong tile dimensionality accepted")
+	}
+	// Access cap propagates.
+	if _, err := CacheModel(mm, m, 64, [][]int64{{8, 8, 8}, {16, 16, 16}}, 10); err == nil {
+		t.Error("trace cap not propagated")
+	}
+}
