@@ -93,6 +93,21 @@ type (
 	AdaptivePolicy = rts.Adaptive
 	// RuntimeContext carries dynamic conditions (available cores).
 	RuntimeContext = rts.Context
+	// RuntimeRanker is the optional Policy refinement exposing the
+	// full preference order, enabling fallback on version failure.
+	RuntimeRanker = rts.Ranker
+	// FaultInjector injects deterministic errors and latency spikes
+	// into version entries, for testing the fault-tolerance layer.
+	FaultInjector = rts.FaultInjector
+	// HealthConfig tunes the per-version quarantine circuit breaker.
+	HealthConfig = rts.HealthConfig
+	// VersionHealth snapshots one version's circuit-breaker state.
+	VersionHealth = rts.VersionHealth
+	// RuntimeEvent is a structured trace record of the runtime's
+	// fault handling (failure, fallback, quarantine, readmit).
+	RuntimeEvent = rts.Event
+	// RuntimeEventType classifies RuntimeEvents.
+	RuntimeEventType = rts.EventType
 	// Parameterized is the single-body alternative to multi-versioning
 	// (runtime tile/thread parameters instead of specialized code).
 	Parameterized = multiversion.Parameterized
@@ -445,6 +460,32 @@ func Optimize(space Space, eval Evaluator, opt OptimizerOptions) (*OptimizerResu
 // have executable entries bound (units produced by Tune are ready;
 // deserialized units need Unit.Bind first).
 func NewRuntime(u *Unit, p Policy) (*Runtime, error) { return rts.New(u, p) }
+
+// Runtime fault-handling event kinds, reported through
+// Runtime.SetEventHook.
+const (
+	RuntimeEventFailure    = rts.EventFailure
+	RuntimeEventFallback   = rts.EventFallback
+	RuntimeEventQuarantine = rts.EventQuarantine
+	RuntimeEventReadmit    = rts.EventReadmit
+)
+
+// Sentinel errors of the runtime fault-tolerance layer.
+var (
+	// ErrAllQuarantined is wrapped by Invoke when every ranked
+	// version is sitting out a quarantine cool-down.
+	ErrAllQuarantined = rts.ErrAllQuarantined
+	// ErrInjected marks errors produced by a FaultInjector.
+	ErrInjected = rts.ErrInjected
+)
+
+// RuntimeManager arbitrates a machine-wide core budget among several
+// multi-versioned regions.
+type RuntimeManager = rts.Manager
+
+// NewRuntimeManager builds a manager for a machine with the given core
+// count; register per-region runtimes with Manager.Register.
+func NewRuntimeManager(totalCores int) (*RuntimeManager, error) { return rts.NewManager(totalCores) }
 
 // DecodeUnit deserializes a unit produced by Unit.Encode. Entries are
 // unbound; attach them with Unit.Bind.

@@ -36,6 +36,8 @@ func main() {
 	unroll := flag.Bool("unroll", false, "add the innermost-loop unroll factor as a tuning dimension")
 	emitC := flag.String("emit-c", "", "write the multi-versioned C translation unit to this file")
 	programFile := flag.String("program", "", "tune a MiniIR text program from this file instead of a built-in kernel")
+	faultDemo := flag.Int("fault-demo", 0, "after tuning, drive N runtime invocations with faults injected into the fastest version")
+	faultRate := flag.Float64("fault-rate", 0.3, "per-invocation error rate for -fault-demo")
 	flag.Parse()
 
 	opts := []autotune.Option{
@@ -122,6 +124,13 @@ func main() {
 		fmt.Printf("C translation unit written to %s\n", *emitC)
 	}
 
+	if *faultDemo > 0 {
+		if err := runFaultDemo(res.Unit, *faultDemo, *faultRate, *seed); err != nil {
+			fmt.Fprintln(os.Stderr, "autotune:", err)
+			os.Exit(1)
+		}
+	}
+
 	if *out != "" {
 		data, err := res.Unit.Encode()
 		if err != nil {
@@ -134,6 +143,41 @@ func main() {
 		}
 		fmt.Printf("multi-versioned unit written to %s\n", *out)
 	}
+}
+
+// runFaultDemo exercises the runtime's fault-tolerance layer on the
+// freshly tuned unit: the fastest version gets an injected error rate,
+// a time-priority policy keeps preferring it, and the fallback +
+// quarantine machinery has to absorb every failure.
+func runFaultDemo(unit *autotune.Unit, n int, rate float64, seed int64) error {
+	if err := unit.Bind(func(m autotune.Meta) (autotune.Entry, error) {
+		return func() error { return nil }, nil
+	}); err != nil {
+		return err
+	}
+	rt, err := autotune.NewRuntime(unit, autotune.WeightedSum{Weights: []float64{1, 0}})
+	if err != nil {
+		return err
+	}
+	fastest := 0
+	for i, v := range unit.Versions {
+		if v.Meta.Objectives[0] < unit.Versions[fastest].Meta.Objectives[0] {
+			fastest = i
+		}
+	}
+	rt.SetFaultInjector(&autotune.FaultInjector{ErrorRate: rate, Versions: []int{fastest}, Seed: seed})
+
+	fmt.Printf("\nfault demo: %d invocations, %.0f%% error rate on version %d\n", n, rate*100, fastest)
+	callerErrors := 0
+	for i := 0; i < n; i++ {
+		if _, err := rt.Invoke(); err != nil {
+			callerErrors++
+		}
+	}
+	st := rt.Stats()
+	fmt.Printf("caller errors %d | failures absorbed %d | fallbacks %d | quarantines %d | readmissions %d\n",
+		callerErrors, st.Failures, st.Fallbacks, st.Quarantines, st.Readmissions)
+	return nil
 }
 
 func indent(s, prefix string) string {

@@ -102,43 +102,12 @@ func (u *Unit) Metas() []Meta {
 // across the table — the runtime policy described in the paper's §IV.
 // Weights need not sum to 1; negative weights are rejected.
 func (u *Unit) SelectWeighted(weights []float64) (int, error) {
-	if len(weights) != len(u.ObjectiveNames) {
-		return 0, fmt.Errorf("multiversion: %d weights for %d objectives", len(weights), len(u.ObjectiveNames))
-	}
-	for _, w := range weights {
-		if w < 0 || math.IsNaN(w) {
-			return 0, errors.New("multiversion: weights must be non-negative")
-		}
-	}
-	if len(u.Versions) == 0 {
-		return 0, errors.New("multiversion: empty version table")
-	}
-	m := len(u.ObjectiveNames)
-	lo := make([]float64, m)
-	hi := make([]float64, m)
-	for c := 0; c < m; c++ {
-		lo[c], hi[c] = math.Inf(1), math.Inf(-1)
-		for _, v := range u.Versions {
-			x := v.Meta.Objectives[c]
-			if x < lo[c] {
-				lo[c] = x
-			}
-			if x > hi[c] {
-				hi[c] = x
-			}
-		}
+	scores, err := u.WeightedScores(weights)
+	if err != nil {
+		return 0, err
 	}
 	best, bestScore := 0, math.Inf(1)
-	for i, v := range u.Versions {
-		score := 0.0
-		for c := 0; c < m; c++ {
-			span := hi[c] - lo[c]
-			norm := 0.0
-			if span > 0 {
-				norm = (v.Meta.Objectives[c] - lo[c]) / span
-			}
-			score += weights[c] * norm
-		}
+	for i, score := range scores {
 		if score < bestScore {
 			best, bestScore = i, score
 		}

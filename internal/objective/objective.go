@@ -37,7 +37,9 @@ type Evaluator interface {
 	// ["time", "resources"].
 	ObjectiveNames() []string
 	// Evaluations returns the number of distinct configurations
-	// evaluated so far (cache hits do not count twice).
+	// successfully evaluated so far — the E metric of Table VI.
+	// Cache hits do not count twice, and failed evaluations
+	// (invalid configurations) do not count at all.
 	Evaluations() int
 }
 
@@ -95,9 +97,22 @@ type Sim struct {
 	cfg   SimConfig
 	model *perfmodel.Model
 
-	mu    sync.Mutex
-	cache map[string][]float64
-	evals int
+	mu       sync.Mutex
+	cache    map[string][]float64
+	inflight map[string]*inflightEval
+	evals    int
+	// modeled counts raw model evaluations (including failed ones);
+	// it differs from evals exactly when dedup or failure accounting
+	// kicks in, which is what the tests observe.
+	modeled int
+}
+
+// inflightEval is the rendezvous for duplicate requests of a
+// configuration whose evaluation is still running: followers wait on
+// done instead of modeling the same key a second time.
+type inflightEval struct {
+	done chan struct{}
+	objs []float64
 }
 
 // NewSim builds a simulated evaluator. The configuration layout is
@@ -120,7 +135,7 @@ func NewSim(cfg SimConfig) (*Sim, error) {
 	}
 	mo := perfmodel.New(cfg.Machine)
 	mo.NoiseAmp = cfg.NoiseAmp
-	return &Sim{cfg: cfg, model: mo, cache: map[string][]float64{}}, nil
+	return &Sim{cfg: cfg, model: mo, cache: map[string][]float64{}, inflight: map[string]*inflightEval{}}, nil
 }
 
 // ObjectiveNames implements Evaluator.
@@ -146,7 +161,10 @@ func (s *Sim) EvaluateOne(cfg skeleton.Config) []float64 {
 
 // Evaluate implements Evaluator. Configurations are evaluated
 // concurrently, mimicking the paper's parallel evaluation of
-// independent configurations, and memoized.
+// independent configurations, and memoized. Duplicate keys — within
+// one batch or across concurrent batches — are deduplicated in flight
+// (singleflight): one leader models the configuration, followers wait
+// for its result, so each distinct key is modeled exactly once.
 func (s *Sim) Evaluate(cfgs []skeleton.Config) [][]float64 {
 	out := make([][]float64, len(cfgs))
 	sem := make(chan struct{}, s.cfg.Parallelism)
@@ -154,32 +172,53 @@ func (s *Sim) Evaluate(cfgs []skeleton.Config) [][]float64 {
 	for i, cfg := range cfgs {
 		key := cfg.Key()
 		s.mu.Lock()
-		cached, ok := s.cache[key]
-		s.mu.Unlock()
-		if ok {
+		if cached, ok := s.cache[key]; ok {
 			out[i] = cached
+			s.mu.Unlock()
 			continue
 		}
+		if fl, ok := s.inflight[key]; ok {
+			s.mu.Unlock()
+			// Follower: wait for the leader's result. Followers hold
+			// no semaphore slot, so they cannot starve the leaders
+			// they are waiting on.
+			wg.Add(1)
+			go func(i int, fl *inflightEval) {
+				defer wg.Done()
+				<-fl.done
+				out[i] = fl.objs
+			}(i, fl)
+			continue
+		}
+		fl := &inflightEval{done: make(chan struct{})}
+		s.inflight[key] = fl
+		s.mu.Unlock()
 		wg.Add(1)
 		sem <- struct{}{}
-		go func(i int, cfg skeleton.Config, key string) {
+		go func(i int, cfg skeleton.Config, key string, fl *inflightEval) {
 			defer wg.Done()
 			defer func() { <-sem }()
 			objs := s.evaluate(cfg)
 			s.mu.Lock()
-			if _, dup := s.cache[key]; !dup {
-				s.cache[key] = objs
+			s.cache[key] = objs
+			if objs != nil {
 				s.evals++
 			}
-			out[i] = s.cache[key]
+			delete(s.inflight, key)
 			s.mu.Unlock()
-		}(i, cfg, key)
+			fl.objs = objs
+			close(fl.done)
+			out[i] = objs
+		}(i, cfg, key, fl)
 	}
 	wg.Wait()
 	return out
 }
 
 func (s *Sim) evaluate(cfg skeleton.Config) []float64 {
+	s.mu.Lock()
+	s.modeled++
+	s.mu.Unlock()
 	d := s.cfg.Kernel.TileDims
 	want := d + 1
 	if s.cfg.UnrollDim {
@@ -278,7 +317,9 @@ func (m *Measured) Evaluate(cfgs []skeleton.Config) [][]float64 {
 		objs := m.evaluate(cfg)
 		m.mu.Lock()
 		m.cache[key] = objs
-		m.evals++
+		if objs != nil {
+			m.evals++
+		}
 		m.mu.Unlock()
 		out[i] = objs
 	}

@@ -81,6 +81,70 @@ func TestSimCachingCountsOnce(t *testing.T) {
 	}
 }
 
+func TestSimDuplicatesInOneBatchModeledOnce(t *testing.T) {
+	s := newSim(t, 0)
+	cfg := skeleton.Config{32, 32, 32, 4}
+	// 16 copies of the same key in one batch: without in-flight
+	// deduplication every copy misses the cache and spawns its own
+	// evaluation goroutine. The singleflight leader must model the
+	// key exactly once while the followers wait for its result.
+	batch := make([]skeleton.Config, 16)
+	for i := range batch {
+		batch[i] = cfg
+	}
+	out := s.Evaluate(batch)
+	for i, objs := range out {
+		if objs == nil || objs[0] != out[0][0] {
+			t.Fatalf("duplicate %d got %v", i, objs)
+		}
+	}
+	s.mu.Lock()
+	modeled := s.modeled
+	s.mu.Unlock()
+	if modeled != 1 {
+		t.Fatalf("modeled %d times, want 1", modeled)
+	}
+	if s.Evaluations() != 1 {
+		t.Fatalf("evaluations = %d, want 1", s.Evaluations())
+	}
+}
+
+func TestSimFailedEvaluationsDoNotCount(t *testing.T) {
+	s := newSim(t, 0)
+	out := s.Evaluate([]skeleton.Config{
+		{64, 64, 64, 0},  // invalid thread count
+		{64, 64, 64, 4},  // valid
+		{64, 64, 64, 41}, // exceeds cores
+	})
+	if out[0] != nil || out[1] == nil || out[2] != nil {
+		t.Fatalf("out = %v", out)
+	}
+	// The E metric counts successful distinct evaluations only.
+	if s.Evaluations() != 1 {
+		t.Fatalf("evaluations = %d, want 1 (failures must not count)", s.Evaluations())
+	}
+	// Failed configurations stay cached: retrying does not re-model
+	// and still does not count.
+	s.Evaluate([]skeleton.Config{{64, 64, 64, 0}})
+	if s.Evaluations() != 1 {
+		t.Fatalf("evaluations = %d after retry, want 1", s.Evaluations())
+	}
+}
+
+func TestMeasuredFailedEvaluationsDoNotCount(t *testing.T) {
+	mm, _ := kernels.ByName("mm")
+	m, err := NewMeasured(mm, 32, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bad := m.Evaluate([]skeleton.Config{{16, 16}}); bad[0] != nil {
+		t.Fatal("invalid config should fail")
+	}
+	if m.Evaluations() != 0 {
+		t.Fatalf("evaluations = %d, want 0", m.Evaluations())
+	}
+}
+
 func TestSimDeterministicAcrossBatches(t *testing.T) {
 	a := newSim(t, 0.01)
 	b := newSim(t, 0.01)

@@ -201,12 +201,20 @@ type randInterface interface {
 }
 
 // pickDistinct draws k distinct indices from [0,n) avoiding self.
+// Algorithm 1 requires b, c, d to differ from a, so self is excluded
+// whenever another member exists (n > 1); only a population of one has
+// no choice but to return self.
 func pickDistinct(rng randInterface, n, self, k int) []int {
 	out := make([]int, 0, k)
 	if n <= k {
-		// Tiny populations: allow repeats rather than spinning.
+		// Tiny populations: allow repeats rather than spinning, but
+		// still never hand back self.
 		for len(out) < k {
-			out = append(out, rng.Intn(n))
+			x := rng.Intn(n)
+			if x == self && n > 1 {
+				continue
+			}
+			out = append(out, x)
 		}
 		return out
 	}

@@ -358,10 +358,22 @@ func TestPickDistinct(t *testing.T) {
 		}
 		seen[i] = true
 	}
-	// Tiny population: repeats allowed.
-	rng2 := fixedRand{vals: []int{0, 0, 0}}
-	if got := pickDistinct(&rng2, 2, 0, 3); len(got) != 3 {
+	// Tiny population: repeats allowed, but self (index 0) is still
+	// excluded as long as another member exists.
+	rng2 := fixedRand{vals: []int{0, 1, 0, 1, 0, 1}}
+	got := pickDistinct(&rng2, 2, 0, 3)
+	if len(got) != 3 {
 		t.Fatalf("tiny population picks = %v", got)
+	}
+	for _, i := range got {
+		if i == 0 {
+			t.Fatalf("self picked in tiny population: %v", got)
+		}
+	}
+	// A population of one has no choice but self.
+	rng3 := fixedRand{vals: []int{0}}
+	if got := pickDistinct(&rng3, 1, 0, 3); len(got) != 3 {
+		t.Fatalf("singleton population picks = %v", got)
 	}
 }
 

@@ -3,6 +3,7 @@ package rts
 import (
 	"errors"
 	"math"
+	"sort"
 	"sync"
 	"time"
 
@@ -65,13 +66,7 @@ func (a *Adaptive) Select(u *multiversion.Unit, ctx Context) (int, error) {
 	a.init()
 	a.mu.Lock()
 	defer a.mu.Unlock()
-	var feasible []int
-	for i, v := range u.Versions {
-		if ctx.AvailableCores > 0 && v.Meta.Threads > ctx.AvailableCores {
-			continue
-		}
-		feasible = append(feasible, i)
-	}
+	feasible := feasibleVersions(u, ctx)
 	if len(feasible) == 0 {
 		return 0, errors.New("rts: no feasible version")
 	}
@@ -86,6 +81,43 @@ func (a *Adaptive) Select(u *multiversion.Unit, ctx Context) (int, error) {
 		}
 	}
 	return best, nil
+}
+
+// Rank implements Ranker: feasible versions by ascending score. An
+// epsilon roll moves a uniformly random feasible version to the front
+// (exploration) while the rest keep the exploitation order, so
+// fallback after a failed exploration resumes from the best-known
+// versions.
+func (a *Adaptive) Rank(u *multiversion.Unit, ctx Context) ([]int, error) {
+	a.init()
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	feasible := feasibleVersions(u, ctx)
+	if len(feasible) == 0 {
+		return nil, errors.New("rts: no feasible version")
+	}
+	sort.SliceStable(feasible, func(x, y int) bool {
+		return a.score(u, feasible[x]) < a.score(u, feasible[y])
+	})
+	if a.rng.Float64() < a.Epsilon {
+		k := a.rsrc.Intn(len(feasible))
+		pick := feasible[k]
+		copy(feasible[1:k+1], feasible[:k])
+		feasible[0] = pick
+	}
+	return feasible, nil
+}
+
+// feasibleVersions lists the version indices fitting the core budget.
+func feasibleVersions(u *multiversion.Unit, ctx Context) []int {
+	var feasible []int
+	for i, v := range u.Versions {
+		if ctx.AvailableCores > 0 && v.Meta.Threads > ctx.AvailableCores {
+			continue
+		}
+		feasible = append(feasible, i)
+	}
+	return feasible
 }
 
 // score returns the measured median time when available, falling back

@@ -1,0 +1,100 @@
+package rts
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"autotune/internal/stats"
+)
+
+// ErrInjected marks errors produced by a FaultInjector, so tests and
+// demos can distinguish injected faults from genuine entry failures
+// with errors.Is.
+var ErrInjected = errors.New("injected fault")
+
+// FaultInjector perturbs version-entry execution with configurable
+// failures and latency spikes, driven by a deterministic seed. It
+// exists so the runtime's fallback and quarantine machinery can be
+// exercised end-to-end without unreliable hardware: attach one to a
+// Runtime via SetFaultInjector and every entry attempt first rolls the
+// fault model.
+//
+// A nil *FaultInjector injects nothing, so the runtime can hold one
+// unconditionally. The zero value is also inert.
+type FaultInjector struct {
+	// ErrorRate is the per-attempt probability of an injected error
+	// (the entry is then not executed, simulating a crash).
+	ErrorRate float64
+	// Latency is the extra delay added when a latency spike fires.
+	Latency time.Duration
+	// LatencyRate is the per-attempt probability of a latency spike.
+	LatencyRate float64
+	// Versions restricts injection to these version indices; nil
+	// targets every version.
+	Versions []int
+	// Seed makes the injected fault sequence deterministic.
+	Seed int64
+
+	once     sync.Once
+	mu       sync.Mutex
+	rng      interface{ Float64() float64 }
+	targets  map[int]bool
+	injected int
+	spikes   int
+}
+
+func (f *FaultInjector) init() {
+	f.once.Do(func() {
+		f.rng = stats.NewRand(f.Seed)
+		if f.Versions != nil {
+			f.targets = map[int]bool{}
+			for _, v := range f.Versions {
+				f.targets[v] = true
+			}
+		}
+	})
+}
+
+// Apply rolls the fault model for one attempt of the given version: it
+// may sleep (latency spike) and may return an injected error. Safe for
+// concurrent use.
+func (f *FaultInjector) Apply(version int) error {
+	if f == nil {
+		return nil
+	}
+	f.init()
+	f.mu.Lock()
+	if f.targets != nil && !f.targets[version] {
+		f.mu.Unlock()
+		return nil
+	}
+	spike := f.LatencyRate > 0 && f.rng.Float64() < f.LatencyRate
+	fail := f.ErrorRate > 0 && f.rng.Float64() < f.ErrorRate
+	if spike {
+		f.spikes++
+	}
+	if fail {
+		f.injected++
+	}
+	f.mu.Unlock()
+	if spike && f.Latency > 0 {
+		time.Sleep(f.Latency)
+	}
+	if fail {
+		return fmt.Errorf("rts: version %d: %w", version, ErrInjected)
+	}
+	return nil
+}
+
+// Counts returns how many errors and latency spikes have been injected
+// so far.
+func (f *FaultInjector) Counts() (injectedErrors, latencySpikes int) {
+	if f == nil {
+		return 0, 0
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.injected, f.spikes
+}

@@ -46,7 +46,7 @@ func (m *Manager) Register(rt *Runtime) error {
 		return fmt.Errorf("rts: region %q already registered", name)
 	}
 	m.regions[name] = rt
-	m.stats[name] = &InvocationStats{PerVersion: map[int]int{}}
+	m.stats[name] = newInvocationStats()
 	return nil
 }
 
@@ -72,8 +72,11 @@ func (m *Manager) CoresInUse() int {
 
 // Invoke runs one invocation of the named region. The selection is
 // constrained to versions fitting the currently free cores; the chosen
-// version's cores are claimed for the duration of the execution.
-// Returns the selected version index.
+// version's cores are claimed for the duration of the execution. When
+// a version's entry fails, the invocation falls back down the policy
+// ranking, re-negotiating the core claim per candidate; failures and
+// fallbacks are recorded in the region's stats. Returns the executed
+// version index.
 func (m *Manager) Invoke(region string) (int, error) {
 	m.mu.Lock()
 	rt, ok := m.regions[region]
@@ -87,41 +90,34 @@ func (m *Manager) Invoke(region string) (int, error) {
 		return 0, fmt.Errorf("rts: no cores free for region %q", region)
 	}
 
-	// Constrain the region's policy by the free-core budget, then
-	// claim the selected version's cores before executing.
+	// Constrain the region's policy by the free-core budget; the
+	// fallback engine claims each candidate's cores just before it
+	// runs and releases them when it returns.
 	rt.SetContext(Context{AvailableCores: free})
-	m.mu.Lock()
-	policy := rt.policy
-	m.mu.Unlock()
-	idx, err := policy.Select(rt.unit, Context{AvailableCores: free})
-	if err != nil {
-		return 0, fmt.Errorf("rts: region %q: %w", region, err)
-	}
-	if idx < 0 || idx >= len(rt.unit.Versions) {
-		return 0, fmt.Errorf("rts: region %q: invalid selection %d", region, idx)
-	}
-	need := rt.unit.Versions[idx].Meta.Threads
-	m.mu.Lock()
-	if m.totalCores-m.inUse < need {
-		m.mu.Unlock()
-		return 0, fmt.Errorf("rts: region %q lost its cores to a concurrent invocation", region)
-	}
-	m.inUse += need
-	m.mu.Unlock()
-	defer func() {
+	record := func(mut func(*InvocationStats)) {
 		m.mu.Lock()
-		m.inUse -= need
+		mut(m.stats[region])
 		m.mu.Unlock()
-	}()
-
-	if err := rt.unit.Versions[idx].Entry(); err != nil {
-		return idx, fmt.Errorf("rts: region %q version %d: %w", region, idx, err)
 	}
-	m.mu.Lock()
-	st := m.stats[region]
-	st.Invocations++
-	st.PerVersion[idx]++
-	m.mu.Unlock()
+	acquire := func(idx int) (func(), error) {
+		need := rt.unit.Versions[idx].Meta.Threads
+		m.mu.Lock()
+		if m.totalCores-m.inUse < need {
+			m.mu.Unlock()
+			return nil, errors.New("lost cores to a concurrent invocation")
+		}
+		m.inUse += need
+		m.mu.Unlock()
+		return func() {
+			m.mu.Lock()
+			m.inUse -= need
+			m.mu.Unlock()
+		}, nil
+	}
+	idx, err := rt.invokeRanked(Context{AvailableCores: free}, record, acquire)
+	if err != nil {
+		return idx, fmt.Errorf("rts: region %q: %w", region, err)
+	}
 	return idx, nil
 }
 
@@ -131,11 +127,7 @@ func (m *Manager) Stats() map[string]InvocationStats {
 	defer m.mu.Unlock()
 	out := map[string]InvocationStats{}
 	for name, st := range m.stats {
-		cp := InvocationStats{Invocations: st.Invocations, PerVersion: map[int]int{}}
-		for k, v := range st.PerVersion {
-			cp.PerVersion[k] = v
-		}
-		out[name] = cp
+		out[name] = st.clone()
 	}
 	return out
 }

@@ -37,6 +37,7 @@ type OnlineTuner struct {
 	bestTime  float64
 	steps     int
 	accepted  int
+	failures  int
 	haveFirst bool
 }
 
@@ -92,15 +93,25 @@ func (o *OnlineTuner) Best() (tiles []int64, threads int, seconds float64) {
 // Stats returns (steps performed, proposals accepted).
 func (o *OnlineTuner) Stats() (steps, accepted int) { return o.steps, o.accepted }
 
+// Failures returns how many failed measurements were tolerated so far.
+// Failures never displace the incumbent and never abort a Run; the
+// tuner simply rejects the faulty proposal (or retries the seed
+// measurement on the next step).
+func (o *OnlineTuner) Failures() int { return o.failures }
+
 // Step measures the incumbent on the first call; afterwards it
 // proposes one nudged neighbour, measures it, and keeps it when
-// faster. It returns whether the incumbent improved.
+// faster. It returns whether the incumbent improved. Failed
+// measurements are tolerated: they count in Failures and reject only
+// the faulty proposal.
 func (o *OnlineTuner) Step() (bool, error) {
 	o.steps++
 	if !o.haveFirst {
 		t, err := o.measure(o.best)
 		if err != nil {
-			return false, err
+			// Tolerate a faulty seed measurement; retry next step.
+			o.failures++
+			return false, nil
 		}
 		o.bestTime = t
 		o.haveFirst = true
@@ -130,6 +141,7 @@ func (o *OnlineTuner) Step() (bool, error) {
 	t, err := o.measure(cand)
 	if err != nil {
 		// A failing configuration is simply rejected.
+		o.failures++
 		return false, nil
 	}
 	if t < o.bestTime {

@@ -10,6 +10,13 @@
 // changing number of available cores. The policy may be swapped at any
 // time — the trade-off decision is deferred until execution, which is
 // the point of multi-versioning.
+//
+// The runtime is fault tolerant: policies expose their full preference
+// ranking (Ranker), so when a selected version's entry fails the
+// invocation falls back to the next-ranked feasible version instead of
+// failing the caller. A per-version circuit breaker (health.go)
+// quarantines versions that fail repeatedly, and an injectable fault
+// model (faults.go) makes the whole machinery testable end-to-end.
 package rts
 
 import (
@@ -35,6 +42,16 @@ type Policy interface {
 	Name() string
 }
 
+// Ranker is an optional Policy refinement: policies that can order the
+// whole version table let the runtime fall back to the next-best
+// version when the preferred one fails. Rank returns feasible version
+// indices in descending preference; its first element must agree with
+// what Select would pick under the same conditions (modulo randomized
+// exploration). Policies without Rank get single-attempt semantics.
+type Ranker interface {
+	Rank(u *multiversion.Unit, ctx Context) ([]int, error)
+}
+
 // WeightedSum implements the paper's Σ w_c·f_c(v) selection.
 type WeightedSum struct {
 	Weights []float64
@@ -47,10 +64,22 @@ func (p WeightedSum) Name() string { return "weighted-sum" }
 // budget, versions needing more threads are excluded before the
 // weighted scoring.
 func (p WeightedSum) Select(u *multiversion.Unit, ctx Context) (int, error) {
-	if ctx.AvailableCores <= 0 {
-		return u.SelectWeighted(p.Weights)
+	order, err := p.Rank(u, ctx)
+	if err != nil {
+		return 0, err
 	}
-	// Restrict to feasible versions by building a filtered view.
+	return order[0], nil
+}
+
+// Rank implements Ranker: all feasible versions by ascending weighted
+// score.
+func (p WeightedSum) Rank(u *multiversion.Unit, ctx Context) ([]int, error) {
+	if ctx.AvailableCores <= 0 {
+		return u.RankWeighted(p.Weights)
+	}
+	// Restrict to feasible versions by building a filtered view; the
+	// objective normalization then spans only the feasible table,
+	// matching the original Select semantics.
 	var feasible []int
 	for i, v := range u.Versions {
 		if v.Meta.Threads <= ctx.AvailableCores {
@@ -58,17 +87,21 @@ func (p WeightedSum) Select(u *multiversion.Unit, ctx Context) (int, error) {
 		}
 	}
 	if len(feasible) == 0 {
-		return 0, fmt.Errorf("rts: no version fits %d cores", ctx.AvailableCores)
+		return nil, fmt.Errorf("rts: no version fits %d cores", ctx.AvailableCores)
 	}
 	sub := &multiversion.Unit{Region: u.Region, ObjectiveNames: u.ObjectiveNames}
 	for _, i := range feasible {
 		sub.Versions = append(sub.Versions, u.Versions[i])
 	}
-	j, err := sub.SelectWeighted(p.Weights)
+	order, err := sub.RankWeighted(p.Weights)
 	if err != nil {
-		return 0, err
+		return nil, err
 	}
-	return feasible[j], nil
+	out := make([]int, len(order))
+	for k, j := range order {
+		out[k] = feasible[j]
+	}
+	return out, nil
 }
 
 // FastestWithinBudget selects the version with the lowest value of the
@@ -98,6 +131,29 @@ func (p FastestWithinBudget) Select(u *multiversion.Unit, ctx Context) (int, err
 	return idx, nil
 }
 
+// Rank implements Ranker: within-budget versions by ascending Optimize
+// objective, then the rest by ascending Constrain objective, filtered
+// to the core budget.
+func (p FastestWithinBudget) Rank(u *multiversion.Unit, ctx Context) ([]int, error) {
+	order, err := u.RankConstrained(p.Optimize, p.Constrain, p.Budget)
+	if err != nil {
+		return nil, err
+	}
+	if ctx.AvailableCores <= 0 {
+		return order, nil
+	}
+	var out []int
+	for _, i := range order {
+		if u.Versions[i].Meta.Threads <= ctx.AvailableCores {
+			out = append(out, i)
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("rts: no version fits %d cores", ctx.AvailableCores)
+	}
+	return out, nil
+}
+
 // Fixed always selects one version — useful for pinning and tests.
 type Fixed struct{ Index int }
 
@@ -112,20 +168,117 @@ func (p Fixed) Select(u *multiversion.Unit, ctx Context) (int, error) {
 	return p.Index, nil
 }
 
-// InvocationStats records which versions ran.
+// Rank implements Ranker. A pinned version has no fallback: failing it
+// fails the invocation, as before.
+func (p Fixed) Rank(u *multiversion.Unit, ctx Context) ([]int, error) {
+	idx, err := p.Select(u, ctx)
+	if err != nil {
+		return nil, err
+	}
+	return []int{idx}, nil
+}
+
+// EventType classifies runtime fault-handling events.
+type EventType int
+
+const (
+	// EventFailure is one version-entry failure (possibly recovered
+	// by fallback).
+	EventFailure EventType = iota
+	// EventFallback is an invocation completed by a version other
+	// than the policy's first choice.
+	EventFallback
+	// EventQuarantine is a version entering (or, after a failed
+	// probe, re-entering) quarantine.
+	EventQuarantine
+	// EventReadmit is a quarantined version re-admitted after a
+	// successful probe.
+	EventReadmit
+)
+
+// String returns the event label.
+func (t EventType) String() string {
+	switch t {
+	case EventFailure:
+		return "failure"
+	case EventFallback:
+		return "fallback"
+	case EventQuarantine:
+		return "quarantine"
+	case EventReadmit:
+		return "readmit"
+	default:
+		return fmt.Sprintf("EventType(%d)", int(t))
+	}
+}
+
+// Event is a structured trace record of the runtime's fault handling.
+type Event struct {
+	Type    EventType
+	Region  string
+	Version int
+	// Attempt is the 0-based position of the version in the policy
+	// ranking for this invocation.
+	Attempt int
+	// Err is the triggering error (EventFailure only).
+	Err error
+}
+
+// ErrAllQuarantined is returned (wrapped) when every version the
+// policy ranked is sitting out a quarantine cool-down.
+var ErrAllQuarantined = errors.New("all versions quarantined")
+
+// InvocationStats records which versions ran and how the runtime's
+// fault handling intervened.
 type InvocationStats struct {
+	// Invocations counts successfully completed invocations.
 	Invocations int
-	// PerVersion counts invocations per version index.
+	// PerVersion counts completed invocations per version index.
 	PerVersion map[int]int
+	// Failures counts version-entry failures observed, including
+	// those recovered by fallback.
+	Failures int
+	// PerVersionFailures counts entry failures per version index.
+	PerVersionFailures map[int]int
+	// Fallbacks counts invocations completed by a version other than
+	// the policy's first choice.
+	Fallbacks int
+	// Quarantines counts quarantine transitions (including failed
+	// probes re-entering cool-down).
+	Quarantines int
+	// Readmissions counts versions re-admitted after a successful
+	// probe.
+	Readmissions int
+}
+
+func newInvocationStats() *InvocationStats {
+	return &InvocationStats{PerVersion: map[int]int{}, PerVersionFailures: map[int]int{}}
+}
+
+// clone deep-copies the stats so callers cannot mutate internal maps.
+func (s InvocationStats) clone() InvocationStats {
+	out := s
+	out.PerVersion = make(map[int]int, len(s.PerVersion))
+	for k, v := range s.PerVersion {
+		out.PerVersion[k] = v
+	}
+	out.PerVersionFailures = make(map[int]int, len(s.PerVersionFailures))
+	for k, v := range s.PerVersionFailures {
+		out.PerVersionFailures[k] = v
+	}
+	return out
 }
 
 // Runtime dispatches invocations of a multi-versioned region.
 type Runtime struct {
-	mu     sync.Mutex
-	unit   *multiversion.Unit
-	policy Policy
-	ctx    Context
-	stats  InvocationStats
+	mu      sync.Mutex
+	unit    *multiversion.Unit
+	policy  Policy
+	ctx     Context
+	stats   *InvocationStats
+	health  *healthTracker
+	faults  *FaultInjector
+	onEvent func(Event)
 }
 
 // New builds a runtime for the unit with the given initial policy.
@@ -142,7 +295,12 @@ func New(u *multiversion.Unit, p Policy) (*Runtime, error) {
 	if p == nil {
 		return nil, errors.New("rts: nil policy")
 	}
-	return &Runtime{unit: u, policy: p, stats: InvocationStats{PerVersion: map[int]int{}}}, nil
+	return &Runtime{
+		unit:   u,
+		policy: p,
+		stats:  newInvocationStats(),
+		health: newHealthTracker(HealthConfig{}),
+	}, nil
 }
 
 // SetPolicy swaps the selection policy; takes effect on the next
@@ -165,38 +323,198 @@ func (r *Runtime) SetContext(ctx Context) {
 	r.ctx = ctx
 }
 
+// SetHealthConfig replaces the circuit-breaker configuration. Existing
+// quarantine state is kept.
+func (r *Runtime) SetHealthConfig(cfg HealthConfig) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.health.cfg = cfg.withDefaults()
+}
+
+// SetFaultInjector attaches (or, with nil, removes) a fault model that
+// every entry attempt is rolled through.
+func (r *Runtime) SetFaultInjector(f *FaultInjector) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.faults = f
+}
+
+// SetEventHook installs a tracing callback for fault-handling events.
+// The hook runs synchronously on the invoking goroutine without
+// runtime locks held; it must be fast and must not call back into the
+// runtime's Invoke path.
+func (r *Runtime) SetEventHook(hook func(Event)) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.onEvent = hook
+}
+
+// Health snapshots the per-version circuit-breaker state.
+func (r *Runtime) Health() map[int]VersionHealth {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.health.snapshot()
+}
+
 // Invoke selects a version under the current policy and context,
-// executes it, and returns the selected index.
+// executes it, and returns the executed index. If the selected
+// version's entry fails, the invocation falls back to the next-ranked
+// feasible version (for policies implementing Ranker); only when every
+// eligible version fails does the caller see an error.
 func (r *Runtime) Invoke() (int, error) {
 	r.mu.Lock()
-	policy, ctx := r.policy, r.ctx
+	ctx := r.ctx
 	r.mu.Unlock()
-	idx, err := policy.Select(r.unit, ctx)
+	return r.invokeRanked(ctx, r.recordOwn, nil)
+}
+
+func (r *Runtime) recordOwn(mut func(*InvocationStats)) {
+	r.mu.Lock()
+	mut(r.stats)
+	r.mu.Unlock()
+}
+
+// rankVersions resolves the policy's preference order, degrading to
+// the single Select choice for policies without Rank.
+func rankVersions(p Policy, u *multiversion.Unit, ctx Context) ([]int, error) {
+	var order []int
+	var err error
+	if rk, ok := p.(Ranker); ok {
+		order, err = rk.Rank(u, ctx)
+	} else {
+		var idx int
+		idx, err = p.Select(u, ctx)
+		order = []int{idx}
+	}
+	if err != nil {
+		return nil, err
+	}
+	if len(order) == 0 {
+		return nil, fmt.Errorf("rts: policy %s ranked no versions", p.Name())
+	}
+	for _, idx := range order {
+		if idx < 0 || idx >= len(u.Versions) {
+			return nil, fmt.Errorf("rts: policy %s selected invalid version %d", p.Name(), idx)
+		}
+	}
+	return order, nil
+}
+
+// invokeRanked is the shared fallback engine behind Runtime.Invoke and
+// Manager.Invoke. record applies a stats mutation under the stats
+// owner's lock (the runtime records into its own stats, the manager
+// into its per-region stats). acquire, when non-nil, claims resources
+// for a candidate before it runs and returns a release func, or an
+// error to skip the candidate (e.g. its cores were claimed by a
+// concurrent invocation).
+func (r *Runtime) invokeRanked(ctx Context, record func(func(*InvocationStats)), acquire func(idx int) (func(), error)) (int, error) {
+	r.mu.Lock()
+	policy := r.policy
+	hook := r.onEvent
+	r.health.tick++
+	r.mu.Unlock()
+
+	ranking, err := rankVersions(policy, r.unit, ctx)
 	if err != nil {
 		return 0, err
 	}
-	if idx < 0 || idx >= len(r.unit.Versions) {
-		return 0, fmt.Errorf("rts: policy %s selected invalid version %d", policy.Name(), idx)
-	}
-	if err := r.unit.Versions[idx].Entry(); err != nil {
-		return idx, fmt.Errorf("rts: version %d failed: %w", idx, err)
-	}
+
 	r.mu.Lock()
-	r.stats.Invocations++
-	r.stats.PerVersion[idx]++
+	eligible := ranking[:0:0]
+	for _, idx := range ranking {
+		if r.health.eligible(idx) {
+			eligible = append(eligible, idx)
+		}
+	}
 	r.mu.Unlock()
-	return idx, nil
+	if len(eligible) == 0 {
+		return 0, fmt.Errorf("rts: %w", ErrAllQuarantined)
+	}
+
+	var lastErr, lastAcquireErr error
+	for attempt, idx := range eligible {
+		var release func()
+		if acquire != nil {
+			release, err = acquire(idx)
+			if err != nil {
+				lastAcquireErr = err
+				continue
+			}
+		}
+		runErr := r.runEntry(idx)
+		if release != nil {
+			release()
+		}
+		if runErr == nil {
+			fellBack := idx != ranking[0]
+			r.mu.Lock()
+			readmitted := r.health.success(idx)
+			r.mu.Unlock()
+			record(func(st *InvocationStats) {
+				st.Invocations++
+				st.PerVersion[idx]++
+				if fellBack {
+					st.Fallbacks++
+				}
+				if readmitted {
+					st.Readmissions++
+				}
+			})
+			if hook != nil {
+				if readmitted {
+					hook(Event{Type: EventReadmit, Region: r.unit.Region, Version: idx, Attempt: attempt})
+				}
+				if fellBack {
+					hook(Event{Type: EventFallback, Region: r.unit.Region, Version: idx, Attempt: attempt})
+				}
+			}
+			return idx, nil
+		}
+		lastErr = fmt.Errorf("rts: version %d failed: %w", idx, runErr)
+		r.mu.Lock()
+		quarantined := r.health.failure(idx)
+		r.mu.Unlock()
+		record(func(st *InvocationStats) {
+			st.Failures++
+			if st.PerVersionFailures == nil {
+				st.PerVersionFailures = map[int]int{}
+			}
+			st.PerVersionFailures[idx]++
+			if quarantined {
+				st.Quarantines++
+			}
+		})
+		if hook != nil {
+			hook(Event{Type: EventFailure, Region: r.unit.Region, Version: idx, Attempt: attempt, Err: runErr})
+			if quarantined {
+				hook(Event{Type: EventQuarantine, Region: r.unit.Region, Version: idx, Attempt: attempt})
+			}
+		}
+	}
+	if lastErr == nil {
+		// Every candidate was skipped by acquire.
+		return 0, lastAcquireErr
+	}
+	return 0, fmt.Errorf("rts: all %d eligible versions failed, last: %w", len(eligible), lastErr)
+}
+
+// runEntry executes one version's entry through the fault injector,
+// without holding the runtime lock.
+func (r *Runtime) runEntry(idx int) error {
+	r.mu.Lock()
+	f := r.faults
+	r.mu.Unlock()
+	if err := f.Apply(idx); err != nil {
+		return err
+	}
+	return r.unit.Versions[idx].Entry()
 }
 
 // Stats returns a copy of the invocation statistics.
 func (r *Runtime) Stats() InvocationStats {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	out := InvocationStats{Invocations: r.stats.Invocations, PerVersion: map[int]int{}}
-	for k, v := range r.stats.PerVersion {
-		out.PerVersion[k] = v
-	}
-	return out
+	return r.stats.clone()
 }
 
 // Unit returns the underlying multi-versioned unit.
