@@ -76,6 +76,9 @@ type (
 	OptimizerOptions = optimizer.Options
 	// OptimizerResult is the outcome of a search.
 	OptimizerResult = optimizer.Result
+	// IslandOptions configures the island-model parallel search
+	// (worker-island count, migration interval, migrant count).
+	IslandOptions = optimizer.IslandOptions
 	// Runtime dispatches invocations of a multi-versioned unit.
 	Runtime = rts.Runtime
 	// Policy selects the version to execute.
@@ -145,6 +148,8 @@ const (
 	RSGDE3 = driver.MethodRSGDE3
 	// GDE3 disables the rough-set reduction (ablation).
 	GDE3 = driver.MethodGDE3
+	// NSGA2 is the classic genetic-algorithm baseline.
+	NSGA2 = driver.MethodNSGA2
 	// RandomSearch is the random baseline.
 	RandomSearch = driver.MethodRandom
 	// BruteForce exhaustively sweeps a regular grid.
@@ -245,6 +250,25 @@ func WithMethod(m Method) Option {
 func WithSeed(seed int64) Option {
 	return func(c *tuneConfig) error {
 		c.opts.Optimizer.Seed = seed
+		return nil
+	}
+}
+
+// WithIslands runs the evolutionary search methods as `islands`
+// parallel islands over one shared, deduplicating evaluation cache:
+// each island evolves an independently seeded sub-population and
+// donates elite individuals to its ring successor every
+// `migrationInterval` generations (0 picks the default of 5). Results
+// merge into a single Pareto front. The search is deterministic for a
+// fixed (seed, islands, migrationInterval) regardless of GOMAXPROCS.
+// islands <= 1 selects the serial algorithm.
+func WithIslands(islands, migrationInterval int) Option {
+	return func(c *tuneConfig) error {
+		if islands < 0 || migrationInterval < 0 {
+			return fmt.Errorf("autotune: island parameters must be non-negative")
+		}
+		c.opts.Islands = islands
+		c.opts.MigrationInterval = migrationInterval
 		return nil
 	}
 }
@@ -454,6 +478,15 @@ func TuneAll(kernelNames []string, options ...Option) ([]*TuneResult, error) {
 // point for tuning problems beyond the built-in kernels.
 func Optimize(space Space, eval Evaluator, opt OptimizerOptions) (*OptimizerResult, error) {
 	return optimizer.RSGDE3(space, eval, opt)
+}
+
+// OptimizeIslands runs RS-GDE3 as parallel islands over a custom
+// search problem: independently seeded sub-populations evolve
+// concurrently, share one evaluation cache, exchange elites over a
+// migration ring, and merge into a single Pareto front. Deterministic
+// for a fixed (seed, islands, migration interval).
+func OptimizeIslands(space Space, eval Evaluator, opt OptimizerOptions, iopt IslandOptions) (*OptimizerResult, error) {
+	return optimizer.RSGDE3Islands(space, eval, opt, iopt)
 }
 
 // NewRuntime builds a runtime dispatcher for a unit whose versions

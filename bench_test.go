@@ -13,6 +13,7 @@ package autotune_test
 import (
 	"io"
 	"testing"
+	"time"
 
 	"autotune"
 	"autotune/internal/experiments"
@@ -505,4 +506,92 @@ func BenchmarkRSGDE3EndToEnd(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// --- Island-model benchmarks ----------------------------------------
+
+// slowCachingEval wraps the deterministic simulated evaluator with a
+// fixed per-evaluation delay, emulating measured tuning where each
+// candidate costs real execution time. Parallelism is ample so whole
+// island batches can be in flight at once.
+func slowCachingEval(b *testing.B, kernel string, m *machine.Machine, delay time.Duration) *objective.CachingEvaluator {
+	b.Helper()
+	k, err := kernels.ByName(kernel)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sim, err := objective.NewSim(objective.SimConfig{Machine: m, Kernel: k, NoiseAmp: 0.01})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return objective.NewCachingEvaluator(sim.ObjectiveNames(), 256,
+		func(cfg skeleton.Config) []float64 {
+			time.Sleep(delay)
+			return sim.EvaluateOne(cfg)
+		})
+}
+
+// BenchmarkIslandSerialVsParallel compares the serial RS-GDE3 driver
+// against the island-model driver on a slow (5ms/eval) evaluator at an
+// equal generation budget: serial runs W× the generations of a
+// W-island run, so the same number of population evaluations is spent
+// while wall-clock exposes the parallel speedup. Hypervolume and E are
+// reported alongside so search quality stays visible.
+func BenchmarkIslandSerialVsParallel(b *testing.B) {
+	m := machine.Westmere()
+	space, _ := tuneSpaceFor(b, "mm", m)
+	const delay = 5 * time.Millisecond
+	const baseGens = 16
+	for _, islands := range []int{1, 2, 4} {
+		name := map[int]string{1: "serial", 2: "islands2", 4: "islands4"}[islands]
+		b.Run(name, func(b *testing.B) {
+			var evals, size, hv float64
+			for i := 0; i < b.N; i++ {
+				eval := slowCachingEval(b, "mm", m, delay)
+				opt := optimizer.Options{
+					PopSize:       24,
+					MaxIterations: baseGens / islands,
+					Stagnation:    baseGens + 1,
+					Seed:          1,
+				}
+				var res *optimizer.Result
+				var err error
+				if islands > 1 {
+					res, err = optimizer.RSGDE3Islands(space, eval, opt,
+						optimizer.IslandOptions{Islands: islands, MigrationInterval: 2})
+				} else {
+					res, err = optimizer.RSGDE3(space, eval, opt)
+				}
+				if err != nil {
+					b.Fatal(err)
+				}
+				evals += float64(res.Evaluations)
+				size += float64(len(res.Front))
+				hv += frontHV(b, res.Front)
+			}
+			b.ReportMetric(evals/float64(b.N), "evals")
+			b.ReportMetric(size/float64(b.N), "front")
+			b.ReportMetric(hv/float64(b.N), "selfHV")
+		})
+	}
+}
+
+// BenchmarkCachingEvaluatorDedup measures the shared evaluation
+// cache's dedup throughput under concurrent batches — the hot path
+// every island generation goes through.
+func BenchmarkCachingEvaluatorDedup(b *testing.B) {
+	eval := objective.NewCachingEvaluator([]string{"a", "b"}, 8,
+		func(cfg skeleton.Config) []float64 {
+			return []float64{float64(cfg[0]), float64(cfg[0] * 2)}
+		})
+	batch := make([]skeleton.Config, 64)
+	for i := range batch {
+		batch[i] = skeleton.Config{int64(i % 16), 1}
+	}
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			eval.Evaluate(batch)
+		}
+	})
 }

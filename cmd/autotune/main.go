@@ -3,8 +3,9 @@
 //
 // Usage:
 //
-//	autotune -kernel mm -machine Westmere [-method rs-gde3|gde3|random|brute-force]
-//	         [-seed N] [-n N] [-energy] [-measured] [-o unit.json] [-code]
+//	autotune -kernel mm -machine Westmere [-method rs-gde3|gde3|nsga2|random|brute-force]
+//	         [-islands W] [-migrate M] [-seed N] [-n N] [-energy] [-measured]
+//	         [-o unit.json] [-code]
 //
 // Example:
 //
@@ -25,7 +26,9 @@ import (
 func main() {
 	kernel := flag.String("kernel", "mm", "kernel to tune ("+strings.Join(autotune.Kernels(), ", ")+")")
 	machineName := flag.String("machine", "Westmere", "target machine (Westmere, Barcelona)")
-	method := flag.String("method", string(autotune.RSGDE3), "search method (rs-gde3, gde3, random, brute-force)")
+	method := flag.String("method", string(autotune.RSGDE3), "search method (rs-gde3, gde3, nsga2, random, brute-force)")
+	islands := flag.Int("islands", 1, "parallel search islands (1 = serial)")
+	migrate := flag.Int("migrate", 0, "generations between island migrations (0 = default)")
 	seed := flag.Int64("seed", 1, "random seed")
 	n := flag.Int64("n", 0, "problem size (0 = kernel default)")
 	energy := flag.Bool("energy", false, "add the energy objective (3-objective tuning)")
@@ -63,6 +66,9 @@ func main() {
 	}
 	if *unroll {
 		opts = append(opts, autotune.WithUnrollDimension())
+	}
+	if *islands > 1 {
+		opts = append(opts, autotune.WithIslands(*islands, *migrate))
 	}
 	if *n > 0 {
 		opts = append(opts, autotune.WithProblemSize(*n))

@@ -1,0 +1,123 @@
+// Command benchpr3 runs the island-model serial-vs-parallel benchmark
+// and writes the results as JSON (wall-clock, evaluation counts and
+// hypervolume per configuration). The committed BENCH_pr3.json at the
+// repository root is regenerated with:
+//
+//	go run ./cmd/benchpr3 -o BENCH_pr3.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+
+	"autotune/internal/experiments"
+	"autotune/internal/kernels"
+	"autotune/internal/machine"
+)
+
+type runJSON struct {
+	Kernel      string  `json:"kernel"`
+	Label       string  `json:"label"`
+	Islands     int     `json:"islands"`
+	Generations int     `json:"generations"`
+	WallClockMS float64 `json:"wall_clock_ms"`
+	Speedup     float64 `json:"speedup_vs_serial"`
+	Evaluations int     `json:"evaluations"`
+	FrontSize   int     `json:"front_size"`
+	Hypervolume float64 `json:"hypervolume"`
+}
+
+type reportJSON struct {
+	Benchmark   string    `json:"benchmark"`
+	Machine     string    `json:"machine"`
+	Mode        string    `json:"mode"`
+	EvalDelayMS float64   `json:"eval_delay_ms"`
+	GoMaxProcs  int       `json:"gomaxprocs"`
+	Runs        []runJSON `json:"runs"`
+}
+
+func main() {
+	out := flag.String("o", "BENCH_pr3.json", "output file")
+	machName := flag.String("machine", "Westmere", "target machine")
+	kernList := flag.String("kernels", "mm,jacobi-2d", "comma-separated kernels")
+	modeName := flag.String("mode", "full", "evaluation budget (quick, full)")
+	flag.Parse()
+
+	mode := experiments.Full
+	if *modeName == "quick" {
+		mode = experiments.Quick
+	}
+	m, err := machine.ByName(*machName)
+	if err != nil {
+		fatal(err)
+	}
+
+	report := reportJSON{
+		Benchmark:  "island-model RS-GDE3: serial vs parallel at equal generation budget",
+		Machine:    m.Name,
+		Mode:       *modeName,
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+	}
+	for _, name := range splitList(*kernList) {
+		k, err := kernels.ByName(name)
+		if err != nil {
+			fatal(err)
+		}
+		res, err := experiments.IslandComparison(k, m, mode)
+		if err != nil {
+			fatal(err)
+		}
+		report.EvalDelayMS = float64(res.EvalDelay.Microseconds()) / 1000
+		serial := res.Runs[0].WallClock
+		for _, run := range res.Runs {
+			speedup := 0.0
+			if run.WallClock > 0 {
+				speedup = float64(serial) / float64(run.WallClock)
+			}
+			report.Runs = append(report.Runs, runJSON{
+				Kernel:      k.Name,
+				Label:       run.Label,
+				Islands:     run.Islands,
+				Generations: run.Generations,
+				WallClockMS: float64(run.WallClock.Microseconds()) / 1000,
+				Speedup:     speedup,
+				Evaluations: run.Evaluations,
+				FrontSize:   run.FrontSize,
+				Hypervolume: run.HV,
+			})
+		}
+		res.Render(os.Stdout)
+		fmt.Println()
+	}
+
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("benchmark report written to %s\n", *out)
+}
+
+func splitList(s string) []string {
+	var out []string
+	start := 0
+	for i := 0; i <= len(s); i++ {
+		if i == len(s) || s[i] == ',' {
+			if i > start {
+				out = append(out, s[start:i])
+			}
+			start = i + 1
+		}
+	}
+	return out
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchpr3:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,20 @@
+package main
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestSplitList(t *testing.T) {
+	cases := map[string][]string{
+		"mm,jacobi-2d": {"mm", "jacobi-2d"},
+		"mm":           {"mm"},
+		"":             nil,
+		",mm,,lu,":     {"mm", "lu"},
+	}
+	for in, want := range cases {
+		if got := splitList(in); !reflect.DeepEqual(got, want) {
+			t.Errorf("splitList(%q) = %v, want %v", in, got, want)
+		}
+	}
+}

@@ -27,7 +27,7 @@ import (
 type paretoPoint = pareto.Point
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to regenerate (all, fig1, fig2, fig8, fig9, table1..table6, extended, validate)")
+	exp := flag.String("exp", "all", "experiment to regenerate (all, fig1, fig2, fig8, fig9, table1..table6, island, extended, validate)")
 	machName := flag.String("machine", "all", "target machine (Westmere, Barcelona, all)")
 	kernName := flag.String("kernel", "mm", "kernel for single-kernel experiments")
 	modeName := flag.String("mode", "full", "evaluation budget (quick, full)")
@@ -149,6 +149,15 @@ func main() {
 				}
 				f.Close()
 			}
+		}
+	case "island":
+		for _, m := range machines {
+			r, err := experiments.IslandComparison(k, m, mode)
+			if err != nil {
+				fatal(err)
+			}
+			r.Render(w)
+			fmt.Fprintln(w)
 		}
 	case "extended":
 		for _, m := range machines {

@@ -29,6 +29,7 @@ type Method string
 const (
 	MethodRSGDE3     Method = "rs-gde3"
 	MethodGDE3       Method = "gde3"
+	MethodNSGA2      Method = "nsga2"
 	MethodRandom     Method = "random"
 	MethodBruteForce Method = "brute-force"
 )
@@ -43,6 +44,14 @@ type Options struct {
 	Method Method
 	// Optimizer carries the evolutionary parameters.
 	Optimizer optimizer.Options
+	// Islands > 1 runs the evolutionary methods (rs-gde3, gde3, nsga2)
+	// as that many parallel islands over a shared evaluation cache,
+	// exchanging elites every MigrationInterval generations. 0 or 1
+	// selects the serial algorithm.
+	Islands int
+	// MigrationInterval is the island-model migration period in
+	// generations (default 5); ignored when Islands <= 1.
+	MigrationInterval int
 	// RandomBudget is the evaluation budget for MethodRandom
 	// (default 1000).
 	RandomBudget int
@@ -155,11 +164,33 @@ func runSearch(space skeleton.Space, eval objective.Evaluator, opt Options) (*op
 	if method == "" {
 		method = MethodRSGDE3
 	}
+	iopt := optimizer.IslandOptions{
+		Islands:           opt.Islands,
+		MigrationInterval: opt.MigrationInterval,
+	}
+	parallel := opt.Islands > 1
 	switch method {
 	case MethodRSGDE3:
+		if parallel {
+			return optimizer.RSGDE3Islands(space, eval, opt.Optimizer, iopt)
+		}
 		return optimizer.RSGDE3(space, eval, opt.Optimizer)
 	case MethodGDE3:
+		if parallel {
+			return optimizer.GDE3Islands(space, eval, opt.Optimizer, iopt)
+		}
 		return optimizer.GDE3(space, eval, opt.Optimizer)
+	case MethodNSGA2:
+		nopt := optimizer.NSGA2Options{
+			PopSize:        opt.Optimizer.PopSize,
+			Stagnation:     opt.Optimizer.Stagnation,
+			MaxGenerations: opt.Optimizer.MaxIterations,
+			Seed:           opt.Optimizer.Seed,
+		}
+		if parallel {
+			return optimizer.NSGA2Islands(space, eval, nopt, iopt)
+		}
+		return optimizer.NSGA2(space, eval, nopt)
 	case MethodRandom:
 		budget := opt.RandomBudget
 		if budget == 0 {

@@ -150,3 +150,52 @@ func TestMeasuredTuningSmall(t *testing.T) {
 		t.Fatal("measured tuning produced no versions")
 	}
 }
+
+// TestTuneKernelIslands drives every evolutionary method through the
+// island-model plumbing (Options.Islands > 1) and checks the parallel
+// path is deterministic end to end.
+func TestTuneKernelIslands(t *testing.T) {
+	for _, method := range []Method{MethodRSGDE3, MethodGDE3, MethodNSGA2} {
+		opt := fastOpts()
+		opt.Method = method
+		opt.Islands = 3
+		opt.MigrationInterval = 2
+		out, err := TuneKernel("mm", opt)
+		if err != nil {
+			t.Fatalf("%s: %v", method, err)
+		}
+		if len(out.Unit.Versions) == 0 {
+			t.Fatalf("%s: empty unit", method)
+		}
+		again, err := TuneKernel("mm", opt)
+		if err != nil {
+			t.Fatalf("%s rerun: %v", method, err)
+		}
+		if len(again.Result.Front) != len(out.Result.Front) {
+			t.Fatalf("%s: island tuning not deterministic (%d vs %d front points)",
+				method, len(out.Result.Front), len(again.Result.Front))
+		}
+		for i := range out.Result.Front {
+			a, b := out.Result.Front[i], again.Result.Front[i]
+			for c := range a.Objectives {
+				if a.Objectives[c] != b.Objectives[c] {
+					t.Fatalf("%s: front diverged at point %d: %v vs %v",
+						method, i, a.Objectives, b.Objectives)
+				}
+			}
+		}
+	}
+}
+
+// TestTuneKernelNSGA2Serial covers the serial NSGA-II method selector.
+func TestTuneKernelNSGA2Serial(t *testing.T) {
+	opt := fastOpts()
+	opt.Method = MethodNSGA2
+	out, err := TuneKernel("mm", opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Unit.Versions) == 0 {
+		t.Fatal("empty unit")
+	}
+}

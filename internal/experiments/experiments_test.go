@@ -306,3 +306,29 @@ func TestRunAllQuick(t *testing.T) {
 		}
 	}
 }
+
+// TestTileGridPoints pins the full-mode grid densities to the paper's
+// Table VI evaluation counts (quick mode shrinks them for CI).
+func TestTileGridPoints(t *testing.T) {
+	cases := []struct {
+		kernel string
+		mode   Mode
+		want   int
+	}{
+		{"jacobi-2d", Full, 69},
+		{"n-body", Full, 72},
+		{"3d-stencil", Full, 13},
+		{"mm", Full, 24},
+		{"jacobi-2d", Quick, 12},
+		{"mm", Quick, 7},
+	}
+	for _, c := range cases {
+		k, err := kernels.ByName(c.kernel)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := tileGridPoints(k, c.mode); got != c.want {
+			t.Errorf("tileGridPoints(%s, %v) = %d, want %d", c.kernel, c.mode, got, c.want)
+		}
+	}
+}

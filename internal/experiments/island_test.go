@@ -1,0 +1,50 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"autotune/internal/kernels"
+	"autotune/internal/machine"
+)
+
+func TestIslandComparisonQuick(t *testing.T) {
+	mm, err := kernels.ByName("mm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := IslandComparison(mm, machine.Westmere(), Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Runs) < 3 {
+		t.Fatalf("expected serial + >=2 island runs, got %d", len(res.Runs))
+	}
+	if res.Runs[0].Islands != 1 {
+		t.Fatalf("first run must be serial, got W=%d", res.Runs[0].Islands)
+	}
+	budget := res.Runs[0].Islands * res.Runs[0].Generations
+	for _, run := range res.Runs {
+		if run.Evaluations <= 0 || run.FrontSize <= 0 {
+			t.Fatalf("run %q did no work: %+v", run.Label, run)
+		}
+		if run.HV < 0 || run.HV > 1 {
+			t.Fatalf("run %q hypervolume %g outside [0,1]", run.Label, run.HV)
+		}
+		if got := run.Islands * run.Generations; got != budget {
+			t.Fatalf("run %q generation budget %d != serial budget %d", run.Label, got, budget)
+		}
+		if run.WallClock <= 0 {
+			t.Fatalf("run %q has no wall-clock time", run.Label)
+		}
+	}
+
+	var sb strings.Builder
+	res.Render(&sb)
+	out := sb.String()
+	for _, want := range []string{"Island-model comparison", "serial", "islands W=4", "Speedup"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("rendering lacks %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,43 @@
+package irparse
+
+import "testing"
+
+// FuzzIRParse asserts the parser never panics on arbitrary input and
+// that Parse and Render form a stable round trip: anything that parses
+// must render, anything rendered must re-parse, and a second
+// render must reproduce the first byte for byte.
+func FuzzIRParse(f *testing.F) {
+	f.Add("program mm\n" +
+		"array A[64][64] elem 8\n" +
+		"array B[64][64] elem 8\n" +
+		"array C[64][64] elem 8\n" +
+		"for i = 0..64 { for j = 0..64 { for k = 0..64 {\n" +
+		"  C[i][j] = f(C[i][j], A[i][k], B[k][j]) flops 2\n" +
+		"}}}\n")
+	f.Add("program p\narray X[8] elem 4\nfor i = 0..8 step 2 {\n  X[i] = f() flops 1\n}\n")
+	f.Add("program q\narray A[4][4] elem 8\nfor i = 1..4 {\nfor j = i..4 {\n" +
+		"A[i][j], A[j][i] = f(A[i-1][2*j+1]) flops 3\n}\n}\n")
+	f.Add("program empty\n")
+	f.Add("program x\narray A[2] elem 1\nfor i = 0..2 {\n}\n")
+	f.Fuzz(func(t *testing.T, src string) {
+		p1, err := Parse(src) // must never panic
+		if err != nil {
+			return
+		}
+		r1, err := Render(p1)
+		if err != nil {
+			t.Fatalf("parsed program failed to render: %v\nsource:\n%s", err, src)
+		}
+		p2, err := Parse(r1)
+		if err != nil {
+			t.Fatalf("rendered program failed to re-parse: %v\nrendered:\n%s", err, r1)
+		}
+		r2, err := Render(p2)
+		if err != nil {
+			t.Fatalf("re-render failed: %v", err)
+		}
+		if r2 != r1 {
+			t.Fatalf("round trip not stable:\nfirst:\n%s\nsecond:\n%s", r1, r2)
+		}
+	})
+}

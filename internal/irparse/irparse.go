@@ -115,8 +115,8 @@ func (p *parser) parseProgram() (*ir.Program, error) {
 		return nil, fmt.Errorf("irparse: expected 'program <name>' header")
 	}
 	prog := &ir.Program{Name: strings.TrimSpace(strings.TrimPrefix(l.text, "program "))}
-	if prog.Name == "" {
-		return nil, p.errf(l, "empty program name")
+	if !isIdent(prog.Name) {
+		return nil, p.errf(l, "bad program name %q", prog.Name)
 	}
 	for {
 		l, ok := p.peek()
@@ -162,6 +162,9 @@ func (p *parser) parseArray(l line) (ir.Array, error) {
 		return ir.Array{}, p.errf(l, "array declaration needs dimensions")
 	}
 	name := strings.TrimSpace(decl[:open])
+	if !isIdent(name) {
+		return ir.Array{}, p.errf(l, "bad array name %q", name)
+	}
 	dimsPart := decl[open:]
 	dims, err := parseBracketed(dimsPart)
 	if err != nil {
@@ -203,6 +206,14 @@ func (p *parser) parseFor() (*ir.Loop, error) {
 	fields := strings.Fields(header)
 	// for <var> = <lo>..<hi> [step <s>]
 	if len(fields) < 4 || fields[0] != "for" || fields[2] != "=" {
+		return nil, p.errf(l, "bad for header %q", l.text)
+	}
+	if !isIdent(fields[1]) {
+		return nil, p.errf(l, "bad iterator name %q", fields[1])
+	}
+	// Only "for v = lo..hi" and "for v = lo..hi step s" are legal;
+	// trailing junk is an error, not silently ignored.
+	if len(fields) != 4 && (len(fields) != 6 || fields[4] != "step") {
 		return nil, p.errf(l, "bad for header %q", l.text)
 	}
 	loop := &ir.Loop{Var: fields[1], Step: 1}
@@ -333,6 +344,9 @@ func parseAccess(s string) (ir.Access, error) {
 		return ir.Access{}, fmt.Errorf("access needs array[index] form")
 	}
 	name := strings.TrimSpace(s[:open])
+	if !isIdent(name) {
+		return ir.Access{}, fmt.Errorf("bad array name %q", name)
+	}
 	idxs, err := parseBracketed(s[open:])
 	if err != nil {
 		return ir.Access{}, err

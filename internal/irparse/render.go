@@ -1,0 +1,121 @@
+package irparse
+
+import (
+	"fmt"
+	"strings"
+
+	"autotune/internal/ir"
+)
+
+// Render emits a MiniIR program in the text grammar this package
+// parses, so Parse(Render(p)) reconstructs p. It covers exactly the
+// grammar's subset of MiniIR: programs carrying transformation-only
+// constructs (bound caps, parallel/collapse annotations, unroll
+// pragmas) are rejected, as are names the grammar cannot spell.
+//
+// Render is the inverse Parse lacks: ir.Program.String() produces a
+// pseudo-C listing for human readers, not parseable source.
+func Render(p *ir.Program) (string, error) {
+	var sb strings.Builder
+	if !isIdent(p.Name) {
+		return "", fmt.Errorf("irparse: program name %q is not renderable", p.Name)
+	}
+	fmt.Fprintf(&sb, "program %s\n", p.Name)
+	for _, a := range p.Arrays {
+		if !isIdent(a.Name) {
+			return "", fmt.Errorf("irparse: array name %q is not renderable", a.Name)
+		}
+		if a.ElemBytes <= 0 || len(a.Dims) == 0 {
+			return "", fmt.Errorf("irparse: array %s needs positive element size and dimensions", a.Name)
+		}
+		fmt.Fprintf(&sb, "array %s", a.Name)
+		for _, d := range a.Dims {
+			if d <= 0 {
+				return "", fmt.Errorf("irparse: array %s has non-positive dimension %d", a.Name, d)
+			}
+			fmt.Fprintf(&sb, "[%d]", d)
+		}
+		fmt.Fprintf(&sb, " elem %d\n", a.ElemBytes)
+	}
+	for _, n := range p.Root {
+		if err := renderNode(&sb, n, 0); err != nil {
+			return "", err
+		}
+	}
+	return sb.String(), nil
+}
+
+func renderNode(sb *strings.Builder, n ir.Node, depth int) error {
+	indent := strings.Repeat("  ", depth)
+	switch t := n.(type) {
+	case *ir.Loop:
+		if !isIdent(t.Var) {
+			return fmt.Errorf("irparse: iterator name %q is not renderable", t.Var)
+		}
+		if t.Step <= 0 {
+			return fmt.Errorf("irparse: loop %s has non-positive step %d", t.Var, t.Step)
+		}
+		if len(t.Caps) > 0 || t.Parallel || t.Collapse > 1 || t.UnrollPragma > 1 {
+			return fmt.Errorf("irparse: loop %s carries transformation constructs outside the text grammar", t.Var)
+		}
+		// The for header is whitespace-tokenized by the parser, so the
+		// range expressions must be rendered without spaces.
+		head := fmt.Sprintf("%sfor %s = %s..%s", indent, t.Var, compactAffine(t.Lo), compactAffine(t.Hi))
+		if t.Step != 1 {
+			head += fmt.Sprintf(" step %d", t.Step)
+		}
+		sb.WriteString(head + " {\n")
+		for _, c := range t.Body {
+			if err := renderNode(sb, c, depth+1); err != nil {
+				return err
+			}
+		}
+		sb.WriteString(indent + "}\n")
+		return nil
+	case *ir.Stmt:
+		if len(t.Writes) == 0 {
+			return fmt.Errorf("irparse: statement without writes is not renderable")
+		}
+		if t.Flops < 0 {
+			return fmt.Errorf("irparse: statement with negative flops is not renderable")
+		}
+		writes, err := renderAccesses(t.Writes)
+		if err != nil {
+			return err
+		}
+		reads, err := renderAccesses(t.Reads)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(sb, "%s%s = f(%s) flops %d\n", indent, writes, reads, t.Flops)
+		return nil
+	default:
+		return fmt.Errorf("irparse: unknown node type %T", n)
+	}
+}
+
+func renderAccesses(acs []ir.Access) (string, error) {
+	parts := make([]string, len(acs))
+	for i, ac := range acs {
+		if !isIdent(ac.Array) {
+			return "", fmt.Errorf("irparse: array name %q is not renderable", ac.Array)
+		}
+		if len(ac.Indices) == 0 {
+			return "", fmt.Errorf("irparse: access to %s without indices is not renderable", ac.Array)
+		}
+		var sb strings.Builder
+		sb.WriteString(ac.Array)
+		for _, ix := range ac.Indices {
+			fmt.Fprintf(&sb, "[%s]", compactAffine(ix))
+		}
+		parts[i] = sb.String()
+	}
+	return strings.Join(parts, ", "), nil
+}
+
+// compactAffine renders an affine expression without spaces, the form
+// parseAffine accepts everywhere (including whitespace-split for
+// headers).
+func compactAffine(a ir.Affine) string {
+	return strings.ReplaceAll(a.String(), " ", "")
+}

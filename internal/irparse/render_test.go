@@ -1,0 +1,102 @@
+package irparse
+
+import (
+	"strings"
+	"testing"
+
+	"autotune/internal/ir"
+)
+
+func validRenderProgram() *ir.Program {
+	return &ir.Program{
+		Name:   "mm",
+		Arrays: []ir.Array{{Name: "A", ElemBytes: 8, Dims: []int64{64, 64}}},
+		Root: []ir.Node{&ir.Loop{
+			Var: "i", Lo: ir.Con(0), Hi: ir.Con(64), Step: 2,
+			Body: []ir.Node{&ir.Stmt{
+				Writes: []ir.Access{{Array: "A", Indices: []ir.Affine{ir.Var("i"), ir.Con(0)}}},
+				Flops:  2,
+			}},
+		}},
+	}
+}
+
+func TestRenderRoundTrip(t *testing.T) {
+	text, err := Render(validRenderProgram())
+	if err != nil {
+		t.Fatal(err)
+	}
+	parsed, err := Parse(text)
+	if err != nil {
+		t.Fatalf("rendered program does not parse: %v\n%s", err, text)
+	}
+	again, err := Render(parsed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if text != again {
+		t.Fatalf("render not stable:\nfirst:\n%s\nsecond:\n%s", text, again)
+	}
+	if !strings.Contains(text, "step 2") {
+		t.Fatalf("step clause lost:\n%s", text)
+	}
+}
+
+// TestRenderRejections exercises each validation error of the
+// renderer: everything outside the text grammar must be reported, not
+// silently emitted as unparseable output.
+func TestRenderRejections(t *testing.T) {
+	stmt := func() *ir.Stmt {
+		return &ir.Stmt{
+			Writes: []ir.Access{{Array: "A", Indices: []ir.Affine{ir.Con(0)}}},
+			Flops:  1,
+		}
+	}
+	cases := map[string]func(p *ir.Program){
+		"program name": func(p *ir.Program) { p.Name = "bad name" },
+		"array name":   func(p *ir.Program) { p.Arrays[0].Name = "A B" },
+		"elem bytes":   func(p *ir.Program) { p.Arrays[0].ElemBytes = 0 },
+		"no dims":      func(p *ir.Program) { p.Arrays[0].Dims = nil },
+		"bad dim":      func(p *ir.Program) { p.Arrays[0].Dims = []int64{-4} },
+		"iterator name": func(p *ir.Program) {
+			p.Root[0].(*ir.Loop).Var = "1i"
+		},
+		"non-positive step": func(p *ir.Program) {
+			p.Root[0].(*ir.Loop).Step = 0
+		},
+		"parallel construct": func(p *ir.Program) {
+			p.Root[0].(*ir.Loop).Parallel = true
+		},
+		"cap construct": func(p *ir.Program) {
+			p.Root[0].(*ir.Loop).Caps = []ir.Affine{ir.Con(8)}
+		},
+		"unroll pragma": func(p *ir.Program) {
+			p.Root[0].(*ir.Loop).UnrollPragma = 4
+		},
+		"statement without writes": func(p *ir.Program) {
+			p.Root[0].(*ir.Loop).Body = []ir.Node{&ir.Stmt{Flops: 1}}
+		},
+		"negative flops": func(p *ir.Program) {
+			s := stmt()
+			s.Flops = -1
+			p.Root[0].(*ir.Loop).Body = []ir.Node{s}
+		},
+		"access without indices": func(p *ir.Program) {
+			s := stmt()
+			s.Writes[0].Indices = nil
+			p.Root[0].(*ir.Loop).Body = []ir.Node{s}
+		},
+		"access array name": func(p *ir.Program) {
+			s := stmt()
+			s.Reads = []ir.Access{{Array: "no good", Indices: []ir.Affine{ir.Con(0)}}}
+			p.Root[0].(*ir.Loop).Body = []ir.Node{s}
+		},
+	}
+	for name, mutate := range cases {
+		p := validRenderProgram()
+		mutate(p)
+		if _, err := Render(p); err == nil {
+			t.Errorf("%s: invalid program rendered without error", name)
+		}
+	}
+}

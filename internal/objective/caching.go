@@ -1,0 +1,136 @@
+package objective
+
+import (
+	"sync"
+
+	"autotune/internal/skeleton"
+)
+
+// EvalFunc computes the objective vector of a single configuration. A
+// nil result marks a failed evaluation (invalid configuration); failed
+// results are cached like successes but never counted in E.
+type EvalFunc func(cfg skeleton.Config) []float64
+
+// CachingEvaluator wraps a per-configuration evaluation function with
+// the framework's shared evaluation infrastructure: a process-wide
+// memoization cache keyed by Config.Key, in-flight deduplication
+// (singleflight — duplicate requests of a configuration whose
+// evaluation is still running wait for the leader instead of
+// re-evaluating), bounded parallel batch evaluation, and the E metric
+// (distinct successful evaluations).
+//
+// One CachingEvaluator can safely serve many concurrent Evaluate
+// callers — e.g. the worker islands of the parallel optimizer — and
+// guarantees each distinct configuration is evaluated exactly once no
+// matter how many islands propose it. The concurrency bound is global
+// across batches, so an inherently serial evaluation function
+// (parallelism 1, like timed kernel execution) stays serialized even
+// under concurrent batches.
+type CachingEvaluator struct {
+	names []string
+	fn    EvalFunc
+	sem   chan struct{}
+
+	mu       sync.Mutex
+	cache    map[string][]float64
+	inflight map[string]*inflightEval
+	evals    int
+}
+
+// inflightEval is the rendezvous for duplicate requests of a
+// configuration whose evaluation is still running: followers wait on
+// done instead of evaluating the same key a second time.
+type inflightEval struct {
+	done chan struct{}
+	objs []float64
+}
+
+// NewCachingEvaluator builds a caching evaluator around fn. names are
+// the objective labels reported by ObjectiveNames; parallelism bounds
+// concurrent fn invocations globally (minimum 1).
+func NewCachingEvaluator(names []string, parallelism int, fn EvalFunc) *CachingEvaluator {
+	if parallelism < 1 {
+		parallelism = 1
+	}
+	return &CachingEvaluator{
+		names:    append([]string(nil), names...),
+		fn:       fn,
+		sem:      make(chan struct{}, parallelism),
+		cache:    map[string][]float64{},
+		inflight: map[string]*inflightEval{},
+	}
+}
+
+// ObjectiveNames implements Evaluator.
+func (c *CachingEvaluator) ObjectiveNames() []string {
+	return append([]string(nil), c.names...)
+}
+
+// Evaluations implements Evaluator: the number of distinct
+// configurations successfully evaluated so far (the E metric). Cache
+// hits do not count twice and failures do not count at all.
+func (c *CachingEvaluator) Evaluations() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.evals
+}
+
+// EvaluateOne evaluates a single configuration.
+func (c *CachingEvaluator) EvaluateOne(cfg skeleton.Config) []float64 {
+	return c.Evaluate([]skeleton.Config{cfg})[0]
+}
+
+// Evaluate implements Evaluator. Configurations are evaluated
+// concurrently up to the parallelism bound and memoized. Duplicate
+// keys — within one batch or across concurrent batches — are
+// deduplicated in flight: one leader evaluates the configuration,
+// followers wait for its result, so each distinct key is evaluated
+// exactly once.
+func (c *CachingEvaluator) Evaluate(cfgs []skeleton.Config) [][]float64 {
+	out := make([][]float64, len(cfgs))
+	var wg sync.WaitGroup
+	for i, cfg := range cfgs {
+		key := cfg.Key()
+		c.mu.Lock()
+		if cached, ok := c.cache[key]; ok {
+			out[i] = cached
+			c.mu.Unlock()
+			continue
+		}
+		if fl, ok := c.inflight[key]; ok {
+			c.mu.Unlock()
+			// Follower: wait for the leader's result. Followers hold
+			// no semaphore slot, so they cannot starve the leaders
+			// they are waiting on.
+			wg.Add(1)
+			go func(i int, fl *inflightEval) {
+				defer wg.Done()
+				<-fl.done
+				out[i] = fl.objs
+			}(i, fl)
+			continue
+		}
+		fl := &inflightEval{done: make(chan struct{})}
+		c.inflight[key] = fl
+		c.mu.Unlock()
+		wg.Add(1)
+		c.sem <- struct{}{}
+		go func(i int, cfg skeleton.Config, key string, fl *inflightEval) {
+			defer wg.Done()
+			defer func() { <-c.sem }()
+			objs := c.fn(cfg)
+			c.mu.Lock()
+			c.cache[key] = objs
+			if objs != nil {
+				c.evals++
+			}
+			delete(c.inflight, key)
+			c.mu.Unlock()
+			fl.objs = objs
+			close(fl.done)
+			out[i] = objs
+		}(i, cfg, key, fl)
+	}
+	wg.Wait()
+	return out
+}

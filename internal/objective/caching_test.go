@@ -1,0 +1,129 @@
+package objective
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"autotune/internal/skeleton"
+)
+
+// countingFn builds an EvalFunc that counts raw invocations and fails
+// configurations whose first component is negative.
+func countingFn(calls *atomic.Int64) EvalFunc {
+	return func(cfg skeleton.Config) []float64 {
+		calls.Add(1)
+		if len(cfg) == 0 || cfg[0] < 0 {
+			return nil
+		}
+		return []float64{float64(cfg[0]), float64(cfg[0]) * 2}
+	}
+}
+
+func TestCachingEvaluatorDedupAcrossBatches(t *testing.T) {
+	var calls atomic.Int64
+	c := NewCachingEvaluator([]string{"a", "b"}, 4, countingFn(&calls))
+	cfg := skeleton.Config{7}
+	c.Evaluate([]skeleton.Config{cfg, cfg, cfg})
+	c.Evaluate([]skeleton.Config{cfg})
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("fn called %d times, want 1", got)
+	}
+	if c.Evaluations() != 1 {
+		t.Fatalf("evaluations = %d, want 1", c.Evaluations())
+	}
+}
+
+func TestCachingEvaluatorFailuresCachedNotCounted(t *testing.T) {
+	var calls atomic.Int64
+	c := NewCachingEvaluator([]string{"a", "b"}, 2, countingFn(&calls))
+	out := c.Evaluate([]skeleton.Config{{-1}, {3}})
+	if out[0] != nil || out[1] == nil {
+		t.Fatalf("out = %v", out)
+	}
+	if c.Evaluations() != 1 {
+		t.Fatalf("evaluations = %d, want 1 (failure must not count)", c.Evaluations())
+	}
+	c.Evaluate([]skeleton.Config{{-1}})
+	if got := calls.Load(); got != 2 {
+		t.Fatalf("fn called %d times, want 2 (failures stay cached)", got)
+	}
+}
+
+// TestCachingEvaluatorConcurrentBatches drives many concurrent callers
+// over an overlapping key set: every distinct key must be evaluated
+// exactly once process-wide (the shared-cache guarantee the island
+// optimizer depends on), and all callers must observe identical
+// results.
+func TestCachingEvaluatorConcurrentBatches(t *testing.T) {
+	var calls atomic.Int64
+	c := NewCachingEvaluator([]string{"a", "b"}, 8, countingFn(&calls))
+	const callers = 16
+	const keys = 10
+	results := make([][][]float64, callers)
+	var wg sync.WaitGroup
+	for w := 0; w < callers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			batch := make([]skeleton.Config, keys)
+			for i := range batch {
+				batch[i] = skeleton.Config{int64(i)}
+			}
+			results[w] = c.Evaluate(batch)
+		}(w)
+	}
+	wg.Wait()
+	if got := calls.Load(); got != keys {
+		t.Fatalf("fn called %d times, want %d (one per distinct key)", got, keys)
+	}
+	if c.Evaluations() != keys {
+		t.Fatalf("evaluations = %d, want %d", c.Evaluations(), keys)
+	}
+	for w := 1; w < callers; w++ {
+		for i := range results[w] {
+			if results[w][i][0] != results[0][i][0] {
+				t.Fatalf("caller %d observed %v at %d, caller 0 observed %v",
+					w, results[w][i], i, results[0][i])
+			}
+		}
+	}
+}
+
+// TestCachingEvaluatorSerializedAtParallelism1 asserts the global
+// concurrency bound spans batches: with parallelism 1, two concurrent
+// batches may never overlap inside fn (the Measured guarantee).
+func TestCachingEvaluatorSerializedAtParallelism1(t *testing.T) {
+	var inside atomic.Int64
+	c := NewCachingEvaluator([]string{"a"}, 1, func(cfg skeleton.Config) []float64 {
+		if inside.Add(1) > 1 {
+			t.Error("two evaluations in flight despite parallelism 1")
+		}
+		defer inside.Add(-1)
+		return []float64{float64(cfg[0])}
+	})
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			c.Evaluate([]skeleton.Config{{int64(w * 2)}, {int64(w*2 + 1)}})
+		}(w)
+	}
+	wg.Wait()
+}
+
+// TestCachingEvaluatorParallelismClamp: non-positive parallelism is
+// clamped to 1 rather than producing an unusable evaluator.
+func TestCachingEvaluatorParallelismClamp(t *testing.T) {
+	c := NewCachingEvaluator([]string{"a"}, 0, func(cfg skeleton.Config) []float64 {
+		return []float64{float64(cfg[0])}
+	})
+	objs := c.Evaluate([]skeleton.Config{{4}})
+	if len(objs) != 1 || objs[0][0] != 4 {
+		t.Fatalf("clamped evaluator broken: %v", objs)
+	}
+	if c.Evaluations() != 1 {
+		t.Fatalf("E = %d, want 1", c.Evaluations())
+	}
+}

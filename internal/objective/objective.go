@@ -92,27 +92,19 @@ type SimConfig struct {
 	UnrollDim bool
 }
 
-// Sim is the simulated evaluator.
+// Sim is the simulated evaluator: the analytical performance model
+// wrapped in the shared CachingEvaluator (memoization + singleflight
+// dedup + bounded parallel batches).
 type Sim struct {
+	*CachingEvaluator
 	cfg   SimConfig
 	model *perfmodel.Model
 
-	mu       sync.Mutex
-	cache    map[string][]float64
-	inflight map[string]*inflightEval
-	evals    int
+	mu sync.Mutex
 	// modeled counts raw model evaluations (including failed ones);
 	// it differs from evals exactly when dedup or failure accounting
 	// kicks in, which is what the tests observe.
 	modeled int
-}
-
-// inflightEval is the rendezvous for duplicate requests of a
-// configuration whose evaluation is still running: followers wait on
-// done instead of modeling the same key a second time.
-type inflightEval struct {
-	done chan struct{}
-	objs []float64
 }
 
 // NewSim builds a simulated evaluator. The configuration layout is
@@ -135,84 +127,13 @@ func NewSim(cfg SimConfig) (*Sim, error) {
 	}
 	mo := perfmodel.New(cfg.Machine)
 	mo.NoiseAmp = cfg.NoiseAmp
-	return &Sim{cfg: cfg, model: mo, cache: map[string][]float64{}, inflight: map[string]*inflightEval{}}, nil
-}
-
-// ObjectiveNames implements Evaluator.
-func (s *Sim) ObjectiveNames() []string {
-	names := make([]string, len(s.cfg.Objectives))
-	for i, o := range s.cfg.Objectives {
+	names := make([]string, len(cfg.Objectives))
+	for i, o := range cfg.Objectives {
 		names[i] = o.String()
 	}
-	return names
-}
-
-// Evaluations implements Evaluator.
-func (s *Sim) Evaluations() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.evals
-}
-
-// EvaluateOne evaluates a single configuration.
-func (s *Sim) EvaluateOne(cfg skeleton.Config) []float64 {
-	return s.Evaluate([]skeleton.Config{cfg})[0]
-}
-
-// Evaluate implements Evaluator. Configurations are evaluated
-// concurrently, mimicking the paper's parallel evaluation of
-// independent configurations, and memoized. Duplicate keys — within
-// one batch or across concurrent batches — are deduplicated in flight
-// (singleflight): one leader models the configuration, followers wait
-// for its result, so each distinct key is modeled exactly once.
-func (s *Sim) Evaluate(cfgs []skeleton.Config) [][]float64 {
-	out := make([][]float64, len(cfgs))
-	sem := make(chan struct{}, s.cfg.Parallelism)
-	var wg sync.WaitGroup
-	for i, cfg := range cfgs {
-		key := cfg.Key()
-		s.mu.Lock()
-		if cached, ok := s.cache[key]; ok {
-			out[i] = cached
-			s.mu.Unlock()
-			continue
-		}
-		if fl, ok := s.inflight[key]; ok {
-			s.mu.Unlock()
-			// Follower: wait for the leader's result. Followers hold
-			// no semaphore slot, so they cannot starve the leaders
-			// they are waiting on.
-			wg.Add(1)
-			go func(i int, fl *inflightEval) {
-				defer wg.Done()
-				<-fl.done
-				out[i] = fl.objs
-			}(i, fl)
-			continue
-		}
-		fl := &inflightEval{done: make(chan struct{})}
-		s.inflight[key] = fl
-		s.mu.Unlock()
-		wg.Add(1)
-		sem <- struct{}{}
-		go func(i int, cfg skeleton.Config, key string, fl *inflightEval) {
-			defer wg.Done()
-			defer func() { <-sem }()
-			objs := s.evaluate(cfg)
-			s.mu.Lock()
-			s.cache[key] = objs
-			if objs != nil {
-				s.evals++
-			}
-			delete(s.inflight, key)
-			s.mu.Unlock()
-			fl.objs = objs
-			close(fl.done)
-			out[i] = objs
-		}(i, cfg, key, fl)
-	}
-	wg.Wait()
-	return out
+	s := &Sim{cfg: cfg, model: mo}
+	s.CachingEvaluator = NewCachingEvaluator(names, cfg.Parallelism, s.evaluate)
+	return s, nil
 }
 
 func (s *Sim) evaluate(cfg skeleton.Config) []float64 {
@@ -264,15 +185,17 @@ func (s *Sim) evaluate(cfg skeleton.Config) []float64 {
 }
 
 // Measured evaluates configurations by executing the kernel's real Go
-// implementation and timing it.
+// implementation and timing it. It shares the CachingEvaluator
+// infrastructure with Sim at parallelism 1: concurrent timed runs
+// would perturb each other, and the global semaphore keeps them
+// serialized even when several optimizer islands evaluate batches
+// concurrently — while cache hits and in-flight dedup still let every
+// island benefit from every other island's measurements.
 type Measured struct {
+	*CachingEvaluator
 	kernel *kernels.Kernel
 	n      int64
 	reps   int
-
-	mu    sync.Mutex
-	cache map[string][]float64
-	evals int
 }
 
 // NewMeasured builds a measured evaluator. n == 0 uses the kernel's
@@ -288,42 +211,9 @@ func NewMeasured(k *kernels.Kernel, n int64, reps int) (*Measured, error) {
 	if reps <= 0 {
 		reps = 3
 	}
-	return &Measured{kernel: k, n: n, reps: reps, cache: map[string][]float64{}}, nil
-}
-
-// ObjectiveNames implements Evaluator.
-func (m *Measured) ObjectiveNames() []string { return []string{"time", "resources"} }
-
-// Evaluations implements Evaluator.
-func (m *Measured) Evaluations() int {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.evals
-}
-
-// Evaluate implements Evaluator. Measured evaluations run one at a
-// time: concurrent timed runs would perturb each other.
-func (m *Measured) Evaluate(cfgs []skeleton.Config) [][]float64 {
-	out := make([][]float64, len(cfgs))
-	for i, cfg := range cfgs {
-		key := cfg.Key()
-		m.mu.Lock()
-		cached, ok := m.cache[key]
-		m.mu.Unlock()
-		if ok {
-			out[i] = cached
-			continue
-		}
-		objs := m.evaluate(cfg)
-		m.mu.Lock()
-		m.cache[key] = objs
-		if objs != nil {
-			m.evals++
-		}
-		m.mu.Unlock()
-		out[i] = objs
-	}
-	return out
+	m := &Measured{kernel: k, n: n, reps: reps}
+	m.CachingEvaluator = NewCachingEvaluator([]string{"time", "resources"}, 1, m.evaluate)
+	return m, nil
 }
 
 func (m *Measured) evaluate(cfg skeleton.Config) []float64 {

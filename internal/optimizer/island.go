@@ -1,0 +1,306 @@
+// Island-model parallel drivers for the evolutionary optimizers.
+//
+// W worker islands evolve independently seeded sub-populations
+// concurrently (island i derives its RNG from seed+i) and exchange
+// elite individuals every M generations over a synchronous
+// unidirectional migration ring (island i donates to island (i+1)%W).
+// All islands share one evaluator — typically an
+// objective.CachingEvaluator — so a configuration proposed by several
+// islands is evaluated once process-wide and the E metric still counts
+// distinct successful evaluations globally, keeping search quality per
+// evaluation directly comparable to the serial path.
+//
+// Determinism: island evolution depends only on the island's own RNG,
+// its population and the synchronously exchanged migrants; evaluation
+// results are deterministic per configuration (the shared cache can
+// only change *who* computes a value, never the value). Generations
+// run in lockstep with a barrier before every migration, and the final
+// fronts are merged in island order and sorted canonically — so a
+// fixed (seed, W, M) always yields the same front, bit for bit,
+// regardless of scheduling or GOMAXPROCS.
+package optimizer
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"autotune/internal/objective"
+	"autotune/internal/pareto"
+	"autotune/internal/skeleton"
+)
+
+// IslandOptions configures the island-model parallel drivers. Zero
+// values select the defaults.
+type IslandOptions struct {
+	// Islands is the worker-island count W (default 4). 1 degrades to
+	// the serial algorithm.
+	Islands int
+	// MigrationInterval is the number of generations M between
+	// synchronous elite migrations (default 5).
+	MigrationInterval int
+	// Migrants is the number of elite individuals each island donates
+	// to its ring successor per migration (default 2, capped below the
+	// population size).
+	Migrants int
+}
+
+func (o IslandOptions) withDefaults() IslandOptions {
+	if o.Islands == 0 {
+		o.Islands = 4
+	}
+	if o.MigrationInterval == 0 {
+		o.MigrationInterval = 5
+	}
+	if o.Migrants == 0 {
+		o.Migrants = 2
+	}
+	return o
+}
+
+func (o IslandOptions) validate() error {
+	if o.Islands < 1 {
+		return fmt.Errorf("optimizer: island count %d < 1", o.Islands)
+	}
+	if o.MigrationInterval < 1 {
+		return fmt.Errorf("optimizer: migration interval %d < 1", o.MigrationInterval)
+	}
+	if o.Migrants < 1 {
+		return fmt.Errorf("optimizer: migrant count %d < 1", o.Migrants)
+	}
+	return nil
+}
+
+// islandEvolver is the per-island surface the driver needs; gdeIsland
+// and nsga2Island both implement it.
+type islandEvolver interface {
+	// step evolves one generation (trials, shared evaluation, archive
+	// update, environmental selection).
+	step()
+	// done reports whether the island's stagnation rule has fired.
+	done() bool
+	// population exposes the current individuals for elite selection.
+	population() []individual
+	// inject replaces the island's worst members with migrants.
+	inject(migrants []individual)
+	// points returns the island's archived front.
+	points() []pareto.Point
+}
+
+// RSGDE3Islands runs W parallel RS-GDE3 islands over a shared
+// evaluator and merges their fronts into one Pareto archive.
+// Result.Iterations reports lockstep generations (each active island
+// stepped once per generation); Result.Evaluations is the global
+// distinct-successful-evaluation count.
+func RSGDE3Islands(space skeleton.Space, eval objective.Evaluator, opt Options, iopt IslandOptions) (*Result, error) {
+	opt = opt.withDefaults()
+	iopt = iopt.withDefaults()
+	if err := space.Validate(); err != nil {
+		return nil, err
+	}
+	if err := iopt.validate(); err != nil {
+		return nil, err
+	}
+	islands := make([]islandEvolver, iopt.Islands)
+	spawn(len(islands), func(i int) {
+		islands[i] = newGDEIsland(space, eval, opt, opt.Seed+int64(i))
+	})
+	gens := runIslands(islands, opt.MaxIterations, iopt)
+	return mergeIslands(islands, eval, gens), nil
+}
+
+// GDE3Islands is RSGDE3Islands with the rough-set reduction disabled.
+func GDE3Islands(space skeleton.Space, eval objective.Evaluator, opt Options, iopt IslandOptions) (*Result, error) {
+	opt.DisableRoughSet = true
+	return RSGDE3Islands(space, eval, opt, iopt)
+}
+
+// NSGA2Islands runs W parallel NSGA-II islands over a shared evaluator
+// and merges their fronts into one Pareto archive.
+func NSGA2Islands(space skeleton.Space, eval objective.Evaluator, opt NSGA2Options, iopt IslandOptions) (*Result, error) {
+	iopt = iopt.withDefaults()
+	if err := space.Validate(); err != nil {
+		return nil, err
+	}
+	if err := iopt.validate(); err != nil {
+		return nil, err
+	}
+	opt = opt.withDefaults(space.Dim())
+	islands := make([]islandEvolver, iopt.Islands)
+	spawn(len(islands), func(i int) {
+		islands[i] = newNSGA2Island(space, eval, opt, opt.Seed+int64(i))
+	})
+	gens := runIslands(islands, opt.MaxGenerations, iopt)
+	return mergeIslands(islands, eval, gens), nil
+}
+
+// spawn runs fn(0..n-1) concurrently and waits for all.
+func spawn(n int, fn func(i int)) {
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			fn(i)
+		}(i)
+	}
+	wg.Wait()
+}
+
+// runIslands evolves the islands in lockstep until every island's
+// stagnation rule has fired or maxGens lockstep generations have run,
+// migrating elites around the ring every MigrationInterval
+// generations. It returns the number of lockstep generations.
+func runIslands(islands []islandEvolver, maxGens int, iopt IslandOptions) int {
+	gens := 0
+	for gens < maxGens {
+		stepped := false
+		var wg sync.WaitGroup
+		for _, isl := range islands {
+			if isl.done() {
+				continue
+			}
+			stepped = true
+			wg.Add(1)
+			go func(e islandEvolver) {
+				defer wg.Done()
+				e.step()
+			}(isl)
+		}
+		if !stepped {
+			break
+		}
+		wg.Wait()
+		gens++
+		if len(islands) > 1 && gens%iopt.MigrationInterval == 0 {
+			migrateRing(islands, iopt.Migrants)
+		}
+	}
+	return gens
+}
+
+// migrateRing synchronously copies each island's elite individuals to
+// its ring successor, replacing the successor's worst members. Elites
+// are selected before any injection so migration order cannot leak
+// freshly injected migrants onward, and both selection and replacement
+// are deterministic (rank, then crowding, then index).
+func migrateRing(islands []islandEvolver, migrants int) {
+	w := len(islands)
+	elites := make([][]individual, w)
+	for i, isl := range islands {
+		elites[i] = selectElites(isl.population(), migrants)
+	}
+	for i, isl := range islands {
+		donor := elites[(i-1+w)%w]
+		if len(donor) > 0 {
+			isl.inject(donor)
+		}
+	}
+}
+
+// orderBestToWorst returns population indices ordered by
+// non-domination rank (ascending), crowding distance within the rank
+// (descending), and original index as the deterministic tie-break.
+func orderBestToWorst(pop []individual) []int {
+	ranks := nonDominatedSort(pop)
+	out := make([]int, 0, len(pop))
+	for _, rank := range ranks {
+		dist := crowdingDistance(pop, rank)
+		order := make([]int, len(rank))
+		for i := range order {
+			order[i] = i
+		}
+		sort.Slice(order, func(a, b int) bool {
+			da, db := dist[order[a]], dist[order[b]]
+			if da != db {
+				return da > db
+			}
+			return rank[order[a]] < rank[order[b]]
+		})
+		for _, oi := range order {
+			out = append(out, rank[oi])
+		}
+	}
+	return out
+}
+
+// selectElites clones the k best individuals of a population that have
+// successful evaluations.
+func selectElites(pop []individual, k int) []individual {
+	if k > len(pop) {
+		k = len(pop)
+	}
+	out := make([]individual, 0, k)
+	for _, idx := range orderBestToWorst(pop) {
+		if len(out) == k {
+			break
+		}
+		ind := pop[idx]
+		if ind.objs == nil {
+			continue
+		}
+		out = append(out, individual{
+			cfg:  ind.cfg.Clone(),
+			objs: append([]float64(nil), ind.objs...),
+		})
+	}
+	return out
+}
+
+// replaceWorst overwrites the worst members of pop with the migrants,
+// never displacing more than half the population.
+func replaceWorst(pop []individual, migrants []individual) {
+	limit := len(pop) / 2
+	if limit < 1 {
+		limit = 1
+	}
+	if len(migrants) > limit {
+		migrants = migrants[:limit]
+	}
+	ord := orderBestToWorst(pop)
+	for j, mig := range migrants {
+		pop[ord[len(ord)-1-j]] = mig
+	}
+}
+
+// mergeIslands folds every island's front into one global Pareto
+// archive (in island order) and sorts the merged front canonically so
+// a fixed (seed, W, M) yields a byte-identical result across runs.
+func mergeIslands(islands []islandEvolver, eval objective.Evaluator, gens int) *Result {
+	global := pareto.NewArchive()
+	for _, isl := range islands {
+		for _, p := range isl.points() {
+			global.Add(p)
+		}
+	}
+	front := global.Points()
+	sortFront(front)
+	return &Result{
+		Front:       front,
+		Evaluations: eval.Evaluations(),
+		Iterations:  gens,
+	}
+}
+
+// sortFront orders points lexicographically by objective vector, with
+// the configuration key as the final tie-break — a canonical order
+// independent of archive insertion history.
+func sortFront(front []pareto.Point) {
+	sort.Slice(front, func(a, b int) bool {
+		oa, ob := front[a].Objectives, front[b].Objectives
+		for i := 0; i < len(oa) && i < len(ob); i++ {
+			if oa[i] != ob[i] {
+				return oa[i] < ob[i]
+			}
+		}
+		if len(oa) != len(ob) {
+			return len(oa) < len(ob)
+		}
+		ca, okA := front[a].Payload.(skeleton.Config)
+		cb, okB := front[b].Payload.(skeleton.Config)
+		if okA && okB {
+			return ca.Key() < cb.Key()
+		}
+		return false
+	})
+}

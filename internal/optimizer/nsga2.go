@@ -10,6 +10,7 @@ package optimizer
 
 import (
 	"math"
+	"math/rand"
 
 	"autotune/internal/objective"
 	"autotune/internal/pareto"
@@ -56,98 +57,142 @@ func (o NSGA2Options) withDefaults(dim int) NSGA2Options {
 	return o
 }
 
+// nsga2Island is one self-contained NSGA-II search instance — the
+// NSGA-II counterpart of gdeIsland, sharing the same island-evolver
+// surface so the island-model driver can run either algorithm.
+type nsga2Island struct {
+	space    skeleton.Space
+	eval     objective.Evaluator
+	opt      NSGA2Options
+	rng      *rand.Rand
+	pop      []individual
+	archive  *pareto.Archive
+	stagnant int
+}
+
+// newNSGA2Island seeds and evaluates the initial population. opt must
+// already carry defaults.
+func newNSGA2Island(space skeleton.Space, eval objective.Evaluator, opt NSGA2Options, seed int64) *nsga2Island {
+	n := &nsga2Island{
+		space:   space,
+		eval:    eval,
+		opt:     opt,
+		rng:     stats.NewRand(seed),
+		archive: pareto.NewArchive(),
+	}
+	n.pop = make([]individual, opt.PopSize)
+	cfgs := make([]skeleton.Config, opt.PopSize)
+	for i := range cfgs {
+		cfgs[i] = space.Random(n.rng)
+	}
+	objs := eval.Evaluate(cfgs)
+	for i := range n.pop {
+		n.pop[i] = individual{cfg: cfgs[i], objs: objs[i]}
+		if objs[i] != nil {
+			n.archive.Add(pareto.Point{Payload: cfgs[i], Objectives: objs[i]})
+		}
+	}
+	return n
+}
+
+// done reports whether the stagnation stopping rule has fired.
+func (n *nsga2Island) done() bool { return n.stagnant >= n.opt.Stagnation }
+
+// step runs one NSGA-II generation: binary-tournament selection,
+// uniform crossover, integer mutation, archive update and elitist
+// environmental selection.
+func (n *nsga2Island) step() {
+	pop := n.pop
+	rng := n.rng
+	opt := n.opt
+	ranks := nonDominatedSort(pop)
+	rankOf := make([]int, len(pop))
+	for r, members := range ranks {
+		for _, i := range members {
+			rankOf[i] = r
+		}
+	}
+	// Crowding per rank for tournament tie-breaking.
+	crowd := make([]float64, len(pop))
+	for _, members := range ranks {
+		d := crowdingDistance(pop, members)
+		for k, i := range members {
+			crowd[i] = d[k]
+		}
+	}
+	tournament := func() individual {
+		a, b := rng.Intn(len(pop)), rng.Intn(len(pop))
+		switch {
+		case rankOf[a] < rankOf[b]:
+			return pop[a]
+		case rankOf[b] < rankOf[a]:
+			return pop[b]
+		case crowd[a] >= crowd[b]:
+			return pop[a]
+		default:
+			return pop[b]
+		}
+	}
+	// Offspring generation.
+	children := make([]skeleton.Config, opt.PopSize)
+	for i := range children {
+		p1, p2 := tournament(), tournament()
+		child := p1.cfg.Clone()
+		for g := range child {
+			if rng.Float64() < opt.CrossoverRate && g < len(p2.cfg) {
+				child[g] = p2.cfg[g]
+			}
+			if rng.Float64() < opt.MutationRate {
+				p := n.space.Params[g]
+				// Polynomial-ish integer mutation: gaussian step
+				// scaled to a tenth of the range.
+				span := float64(p.Max - p.Min)
+				step := int64(math.Round(rng.NormFloat64() * span / 10))
+				child[g] += step
+			}
+		}
+		children[i] = n.space.Clip(child)
+	}
+	childObjs := n.eval.Evaluate(children)
+	improved := false
+	combined := append([]individual{}, pop...)
+	for i := range children {
+		combined = append(combined, individual{cfg: children[i], objs: childObjs[i]})
+		if childObjs[i] != nil &&
+			n.archive.Add(pareto.Point{Payload: children[i], Objectives: childObjs[i]}) {
+			improved = true
+		}
+	}
+	n.pop = truncate(combined, opt.PopSize)
+	if improved {
+		n.stagnant = 0
+	} else {
+		n.stagnant++
+	}
+}
+
+// population exposes the current individuals for migration.
+func (n *nsga2Island) population() []individual { return n.pop }
+
+// inject replaces the island's worst members with the given migrants.
+func (n *nsga2Island) inject(migrants []individual) { replaceWorst(n.pop, migrants) }
+
+// points returns the island's archived front.
+func (n *nsga2Island) points() []pareto.Point { return n.archive.Points() }
+
 // NSGA2 runs the NSGA-II baseline on the given space and evaluator.
 func NSGA2(space skeleton.Space, eval objective.Evaluator, opt NSGA2Options) (*Result, error) {
 	if err := space.Validate(); err != nil {
 		return nil, err
 	}
 	opt = opt.withDefaults(space.Dim())
-	rng := stats.NewRand(opt.Seed)
-
-	pop := make([]individual, opt.PopSize)
-	cfgs := make([]skeleton.Config, opt.PopSize)
-	for i := range cfgs {
-		cfgs[i] = space.Random(rng)
-	}
-	objs := eval.Evaluate(cfgs)
-	archive := pareto.NewArchive()
-	for i := range pop {
-		pop[i] = individual{cfg: cfgs[i], objs: objs[i]}
-		if objs[i] != nil {
-			archive.Add(pareto.Point{Payload: cfgs[i], Objectives: objs[i]})
-		}
-	}
-
-	stagnant := 0
+	isl := newNSGA2Island(space, eval, opt, opt.Seed)
 	gen := 0
-	for gen = 0; gen < opt.MaxGenerations && stagnant < opt.Stagnation; gen++ {
-		ranks := nonDominatedSort(pop)
-		rankOf := make([]int, len(pop))
-		for r, members := range ranks {
-			for _, i := range members {
-				rankOf[i] = r
-			}
-		}
-		// Crowding per rank for tournament tie-breaking.
-		crowd := make([]float64, len(pop))
-		for _, members := range ranks {
-			d := crowdingDistance(pop, members)
-			for k, i := range members {
-				crowd[i] = d[k]
-			}
-		}
-		tournament := func() individual {
-			a, b := rng.Intn(len(pop)), rng.Intn(len(pop))
-			switch {
-			case rankOf[a] < rankOf[b]:
-				return pop[a]
-			case rankOf[b] < rankOf[a]:
-				return pop[b]
-			case crowd[a] >= crowd[b]:
-				return pop[a]
-			default:
-				return pop[b]
-			}
-		}
-		// Offspring generation.
-		children := make([]skeleton.Config, opt.PopSize)
-		for i := range children {
-			p1, p2 := tournament(), tournament()
-			child := p1.cfg.Clone()
-			for g := range child {
-				if rng.Float64() < opt.CrossoverRate && g < len(p2.cfg) {
-					child[g] = p2.cfg[g]
-				}
-				if rng.Float64() < opt.MutationRate {
-					p := space.Params[g]
-					// Polynomial-ish integer mutation: gaussian step
-					// scaled to a tenth of the range.
-					span := float64(p.Max - p.Min)
-					step := int64(math.Round(rng.NormFloat64() * span / 10))
-					child[g] += step
-				}
-			}
-			children[i] = space.Clip(child)
-		}
-		childObjs := eval.Evaluate(children)
-		improved := false
-		combined := append([]individual{}, pop...)
-		for i := range children {
-			combined = append(combined, individual{cfg: children[i], objs: childObjs[i]})
-			if childObjs[i] != nil &&
-				archive.Add(pareto.Point{Payload: children[i], Objectives: childObjs[i]}) {
-				improved = true
-			}
-		}
-		pop = truncate(combined, opt.PopSize)
-		if improved {
-			stagnant = 0
-		} else {
-			stagnant++
-		}
+	for ; gen < opt.MaxGenerations && !isl.done(); gen++ {
+		isl.step()
 	}
 	return &Result{
-		Front:       archive.Points(),
+		Front:       isl.archive.Points(),
 		Evaluations: eval.Evaluations(),
 		Iterations:  gen,
 	}, nil

@@ -15,6 +15,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"math/rand"
 	"sort"
 
 	"autotune/internal/objective"
@@ -95,6 +96,101 @@ type individual struct {
 	objs []float64 // nil = failed evaluation
 }
 
+// gdeIsland is one self-contained RS-GDE3 search instance: its own
+// population, RNG, archive and rough-set box. The serial RSGDE3 drives
+// a single instance; the island-model driver evolves several
+// concurrently and migrates elites between them.
+type gdeIsland struct {
+	space    skeleton.Space
+	eval     objective.Evaluator
+	opt      Options
+	rng      *rand.Rand
+	pop      []individual
+	archive  *pareto.Archive
+	box      skeleton.Box
+	stagnant int
+}
+
+// newGDEIsland seeds and evaluates the initial population. opt must
+// already carry defaults.
+func newGDEIsland(space skeleton.Space, eval objective.Evaluator, opt Options, seed int64) *gdeIsland {
+	g := &gdeIsland{
+		space:   space,
+		eval:    eval,
+		opt:     opt,
+		rng:     stats.NewRand(seed),
+		archive: pareto.NewArchive(),
+		box:     space.FullBox(),
+	}
+	g.pop = make([]individual, opt.PopSize)
+	cfgs := make([]skeleton.Config, opt.PopSize)
+	for i := range g.pop {
+		cfgs[i] = space.Random(g.rng)
+	}
+	objs := eval.Evaluate(cfgs)
+	for i := range g.pop {
+		g.pop[i] = individual{cfg: cfgs[i], objs: objs[i]}
+		if objs[i] != nil {
+			g.archive.Add(pareto.Point{Payload: cfgs[i], Objectives: objs[i]})
+		}
+	}
+	return g
+}
+
+// done reports whether the stagnation stopping rule has fired.
+func (g *gdeIsland) done() bool { return g.stagnant >= g.opt.Stagnation }
+
+// step runs one RS-GDE3 generation: recompute the rough-set box,
+// generate and evaluate one trial per member (Algorithm 1), update the
+// archive and apply the GDE3 replacement rule.
+func (g *gdeIsland) step() {
+	// Rough-set reduction needs a populated non-dominated region to
+	// compute meaningful walls: with very few non-dominated points
+	// the box degenerates and every trial collapses onto a handful
+	// of (cached) configurations. Keep the full space in that case,
+	// and re-expand while the search stagnates so it can escape a
+	// prematurely narrowed region — the "gradual steering" the
+	// paper describes.
+	if !g.opt.DisableRoughSet {
+		nonDom, dom := splitPop(g.pop)
+		if len(nonDom) >= 3 && g.stagnant == 0 {
+			g.box = roughset.Reduce(g.space, nonDom, dom)
+		} else {
+			g.box = g.space.FullBox()
+		}
+	}
+	// Generate one trial per population member (Algorithm 1).
+	trials := make([]skeleton.Config, len(g.pop))
+	for i := range g.pop {
+		trials[i] = mutate(g.pop[i].cfg, g.pop, i, g.box, g.opt, g.rng)
+	}
+	trialObjs := g.eval.Evaluate(trials)
+	improved := false
+	for i := range trials {
+		if trialObjs[i] == nil {
+			continue
+		}
+		if g.archive.Add(pareto.Point{Payload: trials[i], Objectives: trialObjs[i]}) {
+			improved = true
+		}
+	}
+	g.pop = gde3Select(g.pop, trials, trialObjs, g.opt.PopSize)
+	if improved {
+		g.stagnant = 0
+	} else {
+		g.stagnant++
+	}
+}
+
+// population exposes the current individuals for migration.
+func (g *gdeIsland) population() []individual { return g.pop }
+
+// inject replaces the island's worst members with the given migrants.
+func (g *gdeIsland) inject(migrants []individual) { replaceWorst(g.pop, migrants) }
+
+// points returns the island's archived front.
+func (g *gdeIsland) points() []pareto.Point { return g.archive.Points() }
+
 // RSGDE3 runs the paper's search: differential evolution over the
 // (gradually reduced) search box, stopping after Options.Stagnation
 // consecutive iterations without archive improvement.
@@ -103,64 +199,13 @@ func RSGDE3(space skeleton.Space, eval objective.Evaluator, opt Options) (*Resul
 	if err := space.Validate(); err != nil {
 		return nil, err
 	}
-	rng := stats.NewRand(opt.Seed)
-	pop := make([]individual, opt.PopSize)
-	cfgs := make([]skeleton.Config, opt.PopSize)
-	for i := range pop {
-		cfgs[i] = space.Random(rng)
-	}
-	objs := eval.Evaluate(cfgs)
-	archive := pareto.NewArchive()
-	for i := range pop {
-		pop[i] = individual{cfg: cfgs[i], objs: objs[i]}
-		if objs[i] != nil {
-			archive.Add(pareto.Point{Payload: cfgs[i], Objectives: objs[i]})
-		}
-	}
-
-	box := space.FullBox()
-	stagnant := 0
+	isl := newGDEIsland(space, eval, opt, opt.Seed)
 	iters := 0
-	for iters = 0; iters < opt.MaxIterations && stagnant < opt.Stagnation; iters++ {
-		// Rough-set reduction needs a populated non-dominated region to
-		// compute meaningful walls: with very few non-dominated points
-		// the box degenerates and every trial collapses onto a handful
-		// of (cached) configurations. Keep the full space in that case,
-		// and re-expand while the search stagnates so it can escape a
-		// prematurely narrowed region — the "gradual steering" the
-		// paper describes.
-		if !opt.DisableRoughSet {
-			nonDom, dom := splitPop(pop)
-			if len(nonDom) >= 3 && stagnant == 0 {
-				box = roughset.Reduce(space, nonDom, dom)
-			} else {
-				box = space.FullBox()
-			}
-		}
-		// Generate one trial per population member (Algorithm 1).
-		trials := make([]skeleton.Config, len(pop))
-		for i := range pop {
-			trials[i] = mutate(pop[i].cfg, pop, i, box, opt, rng)
-		}
-		trialObjs := eval.Evaluate(trials)
-		improved := false
-		for i := range trials {
-			if trialObjs[i] == nil {
-				continue
-			}
-			if archive.Add(pareto.Point{Payload: trials[i], Objectives: trialObjs[i]}) {
-				improved = true
-			}
-		}
-		pop = gde3Select(pop, trials, trialObjs, opt.PopSize)
-		if improved {
-			stagnant = 0
-		} else {
-			stagnant++
-		}
+	for ; iters < opt.MaxIterations && !isl.done(); iters++ {
+		isl.step()
 	}
 	return &Result{
-		Front:       archive.Points(),
+		Front:       isl.archive.Points(),
 		Evaluations: eval.Evaluations(),
 		Iterations:  iters,
 	}, nil

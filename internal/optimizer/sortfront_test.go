@@ -1,0 +1,49 @@
+package optimizer
+
+import (
+	"testing"
+
+	"autotune/internal/pareto"
+	"autotune/internal/skeleton"
+)
+
+// TestSortFrontCanonicalOrder pins the tie-breaking rules the island
+// merge relies on for byte-identical reproducibility: objectives
+// compare lexicographically, shorter vectors sort first on a shared
+// prefix, and fully equal objectives fall back to the config key.
+func TestSortFrontCanonicalOrder(t *testing.T) {
+	pts := []pareto.Point{
+		{Objectives: []float64{2, 1}, Payload: skeleton.Config{9}},
+		{Objectives: []float64{1, 2}, Payload: skeleton.Config{8}},
+		{Objectives: []float64{1, 1}, Payload: skeleton.Config{7}},
+		{Objectives: []float64{1, 1}, Payload: skeleton.Config{3}},
+		{Objectives: []float64{1}, Payload: skeleton.Config{5}},
+	}
+	wantKeys := []string{"5", "3", "7", "8", "9"}
+	for rep := 0; rep < 2; rep++ { // second pass checks idempotence
+		sortFront(pts)
+		for i, want := range wantKeys {
+			cfg, ok := pts[i].Payload.(skeleton.Config)
+			if !ok || cfg.Key() != want {
+				t.Fatalf("rep %d position %d: got payload %v, want key %s",
+					rep, i, pts[i].Payload, want)
+			}
+		}
+	}
+}
+
+// TestSortFrontForeignPayload checks sortFront tolerates payloads that
+// are not configs (it still orders by objectives and must not panic).
+func TestSortFrontForeignPayload(t *testing.T) {
+	pts := []pareto.Point{
+		{Objectives: []float64{3}, Payload: "b"},
+		{Objectives: []float64{1}, Payload: "a"},
+		{Objectives: []float64{2}, Payload: skeleton.Config{1}},
+	}
+	sortFront(pts)
+	for i, want := range []float64{1, 2, 3} {
+		if pts[i].Objectives[0] != want {
+			t.Fatalf("position %d: got %v want %g", i, pts[i].Objectives, want)
+		}
+	}
+}

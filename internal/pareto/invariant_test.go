@@ -1,0 +1,100 @@
+package pareto
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// randomObjs draws n objective vectors with dim components from a
+// small discrete range so duplicates and dominance chains both occur.
+func randomObjs(rng *rand.Rand, n, dim int) [][]float64 {
+	out := make([][]float64, n)
+	for i := range out {
+		v := make([]float64, dim)
+		for c := range v {
+			v[c] = float64(rng.Intn(10))
+		}
+		out[i] = v
+	}
+	return out
+}
+
+// TestArchiveFrontMutuallyNonDominating is the core Pareto invariant:
+// however points arrive, no archived point may dominate (or duplicate)
+// another, and every input must be weakly dominated by some survivor.
+func TestArchiveFrontMutuallyNonDominating(t *testing.T) {
+	for seed := int64(0); seed < 50; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		dim := 2 + rng.Intn(2)
+		objs := randomObjs(rng, 5+rng.Intn(60), dim)
+		a := NewArchive()
+		for _, o := range objs {
+			a.Add(Point{Objectives: o})
+		}
+		front := a.Points()
+		if len(front) == 0 {
+			t.Fatalf("seed %d: empty front from %d points", seed, len(objs))
+		}
+		for i, p := range front {
+			for j, q := range front {
+				if i == j {
+					continue
+				}
+				if Dominates(p.Objectives, q.Objectives) {
+					t.Fatalf("seed %d: archived point %v dominates archived point %v",
+						seed, p.Objectives, q.Objectives)
+				}
+				if equalVec(p.Objectives, q.Objectives) {
+					t.Fatalf("seed %d: duplicate objective vector %v in front", seed, p.Objectives)
+				}
+			}
+		}
+		for _, o := range objs {
+			covered := false
+			for _, p := range front {
+				if WeaklyDominates(p.Objectives, o) {
+					covered = true
+					break
+				}
+			}
+			if !covered {
+				t.Fatalf("seed %d: input %v not weakly dominated by any archived point", seed, o)
+			}
+		}
+	}
+}
+
+// TestArchiveMatchesNonDominated checks the incremental archive against
+// the batch extraction: both must retain exactly the same objective
+// vectors for any insertion order.
+func TestArchiveMatchesNonDominated(t *testing.T) {
+	for seed := int64(0); seed < 30; seed++ {
+		rng := rand.New(rand.NewSource(100 + seed))
+		objs := randomObjs(rng, 5+rng.Intn(40), 2)
+		points := make([]Point, len(objs))
+		for i, o := range objs {
+			points[i] = Point{Objectives: o}
+		}
+		batch := NonDominated(points)
+		a := NewArchive()
+		for _, p := range points {
+			a.Add(p)
+		}
+		inc := a.Points()
+		if len(batch) != len(inc) {
+			t.Fatalf("seed %d: batch front has %d points, archive %d", seed, len(batch), len(inc))
+		}
+		for _, p := range batch {
+			found := false
+			for _, q := range inc {
+				if equalVec(p.Objectives, q.Objectives) {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Fatalf("seed %d: batch point %v missing from archive", seed, p.Objectives)
+			}
+		}
+	}
+}

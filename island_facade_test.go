@@ -1,0 +1,144 @@
+package autotune
+
+import (
+	"testing"
+)
+
+// TestTuneIslandsFacade drives the island model end to end through the
+// public Tune entry point, for each evolutionary method.
+func TestTuneIslandsFacade(t *testing.T) {
+	small := OptimizerOptions{PopSize: 8, MaxIterations: 4, Seed: 3}
+	for _, method := range []Method{RSGDE3, GDE3, NSGA2} {
+		res, err := Tune("mm",
+			WithMethod(method),
+			WithIslands(2, 2),
+			WithMachineSpec(Westmere()),
+			WithOptimizerOptions(small),
+		)
+		if err != nil {
+			t.Fatalf("%s: %v", method, err)
+		}
+		if len(res.Front) == 0 || res.Unit == nil {
+			t.Fatalf("%s: island tuning produced no result", method)
+		}
+	}
+}
+
+func TestWithIslandsRejectsNegative(t *testing.T) {
+	if _, err := Tune("mm", WithIslands(-1, 0)); err == nil {
+		t.Fatal("negative island count accepted")
+	}
+	if _, err := Tune("mm", WithIslands(2, -1)); err == nil {
+		t.Fatal("negative migration interval accepted")
+	}
+}
+
+// TestOptimizeIslandsFacade runs the parallel optimizer over a custom
+// search problem and checks the documented determinism guarantee.
+func TestOptimizeIslandsFacade(t *testing.T) {
+	space := Space{Params: []Param{
+		{Name: "x", Min: 0, Max: 100},
+		{Name: "y", Min: 0, Max: 100},
+	}}
+	opt := OptimizerOptions{PopSize: 10, Seed: 4, MaxIterations: 8}
+	iopt := IslandOptions{Islands: 3, MigrationInterval: 2}
+	run := func() *OptimizerResult {
+		res, err := OptimizeIslands(space, &customEval{}, opt, iopt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	if len(a.Front) == 0 {
+		t.Fatal("custom island optimization found nothing")
+	}
+	if len(a.Front) != len(b.Front) {
+		t.Fatalf("front size diverged between identical runs: %d vs %d", len(a.Front), len(b.Front))
+	}
+	for i := range a.Front {
+		pa, pb := a.Front[i], b.Front[i]
+		for j := range pa.Objectives {
+			if pa.Objectives[j] != pb.Objectives[j] {
+				t.Fatalf("front point %d diverged: %v vs %v", i, pa.Objectives, pb.Objectives)
+			}
+		}
+	}
+}
+
+func TestBruteForceGridFacade(t *testing.T) {
+	res, err := Tune("mm",
+		WithMethod(BruteForce),
+		WithGridPoints([]int{4, 4, 4, 3}),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Front) == 0 {
+		t.Fatal("brute-force grid found nothing")
+	}
+}
+
+// TestOnlineTunerFacade covers the parameterized-region path: derive a
+// single-body region from a tuned unit and refine it online.
+func TestOnlineTunerFacade(t *testing.T) {
+	res, err := Tune("mm",
+		WithSeed(11),
+		WithOptimizerOptions(OptimizerOptions{PopSize: 8, MaxIterations: 5, Seed: 11}),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	region, err := ParameterizedFromUnit(res.Unit, func(tiles []int64, threads int) error {
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dims := len(res.Unit.Versions[0].Meta.Tiles)
+	lo := make([]int64, dims+1)
+	hi := make([]int64, dims+1)
+	for i := range lo {
+		lo[i], hi[i] = 1, 64
+	}
+	hi[dims] = 16
+	tuner, err := NewOnlineTuner(region, lo, hi, 0, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tuner.Run(10); err != nil {
+		t.Fatal(err)
+	}
+	tiles, threads, _ := tuner.Best()
+	if len(tiles) != dims || threads < 1 {
+		t.Fatalf("online tuner returned malformed best config: tiles=%v threads=%d", tiles, threads)
+	}
+}
+
+func TestRandomSearchWithNoiseFacade(t *testing.T) {
+	res, err := Tune("mm",
+		WithMethod(RandomSearch),
+		WithRandomBudget(40),
+		WithNoise(0.05),
+		WithSeed(2),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Front) == 0 || res.Evaluations == 0 {
+		t.Fatal("random search with noise found nothing")
+	}
+}
+
+func TestNewRuntimeManagerFacade(t *testing.T) {
+	mgr, err := NewRuntimeManager(40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mgr == nil {
+		t.Fatal("nil manager")
+	}
+	if _, err := NewRuntimeManager(0); err == nil {
+		t.Fatal("zero-core manager accepted")
+	}
+}
