@@ -45,6 +45,7 @@ import (
 	"autotune/internal/pareto"
 	"autotune/internal/rts"
 	"autotune/internal/skeleton"
+	"autotune/internal/tunedb"
 )
 
 // Re-exported core types. The aliases make the internal packages'
@@ -114,7 +115,24 @@ type (
 	// Parameterized is the single-body alternative to multi-versioning
 	// (runtime tile/thread parameters instead of specialized code).
 	Parameterized = multiversion.Parameterized
+	// TuningDB is the persistent tuning database: a durable store of
+	// evaluation results and Pareto fronts keyed by (program, machine,
+	// objectives, search space). Open one with OpenDB and pass it to
+	// Tune via WithDB.
+	TuningDB = tunedb.DB
+	// TuningKey identifies one tuning problem in a TuningDB.
+	TuningKey = tunedb.Key
+	// StoredFront is a Pareto front stored in a TuningDB.
+	StoredFront = tunedb.FrontRecord
+	// MachineSignature summarizes a machine's resource geometry for
+	// database keying and nearest-machine transfer.
+	MachineSignature = machine.Signature
 )
+
+// OpenDB opens (creating if necessary) a persistent tuning database in
+// dir, recovering automatically from a torn journal tail. Close it
+// when done.
+func OpenDB(dir string) (*TuningDB, error) { return tunedb.Open(dir) }
 
 // OnlineTuner refines a parameterized region at run time by randomized
 // hill climbing seeded from a compile-time configuration.
@@ -269,6 +287,34 @@ func WithIslands(islands, migrationInterval int) Option {
 		}
 		c.opts.Islands = islands
 		c.opts.MigrationInterval = migrationInterval
+		return nil
+	}
+}
+
+// WithDB journals every evaluation and the final Pareto front of the
+// tuning run into the persistent tuning database, keyed by (program
+// fingerprint, machine signature, objective set, search-space hash).
+// Combine with WithWarmStart to also reuse stored results.
+func WithDB(db *TuningDB) Option {
+	return func(c *tuneConfig) error {
+		if db == nil {
+			return fmt.Errorf("autotune: nil tuning database")
+		}
+		c.opts.DB = db
+		return nil
+	}
+}
+
+// WithWarmStart makes the search start from the database instead of
+// from scratch: the evaluation cache is primed with every stored
+// result for the exact key — repeated or overlapping searches pay only
+// for new configurations, and the reported Evaluations count only
+// those — and the initial population is seeded from the stored Pareto
+// front (the exact key's, or the nearest-machine-signature
+// transferable one). Requires WithDB.
+func WithWarmStart() Option {
+	return func(c *tuneConfig) error {
+		c.opts.WarmStart = true
 		return nil
 	}
 }

@@ -5,7 +5,7 @@
 //
 //	autotune -kernel mm -machine Westmere [-method rs-gde3|gde3|nsga2|random|brute-force]
 //	         [-islands W] [-migrate M] [-seed N] [-n N] [-energy] [-measured]
-//	         [-o unit.json] [-code]
+//	         [-db DIR] [-warm=false] [-o unit.json] [-code]
 //
 // Example:
 //
@@ -41,6 +41,8 @@ func main() {
 	programFile := flag.String("program", "", "tune a MiniIR text program from this file instead of a built-in kernel")
 	faultDemo := flag.Int("fault-demo", 0, "after tuning, drive N runtime invocations with faults injected into the fastest version")
 	faultRate := flag.Float64("fault-rate", 0.3, "per-invocation error rate for -fault-demo")
+	dbDir := flag.String("db", "", "persistent tuning database directory (results are journaled; inspect with cmd/tunedb)")
+	warm := flag.Bool("warm", true, "with -db: warm-start from stored results (cache priming + population seeding)")
 	flag.Parse()
 
 	opts := []autotune.Option{
@@ -78,6 +80,22 @@ func main() {
 	}
 	if *measured {
 		opts = append(opts, autotune.WithMeasuredExecution(3))
+	}
+	if *dbDir != "" {
+		db, err := autotune.OpenDB(*dbDir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "autotune:", err)
+			os.Exit(1)
+		}
+		defer func() {
+			if err := db.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "autotune: closing tuning database:", err)
+			}
+		}()
+		opts = append(opts, autotune.WithDB(db))
+		if *warm {
+			opts = append(opts, autotune.WithWarmStart())
+		}
 	}
 
 	var res *autotune.TuneResult

@@ -1,9 +1,12 @@
-// Command benchpr3 runs the island-model serial-vs-parallel benchmark
-// and writes the results as JSON (wall-clock, evaluation counts and
-// hypervolume per configuration). The committed BENCH_pr3.json at the
-// repository root is regenerated with:
+// Command benchpr4 runs the persistent-tuning-database warm-start
+// benchmark: for each kernel, a cold search populates a fresh database,
+// an identical rerun warm-starts from it, and a clock/bandwidth variant
+// of the machine measures cross-machine transfer. The JSON report
+// records the new-evaluation counts (E), the warm runs' evaluation
+// reduction and the per-machine normalized hypervolumes. The committed
+// BENCH_pr4.json at the repository root is regenerated with:
 //
-//	go run ./cmd/benchpr3 -o BENCH_pr3.json
+//	go run ./cmd/benchpr4 -o BENCH_pr4.json
 package main
 
 import (
@@ -18,14 +21,14 @@ import (
 )
 
 func main() {
-	out := flag.String("o", "BENCH_pr3.json", "output file")
+	out := flag.String("o", "BENCH_pr4.json", "output file")
 	machName := flag.String("machine", "Westmere", "target machine")
 	kernList := flag.String("kernels", "mm,jacobi-2d", "comma-separated kernels")
 	modeName := flag.String("mode", "full", "evaluation budget (quick, full)")
 	flag.Parse()
 
 	if err := run(*out, *machName, *kernList, *modeName, os.Stdout); err != nil {
-		fmt.Fprintln(os.Stderr, "benchpr3:", err)
+		fmt.Fprintln(os.Stderr, "benchpr4:", err)
 		os.Exit(1)
 	}
 }
@@ -39,7 +42,7 @@ func run(out, machName, kernList, modeName string, w io.Writer) error {
 	}
 	mode := experiments.ModeByName(modeName)
 	report := experiments.NewBenchReport(
-		"island-model RS-GDE3: serial vs parallel at equal generation budget",
+		"persistent tuning database: cold vs warm-started search and cross-machine transfer",
 		m.Name, modeName)
 
 	for _, name := range experiments.SplitList(kernList) {
@@ -47,11 +50,11 @@ func run(out, machName, kernList, modeName string, w io.Writer) error {
 		if err != nil {
 			return err
 		}
-		res, err := experiments.IslandComparison(k, m, mode)
+		res, err := experiments.WarmStartComparison(k, m, mode)
 		if err != nil {
 			return err
 		}
-		report.AddIslandRuns(k.Name, res)
+		report.AddWarmStartRuns(k.Name, res)
 		res.Render(w)
 		fmt.Fprintln(w)
 	}

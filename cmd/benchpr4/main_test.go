@@ -14,6 +14,9 @@ func TestRunQuick(t *testing.T) {
 	if err := run(out, "Westmere", "mm", "quick", &sb); err != nil {
 		t.Fatalf("run: %v", err)
 	}
+	if !strings.Contains(sb.String(), "Warm-start comparison: mm") {
+		t.Errorf("rendered output missing comparison table:\n%s", sb.String())
+	}
 
 	data, err := os.ReadFile(out)
 	if err != nil {
@@ -22,21 +25,20 @@ func TestRunQuick(t *testing.T) {
 	var report struct {
 		Benchmark string `json:"benchmark"`
 		Runs      []struct {
-			Kernel      string `json:"kernel"`
-			Label       string `json:"label"`
-			Evaluations int    `json:"evaluations"`
+			Kernel           string  `json:"kernel"`
+			Label            string  `json:"label"`
+			Evaluations      int     `json:"evaluations"`
+			EvalReductionPct float64 `json:"eval_reduction_pct"`
 		} `json:"runs"`
 	}
 	if err := json.Unmarshal(data, &report); err != nil {
 		t.Fatalf("Unmarshal: %v", err)
 	}
-	if len(report.Runs) == 0 {
-		t.Fatal("report has no runs")
+	if len(report.Runs) != 4 {
+		t.Fatalf("want 4 runs (cold, warm, variant cold, transfer), got %d", len(report.Runs))
 	}
-	for _, r := range report.Runs {
-		if r.Kernel != "mm" || r.Evaluations <= 0 {
-			t.Errorf("malformed run: %+v", r)
-		}
+	if report.Runs[1].EvalReductionPct <= 0 {
+		t.Errorf("warm rerun should report a positive eval reduction, got %v", report.Runs[1].EvalReductionPct)
 	}
 }
 

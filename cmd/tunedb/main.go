@@ -1,0 +1,163 @@
+// Command tunedb inspects and maintains a persistent tuning database
+// (the -db directory of cmd/autotune).
+//
+// Usage:
+//
+//	tunedb -db DIR ls                 # list stored keys with eval/front counts
+//	tunedb -db DIR show KEYPREFIX     # print the stored front for a key
+//	tunedb -db DIR compact            # rewrite the journal keeping live entries
+//	tunedb -db DIR merge OTHERDIR     # adopt records from another database
+//	tunedb -db DIR export KEYPREFIX   # write the stored front as JSON to stdout
+//
+// KEYPREFIX matches any stored key whose canonical string starts with
+// it; an ambiguous prefix is an error, so a unique fingerprint prefix
+// suffices.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"autotune/internal/export"
+	"autotune/internal/pareto"
+	"autotune/internal/skeleton"
+	"autotune/internal/tunedb"
+)
+
+func main() {
+	dir := flag.String("db", "", "tuning database directory (required)")
+	flag.Parse()
+	if *dir == "" || flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: tunedb -db DIR {ls|show KEY|compact|merge OTHERDIR|export KEY}")
+		os.Exit(2)
+	}
+	if err := run(*dir, flag.Arg(0), flag.Args()[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "tunedb:", err)
+		os.Exit(1)
+	}
+}
+
+// run dispatches one subcommand against the database at dir. It is
+// separate from main so the CLI surface is testable without a process
+// boundary.
+func run(dir, cmd string, args []string, stdout, stderr io.Writer) error {
+	db, err := tunedb.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer db.Close()
+
+	switch cmd {
+	case "ls":
+		ls(db, stdout)
+		return nil
+	case "show":
+		rec, err := resolveFront(db, args, stderr)
+		if err != nil {
+			return err
+		}
+		printFront(rec, stdout)
+		return nil
+	case "compact":
+		if err := db.Compact(); err != nil {
+			return err
+		}
+		fmt.Fprintln(stdout, "journal compacted")
+		return nil
+	case "merge":
+		if len(args) != 1 {
+			return fmt.Errorf("merge wants exactly one source directory")
+		}
+		evals, fronts, err := db.Merge(args[0])
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "merged %d evaluations and %d fronts from %s\n", evals, fronts, args[0])
+		return nil
+	case "export":
+		rec, err := resolveFront(db, args, stderr)
+		if err != nil {
+			return err
+		}
+		front := make([]pareto.Point, len(rec.Points))
+		for i, p := range rec.Points {
+			front[i] = pareto.Point{
+				Payload:    skeleton.Config(p.Config),
+				Objectives: p.Objectives,
+			}
+		}
+		return export.FrontJSON(stdout, front, rec.ObjectiveNames)
+	default:
+		return fmt.Errorf("unknown command %q", cmd)
+	}
+}
+
+// ls prints one row per stored key.
+func ls(db *tunedb.DB, w io.Writer) {
+	keys := db.Keys()
+	if len(keys) == 0 {
+		fmt.Fprintln(w, "database is empty")
+		return
+	}
+	fmt.Fprintf(w, "%-20s %-30s %-16s %6s %6s\n", "fingerprint", "machine", "objectives", "evals", "front")
+	for _, k := range keys {
+		frontSize := 0
+		if rec, ok := db.Front(k); ok {
+			frontSize = len(rec.Points)
+		}
+		fmt.Fprintf(w, "%-20s %-30s %-16s %6d %6d\n",
+			k.Fingerprint, trim(k.MachineSig, 30), k.Objectives, db.EvalCount(k), frontSize)
+	}
+}
+
+// resolveFront finds the unique stored front whose key matches the
+// given prefix (or the only stored front when no prefix is given).
+func resolveFront(db *tunedb.DB, args []string, stderr io.Writer) (tunedb.FrontRecord, error) {
+	prefix := ""
+	if len(args) > 0 {
+		prefix = args[0]
+	}
+	var matches []tunedb.FrontRecord
+	for _, k := range db.Keys() {
+		rec, ok := db.Front(k)
+		if !ok {
+			continue
+		}
+		if prefix == "" || hasPrefix(k.String(), prefix) {
+			matches = append(matches, rec)
+		}
+	}
+	switch len(matches) {
+	case 0:
+		return tunedb.FrontRecord{}, fmt.Errorf("no stored front matches %q", prefix)
+	case 1:
+		return matches[0], nil
+	default:
+		for _, m := range matches {
+			fmt.Fprintln(stderr, "  "+m.Key.String())
+		}
+		return tunedb.FrontRecord{}, fmt.Errorf("%q is ambiguous (%d matches)", prefix, len(matches))
+	}
+}
+
+func printFront(rec tunedb.FrontRecord, w io.Writer) {
+	fmt.Fprintf(w, "key:        %s\n", rec.Key.String())
+	fmt.Fprintf(w, "machine:    %s\n", rec.Key.MachineSig)
+	fmt.Fprintf(w, "objectives: %s\n", rec.Key.Objectives)
+	fmt.Fprintf(w, "search:     %d evaluations, %d iterations, %d Pareto points\n",
+		rec.Evaluations, rec.Iterations, len(rec.Points))
+	for i, p := range rec.Points {
+		fmt.Fprintf(w, "%-4d config %v  objectives %v\n", i, p.Config, p.Objectives)
+	}
+}
+
+func hasPrefix(s, p string) bool { return len(s) >= len(p) && s[:len(p)] == p }
+
+func trim(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n-1] + "…"
+}

@@ -1,0 +1,145 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"autotune/internal/machine"
+	"autotune/internal/tunedb"
+)
+
+// seedDB creates a database under dir with one eval-only key and one
+// key carrying a front, and returns both keys.
+func seedDB(t *testing.T, dir string) (evalOnly, withFront tunedb.Key) {
+	t.Helper()
+	sig := machine.SignatureOf(machine.Westmere())
+	evalOnly = tunedb.Key{
+		Fingerprint: "pgaaaaaaaaaaaaaaaa",
+		MachineSig:  sig.Key(),
+		Objectives:  "time+resources",
+		SpaceHash:   "sp0000000000000001",
+	}
+	withFront = evalOnly
+	withFront.Fingerprint = "pgbbbbbbbbbbbbbbbb"
+
+	db, err := tunedb.Open(dir)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	defer db.Close()
+	if err := db.PutEval(evalOnly, []int64{4, 8}, []float64{1.5, 2}); err != nil {
+		t.Fatalf("PutEval: %v", err)
+	}
+	if err := db.PutEval(withFront, []int64{2, 2}, []float64{0.5, 4}); err != nil {
+		t.Fatalf("PutEval: %v", err)
+	}
+	rec := tunedb.FrontRecord{
+		Key:            withFront,
+		Machine:        sig,
+		ObjectiveNames: []string{"time", "resources"},
+		Points: []tunedb.FrontPoint{
+			{Config: []int64{2, 2}, Objectives: []float64{0.5, 4}},
+			{Config: []int64{8, 1}, Objectives: []float64{0.9, 1}},
+		},
+		Evaluations: 2,
+		Iterations:  1,
+	}
+	if err := db.PutFront(rec); err != nil {
+		t.Fatalf("PutFront: %v", err)
+	}
+	return evalOnly, withFront
+}
+
+// runCmd invokes one subcommand and returns stdout; it fails the test
+// on error unless wantErr is true, in which case it returns the error
+// message.
+func runCmd(t *testing.T, dir, cmd string, args []string, wantErr bool) string {
+	t.Helper()
+	var stdout, stderr strings.Builder
+	err := run(dir, cmd, args, &stdout, &stderr)
+	if wantErr {
+		if err == nil {
+			t.Fatalf("%s %v: expected error, got none", cmd, args)
+		}
+		return err.Error()
+	}
+	if err != nil {
+		t.Fatalf("%s %v: %v", cmd, args, err)
+	}
+	return stdout.String()
+}
+
+func TestRunSubcommands(t *testing.T) {
+	dir := t.TempDir()
+	evalOnly, withFront := seedDB(t, dir)
+
+	out := runCmd(t, dir, "ls", nil, false)
+	for _, want := range []string{evalOnly.Fingerprint, withFront.Fingerprint, "evals", "front"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("ls output missing %q:\n%s", want, out)
+		}
+	}
+
+	out = runCmd(t, dir, "show", []string{withFront.Fingerprint}, false)
+	if !strings.Contains(out, withFront.String()) || !strings.Contains(out, "2 Pareto points") {
+		t.Errorf("show output unexpected:\n%s", out)
+	}
+
+	out = runCmd(t, dir, "export", nil, false) // only one stored front: no prefix needed
+	for _, want := range []string{`"time"`, `"resources"`, `"value"`} {
+		if !strings.Contains(out, want) {
+			t.Errorf("export output missing %q:\n%s", want, out)
+		}
+	}
+
+	out = runCmd(t, dir, "compact", nil, false)
+	if !strings.Contains(out, "compacted") {
+		t.Errorf("compact output unexpected: %q", out)
+	}
+
+	other := t.TempDir()
+	seedDB(t, other)
+	out = runCmd(t, dir, "merge", []string{other}, false)
+	if !strings.Contains(out, "merged 0 evaluations and 0 fronts") {
+		t.Errorf("merge of identical database should adopt nothing: %q", out)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	dir := t.TempDir()
+	seedDB(t, dir)
+
+	if msg := runCmd(t, dir, "frobnicate", nil, true); !strings.Contains(msg, "unknown command") {
+		t.Errorf("unexpected error: %s", msg)
+	}
+	if msg := runCmd(t, dir, "show", []string{"nope"}, true); !strings.Contains(msg, "no stored front") {
+		t.Errorf("unexpected error: %s", msg)
+	}
+	if msg := runCmd(t, dir, "merge", nil, true); !strings.Contains(msg, "exactly one source") {
+		t.Errorf("unexpected error: %s", msg)
+	}
+
+	// An ambiguous prefix must be rejected, not silently resolved.
+	db, err := tunedb.Open(dir)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	sig := machine.SignatureOf(machine.Barcelona())
+	second := tunedb.Key{
+		Fingerprint: "pgbbbbbbbbbbbbbbbb",
+		MachineSig:  sig.Key(),
+		Objectives:  "time+resources",
+		SpaceHash:   "sp0000000000000001",
+	}
+	if err := db.PutFront(tunedb.FrontRecord{
+		Key: second, Machine: sig,
+		ObjectiveNames: []string{"time", "resources"},
+		Points:         []tunedb.FrontPoint{{Config: []int64{1, 1}, Objectives: []float64{1, 1}}},
+	}); err != nil {
+		t.Fatalf("PutFront: %v", err)
+	}
+	db.Close()
+	if msg := runCmd(t, dir, "show", []string{"pgbbbb"}, true); !strings.Contains(msg, "ambiguous") {
+		t.Errorf("unexpected error: %s", msg)
+	}
+}

@@ -10,6 +10,7 @@ package driver
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"autotune/internal/analyzer"
 	"autotune/internal/features"
@@ -20,6 +21,7 @@ import (
 	"autotune/internal/objective"
 	"autotune/internal/optimizer"
 	"autotune/internal/skeleton"
+	"autotune/internal/tunedb"
 )
 
 // Method selects the search strategy.
@@ -72,6 +74,17 @@ type Options struct {
 	// UnrollDim adds the innermost-loop unroll factor (1..8) as one
 	// more tuning dimension (simulated evaluator only).
 	UnrollDim bool
+	// DB is the persistent tuning database. When set, every evaluation
+	// and the final Pareto front are journaled under the search's key
+	// (program fingerprint, machine signature, objectives, space hash).
+	DB *tunedb.DB
+	// WarmStart additionally reuses stored results before searching:
+	// the evaluation cache is primed with every stored evaluation for
+	// the exact key (so E counts only new evaluations), and the initial
+	// population is seeded from the stored Pareto front — the exact
+	// key's front, or the nearest-machine-signature transferable front.
+	// Ignored when DB is nil.
+	WarmStart bool
 }
 
 // Output is the result of tuning one kernel.
@@ -142,6 +155,11 @@ func TuneKernel(kernelName string, opt Options) (*Output, error) {
 		eval = s
 	}
 
+	// (3b) Persistent tuning database: warm-start and journaling.
+	fingerprint := tunedb.ProgramFingerprint(prog, k.Name, fmt.Sprint(n),
+		region.Skeleton.Name, fmt.Sprint(opt.Measured), fmt.Sprint(opt.UnrollDim))
+	finish := attachDB(&opt, fingerprint, space, eval)
+
 	// (4) Optimize.
 	res, err := runSearch(space, eval, opt)
 	if err != nil {
@@ -149,6 +167,9 @@ func TuneKernel(kernelName string, opt Options) (*Output, error) {
 	}
 	if len(res.Front) == 0 {
 		return nil, fmt.Errorf("driver: optimizer returned an empty front for %s", k.Name)
+	}
+	if err := finish(res); err != nil {
+		return nil, err
 	}
 
 	// (5) Multi-versioning backend.
@@ -182,10 +203,11 @@ func runSearch(space skeleton.Space, eval objective.Evaluator, opt Options) (*op
 		return optimizer.GDE3(space, eval, opt.Optimizer)
 	case MethodNSGA2:
 		nopt := optimizer.NSGA2Options{
-			PopSize:        opt.Optimizer.PopSize,
-			Stagnation:     opt.Optimizer.Stagnation,
-			MaxGenerations: opt.Optimizer.MaxIterations,
-			Seed:           opt.Optimizer.Seed,
+			PopSize:           opt.Optimizer.PopSize,
+			Stagnation:        opt.Optimizer.Stagnation,
+			MaxGenerations:    opt.Optimizer.MaxIterations,
+			Seed:              opt.Optimizer.Seed,
+			InitialPopulation: opt.Optimizer.InitialPopulation,
 		}
 		if parallel {
 			return optimizer.NSGA2Islands(space, eval, nopt, iopt)
@@ -219,6 +241,79 @@ func runSearch(space skeleton.Space, eval objective.Evaluator, opt Options) (*op
 		return optimizer.BruteForce(space, eval, grid)
 	default:
 		return nil, fmt.Errorf("driver: unknown method %q", method)
+	}
+}
+
+// attachDB wires the persistent tuning database into one search. When
+// opt.DB is nil (or the evaluator has no shared cache to hook), it is
+// a no-op. Otherwise it derives the database key, optionally
+// warm-starts the evaluator cache and the initial population, and
+// registers the journaling observer. The returned callback stores the
+// final front and surfaces any journaling error encountered during the
+// search.
+func attachDB(opt *Options, fingerprint string, space skeleton.Space, eval objective.Evaluator) func(*optimizer.Result) error {
+	noop := func(*optimizer.Result) error { return nil }
+	if opt.DB == nil {
+		return noop
+	}
+	sc, ok := eval.(objective.SharedCacher)
+	if !ok {
+		return noop
+	}
+	ce := sc.SharedCache()
+	db := opt.DB
+	sig := machine.SignatureOf(opt.Machine)
+	key := tunedb.Key{
+		Fingerprint: fingerprint,
+		MachineSig:  sig.Key(),
+		Objectives:  tunedb.ObjectiveKey(eval.ObjectiveNames()),
+		SpaceHash:   tunedb.SpaceHash(space),
+	}
+	if opt.WarmStart {
+		db.WarmCache(key, ce)
+		popSize := opt.Optimizer.PopSize
+		if popSize == 0 {
+			popSize = 30
+		}
+		// Seed at most half the population so random exploration of
+		// the space keeps its share of the budget.
+		seeds := db.SeedPopulation(key, sig, space, (popSize+1)/2)
+		opt.Optimizer.InitialPopulation = append(seeds, opt.Optimizer.InitialPopulation...)
+	}
+	var journalMu sync.Mutex
+	var journalErr error
+	ce.SetObserver(func(cfg skeleton.Config, objs []float64) {
+		if err := db.PutEval(key, cfg, objs); err != nil {
+			journalMu.Lock()
+			if journalErr == nil {
+				journalErr = err
+			}
+			journalMu.Unlock()
+		}
+	})
+	return func(res *optimizer.Result) error {
+		ce.SetObserver(nil)
+		journalMu.Lock()
+		err := journalErr
+		journalMu.Unlock()
+		if err != nil {
+			return err
+		}
+		rec := tunedb.FrontRecord{
+			Key:            key,
+			Machine:        sig,
+			ObjectiveNames: eval.ObjectiveNames(),
+			Evaluations:    res.Evaluations,
+			Iterations:     res.Iterations,
+		}
+		for _, p := range res.Front {
+			cfg, _ := p.Payload.(skeleton.Config)
+			rec.Points = append(rec.Points, tunedb.FrontPoint{
+				Config:     cfg,
+				Objectives: append([]float64(nil), p.Objectives...),
+			})
+		}
+		return db.PutFront(rec)
 	}
 }
 

@@ -10,6 +10,7 @@ import (
 	"autotune/internal/objective"
 	"autotune/internal/optimizer"
 	"autotune/internal/skeleton"
+	"autotune/internal/tunedb"
 )
 
 // TuneProgramAll tunes every region of an arbitrary MiniIR program
@@ -133,12 +134,18 @@ func TuneProgram(prog *ir.Program, opt Options) (*Output, error) {
 	if err != nil {
 		return nil, err
 	}
+	fingerprint := tunedb.ProgramFingerprint(prog, "source", region.Skeleton.Name,
+		fmt.Sprint(opt.UnrollDim))
+	finish := attachDB(&opt, fingerprint, region.Skeleton.Space, eval)
 	res, err := runSearch(region.Skeleton.Space, eval, opt)
 	if err != nil {
 		return nil, err
 	}
 	if len(res.Front) == 0 {
 		return nil, fmt.Errorf("driver: optimizer returned an empty front for %s", prog.Name)
+	}
+	if err := finish(res); err != nil {
+		return nil, err
 	}
 	unit, err := EmitUnit(synth, prog, region, res, eval.ObjectiveNames(), 1)
 	if err != nil {

@@ -1,0 +1,151 @@
+package driver
+
+import (
+	"testing"
+
+	"autotune/internal/machine"
+	"autotune/internal/optimizer"
+	"autotune/internal/tunedb"
+)
+
+// TestTuneKernelJournalsToDB: a cold run against a database journals
+// every fresh evaluation and the final front under the search's key.
+func TestTuneKernelJournalsToDB(t *testing.T) {
+	dir := t.TempDir()
+	db, err := tunedb.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := fastOpts()
+	opt.DB = db
+	out, err := TuneKernel("mm", opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := db.Keys()
+	if len(keys) != 1 {
+		t.Fatalf("database keys = %v", keys)
+	}
+	key := keys[0]
+	// Every counted evaluation is journaled (failures add more).
+	if n := db.EvalCount(key); n < out.Result.Evaluations {
+		t.Fatalf("journaled %d evals for %d counted", n, out.Result.Evaluations)
+	}
+	rec, ok := db.Front(key)
+	if !ok {
+		t.Fatal("front not stored")
+	}
+	if len(rec.Points) != len(out.Result.Front) {
+		t.Fatalf("stored %d front points, search produced %d", len(rec.Points), len(out.Result.Front))
+	}
+	if rec.Evaluations != out.Result.Evaluations {
+		t.Fatalf("stored E = %d, search E = %d", rec.Evaluations, out.Result.Evaluations)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The journal survives the process: a fresh open sees everything.
+	db2, err := tunedb.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	if _, ok := db2.Front(key); !ok {
+		t.Fatal("front lost across reopen")
+	}
+}
+
+// TestTuneKernelWarmStart is the warm-start acceptance check at the
+// driver level: rerunning the identical search against the populated
+// database pays nothing for cached configurations, so the warm run
+// performs strictly fewer new evaluations than the cold run.
+func TestTuneKernelWarmStart(t *testing.T) {
+	db, err := tunedb.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+
+	opt := fastOpts()
+	opt.DB = db
+	cold, err := TuneKernel("mm", opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cold.Result.Evaluations == 0 {
+		t.Fatal("cold run evaluated nothing")
+	}
+
+	warm := fastOpts()
+	warm.DB = db
+	warm.WarmStart = true
+	out, err := TuneKernel("mm", warm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Result.Evaluations >= cold.Result.Evaluations {
+		t.Fatalf("warm run E = %d, cold run E = %d: warm start reused nothing",
+			out.Result.Evaluations, cold.Result.Evaluations)
+	}
+	if len(out.Result.Front) == 0 {
+		t.Fatal("warm run produced no front")
+	}
+}
+
+// TestTuneKernelWarmStartTransfers: with no exact-key front stored, the
+// warm start seeds from the nearest-machine-signature transferable
+// front — here a higher-clocked Westmere variant with the same core
+// count (so the search space, hence the key's space hash, matches).
+func TestTuneKernelWarmStartTransfers(t *testing.T) {
+	db, err := tunedb.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+
+	opt := fastOpts()
+	opt.DB = db
+	if _, err := TuneKernel("mm", opt); err != nil {
+		t.Fatal(err)
+	}
+
+	variant := machine.Westmere()
+	variant.Name = "Westmere-OC"
+	variant.ClockGHz *= 1.25
+	variant.MemBandwidthGBs *= 1.1
+	warm := Options{
+		Machine:   variant,
+		Optimizer: optimizer.Options{PopSize: 12, Seed: 1, MaxIterations: 15},
+		DB:        db,
+		WarmStart: true,
+	}
+	out, err := TuneKernel("mm", warm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Result.Front) == 0 {
+		t.Fatal("transferred warm run produced no front")
+	}
+	// Both machines' results are now stored under distinct keys.
+	if got := len(db.Keys()); got != 2 {
+		t.Fatalf("database keys = %d, want 2", got)
+	}
+	// The two keys are mutually transferable (same program, objectives
+	// and space), which is what made the seeding possible.
+	keys := db.Keys()
+	if !keys[0].Transferable(keys[1]) {
+		t.Fatalf("keys not transferable: %v vs %v", keys[0], keys[1])
+	}
+}
+
+// TestWarmStartWithoutDB: WarmStart without a database is ignored, and
+// non-caching search paths (brute force has a caching evaluator too, so
+// use a nil DB) stay untouched.
+func TestWarmStartWithoutDB(t *testing.T) {
+	opt := fastOpts()
+	opt.WarmStart = true
+	if _, err := TuneKernel("mm", opt); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,133 @@
+package experiments
+
+import (
+	"encoding/json"
+	"os"
+	"runtime"
+	"time"
+)
+
+// BenchRun is one row of a machine-readable benchmark report. The
+// cmd/bench* tools share this representation (and the conversions
+// below) so every committed BENCH_*.json has the same shape.
+type BenchRun struct {
+	Kernel           string  `json:"kernel"`
+	Label            string  `json:"label"`
+	Machine          string  `json:"machine,omitempty"`
+	Islands          int     `json:"islands,omitempty"`
+	Generations      int     `json:"generations,omitempty"`
+	WallClockMS      float64 `json:"wall_clock_ms,omitempty"`
+	Speedup          float64 `json:"speedup_vs_serial,omitempty"`
+	Evaluations      int     `json:"evaluations"`
+	EvalReductionPct float64 `json:"eval_reduction_pct,omitempty"`
+	FrontSize        int     `json:"front_size"`
+	Hypervolume      float64 `json:"hypervolume"`
+}
+
+// BenchReport is the JSON envelope of one benchmark invocation.
+type BenchReport struct {
+	Benchmark   string     `json:"benchmark"`
+	Machine     string     `json:"machine"`
+	Mode        string     `json:"mode"`
+	EvalDelayMS float64    `json:"eval_delay_ms,omitempty"`
+	GoMaxProcs  int        `json:"gomaxprocs"`
+	Runs        []BenchRun `json:"runs"`
+}
+
+// NewBenchReport starts a report, capturing the runtime parallelism.
+func NewBenchReport(benchmark, machineName, mode string) *BenchReport {
+	return &BenchReport{
+		Benchmark:  benchmark,
+		Machine:    machineName,
+		Mode:       mode,
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+	}
+}
+
+// AddIslandRuns folds an island-model comparison into the report.
+func (r *BenchReport) AddIslandRuns(kernel string, res *IslandResult) {
+	r.EvalDelayMS = msOf(res.EvalDelay)
+	serial := res.Runs[0].WallClock
+	for _, run := range res.Runs {
+		speedup := 0.0
+		if run.WallClock > 0 {
+			speedup = float64(serial) / float64(run.WallClock)
+		}
+		r.Runs = append(r.Runs, BenchRun{
+			Kernel:      kernel,
+			Label:       run.Label,
+			Islands:     run.Islands,
+			Generations: run.Generations,
+			WallClockMS: msOf(run.WallClock),
+			Speedup:     speedup,
+			Evaluations: run.Evaluations,
+			FrontSize:   run.FrontSize,
+			Hypervolume: run.HV,
+		})
+	}
+}
+
+// AddWarmStartRuns folds a warm-start comparison into the report. Warm
+// rows carry the evaluation reduction relative to the cold run on the
+// same machine.
+func (r *BenchReport) AddWarmStartRuns(kernel string, res *WarmStartResult) {
+	coldE := map[string]int{}
+	for _, run := range res.Runs {
+		if !run.WarmStart {
+			coldE[run.Machine] = run.Evaluations
+		}
+	}
+	for _, run := range res.Runs {
+		row := BenchRun{
+			Kernel:      kernel,
+			Label:       run.Label,
+			Machine:     run.Machine,
+			Evaluations: run.Evaluations,
+			FrontSize:   run.FrontSize,
+			Hypervolume: run.HV,
+		}
+		if run.WarmStart {
+			if cold := coldE[run.Machine]; cold > 0 {
+				row.EvalReductionPct = 100 * (1 - float64(run.Evaluations)/float64(cold))
+			}
+		}
+		r.Runs = append(r.Runs, row)
+	}
+}
+
+// WriteFile writes the report as indented JSON.
+func (r *BenchReport) WriteFile(path string) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// ModeByName maps a -mode flag value to a Mode ("quick" is Quick,
+// anything else Full).
+func ModeByName(name string) Mode {
+	if name == "quick" {
+		return Quick
+	}
+	return Full
+}
+
+// SplitList splits a comma-separated flag value, dropping empty
+// elements.
+func SplitList(s string) []string {
+	var out []string
+	start := 0
+	for i := 0; i <= len(s); i++ {
+		if i == len(s) || s[i] == ',' {
+			if i > start {
+				out = append(out, s[start:i])
+			}
+			start = i + 1
+		}
+	}
+	return out
+}
+
+// msOf converts a duration to fractional milliseconds.
+func msOf(d time.Duration) float64 { return float64(d.Microseconds()) / 1000 }

@@ -95,5 +95,12 @@ func RunAll(w io.Writer, mode Mode, reps int) error {
 		f9.Render(w)
 		fmt.Fprintln(w)
 	}
+
+	// Persistent tuning database: warm-started search and transfer.
+	ws, err := WarmStartComparison(mm, machines[0], mode)
+	if err != nil {
+		return err
+	}
+	ws.Render(w)
 	return nil
 }

@@ -1,0 +1,106 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"autotune/internal/kernels"
+	"autotune/internal/machine"
+)
+
+// TestWarmStartComparison checks the experiment's acceptance
+// properties: the warm rerun reaches at least the cold run's
+// hypervolume with strictly fewer new evaluations, and the
+// cross-machine rows are present for the variant target.
+func TestWarmStartComparison(t *testing.T) {
+	k, err := kernels.ByName("mm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := WarmStartComparison(k, machine.Westmere(), Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Runs) != 4 {
+		t.Fatalf("runs = %d", len(res.Runs))
+	}
+	cold, warm := res.Runs[0], res.Runs[1]
+	if cold.WarmStart || !warm.WarmStart {
+		t.Fatalf("run order wrong: %+v", res.Runs)
+	}
+	if warm.Evaluations >= cold.Evaluations {
+		t.Fatalf("warm E = %d not below cold E = %d", warm.Evaluations, cold.Evaluations)
+	}
+	if warm.HV < cold.HV {
+		t.Fatalf("warm V(S) = %.4f below cold V(S) = %.4f", warm.HV, cold.HV)
+	}
+	if res.StoredEvals == 0 {
+		t.Fatal("cold run journaled nothing")
+	}
+	vCold, vWarm := res.Runs[2], res.Runs[3]
+	if vCold.Machine != res.Variant.Name || vWarm.Machine != res.Variant.Name {
+		t.Fatalf("variant rows carry machines %q/%q", vCold.Machine, vWarm.Machine)
+	}
+	if vWarm.FrontSize == 0 || vCold.FrontSize == 0 {
+		t.Fatal("variant runs produced empty fronts")
+	}
+
+	var buf bytes.Buffer
+	res.Render(&buf)
+	for _, want := range []string{"Warm-start comparison", "cold", "warm rerun", "transfer warm", res.Variant.Name} {
+		if !strings.Contains(buf.String(), want) {
+			t.Fatalf("rendering missing %q:\n%s", want, buf.String())
+		}
+	}
+}
+
+func TestBenchReportWarmStartRows(t *testing.T) {
+	k, _ := kernels.ByName("mm")
+	res := &WarmStartResult{
+		Kernel:  k,
+		Machine: machine.Westmere(),
+		Variant: machine.Barcelona(),
+		Runs: []WarmStartRun{
+			{Label: "cold", Machine: "Westmere", Evaluations: 200, FrontSize: 10, HV: 0.9},
+			{Label: "warm rerun", Machine: "Westmere", WarmStart: true, Evaluations: 50, FrontSize: 12, HV: 0.95},
+		},
+	}
+	r := NewBenchReport("warm", "Westmere", "quick")
+	r.AddWarmStartRuns("mm", res)
+	if len(r.Runs) != 2 {
+		t.Fatalf("rows = %d", len(r.Runs))
+	}
+	if r.Runs[0].EvalReductionPct != 0 {
+		t.Fatalf("cold row carries a reduction: %v", r.Runs[0])
+	}
+	if got := r.Runs[1].EvalReductionPct; got != 75 {
+		t.Fatalf("warm reduction = %v%%, want 75%%", got)
+	}
+	if r.GoMaxProcs <= 0 {
+		t.Fatal("GOMAXPROCS not captured")
+	}
+}
+
+func TestSplitListAndModeByName(t *testing.T) {
+	cases := map[string][]string{
+		"mm,jacobi-2d": {"mm", "jacobi-2d"},
+		"mm":           {"mm"},
+		"":             nil,
+		",mm,,lu,":     {"mm", "lu"},
+	}
+	for in, want := range cases {
+		got := SplitList(in)
+		if len(got) != len(want) {
+			t.Fatalf("SplitList(%q) = %v, want %v", in, got, want)
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("SplitList(%q) = %v, want %v", in, got, want)
+			}
+		}
+	}
+	if ModeByName("quick") != Quick || ModeByName("full") != Full || ModeByName("") != Full {
+		t.Fatal("ModeByName mapping wrong")
+	}
+}

@@ -17,15 +17,22 @@ import (
 )
 
 // FrontJSON serializes a Pareto front as a JSON array of
-// {config, objectives} records.
+// {config, objectives} records. Objectives are emitted as an ordered
+// {name, value} pair list — not a map — so the byte output is fully
+// deterministic and preserves objective order: committed artifacts and
+// tuning-database exports stay byte-stable across runs.
 func FrontJSON(w io.Writer, front []pareto.Point, objectiveNames []string) error {
+	type objPair struct {
+		Name  string  `json:"name"`
+		Value float64 `json:"value"`
+	}
 	type rec struct {
-		Config     []int64            `json:"config,omitempty"`
-		Objectives map[string]float64 `json:"objectives"`
+		Config     []int64   `json:"config,omitempty"`
+		Objectives []objPair `json:"objectives"`
 	}
 	var out []rec
 	for _, p := range front {
-		r := rec{Objectives: map[string]float64{}}
+		var r rec
 		if cfg, ok := p.Payload.(skeleton.Config); ok {
 			r.Config = append([]int64(nil), cfg...)
 		}
@@ -34,7 +41,7 @@ func FrontJSON(w io.Writer, front []pareto.Point, objectiveNames []string) error
 			if i < len(objectiveNames) {
 				name = objectiveNames[i]
 			}
-			r.Objectives[name] = v
+			r.Objectives = append(r.Objectives, objPair{Name: name, Value: v})
 		}
 		out = append(out, r)
 	}

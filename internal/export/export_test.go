@@ -29,13 +29,37 @@ func TestFrontJSON(t *testing.T) {
 	if len(out) != 2 {
 		t.Fatalf("records = %d", len(out))
 	}
-	objs := out[0]["objectives"].(map[string]interface{})
-	if objs["time"].(float64) != 0.12 {
+	objs := out[0]["objectives"].([]interface{})
+	if len(objs) != 2 {
+		t.Fatalf("objectives = %v", objs)
+	}
+	first := objs[0].(map[string]interface{})
+	if first["name"].(string) != "time" || first["value"].(float64) != 0.12 {
 		t.Fatalf("objectives = %v", objs)
 	}
 	cfg := out[1]["config"].([]interface{})
 	if len(cfg) != 4 || cfg[3].(float64) != 40 {
 		t.Fatalf("config = %v", cfg)
+	}
+}
+
+// The JSON rendering must be byte-stable: objectives are ordered pairs,
+// not maps, so repeated exports of the same front are identical.
+func TestFrontJSONDeterministic(t *testing.T) {
+	var a, b bytes.Buffer
+	names := []string{"time", "resources"}
+	if err := FrontJSON(&a, sampleFront(), names); err != nil {
+		t.Fatal(err)
+	}
+	if err := FrontJSON(&b, sampleFront(), names); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatal("FrontJSON output differs between runs")
+	}
+	// Objective order must follow the names slice, not string sorting.
+	if ti := strings.Index(a.String(), "time"); ti > strings.Index(a.String(), "resources") {
+		t.Fatal("objective order not preserved")
 	}
 }
 

@@ -1,0 +1,101 @@
+package machine
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Signature is a compact summary of a machine's resource geometry —
+// the part of a Machine description that determines which tuning
+// results transfer to it. Two machines with equal signatures are
+// interchangeable tuning targets; between unequal signatures, Distance
+// quantifies how dissimilar they are, which drives the tuning
+// database's nearest-machine transfer (a front tuned on Westmere is a
+// better warm-start for a Westmere-like system than a Barcelona one).
+type Signature struct {
+	Sockets        int     `json:"sockets"`
+	CoresPerSocket int     `json:"cores_per_socket"`
+	ThreadsPerCore int     `json:"threads_per_core"`
+	ClockGHz       float64 `json:"clock_ghz"`
+	// CacheBytes holds one instance size per cache level, innermost
+	// first; CacheScopes the matching sharing scope names.
+	CacheBytes      []int64  `json:"cache_bytes"`
+	CacheScopes     []string `json:"cache_scopes"`
+	MemBandwidthGBs float64  `json:"mem_bandwidth_gbs"`
+}
+
+// SignatureOf derives the signature of a machine.
+func SignatureOf(m *Machine) Signature {
+	s := Signature{
+		Sockets:         m.Sockets,
+		CoresPerSocket:  m.CoresPerSocket,
+		ThreadsPerCore:  m.ThreadsPerCore,
+		ClockGHz:        m.ClockGHz,
+		MemBandwidthGBs: m.MemBandwidthGBs,
+	}
+	for _, c := range m.Caches {
+		s.CacheBytes = append(s.CacheBytes, c.SizeBytes)
+		s.CacheScopes = append(s.CacheScopes, c.Scope.String())
+	}
+	return s
+}
+
+// Key renders the signature as a canonical string suitable for use as
+// a database key component.
+func (s Signature) Key() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "s%d.c%d.t%d.clk%.2f.bw%.1f", s.Sockets, s.CoresPerSocket,
+		s.ThreadsPerCore, s.ClockGHz, s.MemBandwidthGBs)
+	for i, b := range s.CacheBytes {
+		scope := "?"
+		if i < len(s.CacheScopes) {
+			scope = s.CacheScopes[i]
+		}
+		fmt.Fprintf(&sb, ".L%d=%d@%s", i+1, b, scope)
+	}
+	return sb.String()
+}
+
+// Distance returns a non-negative dissimilarity between two
+// signatures: 0 for identical geometry, growing with log-scale
+// differences in core counts, clock, bandwidth and per-level cache
+// capacity. Missing cache levels compare against a 1-byte stand-in, so
+// deeper hierarchies are penalized rather than ignored.
+func (s Signature) Distance(o Signature) float64 {
+	d := 0.0
+	d += logRatio(float64(s.Sockets*s.CoresPerSocket), float64(o.Sockets*o.CoresPerSocket))
+	d += logRatio(float64(s.Sockets), float64(o.Sockets))
+	d += logRatio(float64(s.ThreadsPerCore), float64(o.ThreadsPerCore))
+	d += logRatio(s.ClockGHz, o.ClockGHz)
+	d += logRatio(s.MemBandwidthGBs, o.MemBandwidthGBs)
+	levels := len(s.CacheBytes)
+	if len(o.CacheBytes) > levels {
+		levels = len(o.CacheBytes)
+	}
+	for i := 0; i < levels; i++ {
+		a, b := 1.0, 1.0
+		if i < len(s.CacheBytes) {
+			a = float64(s.CacheBytes[i])
+		}
+		if i < len(o.CacheBytes) {
+			b = float64(o.CacheBytes[i])
+		}
+		d += logRatio(a, b)
+		if i < len(s.CacheScopes) && i < len(o.CacheScopes) && s.CacheScopes[i] != o.CacheScopes[i] {
+			d += 1
+		}
+	}
+	return d
+}
+
+// logRatio is |log2(a/b)| with non-positive inputs clamped to 1.
+func logRatio(a, b float64) float64 {
+	if a <= 0 {
+		a = 1
+	}
+	if b <= 0 {
+		b = 1
+	}
+	return math.Abs(math.Log2(a / b))
+}

@@ -1,0 +1,82 @@
+package machine
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSignatureOf(t *testing.T) {
+	m := Westmere()
+	s := SignatureOf(m)
+	if s.Sockets != m.Sockets || s.CoresPerSocket != m.CoresPerSocket ||
+		s.ThreadsPerCore != m.ThreadsPerCore || s.ClockGHz != m.ClockGHz ||
+		s.MemBandwidthGBs != m.MemBandwidthGBs {
+		t.Fatalf("signature topology mismatch: %+v vs machine %+v", s, m)
+	}
+	if len(s.CacheBytes) != len(m.Caches) || len(s.CacheScopes) != len(m.Caches) {
+		t.Fatalf("signature carries %d/%d cache levels for %d caches",
+			len(s.CacheBytes), len(s.CacheScopes), len(m.Caches))
+	}
+	for i, c := range m.Caches {
+		if s.CacheBytes[i] != c.SizeBytes {
+			t.Fatalf("cache level %d: %d != %d", i, s.CacheBytes[i], c.SizeBytes)
+		}
+	}
+}
+
+func TestSignatureKey(t *testing.T) {
+	w := SignatureOf(Westmere())
+	if w.Key() != SignatureOf(Westmere()).Key() {
+		t.Fatal("signature key not deterministic")
+	}
+	if w.Key() == SignatureOf(Barcelona()).Key() {
+		t.Fatal("distinct machines share a signature key")
+	}
+	for _, want := range []string{"s", ".c", ".t", ".clk", ".bw", ".L1=", "@"} {
+		if !strings.Contains(w.Key(), want) {
+			t.Fatalf("signature key %q missing %q", w.Key(), want)
+		}
+	}
+}
+
+func TestSignatureDistance(t *testing.T) {
+	w := SignatureOf(Westmere())
+	b := SignatureOf(Barcelona())
+	if d := w.Distance(w); d != 0 {
+		t.Fatalf("self distance = %v", d)
+	}
+	if d := w.Distance(b); d <= 0 {
+		t.Fatalf("Westmere-Barcelona distance = %v", d)
+	}
+	if w.Distance(b) != b.Distance(w) {
+		t.Fatal("distance not symmetric")
+	}
+
+	// A slightly perturbed Westmere stays closer to Westmere than
+	// Barcelona is: the transfer path would pick the right donor.
+	near := SignatureOf(Westmere())
+	near.ClockGHz *= 1.1
+	near.MemBandwidthGBs *= 0.9
+	if near.Distance(w) >= b.Distance(w) {
+		t.Fatalf("perturbed Westmere (%v) not closer than Barcelona (%v)",
+			near.Distance(w), b.Distance(w))
+	}
+}
+
+func TestSignatureDistanceCacheHandling(t *testing.T) {
+	w := SignatureOf(Westmere())
+	// Dropping a cache level is penalized, not ignored.
+	shallow := SignatureOf(Westmere())
+	shallow.CacheBytes = shallow.CacheBytes[:len(shallow.CacheBytes)-1]
+	shallow.CacheScopes = shallow.CacheScopes[:len(shallow.CacheScopes)-1]
+	if d := w.Distance(shallow); d <= 0 {
+		t.Fatalf("missing cache level not penalized: %v", d)
+	}
+	// A scope change (same sizes) is penalized too.
+	rescoped := SignatureOf(Westmere())
+	rescoped.CacheScopes = append([]string(nil), rescoped.CacheScopes...)
+	rescoped.CacheScopes[0] = "socket"
+	if d := w.Distance(rescoped); d < 1 {
+		t.Fatalf("scope mismatch penalty = %v", d)
+	}
+}

@@ -35,6 +35,7 @@ type CachingEvaluator struct {
 	cache    map[string][]float64
 	inflight map[string]*inflightEval
 	evals    int
+	observer func(cfg skeleton.Config, objs []float64)
 }
 
 // inflightEval is the rendezvous for duplicate requests of a
@@ -73,6 +74,51 @@ func (c *CachingEvaluator) Evaluations() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.evals
+}
+
+// SharedCache returns the evaluator's shared cache layer. Evaluators
+// embedding a CachingEvaluator (Sim, Measured) inherit the method, so
+// callers can reach the cache of any such evaluator through the
+// SharedCacher interface without knowing the concrete type.
+func (c *CachingEvaluator) SharedCache() *CachingEvaluator { return c }
+
+// SharedCacher is implemented by every evaluator built on a
+// CachingEvaluator.
+type SharedCacher interface {
+	SharedCache() *CachingEvaluator
+}
+
+// Prime inserts a known result into the memoization cache without
+// counting toward E and without invoking the evaluation function: the
+// warm-start path of the persistent tuning database. A nil objs
+// records a known-failed configuration, so warm searches skip it too.
+// Entries already cached or currently in flight are left untouched.
+// Primed results are not reported to the observer. It reports whether
+// the entry was inserted.
+func (c *CachingEvaluator) Prime(cfg skeleton.Config, objs []float64) bool {
+	key := cfg.Key()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.cache[key]; ok {
+		return false
+	}
+	if _, ok := c.inflight[key]; ok {
+		return false
+	}
+	c.cache[key] = append([]float64(nil), objs...)
+	return true
+}
+
+// SetObserver registers fn to be called exactly once per completed
+// fresh evaluation (cache hits, in-flight followers and primed entries
+// are not reported; failed evaluations are reported with nil
+// objectives). The tuning database uses this to journal every result
+// as it is produced. fn runs outside the evaluator's lock but must be
+// safe for concurrent calls.
+func (c *CachingEvaluator) SetObserver(fn func(cfg skeleton.Config, objs []float64)) {
+	c.mu.Lock()
+	c.observer = fn
+	c.mu.Unlock()
 }
 
 // EvaluateOne evaluates a single configuration.
@@ -124,8 +170,12 @@ func (c *CachingEvaluator) Evaluate(cfgs []skeleton.Config) [][]float64 {
 			if objs != nil {
 				c.evals++
 			}
+			observer := c.observer
 			delete(c.inflight, key)
 			c.mu.Unlock()
+			if observer != nil {
+				observer(cfg, objs)
+			}
 			fl.objs = objs
 			close(fl.done)
 			out[i] = objs

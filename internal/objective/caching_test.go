@@ -113,6 +113,76 @@ func TestCachingEvaluatorSerializedAtParallelism1(t *testing.T) {
 	wg.Wait()
 }
 
+// TestCachingEvaluatorPrime covers the warm-start hook: primed entries
+// short-circuit evaluation without counting toward E, nil primes record
+// known failures, and existing cache entries win over later primes.
+func TestCachingEvaluatorPrime(t *testing.T) {
+	var calls atomic.Int64
+	c := NewCachingEvaluator([]string{"a", "b"}, 2, countingFn(&calls))
+	if !c.Prime(skeleton.Config{5}, []float64{50, 100}) {
+		t.Fatal("first prime rejected")
+	}
+	if c.Prime(skeleton.Config{5}, []float64{51, 101}) {
+		t.Fatal("re-prime of a cached key accepted")
+	}
+	if !c.Prime(skeleton.Config{6}, nil) {
+		t.Fatal("failure prime rejected")
+	}
+	out := c.Evaluate([]skeleton.Config{{5}, {6}})
+	if calls.Load() != 0 {
+		t.Fatalf("fn ran %d times for primed keys", calls.Load())
+	}
+	if c.Evaluations() != 0 {
+		t.Fatalf("E = %d after primed-only requests, want 0", c.Evaluations())
+	}
+	if out[0][0] != 50 || out[1] != nil {
+		t.Fatalf("primed results = %v", out)
+	}
+	// An already-evaluated key rejects priming too.
+	c.EvaluateOne(skeleton.Config{7})
+	if c.Prime(skeleton.Config{7}, []float64{0, 0}) {
+		t.Fatal("prime overwrote an evaluated entry")
+	}
+}
+
+// TestCachingEvaluatorObserver: the observer fires exactly once per
+// fresh evaluation — not for cache hits, primed entries, or in-flight
+// followers — and sees failures as nil objectives.
+func TestCachingEvaluatorObserver(t *testing.T) {
+	var calls atomic.Int64
+	c := NewCachingEvaluator([]string{"a", "b"}, 4, countingFn(&calls))
+	var mu sync.Mutex
+	seen := map[string][]float64{}
+	c.SetObserver(func(cfg skeleton.Config, objs []float64) {
+		mu.Lock()
+		defer mu.Unlock()
+		if _, dup := seen[cfg.Key()]; dup {
+			t.Errorf("observer fired twice for %v", cfg)
+		}
+		seen[cfg.Key()] = objs
+	})
+	c.Prime(skeleton.Config{9}, []float64{1, 2})
+	c.Evaluate([]skeleton.Config{{1}, {1}, {-1}, {9}})
+	c.Evaluate([]skeleton.Config{{1}})
+	mu.Lock()
+	defer mu.Unlock()
+	if len(seen) != 2 {
+		t.Fatalf("observer saw %d keys, want 2: %v", len(seen), seen)
+	}
+	if objs := seen[skeleton.Config{1}.Key()]; len(objs) != 2 || objs[0] != 1 {
+		t.Fatalf("observed objectives = %v", objs)
+	}
+	if objs, ok := seen[skeleton.Config{-1}.Key()]; !ok || objs != nil {
+		t.Fatalf("failure observation = %v (present %v)", objs, ok)
+	}
+	// Detaching stops notifications.
+	c.SetObserver(nil)
+	c.EvaluateOne(skeleton.Config{2})
+	if len(seen) != 2 {
+		t.Fatal("observer fired after detach")
+	}
+}
+
 // TestCachingEvaluatorParallelismClamp: non-positive parallelism is
 // clamped to 1 rather than producing an unusable evaluator.
 func TestCachingEvaluatorParallelismClamp(t *testing.T) {

@@ -36,6 +36,10 @@ type NSGA2Options struct {
 	MaxGenerations int
 	// Seed drives the random source.
 	Seed int64
+	// InitialPopulation holds warm-start configurations injected ahead
+	// of the random members of the initial population (see
+	// Options.InitialPopulation).
+	InitialPopulation []skeleton.Config
 }
 
 func (o NSGA2Options) withDefaults(dim int) NSGA2Options {
@@ -81,10 +85,7 @@ func newNSGA2Island(space skeleton.Space, eval objective.Evaluator, opt NSGA2Opt
 		archive: pareto.NewArchive(),
 	}
 	n.pop = make([]individual, opt.PopSize)
-	cfgs := make([]skeleton.Config, opt.PopSize)
-	for i := range cfgs {
-		cfgs[i] = space.Random(n.rng)
-	}
+	cfgs := seededPopulation(space, opt.InitialPopulation, opt.PopSize, n.rng)
 	objs := eval.Evaluate(cfgs)
 	for i := range n.pop {
 		n.pop[i] = individual{cfg: cfgs[i], objs: objs[i]}

@@ -44,6 +44,12 @@ type Options struct {
 	// DisableRoughSet turns RS-GDE3 into plain GDE3 (the search box
 	// stays the full space). Used for the ablation study.
 	DisableRoughSet bool
+	// InitialPopulation holds configurations injected ahead of the
+	// random members of the initial population (warm start from the
+	// tuning database). Entries must lie within the space; surplus
+	// entries beyond PopSize are dropped. Island runs inject the same
+	// configurations into every island.
+	InitialPopulation []skeleton.Config
 }
 
 func (o Options) withDefaults() Options {
@@ -123,10 +129,7 @@ func newGDEIsland(space skeleton.Space, eval objective.Evaluator, opt Options, s
 		box:     space.FullBox(),
 	}
 	g.pop = make([]individual, opt.PopSize)
-	cfgs := make([]skeleton.Config, opt.PopSize)
-	for i := range g.pop {
-		cfgs[i] = space.Random(g.rng)
-	}
+	cfgs := seededPopulation(space, opt.InitialPopulation, opt.PopSize, g.rng)
 	objs := eval.Evaluate(cfgs)
 	for i := range g.pop {
 		g.pop[i] = individual{cfg: cfgs[i], objs: objs[i]}
@@ -135,6 +138,22 @@ func newGDEIsland(space skeleton.Space, eval objective.Evaluator, opt Options, s
 		}
 	}
 	return g
+}
+
+// seededPopulation builds an initial population: warm-start seeds
+// first (cloned, truncated to popSize), uniform random draws for the
+// rest. Seeds outside the space are clamped rather than rejected, so a
+// front stored for a slightly different space still contributes.
+func seededPopulation(space skeleton.Space, seeds []skeleton.Config, popSize int, rng *rand.Rand) []skeleton.Config {
+	cfgs := make([]skeleton.Config, popSize)
+	for i := range cfgs {
+		if i < len(seeds) && len(seeds[i]) == space.Dim() {
+			cfgs[i] = space.Clip(seeds[i])
+		} else {
+			cfgs[i] = space.Random(rng)
+		}
+	}
+	return cfgs
 }
 
 // done reports whether the stagnation stopping rule has fired.

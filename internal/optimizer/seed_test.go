@@ -1,0 +1,82 @@
+package optimizer
+
+import (
+	"testing"
+
+	"autotune/internal/skeleton"
+	"autotune/internal/stats"
+)
+
+func TestSeededPopulation(t *testing.T) {
+	space := schafferSpace()
+	rng := stats.NewRand(1)
+	seeds := []skeleton.Config{
+		{100, 0},
+		{9999, 5}, // out of bounds: clamped
+		{1, 2, 3}, // wrong dimensionality: replaced by a random draw
+	}
+	cfgs := seededPopulation(space, seeds, 6, rng)
+	if len(cfgs) != 6 {
+		t.Fatalf("population size = %d", len(cfgs))
+	}
+	if !cfgs[0].Equal(skeleton.Config{100, 0}) {
+		t.Fatalf("seed not placed first: %v", cfgs[0])
+	}
+	if cfgs[1][0] != 1000 {
+		t.Fatalf("out-of-bounds seed not clamped: %v", cfgs[1])
+	}
+	for i, c := range cfgs {
+		if !space.In(c) {
+			t.Fatalf("member %d outside space: %v", i, c)
+		}
+	}
+	// More seeds than popSize: truncated, never overflowing.
+	many := make([]skeleton.Config, 10)
+	for i := range many {
+		many[i] = skeleton.Config{int64(i), 0}
+	}
+	if got := seededPopulation(space, many, 4, rng); len(got) != 4 {
+		t.Fatalf("oversized seed list produced %d members", len(got))
+	}
+}
+
+// TestInitialPopulationSeeding: seeds passed through Options must be
+// evaluated in generation 0 by every evolutionary method.
+func TestInitialPopulationSeeding(t *testing.T) {
+	seed := skeleton.Config{123, 7}
+	runs := map[string]func(e *funcEvaluator) error{
+		"gde3": func(e *funcEvaluator) error {
+			_, err := GDE3(schafferSpace(), e, Options{
+				PopSize: 8, Seed: 3, MaxIterations: 2, Stagnation: 1,
+				InitialPopulation: []skeleton.Config{seed},
+			})
+			return err
+		},
+		"rs-gde3": func(e *funcEvaluator) error {
+			_, err := RSGDE3(schafferSpace(), e, Options{
+				PopSize: 8, Seed: 3, MaxIterations: 2, Stagnation: 1,
+				InitialPopulation: []skeleton.Config{seed},
+			})
+			return err
+		},
+		"nsga2": func(e *funcEvaluator) error {
+			_, err := NSGA2(schafferSpace(), e, NSGA2Options{
+				PopSize: 8, Seed: 3, MaxGenerations: 2, Stagnation: 1,
+				InitialPopulation: []skeleton.Config{seed},
+			})
+			return err
+		},
+	}
+	for name, run := range runs {
+		e := newFuncEvaluator(schaffer)
+		if err := run(e); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		e.mu.Lock()
+		_, evaluated := e.seen[seed.Key()]
+		e.mu.Unlock()
+		if !evaluated {
+			t.Fatalf("%s: seed configuration never evaluated", name)
+		}
+	}
+}

@@ -1,0 +1,78 @@
+package tunedb
+
+import (
+	"fmt"
+	"hash/fnv"
+	"strings"
+
+	"autotune/internal/ir"
+	"autotune/internal/irparse"
+	"autotune/internal/skeleton"
+)
+
+// Key identifies one tuning problem in the database: the program (or
+// region) being tuned, the machine it was tuned for, the objective set
+// and the searched parameter space. Results are reusable verbatim only
+// under the exact same key; the transfer path relaxes the machine
+// component (nearest signature) while holding the rest fixed.
+type Key struct {
+	// Fingerprint identifies the program/region (see
+	// ProgramFingerprint).
+	Fingerprint string `json:"fingerprint"`
+	// MachineSig is the canonical machine.Signature key.
+	MachineSig string `json:"machine"`
+	// Objectives is the "+"-joined ordered objective-name list, e.g.
+	// "time+resources".
+	Objectives string `json:"objectives"`
+	// SpaceHash fingerprints the search space (see SpaceHash).
+	SpaceHash string `json:"space"`
+}
+
+// String renders the key canonically ("|"-joined components).
+func (k Key) String() string {
+	return k.Fingerprint + "|" + k.MachineSig + "|" + k.Objectives + "|" + k.SpaceHash
+}
+
+// Transferable reports whether o solves the same problem on a
+// (possibly) different machine: equal program, objectives and space.
+func (k Key) Transferable(o Key) bool {
+	return k.Fingerprint == o.Fingerprint &&
+		k.Objectives == o.Objectives &&
+		k.SpaceHash == o.SpaceHash
+}
+
+// ObjectiveKey joins objective names into the canonical Objectives
+// component.
+func ObjectiveKey(names []string) string { return strings.Join(names, "+") }
+
+// SpaceHash fingerprints a parameter space: every parameter's name,
+// kind and inclusive bounds feed the hash, so any change to the
+// searched space invalidates stored results.
+func SpaceHash(space skeleton.Space) string {
+	h := fnv.New64a()
+	for _, p := range space.Params {
+		fmt.Fprintf(h, "%s/%s/%d/%d;", p.Name, p.Kind, p.Min, p.Max)
+	}
+	return fmt.Sprintf("sp%016x", h.Sum64())
+}
+
+// ProgramFingerprint fingerprints the tuned program: the canonical
+// MiniIR text rendering when the program renders (covering loop
+// structure, bounds and access patterns — so the same kernel at a
+// different problem size gets a different fingerprint), the program
+// name otherwise. extra components (kernel name, problem size,
+// skeleton name, evaluator mode) are always mixed in.
+func ProgramFingerprint(p *ir.Program, extra ...string) string {
+	h := fnv.New64a()
+	if p != nil {
+		if src, err := irparse.Render(p); err == nil {
+			h.Write([]byte(src))
+		} else {
+			h.Write([]byte("name:" + p.Name))
+		}
+	}
+	for _, e := range extra {
+		h.Write([]byte("|" + e))
+	}
+	return fmt.Sprintf("pg%016x", h.Sum64())
+}

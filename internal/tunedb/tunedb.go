@@ -1,0 +1,508 @@
+// Package tunedb is the persistent tuning database: an embedded,
+// concurrency-safe, on-disk store of tuning results keyed by (program
+// fingerprint, machine signature, objective set, search-space hash).
+// It turns the framework's in-memory evaluation cache and Pareto
+// fronts into durable assets that outlive the process, so repeated or
+// overlapping searches skip known configurations (the E metric counts
+// only genuinely new evaluations), warm starts seed the initial
+// population from stored fronts, and results tuned on one modeled
+// machine transfer to the nearest-signature neighbor.
+//
+// Storage is an append-only JSONL journal (journal.jsonl) of versioned,
+// CRC-checked records. Recovery is crash-tolerant: a torn tail — the
+// partial record a crash mid-append leaves behind — is detected by CRC
+// and truncated, keeping every complete record. Compact rewrites the
+// journal retaining only live entries (the latest front per key plus
+// the deduplicated evaluation set).
+package tunedb
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+
+	"autotune/internal/machine"
+	"autotune/internal/skeleton"
+)
+
+// journalName is the journal file name inside the database directory.
+const journalName = "journal.jsonl"
+
+// schemaVersion is the journal record schema version.
+const schemaVersion = 1
+
+// Record type tags.
+const (
+	recEval  = "eval"
+	recFront = "front"
+)
+
+// envelope is the on-disk frame of one journal record: schema version,
+// record type, CRC-32C of the payload bytes, and the payload itself.
+type envelope struct {
+	V   int             `json:"v"`
+	T   string          `json:"t"`
+	CRC uint32          `json:"crc"`
+	D   json.RawMessage `json:"d"`
+}
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// evalRecord journals one evaluated configuration. Nil objectives mark
+// a known-failed (invalid) configuration; storing failures lets warm
+// runs skip re-evaluating them.
+type evalRecord struct {
+	Key        Key       `json:"key"`
+	Config     []int64   `json:"config"`
+	Objectives []float64 `json:"objectives"`
+}
+
+// FrontPoint is one stored Pareto point.
+type FrontPoint struct {
+	Config     []int64   `json:"config"`
+	Objectives []float64 `json:"objectives"`
+}
+
+// FrontRecord is a finished Pareto front stored under its key together
+// with the machine signature it was tuned on (kept structurally, not
+// just as a key string, so the transfer path can compute signature
+// distances) and the search's summary statistics.
+type FrontRecord struct {
+	Key            Key               `json:"key"`
+	Machine        machine.Signature `json:"machine_sig"`
+	ObjectiveNames []string          `json:"objective_names"`
+	Points         []FrontPoint      `json:"points"`
+	Evaluations    int               `json:"evaluations"`
+	Iterations     int               `json:"iterations"`
+}
+
+// evalEntry is the in-memory form of one stored evaluation.
+type evalEntry struct {
+	cfg  skeleton.Config
+	objs []float64
+}
+
+// DB is an open tuning database. All methods are safe for concurrent
+// use; writes are serialized onto the append-only journal.
+type DB struct {
+	dir  string
+	path string
+
+	mu     sync.Mutex
+	f      *os.File
+	evals  map[string]map[string]evalEntry // key -> config key -> entry
+	fronts map[string]FrontRecord          // key -> latest front
+	keys   map[string]Key                  // key string -> structured key
+}
+
+// Open opens (creating if necessary) the database in dir, recovering
+// from a torn journal tail left by a crash mid-append. Corruption
+// elsewhere — an unreadable record followed by readable ones — is
+// reported as an error rather than silently dropped.
+func Open(dir string) (*DB, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("tunedb: %w", err)
+	}
+	db := &DB{
+		dir:    dir,
+		path:   filepath.Join(dir, journalName),
+		evals:  map[string]map[string]evalEntry{},
+		fronts: map[string]FrontRecord{},
+		keys:   map[string]Key{},
+	}
+	if err := db.load(); err != nil {
+		return nil, err
+	}
+	f, err := os.OpenFile(db.path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("tunedb: %w", err)
+	}
+	db.f = f
+	return db, nil
+}
+
+// Dir returns the database directory.
+func (db *DB) Dir() string { return db.dir }
+
+// Close flushes and closes the journal. The DB must not be used after.
+func (db *DB) Close() error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.f == nil {
+		return nil
+	}
+	err := db.f.Sync()
+	if cerr := db.f.Close(); err == nil {
+		err = cerr
+	}
+	db.f = nil
+	return err
+}
+
+// load replays the journal into memory, truncating a torn tail.
+func (db *DB) load() error {
+	data, err := os.ReadFile(db.path)
+	if os.IsNotExist(err) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("tunedb: %w", err)
+	}
+	offset := 0
+	for offset < len(data) {
+		nl := bytes.IndexByte(data[offset:], '\n')
+		if nl < 0 {
+			// No terminating newline: the crash hit mid-append.
+			return db.truncateTail(data, offset)
+		}
+		line := data[offset : offset+nl]
+		if err := db.apply(line); err != nil {
+			// A bad record is a torn tail only if nothing readable
+			// follows it; otherwise the journal is corrupt in a way
+			// appending cannot explain.
+			if anyValidRecord(data[offset+nl+1:]) {
+				return fmt.Errorf("tunedb: corrupt journal record at byte %d: %w", offset, err)
+			}
+			return db.truncateTail(data, offset)
+		}
+		offset += nl + 1
+	}
+	return nil
+}
+
+// truncateTail cuts the journal back to offset, dropping the torn
+// record(s) beyond it.
+func (db *DB) truncateTail(data []byte, offset int) error {
+	if err := os.WriteFile(db.path+".tmp", data[:offset], 0o644); err != nil {
+		return fmt.Errorf("tunedb: recovering torn tail: %w", err)
+	}
+	if err := os.Rename(db.path+".tmp", db.path); err != nil {
+		return fmt.Errorf("tunedb: recovering torn tail: %w", err)
+	}
+	return nil
+}
+
+// anyValidRecord reports whether rest contains at least one complete,
+// CRC-valid record.
+func anyValidRecord(rest []byte) bool {
+	for len(rest) > 0 {
+		nl := bytes.IndexByte(rest, '\n')
+		if nl < 0 {
+			return false
+		}
+		if _, _, err := decodeRecord(rest[:nl]); err == nil {
+			return true
+		}
+		rest = rest[nl+1:]
+	}
+	return false
+}
+
+// decodeRecord parses and CRC-verifies one journal line, returning the
+// record type and payload bytes.
+func decodeRecord(line []byte) (string, json.RawMessage, error) {
+	var env envelope
+	if err := json.Unmarshal(line, &env); err != nil {
+		return "", nil, err
+	}
+	if env.V != schemaVersion {
+		return "", nil, fmt.Errorf("unsupported schema version %d", env.V)
+	}
+	if crc32.Checksum(env.D, crcTable) != env.CRC {
+		return "", nil, fmt.Errorf("CRC mismatch")
+	}
+	return env.T, env.D, nil
+}
+
+// apply decodes one journal line and folds it into the in-memory state.
+func (db *DB) apply(line []byte) error {
+	t, payload, err := decodeRecord(line)
+	if err != nil {
+		return err
+	}
+	switch t {
+	case recEval:
+		var r evalRecord
+		if err := json.Unmarshal(payload, &r); err != nil {
+			return err
+		}
+		db.applyEval(r)
+	case recFront:
+		var r FrontRecord
+		if err := json.Unmarshal(payload, &r); err != nil {
+			return err
+		}
+		db.applyFront(r)
+	default:
+		return fmt.Errorf("unknown record type %q", t)
+	}
+	return nil
+}
+
+func (db *DB) applyEval(r evalRecord) {
+	ks := r.Key.String()
+	m := db.evals[ks]
+	if m == nil {
+		m = map[string]evalEntry{}
+		db.evals[ks] = m
+	}
+	cfg := skeleton.Config(r.Config)
+	m[cfg.Key()] = evalEntry{cfg: cfg, objs: r.Objectives}
+	db.keys[ks] = r.Key
+}
+
+func (db *DB) applyFront(r FrontRecord) {
+	ks := r.Key.String()
+	db.fronts[ks] = r
+	db.keys[ks] = r.Key
+}
+
+// appendRecord journals one record. Callers hold db.mu.
+func (db *DB) appendRecord(t string, rec interface{}) error {
+	if db.f == nil {
+		return fmt.Errorf("tunedb: database is closed")
+	}
+	payload, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("tunedb: %w", err)
+	}
+	env := envelope{V: schemaVersion, T: t, CRC: crc32.Checksum(payload, crcTable), D: payload}
+	line, err := json.Marshal(env)
+	if err != nil {
+		return fmt.Errorf("tunedb: %w", err)
+	}
+	if _, err := db.f.Write(append(line, '\n')); err != nil {
+		return fmt.Errorf("tunedb: %w", err)
+	}
+	return nil
+}
+
+// PutEval stores one evaluated configuration under key. Re-storing a
+// configuration already present with the same result is a no-op, so
+// repeated cold runs do not grow the journal.
+func (db *DB) PutEval(key Key, cfg skeleton.Config, objs []float64) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	ks := key.String()
+	if m := db.evals[ks]; m != nil {
+		if old, ok := m[cfg.Key()]; ok && equalObjs(old.objs, objs) {
+			return nil
+		}
+	}
+	rec := evalRecord{Key: key, Config: cfg, Objectives: objs}
+	if err := db.appendRecord(recEval, rec); err != nil {
+		return err
+	}
+	db.applyEval(rec)
+	return nil
+}
+
+// PutFront stores a finished Pareto front, superseding any previous
+// front under the same key. Points are stored in canonical order
+// (lexicographic by objective vector, then configuration) so exports
+// are byte-stable.
+func (db *DB) PutFront(rec FrontRecord) error {
+	sortFrontPoints(rec.Points)
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if err := db.appendRecord(recFront, rec); err != nil {
+		return err
+	}
+	db.applyFront(rec)
+	if err := db.f.Sync(); err != nil {
+		return fmt.Errorf("tunedb: %w", err)
+	}
+	return nil
+}
+
+func sortFrontPoints(pts []FrontPoint) {
+	sort.Slice(pts, func(a, b int) bool {
+		oa, ob := pts[a].Objectives, pts[b].Objectives
+		for i := 0; i < len(oa) && i < len(ob); i++ {
+			if oa[i] != ob[i] {
+				return oa[i] < ob[i]
+			}
+		}
+		if len(oa) != len(ob) {
+			return len(oa) < len(ob)
+		}
+		return skeleton.Config(pts[a].Config).Key() < skeleton.Config(pts[b].Config).Key()
+	})
+}
+
+func equalObjs(a, b []float64) bool {
+	if (a == nil) != (b == nil) || len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Front returns the stored front for an exact key.
+func (db *DB) Front(key Key) (FrontRecord, bool) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	rec, ok := db.fronts[key.String()]
+	return rec, ok
+}
+
+// EvalCount returns the number of stored evaluations for a key.
+func (db *DB) EvalCount(key Key) int {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return len(db.evals[key.String()])
+}
+
+// Keys lists every key with stored data, sorted by canonical string.
+func (db *DB) Keys() []Key {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	strs := make([]string, 0, len(db.keys))
+	for ks := range db.keys {
+		strs = append(strs, ks)
+	}
+	sort.Strings(strs)
+	out := make([]Key, len(strs))
+	for i, ks := range strs {
+		out[i] = db.keys[ks]
+	}
+	return out
+}
+
+// Compact rewrites the journal keeping only live entries: the latest
+// front per key and the deduplicated evaluation set. The rewrite goes
+// through a temp file and an atomic rename, so a crash during
+// compaction leaves either the old or the new journal intact.
+func (db *DB) Compact() error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.f == nil {
+		return fmt.Errorf("tunedb: database is closed")
+	}
+	tmpPath := db.path + ".compact"
+	tmp, err := os.OpenFile(tmpPath, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("tunedb: %w", err)
+	}
+	write := func(t string, rec interface{}) error {
+		payload, err := json.Marshal(rec)
+		if err != nil {
+			return err
+		}
+		env := envelope{V: schemaVersion, T: t, CRC: crc32.Checksum(payload, crcTable), D: payload}
+		line, err := json.Marshal(env)
+		if err != nil {
+			return err
+		}
+		_, err = tmp.Write(append(line, '\n'))
+		return err
+	}
+	var strs []string
+	for ks := range db.keys {
+		strs = append(strs, ks)
+	}
+	sort.Strings(strs)
+	for _, ks := range strs {
+		key := db.keys[ks]
+		if rec, ok := db.fronts[ks]; ok {
+			if err := write(recFront, rec); err != nil {
+				tmp.Close()
+				return fmt.Errorf("tunedb: compact: %w", err)
+			}
+		}
+		var cfgKeys []string
+		for ck := range db.evals[ks] {
+			cfgKeys = append(cfgKeys, ck)
+		}
+		sort.Strings(cfgKeys)
+		for _, ck := range cfgKeys {
+			e := db.evals[ks][ck]
+			if err := write(recEval, evalRecord{Key: key, Config: e.cfg, Objectives: e.objs}); err != nil {
+				tmp.Close()
+				return fmt.Errorf("tunedb: compact: %w", err)
+			}
+		}
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("tunedb: compact: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("tunedb: compact: %w", err)
+	}
+	if err := os.Rename(tmpPath, db.path); err != nil {
+		return fmt.Errorf("tunedb: compact: %w", err)
+	}
+	// Reopen the append handle on the new inode.
+	db.f.Close()
+	f, err := os.OpenFile(db.path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		db.f = nil
+		return fmt.Errorf("tunedb: compact: %w", err)
+	}
+	db.f = f
+	return nil
+}
+
+// Merge folds every record of the database at dir into this one
+// (cross-machine transfer: carry a journal over from another host and
+// merge it). It returns the number of evaluation and front records
+// adopted. Fronts already present locally are only replaced when the
+// incoming front is absent locally.
+func (db *DB) Merge(dir string) (evals, fronts int, err error) {
+	other, err := Open(dir)
+	if err != nil {
+		return 0, 0, err
+	}
+	defer other.Close()
+	other.mu.Lock()
+	defer other.mu.Unlock()
+	for ks, m := range other.evals {
+		key := other.keys[ks]
+		var cfgKeys []string
+		for ck := range m {
+			cfgKeys = append(cfgKeys, ck)
+		}
+		sort.Strings(cfgKeys)
+		for _, ck := range cfgKeys {
+			e := m[ck]
+			db.mu.Lock()
+			_, exists := db.evals[ks][ck]
+			db.mu.Unlock()
+			if exists {
+				continue
+			}
+			if err := db.PutEval(key, e.cfg, e.objs); err != nil {
+				return evals, fronts, err
+			}
+			evals++
+		}
+	}
+	var frontKeys []string
+	for ks := range other.fronts {
+		frontKeys = append(frontKeys, ks)
+	}
+	sort.Strings(frontKeys)
+	for _, ks := range frontKeys {
+		db.mu.Lock()
+		_, exists := db.fronts[ks]
+		db.mu.Unlock()
+		if exists {
+			continue
+		}
+		if err := db.PutFront(other.fronts[ks]); err != nil {
+			return evals, fronts, err
+		}
+		fronts++
+	}
+	return evals, fronts, nil
+}

@@ -1,0 +1,427 @@
+package tunedb
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"autotune/internal/machine"
+	"autotune/internal/skeleton"
+)
+
+func testKey() Key {
+	return Key{
+		Fingerprint: "pg0123456789abcdef",
+		MachineSig:  machine.SignatureOf(machine.Westmere()).Key(),
+		Objectives:  "time+resources",
+		SpaceHash:   "sp0000000000000001",
+	}
+}
+
+func testFront(key Key) FrontRecord {
+	return FrontRecord{
+		Key:            key,
+		Machine:        machine.SignatureOf(machine.Westmere()),
+		ObjectiveNames: []string{"time", "resources"},
+		Points: []FrontPoint{
+			{Config: []int64{64, 64, 8}, Objectives: []float64{0.5, 8}},
+			{Config: []int64{32, 32, 16}, Objectives: []float64{0.3, 16}},
+		},
+		Evaluations: 100,
+		Iterations:  10,
+	}
+}
+
+func mustOpen(t *testing.T, dir string) *DB {
+	t.Helper()
+	db, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+func TestOpenEmptyAndReopen(t *testing.T) {
+	dir := t.TempDir()
+	db := mustOpen(t, dir)
+	if got := db.Keys(); len(got) != 0 {
+		t.Fatalf("fresh database has keys %v", got)
+	}
+	if db.Dir() != dir {
+		t.Fatalf("Dir() = %q", db.Dir())
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Close is idempotent.
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	db2 := mustOpen(t, dir)
+	defer db2.Close()
+	if got := db2.Keys(); len(got) != 0 {
+		t.Fatalf("reopened empty database has keys %v", got)
+	}
+}
+
+func TestEvalRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	key := testKey()
+	db := mustOpen(t, dir)
+	if err := db.PutEval(key, skeleton.Config{64, 64, 8}, []float64{0.5, 8}); err != nil {
+		t.Fatal(err)
+	}
+	// A known failure: nil objectives.
+	if err := db.PutEval(key, skeleton.Config{1, 1, 1}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if n := db.EvalCount(key); n != 2 {
+		t.Fatalf("EvalCount = %d", n)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	db2 := mustOpen(t, dir)
+	defer db2.Close()
+	if n := db2.EvalCount(key); n != 2 {
+		t.Fatalf("EvalCount after reopen = %d", n)
+	}
+	keys := db2.Keys()
+	if len(keys) != 1 || keys[0] != key {
+		t.Fatalf("Keys = %v", keys)
+	}
+}
+
+func TestPutEvalDeduplicates(t *testing.T) {
+	dir := t.TempDir()
+	key := testKey()
+	db := mustOpen(t, dir)
+	defer db.Close()
+	cfg := skeleton.Config{64, 64, 8}
+	if err := db.PutEval(key, cfg, []float64{0.5, 8}); err != nil {
+		t.Fatal(err)
+	}
+	before, err := os.Stat(filepath.Join(dir, journalName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Re-storing the identical result must not grow the journal.
+	if err := db.PutEval(key, cfg, []float64{0.5, 8}); err != nil {
+		t.Fatal(err)
+	}
+	after, err := os.Stat(filepath.Join(dir, journalName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if before.Size() != after.Size() {
+		t.Fatalf("duplicate PutEval grew journal %d -> %d", before.Size(), after.Size())
+	}
+	// A changed result is journaled and supersedes the old one.
+	if err := db.PutEval(key, cfg, []float64{0.4, 8}); err != nil {
+		t.Fatal(err)
+	}
+	if n := db.EvalCount(key); n != 1 {
+		t.Fatalf("EvalCount = %d", n)
+	}
+}
+
+func TestFrontSupersedesAndSorts(t *testing.T) {
+	dir := t.TempDir()
+	key := testKey()
+	db := mustOpen(t, dir)
+	if err := db.PutFront(testFront(key)); err != nil {
+		t.Fatal(err)
+	}
+	newer := testFront(key)
+	newer.Points = append(newer.Points, FrontPoint{Config: []int64{16, 16, 32}, Objectives: []float64{0.2, 32}})
+	newer.Evaluations = 200
+	if err := db.PutFront(newer); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	db2 := mustOpen(t, dir)
+	defer db2.Close()
+	rec, ok := db2.Front(key)
+	if !ok {
+		t.Fatal("front missing after reopen")
+	}
+	if rec.Evaluations != 200 || len(rec.Points) != 3 {
+		t.Fatalf("latest front not retained: %+v", rec)
+	}
+	// Points stored in canonical order: lexicographic by objectives.
+	for i := 1; i < len(rec.Points); i++ {
+		if rec.Points[i-1].Objectives[0] > rec.Points[i].Objectives[0] {
+			t.Fatalf("points not canonically ordered: %v", rec.Points)
+		}
+	}
+}
+
+func TestCompact(t *testing.T) {
+	dir := t.TempDir()
+	key := testKey()
+	db := mustOpen(t, dir)
+	cfg := skeleton.Config{64, 64, 8}
+	// Many superseding writes inflate the journal; compaction shrinks
+	// it back to the live set.
+	for i := 0; i < 20; i++ {
+		if err := db.PutEval(key, cfg, []float64{float64(i), 8}); err != nil {
+			t.Fatal(err)
+		}
+		if err := db.PutFront(testFront(key)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before, _ := os.Stat(filepath.Join(dir, journalName))
+	if err := db.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	after, _ := os.Stat(filepath.Join(dir, journalName))
+	if after.Size() >= before.Size() {
+		t.Fatalf("compact did not shrink journal: %d -> %d", before.Size(), after.Size())
+	}
+	// The database stays usable after compaction.
+	if err := db.PutEval(key, skeleton.Config{1, 2, 3}, []float64{9, 9}); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	db2 := mustOpen(t, dir)
+	defer db2.Close()
+	if n := db2.EvalCount(key); n != 2 {
+		t.Fatalf("EvalCount after compact+reopen = %d", n)
+	}
+	if rec, ok := db2.Front(key); !ok || len(rec.Points) != 2 {
+		t.Fatalf("front lost in compaction: %v %v", rec, ok)
+	}
+}
+
+func TestMerge(t *testing.T) {
+	key := testKey()
+	otherKey := testKey()
+	otherKey.Fingerprint = "pgfedcba9876543210"
+
+	srcDir := t.TempDir()
+	src := mustOpen(t, srcDir)
+	if err := src.PutEval(key, skeleton.Config{64, 64, 8}, []float64{0.5, 8}); err != nil {
+		t.Fatal(err)
+	}
+	if err := src.PutEval(otherKey, skeleton.Config{32, 32, 4}, []float64{0.7, 4}); err != nil {
+		t.Fatal(err)
+	}
+	if err := src.PutFront(testFront(key)); err != nil {
+		t.Fatal(err)
+	}
+	if err := src.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	dst := mustOpen(t, t.TempDir())
+	defer dst.Close()
+	// dst already has one of the evaluations; only the rest transfer.
+	if err := dst.PutEval(key, skeleton.Config{64, 64, 8}, []float64{0.5, 8}); err != nil {
+		t.Fatal(err)
+	}
+	evals, fronts, err := dst.Merge(srcDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if evals != 1 || fronts != 1 {
+		t.Fatalf("merge adopted %d evals, %d fronts", evals, fronts)
+	}
+	if n := dst.EvalCount(otherKey); n != 1 {
+		t.Fatalf("merged eval missing: EvalCount = %d", n)
+	}
+	if _, ok := dst.Front(key); !ok {
+		t.Fatal("merged front missing")
+	}
+	// A second merge is a no-op.
+	evals, fronts, err = dst.Merge(srcDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if evals != 0 || fronts != 0 {
+		t.Fatalf("re-merge adopted %d evals, %d fronts", evals, fronts)
+	}
+}
+
+// TestCrashToleranceSweep simulates a crash mid-append at every byte
+// offset of the journal's last record: each truncation must open
+// without error and recover every complete record before the tear.
+func TestCrashToleranceSweep(t *testing.T) {
+	// Build a reference journal: one front plus four evaluations.
+	refDir := t.TempDir()
+	key := testKey()
+	db := mustOpen(t, refDir)
+	if err := db.PutFront(testFront(key)); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		cfg := skeleton.Config{int64(8 << i), 64, 8}
+		if err := db.PutEval(key, cfg, []float64{float64(i), 8}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(refDir, journalName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Locate the final record (the last evaluation).
+	lastStart := bytes.LastIndexByte(data[:len(data)-1], '\n') + 1
+
+	for cut := lastStart; cut < len(data); cut++ {
+		dir := t.TempDir()
+		if err := os.WriteFile(filepath.Join(dir, journalName), data[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		rec, err := Open(dir)
+		if err != nil {
+			t.Fatalf("cut at byte %d/%d: %v", cut, len(data), err)
+		}
+		// All complete records survive: the front and the first three
+		// evaluations.
+		if n := rec.EvalCount(key); n != 3 {
+			t.Fatalf("cut at byte %d: recovered %d evals, want 3", cut, n)
+		}
+		if _, ok := rec.Front(key); !ok {
+			t.Fatalf("cut at byte %d: front lost", cut)
+		}
+		// Recovery truncated the torn tail on disk, so writing and
+		// reopening work normally.
+		if err := rec.PutEval(key, skeleton.Config{1, 2, 3}, []float64{9, 9}); err != nil {
+			t.Fatalf("cut at byte %d: append after recovery: %v", cut, err)
+		}
+		if err := rec.Close(); err != nil {
+			t.Fatal(err)
+		}
+		again, err := Open(dir)
+		if err != nil {
+			t.Fatalf("cut at byte %d: reopen after recovery: %v", cut, err)
+		}
+		if n := again.EvalCount(key); n != 4 {
+			t.Fatalf("cut at byte %d: post-recovery evals = %d, want 4", cut, n)
+		}
+		again.Close()
+	}
+}
+
+// TestMidJournalCorruption distinguishes real corruption from a torn
+// tail: a damaged record followed by valid ones must be an error, not a
+// silent truncation.
+func TestMidJournalCorruption(t *testing.T) {
+	dir := t.TempDir()
+	key := testKey()
+	db := mustOpen(t, dir)
+	for i := 0; i < 3; i++ {
+		if err := db.PutEval(key, skeleton.Config{int64(i + 1), 2, 3}, []float64{1, 2}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, journalName)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip a payload byte inside the first record.
+	corrupt := append([]byte(nil), data...)
+	corrupt[bytes.IndexByte(corrupt, '{')+20] ^= 0xff
+	if err := os.WriteFile(path, corrupt, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir); err == nil {
+		t.Fatal("mid-journal corruption opened without error")
+	}
+}
+
+// TestConcurrentWriters exercises the journal's write serialization
+// under -race: many goroutines storing evaluations and fronts at once.
+func TestConcurrentWriters(t *testing.T) {
+	dir := t.TempDir()
+	db := mustOpen(t, dir)
+	key := testKey()
+	const writers = 8
+	const perWriter = 25
+	var wg sync.WaitGroup
+	errs := make(chan error, writers)
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				cfg := skeleton.Config{int64(w), int64(i), 8}
+				if err := db.PutEval(key, cfg, []float64{float64(w), float64(i)}); err != nil {
+					errs <- err
+					return
+				}
+			}
+			if err := db.PutFront(testFront(key)); err != nil {
+				errs <- err
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if n := db.EvalCount(key); n != writers*perWriter {
+		t.Fatalf("EvalCount = %d, want %d", n, writers*perWriter)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	db2 := mustOpen(t, dir)
+	defer db2.Close()
+	if n := db2.EvalCount(key); n != writers*perWriter {
+		t.Fatalf("EvalCount after reopen = %d, want %d", n, writers*perWriter)
+	}
+}
+
+func TestClosedDBRejectsWrites(t *testing.T) {
+	db := mustOpen(t, t.TempDir())
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.PutEval(testKey(), skeleton.Config{1}, []float64{1}); err == nil {
+		t.Error("PutEval on closed database succeeded")
+	}
+	if err := db.PutFront(testFront(testKey())); err == nil {
+		t.Error("PutFront on closed database succeeded")
+	}
+	if err := db.Compact(); err == nil {
+		t.Error("Compact on closed database succeeded")
+	}
+}
+
+func TestUnsupportedSchemaVersion(t *testing.T) {
+	dir := t.TempDir()
+	line := fmt.Sprintf(`{"v":%d,"t":"eval","crc":0,"d":{}}`+"\n", schemaVersion+1)
+	if err := os.WriteFile(filepath.Join(dir, journalName), []byte(line), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// A single unreadable record with nothing valid after it is treated
+	// as a torn tail (recovered), because nothing readable follows; but
+	// the record must not be applied.
+	db, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	if got := db.Keys(); len(got) != 0 {
+		t.Fatalf("future-schema record applied: %v", got)
+	}
+}

@@ -1,0 +1,89 @@
+package tunedb
+
+import (
+	"math"
+
+	"autotune/internal/machine"
+	"autotune/internal/objective"
+	"autotune/internal/skeleton"
+)
+
+// WarmCache primes the shared evaluation cache with every stored
+// evaluation for the exact key — including known failures — so
+// repeated or overlapping searches re-pay nothing for configurations
+// the database has already seen: the E metric counts only new
+// evaluations. It returns the number of entries primed. Evaluations
+// never warm across machines; objective values measured (or modeled)
+// on one machine are meaningless on another.
+func (db *DB) WarmCache(key Key, ce *objective.CachingEvaluator) int {
+	db.mu.Lock()
+	entries := make([]evalEntry, 0, len(db.evals[key.String()]))
+	for _, e := range db.evals[key.String()] {
+		entries = append(entries, e)
+	}
+	db.mu.Unlock()
+	primed := 0
+	for _, e := range entries {
+		if ce.Prime(e.cfg, e.objs) {
+			primed++
+		}
+	}
+	return primed
+}
+
+// NearestFront finds the stored front best matching key: an exact
+// match if present, otherwise the transferable front (same program,
+// objectives and space) whose machine signature is nearest to sig —
+// the cross-machine transfer path. The returned distance is 0 for an
+// exact match.
+func (db *DB) NearestFront(key Key, sig machine.Signature) (FrontRecord, float64, bool) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if rec, ok := db.fronts[key.String()]; ok {
+		return rec, 0, true
+	}
+	best := FrontRecord{}
+	bestDist := math.Inf(1)
+	found := false
+	for _, rec := range db.fronts {
+		if !key.Transferable(rec.Key) {
+			continue
+		}
+		d := sig.Distance(rec.Machine)
+		if d < bestDist || (d == bestDist && rec.Key.String() < best.Key.String()) {
+			best, bestDist, found = rec, d, true
+		}
+	}
+	return best, bestDist, found
+}
+
+// SeedPopulation returns up to k stored Pareto-front configurations to
+// inject into an initial search population: the exact key's front when
+// present, otherwise the nearest-signature transferable front. Every
+// configuration is clamped into the current space; wrong-dimension and
+// duplicate configurations are dropped. A nil result means no usable
+// stored front exists.
+func (db *DB) SeedPopulation(key Key, sig machine.Signature, space skeleton.Space, k int) []skeleton.Config {
+	rec, _, ok := db.NearestFront(key, sig)
+	if !ok || k <= 0 {
+		return nil
+	}
+	seen := map[string]bool{}
+	var out []skeleton.Config
+	for _, p := range rec.Points {
+		if len(out) == k {
+			break
+		}
+		if len(p.Config) != space.Dim() {
+			continue
+		}
+		cfg := space.Clip(skeleton.Config(p.Config))
+		ck := cfg.Key()
+		if seen[ck] {
+			continue
+		}
+		seen[ck] = true
+		out = append(out, cfg)
+	}
+	return out
+}
