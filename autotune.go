@@ -31,7 +31,9 @@
 package autotune
 
 import (
+	"context"
 	"fmt"
+	"time"
 
 	"autotune/internal/codegen"
 	"autotune/internal/driver"
@@ -200,6 +202,11 @@ type TuneResult struct {
 	Evaluations int
 	// Iterations is the number of optimizer iterations.
 	Iterations int
+	// Partial reports that the search was interrupted (context
+	// cancelled or deadline exceeded) and the front is the best
+	// mutually non-dominated set found so far rather than the final
+	// one. Resume an interrupted checkpointed search with WithResume.
+	Partial bool
 
 	output *driver.Output // retained for code emission
 	n      int64
@@ -385,6 +392,75 @@ func WithUnrollDimension() Option {
 	}
 }
 
+// WithContext bounds the search with ctx: once it is cancelled or its
+// deadline passes, the search stops gracefully at the next evaluation
+// or generation boundary and returns the best-so-far front with
+// TuneResult.Partial set — never an error with nothing (unless nothing
+// at all was evaluated yet).
+func WithContext(ctx context.Context) Option {
+	return func(c *tuneConfig) error {
+		if ctx == nil {
+			return fmt.Errorf("autotune: nil context")
+		}
+		c.opts.Context = ctx
+		return nil
+	}
+}
+
+// WithEvalTimeout watchdogs every configuration evaluation: one that
+// exceeds d is abandoned and recorded as a failed configuration (never
+// retried, excluded from the Pareto set and from Evaluations), so a
+// hung or pathologically slow variant cannot stall the whole search.
+func WithEvalTimeout(d time.Duration) Option {
+	return func(c *tuneConfig) error {
+		if d <= 0 {
+			return fmt.Errorf("autotune: evaluation timeout must be positive")
+		}
+		c.opts.EvalTimeout = d
+		return nil
+	}
+}
+
+// WithRetries retries transiently faulted evaluations up to n times
+// with jittered exponential backoff before recording them as failed.
+func WithRetries(n int) Option {
+	return func(c *tuneConfig) error {
+		if n < 0 {
+			return fmt.Errorf("autotune: retry count must be non-negative")
+		}
+		c.opts.Retries = n
+		return nil
+	}
+}
+
+// WithCheckpoint journals a crash-safe snapshot of the search to path
+// after every completed generation (evolutionary methods only). An
+// interrupted run — cancelled context, SIGINT, crash — resumes from
+// the journal with WithResume and finishes with a front byte-identical
+// to the same-seed uninterrupted run.
+func WithCheckpoint(path string) Option {
+	return func(c *tuneConfig) error {
+		if path == "" {
+			return fmt.Errorf("autotune: empty checkpoint path")
+		}
+		c.opts.CheckpointPath = path
+		return nil
+	}
+}
+
+// WithResume resumes an interrupted search from the checkpoint journal
+// at path (and keeps checkpointing into it). All other options must
+// match the interrupted run's; a mismatch is detected and reported.
+func WithResume(path string) Option {
+	return func(c *tuneConfig) error {
+		if path == "" {
+			return fmt.Errorf("autotune: empty checkpoint path")
+		}
+		c.opts.ResumeFrom = path
+		return nil
+	}
+}
+
 // WithRandomBudget sets the evaluation budget of RandomSearch.
 func WithRandomBudget(budget int) Option {
 	return func(c *tuneConfig) error {
@@ -433,6 +509,7 @@ func Tune(kernel string, options ...Option) (*TuneResult, error) {
 		Front:       out.Result.Front,
 		Evaluations: out.Result.Evaluations,
 		Iterations:  out.Result.Iterations,
+		Partial:     out.Result.Partial,
 		output:      out,
 		n:           n,
 	}, nil
@@ -476,6 +553,7 @@ func TuneSource(src string, options ...Option) (*TuneResult, error) {
 		Front:       out.Result.Front,
 		Evaluations: out.Result.Evaluations,
 		Iterations:  out.Result.Iterations,
+		Partial:     out.Result.Partial,
 		output:      out,
 		n:           1,
 	}, nil
@@ -533,6 +611,18 @@ func Optimize(space Space, eval Evaluator, opt OptimizerOptions) (*OptimizerResu
 // for a fixed (seed, islands, migration interval).
 func OptimizeIslands(space Space, eval Evaluator, opt OptimizerOptions, iopt IslandOptions) (*OptimizerResult, error) {
 	return optimizer.RSGDE3Islands(space, eval, opt, iopt)
+}
+
+// OptimizeWithContext is Optimize bounded by ctx: cancellation stops
+// the search at the next generation boundary and returns the
+// best-so-far front with OptimizerResult.Partial set.
+func OptimizeWithContext(ctx context.Context, space Space, eval Evaluator, opt OptimizerOptions) (*OptimizerResult, error) {
+	return optimizer.RSGDE3Controlled(space, eval, opt, optimizer.Control{Ctx: ctx})
+}
+
+// OptimizeIslandsWithContext is OptimizeIslands bounded by ctx.
+func OptimizeIslandsWithContext(ctx context.Context, space Space, eval Evaluator, opt OptimizerOptions, iopt IslandOptions) (*OptimizerResult, error) {
+	return optimizer.RSGDE3IslandsControlled(space, eval, opt, iopt, optimizer.Control{Ctx: ctx})
 }
 
 // NewRuntime builds a runtime dispatcher for a unit whose versions

@@ -5,19 +5,32 @@
 //
 //	autotune -kernel mm -machine Westmere [-method rs-gde3|gde3|nsga2|random|brute-force]
 //	         [-islands W] [-migrate M] [-seed N] [-n N] [-energy] [-measured]
+//	         [-deadline D] [-eval-timeout D] [-retries N]
+//	         [-checkpoint FILE] [-resume FILE]
 //	         [-db DIR] [-warm=false] [-o unit.json] [-code]
+//
+// The search is interruptible: SIGINT/SIGTERM (or an elapsed
+// -deadline) stops it gracefully at the next generation boundary and
+// prints the best-so-far partial front. With -checkpoint, an
+// interrupted run resumes exactly via -resume, finishing with the same
+// front as an uninterrupted run.
 //
 // Example:
 //
 //	autotune -kernel mm -machine Barcelona -seed 1
 //	autotune -kernel jacobi-2d -energy -o jacobi.json
+//	autotune -kernel mm -checkpoint mm.ckpt   # interrupt with ^C ...
+//	autotune -kernel mm -resume mm.ckpt       # ... and finish later
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 
 	"autotune"
 	"autotune/internal/machine"
@@ -43,12 +56,41 @@ func main() {
 	faultRate := flag.Float64("fault-rate", 0.3, "per-invocation error rate for -fault-demo")
 	dbDir := flag.String("db", "", "persistent tuning database directory (results are journaled; inspect with cmd/tunedb)")
 	warm := flag.Bool("warm", true, "with -db: warm-start from stored results (cache priming + population seeding)")
+	deadline := flag.Duration("deadline", 0, "stop the search gracefully after this long, keeping the best-so-far front (0 = unbounded)")
+	evalTimeout := flag.Duration("eval-timeout", 0, "abandon any single evaluation exceeding this and record it as failed (0 = no watchdog)")
+	retries := flag.Int("retries", 0, "retry transiently faulted evaluations this many times with exponential backoff")
+	checkpoint := flag.String("checkpoint", "", "journal a crash-safe search snapshot to this file after every generation")
+	resume := flag.String("resume", "", "resume an interrupted search from this checkpoint file (options must match the interrupted run)")
 	flag.Parse()
+
+	// SIGINT/SIGTERM cancel the search context: the search stops at the
+	// next generation boundary, the last completed generation stays
+	// checkpointed, and the partial front is still printed.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if *deadline > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *deadline)
+		defer cancel()
+	}
 
 	opts := []autotune.Option{
 		autotune.WithMethod(autotune.Method(*method)),
 		autotune.WithSeed(*seed),
 		autotune.WithNoise(0.01),
+		autotune.WithContext(ctx),
+	}
+	if *evalTimeout > 0 {
+		opts = append(opts, autotune.WithEvalTimeout(*evalTimeout))
+	}
+	if *retries > 0 {
+		opts = append(opts, autotune.WithRetries(*retries))
+	}
+	switch {
+	case *resume != "":
+		opts = append(opts, autotune.WithResume(*resume))
+	case *checkpoint != "":
+		opts = append(opts, autotune.WithCheckpoint(*checkpoint))
 	}
 	if *machineFile != "" {
 		data, err := os.ReadFile(*machineFile)
@@ -119,6 +161,16 @@ func main() {
 
 	fmt.Printf("%s on %s via %s: %d evaluations, %d iterations, %d Pareto-optimal versions\n",
 		target, *machineName, *method, res.Evaluations, res.Iterations, len(res.Unit.Versions))
+	if res.Partial {
+		fmt.Println("search interrupted: the front below is the best found so far, not the final one")
+		ckpt := *checkpoint
+		if *resume != "" {
+			ckpt = *resume
+		}
+		if ckpt != "" {
+			fmt.Printf("finish the search with: -resume %s (keep the other flags identical)\n", ckpt)
+		}
+	}
 	fmt.Printf("%-4s %-18s %-8s %s\n", "#", "tiles", "threads", strings.Join(res.Unit.ObjectiveNames, " / "))
 	for i, v := range res.Unit.Versions {
 		objs := make([]string, len(v.Meta.Objectives))

@@ -27,7 +27,7 @@ import (
 type paretoPoint = pareto.Point
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to regenerate (all, fig1, fig2, fig8, fig9, table1..table6, island, warmstart, extended, validate)")
+	exp := flag.String("exp", "all", "experiment to regenerate (all, fig1, fig2, fig8, fig9, table1..table6, island, warmstart, resume, extended, validate)")
 	machName := flag.String("machine", "all", "target machine (Westmere, Barcelona, all)")
 	kernName := flag.String("kernel", "mm", "kernel for single-kernel experiments")
 	modeName := flag.String("mode", "full", "evaluation budget (quick, full)")
@@ -162,6 +162,21 @@ func main() {
 	case "warmstart":
 		for _, m := range machines {
 			r, err := experiments.WarmStartComparison(k, m, mode)
+			if err != nil {
+				fatal(err)
+			}
+			r.Render(w)
+			fmt.Fprintln(w)
+		}
+	case "resume":
+		names := []string{k.Name}
+		if k.Name != "jacobi-2d" {
+			names = append(names, "jacobi-2d")
+		} else {
+			names = append(names, "mm")
+		}
+		for _, m := range machines {
+			r, err := experiments.ResumeComparison(names, m, mode)
 			if err != nil {
 				fatal(err)
 			}

@@ -1,0 +1,61 @@
+package driver
+
+import (
+	"fmt"
+
+	"autotune/internal/objective"
+	"autotune/internal/optimizer"
+	"autotune/internal/resilience"
+	"autotune/internal/skeleton"
+)
+
+// buildControl assembles the optimizer run control from the tuning
+// options: the bounding context, the watchdog/retry guard on the
+// shared evaluation cache, and the checkpoint journal (fresh for
+// CheckpointPath, folded and reopened for ResumeFrom). The returned
+// cleanup closes the journal; call it once the search is over.
+func buildControl(opt Options, eval objective.Evaluator) (optimizer.Control, func(), error) {
+	ctrl := optimizer.Control{Ctx: opt.Context}
+	cleanup := func() {}
+	method := opt.Method
+	if method == "" {
+		method = MethodRSGDE3
+	}
+	if (opt.CheckpointPath != "" || opt.ResumeFrom != "") &&
+		(method == MethodRandom || method == MethodBruteForce) {
+		return ctrl, cleanup, fmt.Errorf("driver: method %q keeps no generation state; checkpoint/resume needs an evolutionary method", method)
+	}
+	if opt.EvalTimeout > 0 || opt.Retries > 0 {
+		if sc, ok := eval.(objective.SharedCacher); ok {
+			guard := resilience.NewGuard(resilience.GuardConfig{
+				EvalTimeout: opt.EvalTimeout,
+				Retries:     opt.Retries,
+				JitterSeed:  opt.Optimizer.Seed,
+			})
+			sc.SharedCache().WrapEvalFunc(guard.Middleware())
+		}
+	}
+	if opt.onEvaluation != nil {
+		if sc, ok := eval.(objective.SharedCacher); ok {
+			sc.SharedCache().AddObserver(func(skeleton.Config, []float64) { opt.onEvaluation() })
+		}
+	}
+	switch {
+	case opt.ResumeFrom != "":
+		cp, snap, err := resilience.ResumeCheckpoint(opt.ResumeFrom)
+		if err != nil {
+			return ctrl, cleanup, err
+		}
+		ctrl.Checkpointer = cp
+		ctrl.Resume = snap
+		cleanup = func() { cp.Close() }
+	case opt.CheckpointPath != "":
+		cp, err := resilience.CreateCheckpoint(opt.CheckpointPath)
+		if err != nil {
+			return ctrl, cleanup, err
+		}
+		ctrl.Checkpointer = cp
+		cleanup = func() { cp.Close() }
+	}
+	return ctrl, cleanup, nil
+}

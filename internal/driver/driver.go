@@ -8,9 +8,11 @@
 package driver
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
+	"time"
 
 	"autotune/internal/analyzer"
 	"autotune/internal/features"
@@ -85,6 +87,31 @@ type Options struct {
 	// key's front, or the nearest-machine-signature transferable front.
 	// Ignored when DB is nil.
 	WarmStart bool
+	// Context bounds the search with a deadline and/or cancel signal.
+	// Once done, the search stops gracefully at the next evaluation or
+	// generation boundary and the result carries the best-so-far front
+	// with Partial set. Nil means never cancelled.
+	Context context.Context
+	// EvalTimeout watchdogs each configuration evaluation: one that
+	// exceeds the timeout is abandoned and recorded as a failed
+	// configuration, so a hung variant cannot stall the search. Zero
+	// disables the watchdog.
+	EvalTimeout time.Duration
+	// Retries is the per-evaluation retry count for transiently faulted
+	// evaluations (see resilience.GuardConfig).
+	Retries int
+	// CheckpointPath, when set, journals a crash-safe search snapshot
+	// after every completed generation (evolutionary methods only).
+	CheckpointPath string
+	// ResumeFrom resumes an interrupted search from the checkpoint
+	// journal at this path instead of starting fresh; the finished
+	// run's front is byte-identical to the same-seed uninterrupted run.
+	// The snapshot must come from an identically configured search.
+	ResumeFrom string
+
+	// onEvaluation, when set, fires after every fresh evaluation —
+	// a test seam for provoking cancellation at a known search depth.
+	onEvaluation func()
 }
 
 // Output is the result of tuning one kernel.
@@ -161,11 +188,19 @@ func TuneKernel(kernelName string, opt Options) (*Output, error) {
 	finish := attachDB(&opt, fingerprint, space, eval)
 
 	// (4) Optimize.
-	res, err := runSearch(space, eval, opt)
+	ctrl, cleanup, err := buildControl(opt, eval)
+	if err != nil {
+		return nil, err
+	}
+	defer cleanup()
+	res, err := runSearch(space, eval, opt, ctrl)
 	if err != nil {
 		return nil, err
 	}
 	if len(res.Front) == 0 {
+		if res.Partial {
+			return nil, fmt.Errorf("driver: search for %s was cancelled before any configuration was evaluated", k.Name)
+		}
 		return nil, fmt.Errorf("driver: optimizer returned an empty front for %s", k.Name)
 	}
 	if err := finish(res); err != nil {
@@ -180,7 +215,7 @@ func TuneKernel(kernelName string, opt Options) (*Output, error) {
 	return &Output{Kernel: k, Region: region, Result: res, Unit: unit}, nil
 }
 
-func runSearch(space skeleton.Space, eval objective.Evaluator, opt Options) (*optimizer.Result, error) {
+func runSearch(space skeleton.Space, eval objective.Evaluator, opt Options, ctrl optimizer.Control) (*optimizer.Result, error) {
 	method := opt.Method
 	if method == "" {
 		method = MethodRSGDE3
@@ -193,14 +228,14 @@ func runSearch(space skeleton.Space, eval objective.Evaluator, opt Options) (*op
 	switch method {
 	case MethodRSGDE3:
 		if parallel {
-			return optimizer.RSGDE3Islands(space, eval, opt.Optimizer, iopt)
+			return optimizer.RSGDE3IslandsControlled(space, eval, opt.Optimizer, iopt, ctrl)
 		}
-		return optimizer.RSGDE3(space, eval, opt.Optimizer)
+		return optimizer.RSGDE3Controlled(space, eval, opt.Optimizer, ctrl)
 	case MethodGDE3:
 		if parallel {
-			return optimizer.GDE3Islands(space, eval, opt.Optimizer, iopt)
+			return optimizer.GDE3IslandsControlled(space, eval, opt.Optimizer, iopt, ctrl)
 		}
-		return optimizer.GDE3(space, eval, opt.Optimizer)
+		return optimizer.GDE3Controlled(space, eval, opt.Optimizer, ctrl)
 	case MethodNSGA2:
 		nopt := optimizer.NSGA2Options{
 			PopSize:           opt.Optimizer.PopSize,
@@ -210,15 +245,15 @@ func runSearch(space skeleton.Space, eval objective.Evaluator, opt Options) (*op
 			InitialPopulation: opt.Optimizer.InitialPopulation,
 		}
 		if parallel {
-			return optimizer.NSGA2Islands(space, eval, nopt, iopt)
+			return optimizer.NSGA2IslandsControlled(space, eval, nopt, iopt, ctrl)
 		}
-		return optimizer.NSGA2(space, eval, nopt)
+		return optimizer.NSGA2Controlled(space, eval, nopt, ctrl)
 	case MethodRandom:
 		budget := opt.RandomBudget
 		if budget == 0 {
 			budget = 1000
 		}
-		return optimizer.Random(space, eval, budget, opt.Optimizer.Seed)
+		return optimizer.RandomControlled(space, eval, budget, opt.Optimizer.Seed, ctrl)
 	case MethodBruteForce:
 		points := opt.GridPoints
 		if len(points) == 0 {
@@ -238,7 +273,7 @@ func runSearch(space skeleton.Space, eval objective.Evaluator, opt Options) (*op
 		if err != nil {
 			return nil, err
 		}
-		return optimizer.BruteForce(space, eval, grid)
+		return optimizer.BruteForceControlled(space, eval, grid, ctrl)
 	default:
 		return nil, fmt.Errorf("driver: unknown method %q", method)
 	}
@@ -298,6 +333,12 @@ func attachDB(opt *Options, fingerprint string, space skeleton.Space, eval objec
 		journalMu.Unlock()
 		if err != nil {
 			return err
+		}
+		if res.Partial {
+			// An interrupted search's front is best-so-far, not final:
+			// the journaled evaluations are kept for warm starts, but
+			// the front is not stored as this search's result.
+			return nil
 		}
 		rec := tunedb.FrontRecord{
 			Key:            key,

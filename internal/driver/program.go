@@ -137,11 +137,19 @@ func TuneProgram(prog *ir.Program, opt Options) (*Output, error) {
 	fingerprint := tunedb.ProgramFingerprint(prog, "source", region.Skeleton.Name,
 		fmt.Sprint(opt.UnrollDim))
 	finish := attachDB(&opt, fingerprint, region.Skeleton.Space, eval)
-	res, err := runSearch(region.Skeleton.Space, eval, opt)
+	ctrl, cleanup, err := buildControl(opt, eval)
+	if err != nil {
+		return nil, err
+	}
+	defer cleanup()
+	res, err := runSearch(region.Skeleton.Space, eval, opt, ctrl)
 	if err != nil {
 		return nil, err
 	}
 	if len(res.Front) == 0 {
+		if res.Partial {
+			return nil, fmt.Errorf("driver: search for %s was cancelled before any configuration was evaluated", prog.Name)
+		}
 		return nil, fmt.Errorf("driver: optimizer returned an empty front for %s", prog.Name)
 	}
 	if err := finish(res); err != nil {

@@ -1,0 +1,160 @@
+package experiments
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"autotune/internal/driver"
+	"autotune/internal/export"
+	"autotune/internal/machine"
+	"autotune/internal/optimizer"
+	"autotune/internal/resilience"
+)
+
+// ResumeRun is one row of the checkpoint/resume comparison: a full
+// checkpointed search, its journal cut back to the midpoint generation
+// (a deterministic stand-in for a crash or SIGINT there), and the
+// resumed continuation.
+type ResumeRun struct {
+	Kernel string
+	Method driver.Method
+	// FullE is the full run's evaluation count — what a restart from
+	// scratch would pay again.
+	FullE int
+	// Generations is the full run's generation count; the journal is
+	// trimmed to TrimmedGen = Generations/2.
+	Generations int
+	TrimmedGen  int
+	// ResumedE is the resumed run's cumulative evaluation count; it
+	// must equal FullE when the resume is exact.
+	ResumedE int
+	// NewE is what the resumed run actually paid: evaluations not
+	// already banked in the checkpoint.
+	NewE int
+	// SavedE = FullE - NewE, the evaluations resume saves over restart.
+	SavedE int
+	// Identical reports whether the resumed run's final front is
+	// byte-identical (serialized form) to the uninterrupted run's.
+	Identical bool
+}
+
+// ResumeResult is the checkpoint/resume experiment over several
+// kernels and methods on one machine.
+type ResumeResult struct {
+	Machine *machine.Machine
+	Runs    []ResumeRun
+}
+
+// ResumeComparison measures what checkpoint/resume buys: for each
+// kernel and method, a checkpointed search runs to completion, its
+// journal is trimmed to the midpoint generation, and a resumed search
+// finishes from there. The resumed front must be byte-identical to the
+// uninterrupted one; the saved-evaluation column is the work a restart
+// from scratch would have repeated.
+func ResumeComparison(kernelNames []string, m *machine.Machine, mode Mode) (*ResumeResult, error) {
+	pop, gens := 20, 10
+	if mode == Quick {
+		pop, gens = 12, 6
+	}
+	dir, err := os.MkdirTemp("", "autotune-resume-")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+
+	res := &ResumeResult{Machine: m}
+	methods := []driver.Method{driver.MethodRSGDE3, driver.MethodNSGA2}
+	for _, kn := range kernelNames {
+		for _, method := range methods {
+			ckpt := filepath.Join(dir, fmt.Sprintf("%s-%s.ckpt", kn, method))
+			base := driver.Options{
+				Machine:   m,
+				NoiseAmp:  NoiseAmp,
+				Method:    method,
+				Optimizer: optimizer.Options{PopSize: pop, MaxIterations: gens, Seed: 1},
+			}
+
+			full := base
+			full.CheckpointPath = ckpt
+			out, err := driver.TuneKernel(kn, full)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: full %s/%s run: %w", kn, method, err)
+			}
+
+			trimGen := out.Result.Iterations / 2
+			if err := resilience.TrimCheckpoint(ckpt, trimGen); err != nil {
+				return nil, err
+			}
+			snap, err := resilience.LoadCheckpoint(ckpt)
+			if err != nil {
+				return nil, err
+			}
+
+			resumed := base
+			resumed.ResumeFrom = ckpt
+			out2, err := driver.TuneKernel(kn, resumed)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: resumed %s/%s run: %w", kn, method, err)
+			}
+
+			identical, err := frontsIdentical(out.Result, out2.Result)
+			if err != nil {
+				return nil, err
+			}
+			newE := out2.Result.Evaluations - snap.Evaluations
+			res.Runs = append(res.Runs, ResumeRun{
+				Kernel:      kn,
+				Method:      method,
+				FullE:       out.Result.Evaluations,
+				Generations: out.Result.Iterations,
+				TrimmedGen:  snap.Generation,
+				ResumedE:    out2.Result.Evaluations,
+				NewE:        newE,
+				SavedE:      out.Result.Evaluations - newE,
+				Identical:   identical,
+			})
+		}
+	}
+	return res, nil
+}
+
+// frontsIdentical compares two fronts through their canonical
+// serialized form.
+func frontsIdentical(a, b *optimizer.Result) (bool, error) {
+	var ja, jb bytes.Buffer
+	if err := export.FrontJSON(&ja, a.Front, nil); err != nil {
+		return false, err
+	}
+	if err := export.FrontJSON(&jb, b.Front, nil); err != nil {
+		return false, err
+	}
+	return bytes.Equal(ja.Bytes(), jb.Bytes()), nil
+}
+
+// Render writes the comparison table.
+func (r *ResumeResult) Render(w io.Writer) {
+	fmt.Fprintf(w, "Checkpoint/resume on %s: searches interrupted at the midpoint generation and resumed from the journal\n", r.Machine.Name)
+	header := []string{"Kernel", "Method", "Gens", "Cut at", "E full", "E resumed", "E new", "E saved", "Front identical"}
+	var rows [][]string
+	for _, run := range r.Runs {
+		ident := "no"
+		if run.Identical {
+			ident = "yes"
+		}
+		rows = append(rows, []string{
+			run.Kernel,
+			string(run.Method),
+			fmt.Sprint(run.Generations),
+			fmt.Sprint(run.TrimmedGen),
+			fmt.Sprint(run.FullE),
+			fmt.Sprint(run.ResumedE),
+			fmt.Sprint(run.NewE),
+			fmt.Sprint(run.SavedE),
+			ident,
+		})
+	}
+	renderTable(w, header, rows)
+}

@@ -1,0 +1,43 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"autotune/internal/machine"
+)
+
+// TestResumeComparison is the experiment-level acceptance check: every
+// midpoint-interrupted search resumes to a byte-identical front with
+// the exact cumulative evaluation count, and the saved-evaluation
+// column is positive.
+func TestResumeComparison(t *testing.T) {
+	res, err := ResumeComparison([]string{"mm"}, machine.Westmere(), Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Runs) != 2 { // rs-gde3 and nsga2
+		t.Fatalf("runs = %d", len(res.Runs))
+	}
+	for _, run := range res.Runs {
+		if !run.Identical {
+			t.Fatalf("%s/%s: resumed front not identical", run.Kernel, run.Method)
+		}
+		if run.ResumedE != run.FullE {
+			t.Fatalf("%s/%s: resumed E = %d, full E = %d", run.Kernel, run.Method, run.ResumedE, run.FullE)
+		}
+		if run.SavedE <= 0 || run.NewE <= 0 || run.SavedE+run.NewE != run.FullE {
+			t.Fatalf("%s/%s: E accounting wrong: full %d = new %d + saved %d?",
+				run.Kernel, run.Method, run.FullE, run.NewE, run.SavedE)
+		}
+		if run.TrimmedGen != run.Generations/2 {
+			t.Fatalf("%s/%s: cut at generation %d of %d", run.Kernel, run.Method, run.TrimmedGen, run.Generations)
+		}
+	}
+	var sb strings.Builder
+	res.Render(&sb)
+	out := sb.String()
+	if !strings.Contains(out, "Checkpoint/resume") || !strings.Contains(out, "yes") {
+		t.Fatalf("rendered table:\n%s", out)
+	}
+}

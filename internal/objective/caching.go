@@ -1,6 +1,7 @@
 package objective
 
 import (
+	"context"
 	"sync"
 
 	"autotune/internal/skeleton"
@@ -10,6 +11,15 @@ import (
 // nil result marks a failed evaluation (invalid configuration); failed
 // results are cached like successes but never counted in E.
 type EvalFunc func(cfg skeleton.Config) []float64
+
+// CtxEvalFunc is the context-aware evaluation function the shared
+// cache runs internally. A nil objective vector with a nil error marks
+// a failed (invalid or timed-out) configuration: it is cached, never
+// counted in E, and reported to observers — a recorded failure. A
+// non-nil error marks an aborted evaluation (the context was
+// cancelled): the result is NOT cached, NOT counted and NOT observed,
+// so a resumed search re-evaluates the configuration from scratch.
+type CtxEvalFunc func(ctx context.Context, cfg skeleton.Config) ([]float64, error)
 
 // CachingEvaluator wraps a per-configuration evaluation function with
 // the framework's shared evaluation infrastructure: a process-wide
@@ -26,16 +36,25 @@ type EvalFunc func(cfg skeleton.Config) []float64
 // across batches, so an inherently serial evaluation function
 // (parallelism 1, like timed kernel execution) stays serialized even
 // under concurrent batches.
+//
+// The evaluator is cancellation-aware: SetContext binds a
+// context.Context, and once it is done, pending evaluations are
+// abandoned (cache hits still return). Middleware installed with
+// WrapEvalFunc — e.g. the watchdog/retry guard of internal/resilience
+// — decides per evaluation whether an interruption is a recorded
+// failure (cached, observed) or an abort (left unknown).
 type CachingEvaluator struct {
 	names []string
-	fn    EvalFunc
 	sem   chan struct{}
 
-	mu       sync.Mutex
-	cache    map[string][]float64
-	inflight map[string]*inflightEval
-	evals    int
-	observer func(cfg skeleton.Config, objs []float64)
+	mu        sync.Mutex
+	fn        CtxEvalFunc
+	ctx       context.Context
+	cache     map[string][]float64
+	inflight  map[string]*inflightEval
+	evals     int
+	nextObs   int
+	observers map[int]func(cfg skeleton.Config, objs []float64)
 }
 
 // inflightEval is the rendezvous for duplicate requests of a
@@ -54,11 +73,12 @@ func NewCachingEvaluator(names []string, parallelism int, fn EvalFunc) *CachingE
 		parallelism = 1
 	}
 	return &CachingEvaluator{
-		names:    append([]string(nil), names...),
-		fn:       fn,
-		sem:      make(chan struct{}, parallelism),
-		cache:    map[string][]float64{},
-		inflight: map[string]*inflightEval{},
+		names:     append([]string(nil), names...),
+		fn:        func(_ context.Context, cfg skeleton.Config) ([]float64, error) { return fn(cfg), nil },
+		sem:       make(chan struct{}, parallelism),
+		cache:     map[string][]float64{},
+		inflight:  map[string]*inflightEval{},
+		observers: map[int]func(skeleton.Config, []float64){},
 	}
 }
 
@@ -88,12 +108,33 @@ type SharedCacher interface {
 	SharedCache() *CachingEvaluator
 }
 
+// SetContext binds a context to subsequent evaluations: once it is
+// done, new evaluations are abandoned (returning nil without caching)
+// and in-flight ones are handed the done context so cancellation-aware
+// evaluation functions can abort early. A nil ctx restores the default
+// (never cancelled).
+func (c *CachingEvaluator) SetContext(ctx context.Context) {
+	c.mu.Lock()
+	c.ctx = ctx
+	c.mu.Unlock()
+}
+
+// WrapEvalFunc layers middleware around the evaluation function —
+// watchdog timeouts, retries, fault injection. Install middleware
+// before the search starts; evaluations already in flight keep the
+// function they started with.
+func (c *CachingEvaluator) WrapEvalFunc(mw func(CtxEvalFunc) CtxEvalFunc) {
+	c.mu.Lock()
+	c.fn = mw(c.fn)
+	c.mu.Unlock()
+}
+
 // Prime inserts a known result into the memoization cache without
 // counting toward E and without invoking the evaluation function: the
 // warm-start path of the persistent tuning database. A nil objs
 // records a known-failed configuration, so warm searches skip it too.
 // Entries already cached or currently in flight are left untouched.
-// Primed results are not reported to the observer. It reports whether
+// Primed results are not reported to observers. It reports whether
 // the entry was inserted.
 func (c *CachingEvaluator) Prime(cfg skeleton.Config, objs []float64) bool {
 	key := cfg.Key()
@@ -110,15 +151,53 @@ func (c *CachingEvaluator) Prime(cfg skeleton.Config, objs []float64) bool {
 }
 
 // SetObserver registers fn to be called exactly once per completed
-// fresh evaluation (cache hits, in-flight followers and primed entries
-// are not reported; failed evaluations are reported with nil
-// objectives). The tuning database uses this to journal every result
-// as it is produced. fn runs outside the evaluator's lock but must be
-// safe for concurrent calls.
+// fresh evaluation (cache hits, in-flight followers, primed entries
+// and aborted evaluations are not reported; failed evaluations are
+// reported with nil objectives). The tuning database uses this to
+// journal every result as it is produced. fn runs outside the
+// evaluator's lock but must be safe for concurrent calls. SetObserver
+// manages one dedicated slot (nil clears it); additional independent
+// observers register through AddObserver.
 func (c *CachingEvaluator) SetObserver(fn func(cfg skeleton.Config, objs []float64)) {
 	c.mu.Lock()
-	c.observer = fn
+	if fn == nil {
+		delete(c.observers, 0)
+	} else {
+		c.observers[0] = fn
+	}
 	c.mu.Unlock()
+}
+
+// AddObserver registers an additional observer with the same contract
+// as SetObserver and returns its removal function. Checkpointing uses
+// this to trace fresh evaluations without displacing the tuning
+// database's journaling observer.
+func (c *CachingEvaluator) AddObserver(fn func(cfg skeleton.Config, objs []float64)) (remove func()) {
+	c.mu.Lock()
+	c.nextObs++
+	id := c.nextObs
+	c.observers[id] = fn
+	c.mu.Unlock()
+	return func() {
+		c.mu.Lock()
+		delete(c.observers, id)
+		c.mu.Unlock()
+	}
+}
+
+// observerList snapshots the registered observers in registration
+// order. Callers hold c.mu.
+func (c *CachingEvaluator) observerList() []func(skeleton.Config, []float64) {
+	if len(c.observers) == 0 {
+		return nil
+	}
+	out := make([]func(skeleton.Config, []float64), 0, len(c.observers))
+	for id := 0; id <= c.nextObs; id++ {
+		if fn, ok := c.observers[id]; ok {
+			out = append(out, fn)
+		}
+	}
+	return out
 }
 
 // EvaluateOne evaluates a single configuration.
@@ -131,8 +210,17 @@ func (c *CachingEvaluator) EvaluateOne(cfg skeleton.Config) []float64 {
 // keys — within one batch or across concurrent batches — are
 // deduplicated in flight: one leader evaluates the configuration,
 // followers wait for its result, so each distinct key is evaluated
-// exactly once.
+// exactly once. When the bound context is done, uncached
+// configurations come back nil without being evaluated, cached or
+// counted.
 func (c *CachingEvaluator) Evaluate(cfgs []skeleton.Config) [][]float64 {
+	c.mu.Lock()
+	fn := c.fn
+	ctx := c.ctx
+	c.mu.Unlock()
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	out := make([][]float64, len(cfgs))
 	var wg sync.WaitGroup
 	for i, cfg := range cfgs {
@@ -156,25 +244,49 @@ func (c *CachingEvaluator) Evaluate(cfgs []skeleton.Config) [][]float64 {
 			}(i, fl)
 			continue
 		}
+		if ctx.Err() != nil {
+			// Cancelled before this configuration became a leader:
+			// abandon it uncached so a resumed search evaluates it.
+			c.mu.Unlock()
+			continue
+		}
 		fl := &inflightEval{done: make(chan struct{})}
 		c.inflight[key] = fl
 		c.mu.Unlock()
 		wg.Add(1)
-		c.sem <- struct{}{}
+		select {
+		case c.sem <- struct{}{}:
+		case <-ctx.Done():
+			// Cancelled while queued for an evaluation slot: withdraw
+			// the in-flight registration and release any followers.
+			c.mu.Lock()
+			delete(c.inflight, key)
+			c.mu.Unlock()
+			close(fl.done)
+			wg.Done()
+			continue
+		}
 		go func(i int, cfg skeleton.Config, key string, fl *inflightEval) {
 			defer wg.Done()
 			defer func() { <-c.sem }()
-			objs := c.fn(cfg)
+			objs, err := fn(ctx, cfg)
 			c.mu.Lock()
+			if err != nil {
+				// Aborted: leave the configuration unknown.
+				delete(c.inflight, key)
+				c.mu.Unlock()
+				close(fl.done)
+				return
+			}
 			c.cache[key] = objs
 			if objs != nil {
 				c.evals++
 			}
-			observer := c.observer
+			observers := c.observerList()
 			delete(c.inflight, key)
 			c.mu.Unlock()
-			if observer != nil {
-				observer(cfg, objs)
+			for _, observe := range observers {
+				observe(cfg, objs)
 			}
 			fl.objs = objs
 			close(fl.done)

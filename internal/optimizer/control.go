@@ -1,0 +1,637 @@
+// Run control for the evolutionary optimizers: context-based
+// cancellation and deadlines, generation-granular checkpointing, and
+// exact resume.
+//
+// The controlled entry points (RSGDE3Controlled, NSGA2Controlled and
+// their island variants) accept a Control carrying a context.Context, a
+// Checkpointer and an optional resume Snapshot. Cancellation is
+// graceful: the search stops at the next evaluation or generation
+// boundary and returns the best-so-far valid Pareto front with
+// Result.Partial set — never an error with nothing. A Snapshot captures
+// the complete search state at a generation boundary — per-island
+// populations, archives, stagnation counters, RNG draw counts, and the
+// fresh evaluation results of the interval — so a resumed search
+// replays nothing and produces a byte-identical final front to the
+// same-seed uninterrupted run.
+package optimizer
+
+import (
+	"context"
+	"fmt"
+	"hash/fnv"
+	"sync"
+
+	"autotune/internal/objective"
+	"autotune/internal/pareto"
+	"autotune/internal/skeleton"
+	"autotune/internal/stats"
+)
+
+// Control carries the cross-cutting run controls threaded through a
+// search. The zero value is a plain uncontrolled run.
+type Control struct {
+	// Ctx bounds the search with a deadline and/or cancel signal. Once
+	// done, the search stops gracefully at the next evaluation or
+	// generation boundary and returns the best-so-far front with
+	// Result.Partial set. Nil means never cancelled.
+	Ctx context.Context
+	// Checkpointer, when non-nil, receives a Snapshot after the initial
+	// population and after every completed generation. A generation cut
+	// short by cancellation is never checkpointed (its evaluations may
+	// have been abandoned mid-flight), so every saved snapshot is an
+	// exact resume point.
+	Checkpointer Checkpointer
+	// Resume restarts the search from a previously saved snapshot
+	// instead of a fresh initial population. The snapshot must come
+	// from an identically configured search (same space, options, seed
+	// and island layout); a mismatch is an error.
+	Resume *Snapshot
+}
+
+// ctx returns the effective context.
+func (c Control) ctx() context.Context {
+	if c.Ctx == nil {
+		return context.Background()
+	}
+	return c.Ctx
+}
+
+// Checkpointer persists generation snapshots. Save is called from the
+// search goroutine between generations; an error aborts the search.
+type Checkpointer interface {
+	Save(*Snapshot) error
+}
+
+// Member is one serialized individual: its configuration and objective
+// vector (nil = failed evaluation).
+type Member struct {
+	Config []int64   `json:"config"`
+	Objs   []float64 `json:"objs"`
+}
+
+// IslandState is the complete serialized state of one search island at
+// a generation boundary.
+type IslandState struct {
+	// Pop is the current population in index order.
+	Pop []Member `json:"pop"`
+	// Archive is the island's Pareto archive in insertion order —
+	// re-adding the points in order reproduces the archive exactly.
+	Archive []Member `json:"archive"`
+	// Stagnant is the stagnation counter.
+	Stagnant int `json:"stagnant"`
+	// Draws is the island RNG's source draw count; a fresh generator
+	// with the island's seed skipped by Draws continues the stream.
+	Draws uint64 `json:"draws"`
+}
+
+// EvalState is one fresh evaluation result recorded since the previous
+// snapshot. Resume primes the evaluation cache with these, so replayed
+// proposals are free and E stays accurate across the interruption.
+type EvalState struct {
+	Config []int64   `json:"config"`
+	Objs   []float64 `json:"objs"`
+}
+
+// Snapshot is a serializable picture of a search at a generation
+// boundary: everything needed to continue as if never interrupted.
+type Snapshot struct {
+	// Method names the algorithm ("rs-gde3", "nsga2"), informational.
+	Method string `json:"method"`
+	// Fingerprint hashes the full search configuration (space, options,
+	// seed, island layout). Resume refuses a mismatched snapshot.
+	Fingerprint string `json:"fingerprint"`
+	// Generation is the number of completed generations (0 = initial
+	// population evaluated, no generation stepped yet).
+	Generation int `json:"generation"`
+	// Evaluations is the cumulative E across the original run and all
+	// resumed continuations up to this snapshot.
+	Evaluations int `json:"evaluations"`
+	// States holds one entry per island (one for the serial methods).
+	States []IslandState `json:"states"`
+	// Evals are the fresh evaluation results since the previous
+	// snapshot (the whole history when snapshots are accumulated by a
+	// journal loader).
+	Evals []EvalState `json:"evals,omitempty"`
+}
+
+// fingerprintOf hashes an arbitrary sequence of search-defining values.
+func fingerprintOf(parts ...interface{}) string {
+	h := fnv.New64a()
+	for _, p := range parts {
+		fmt.Fprintf(h, "%v|", p)
+	}
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+// spaceKey folds a search space into fingerprint material.
+func spaceKey(space skeleton.Space) string {
+	h := fnv.New64a()
+	for _, p := range space.Params {
+		fmt.Fprintf(h, "%s/%d/%d/%d|", p.Name, int(p.Kind), p.Min, p.Max)
+	}
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+// gdeFingerprint identifies an RS-GDE3/GDE3 search configuration.
+func gdeFingerprint(space skeleton.Space, opt Options, islands int, iopt IslandOptions) string {
+	parts := []interface{}{"gde", spaceKey(space), opt.PopSize, opt.CR, opt.F,
+		opt.Stagnation, opt.MaxIterations, opt.Seed, opt.DisableRoughSet,
+		islands, iopt.MigrationInterval, iopt.Migrants}
+	for _, c := range opt.InitialPopulation {
+		parts = append(parts, c.Key())
+	}
+	return fingerprintOf(parts...)
+}
+
+// nsga2Fingerprint identifies an NSGA-II search configuration.
+func nsga2Fingerprint(space skeleton.Space, opt NSGA2Options, islands int, iopt IslandOptions) string {
+	parts := []interface{}{"nsga2", spaceKey(space), opt.PopSize, opt.CrossoverRate,
+		opt.MutationRate, opt.Stagnation, opt.MaxGenerations, opt.Seed,
+		islands, iopt.MigrationInterval, iopt.Migrants}
+	for _, c := range opt.InitialPopulation {
+		parts = append(parts, c.Key())
+	}
+	return fingerprintOf(parts...)
+}
+
+// memberOf serializes one individual.
+func memberOf(ind individual) Member {
+	return Member{Config: append([]int64(nil), ind.cfg...), Objs: append([]float64(nil), ind.objs...)}
+}
+
+// restoreMember deserializes one individual.
+func restoreMember(m Member) individual {
+	return individual{cfg: skeleton.Config(append([]int64(nil), m.Config...)), objs: append([]float64(nil), m.Objs...)}
+}
+
+// snapshotState serializes the shared island fields.
+func snapshotState(pop []individual, archive *pareto.Archive, stagnant int, draws uint64) IslandState {
+	st := IslandState{Stagnant: stagnant, Draws: draws}
+	for _, ind := range pop {
+		st.Pop = append(st.Pop, memberOf(ind))
+	}
+	for _, p := range archive.Points() {
+		cfg, _ := p.Payload.(skeleton.Config)
+		st.Archive = append(st.Archive, Member{
+			Config: append([]int64(nil), cfg...),
+			Objs:   append([]float64(nil), p.Objectives...),
+		})
+	}
+	return st
+}
+
+// restoreArchive rebuilds a Pareto archive from its serialized points.
+// The stored points are mutually non-dominated and in insertion order,
+// so re-adding them in order reproduces the archive's internal state
+// exactly — the front of a resumed run stays byte-identical.
+func restoreArchive(members []Member) *pareto.Archive {
+	a := pareto.NewArchive()
+	for _, m := range members {
+		a.Add(pareto.Point{
+			Payload:    skeleton.Config(append([]int64(nil), m.Config...)),
+			Objectives: append([]float64(nil), m.Objs...),
+		})
+	}
+	return a
+}
+
+// evalTrace buffers fresh evaluation results between snapshots.
+type evalTrace struct {
+	mu      sync.Mutex
+	pending []EvalState
+}
+
+func (t *evalTrace) record(cfg skeleton.Config, objs []float64) {
+	t.mu.Lock()
+	t.pending = append(t.pending, EvalState{
+		Config: append([]int64(nil), cfg...),
+		Objs:   append([]float64(nil), objs...),
+	})
+	t.mu.Unlock()
+}
+
+func (t *evalTrace) drain() []EvalState {
+	t.mu.Lock()
+	out := t.pending
+	t.pending = nil
+	t.mu.Unlock()
+	return out
+}
+
+// controlledRun wires a Control into one search: it binds the context
+// to the shared evaluation cache, primes the cache from a resume
+// snapshot, traces fresh evaluations for checkpointing, and accounts E
+// across interruptions.
+type controlledRun struct {
+	eval        objective.Evaluator
+	ctrl        Control
+	method      string
+	fingerprint string
+
+	ce        *objective.CachingEvaluator
+	trace     *evalTrace
+	removeObs func()
+	resumed   bool
+	baseE     int
+	e0        int
+}
+
+func newControlledRun(eval objective.Evaluator, ctrl Control, method, fingerprint string) *controlledRun {
+	r := &controlledRun{eval: eval, ctrl: ctrl, method: method, fingerprint: fingerprint}
+	if sc, ok := eval.(objective.SharedCacher); ok {
+		r.ce = sc.SharedCache()
+	}
+	if r.ce != nil && ctrl.Ctx != nil {
+		r.ce.SetContext(ctrl.Ctx)
+	}
+	if snap := ctrl.Resume; snap != nil {
+		r.resumed = true
+		r.baseE = snap.Evaluations
+		if r.ce != nil {
+			for _, e := range snap.Evals {
+				r.ce.Prime(skeleton.Config(e.Config), e.Objs)
+			}
+		}
+	}
+	r.e0 = eval.Evaluations()
+	if ctrl.Checkpointer != nil && r.ce != nil {
+		r.trace = &evalTrace{}
+		r.removeObs = r.ce.AddObserver(r.trace.record)
+	}
+	return r
+}
+
+// checkResume validates a resume snapshot against this search.
+func (r *controlledRun) checkResume(islands int) error {
+	snap := r.ctrl.Resume
+	if snap == nil {
+		return nil
+	}
+	if snap.Fingerprint != r.fingerprint {
+		return fmt.Errorf("optimizer: checkpoint fingerprint %s does not match this search (%s %s): the snapshot was written by a differently configured run",
+			snap.Fingerprint, r.method, r.fingerprint)
+	}
+	if len(snap.States) != islands {
+		return fmt.Errorf("optimizer: checkpoint has %d island states, search expects %d", len(snap.States), islands)
+	}
+	return nil
+}
+
+// close detaches the run from the shared cache.
+func (r *controlledRun) close() {
+	if r.removeObs != nil {
+		r.removeObs()
+	}
+	if r.ce != nil && r.ctrl.Ctx != nil {
+		r.ce.SetContext(nil)
+	}
+}
+
+// totalE is the cumulative E: for fresh runs the evaluator's absolute
+// count (backward compatible with shared evaluators), for resumed runs
+// the checkpointed count plus this continuation's fresh evaluations.
+func (r *controlledRun) totalE() int {
+	if r.resumed {
+		return r.baseE + r.eval.Evaluations() - r.e0
+	}
+	return r.eval.Evaluations()
+}
+
+// save checkpoints the current state as generation gen.
+func (r *controlledRun) save(islands []islandEvolver, gen int) error {
+	if r.ctrl.Checkpointer == nil {
+		return nil
+	}
+	snap := &Snapshot{
+		Method:      r.method,
+		Fingerprint: r.fingerprint,
+		Generation:  gen,
+		Evaluations: r.totalE(),
+	}
+	for _, isl := range islands {
+		snap.States = append(snap.States, isl.snapshot())
+	}
+	if r.trace != nil {
+		snap.Evals = r.trace.drain()
+	}
+	return r.ctrl.Checkpointer.Save(snap)
+}
+
+// loop evolves the islands in lockstep under the run's control:
+// cancellation checks at every generation boundary, ring migration
+// every MigrationInterval generations, and a checkpoint after the
+// initial population and after every completed generation. A
+// generation in which the context fired is never checkpointed — some
+// of its evaluations may have been abandoned. Returns the absolute
+// generation count (continuing the snapshot's on resume) and whether
+// the run was cut short.
+func (r *controlledRun) loop(islands []islandEvolver, maxGens int, iopt IslandOptions) (gens int, partial bool, err error) {
+	ctx := r.ctrl.ctx()
+	if r.ctrl.Resume != nil {
+		gens = r.ctrl.Resume.Generation
+	} else if ctx.Err() == nil {
+		// Fresh run: checkpoint the evaluated initial population as
+		// generation 0, so an interruption during the first
+		// generations already has a resume point.
+		if err := r.save(islands, 0); err != nil {
+			return 0, false, err
+		}
+	}
+	for gens < maxGens {
+		if ctx.Err() != nil {
+			return gens, true, nil
+		}
+		stepped := false
+		var wg sync.WaitGroup
+		for _, isl := range islands {
+			if isl.done() {
+				continue
+			}
+			stepped = true
+			wg.Add(1)
+			go func(e islandEvolver) {
+				defer wg.Done()
+				e.step()
+			}(isl)
+		}
+		if !stepped {
+			break
+		}
+		wg.Wait()
+		gens++
+		if len(islands) > 1 && gens%iopt.MigrationInterval == 0 {
+			migrateRing(islands, iopt.Migrants)
+		}
+		if ctx.Err() != nil {
+			return gens, true, nil
+		}
+		if err := r.save(islands, gens); err != nil {
+			return gens, false, err
+		}
+	}
+	return gens, false, nil
+}
+
+// RSGDE3Controlled is RSGDE3 with cancellation, checkpointing and
+// resume (see Control). Cancellation returns the best-so-far front
+// with Result.Partial set rather than an error.
+func RSGDE3Controlled(space skeleton.Space, eval objective.Evaluator, opt Options, ctrl Control) (*Result, error) {
+	opt = opt.withDefaults()
+	if err := space.Validate(); err != nil {
+		return nil, err
+	}
+	run := newControlledRun(eval, ctrl, methodName(opt), gdeFingerprint(space, opt, 1, IslandOptions{}))
+	defer run.close()
+	if err := run.checkResume(1); err != nil {
+		return nil, err
+	}
+	var isl *gdeIsland
+	if snap := ctrl.Resume; snap != nil {
+		isl = restoreGDEIsland(space, eval, opt, opt.Seed, snap.States[0])
+	} else {
+		isl = newGDEIsland(space, eval, opt, opt.Seed)
+	}
+	gens, partial, err := run.loop([]islandEvolver{isl}, opt.MaxIterations, IslandOptions{})
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		Front:       isl.archive.Points(),
+		Evaluations: run.totalE(),
+		Iterations:  gens,
+		Partial:     partial,
+	}, nil
+}
+
+// methodName labels the GDE3 family for snapshots.
+func methodName(opt Options) string {
+	if opt.DisableRoughSet {
+		return "gde3"
+	}
+	return "rs-gde3"
+}
+
+// GDE3Controlled is GDE3 with run control.
+func GDE3Controlled(space skeleton.Space, eval objective.Evaluator, opt Options, ctrl Control) (*Result, error) {
+	opt = opt.withDefaults()
+	opt.DisableRoughSet = true
+	return RSGDE3Controlled(space, eval, opt, ctrl)
+}
+
+// NSGA2Controlled is NSGA2 with run control.
+func NSGA2Controlled(space skeleton.Space, eval objective.Evaluator, opt NSGA2Options, ctrl Control) (*Result, error) {
+	if err := space.Validate(); err != nil {
+		return nil, err
+	}
+	opt = opt.withDefaults(space.Dim())
+	run := newControlledRun(eval, ctrl, "nsga2", nsga2Fingerprint(space, opt, 1, IslandOptions{}))
+	defer run.close()
+	if err := run.checkResume(1); err != nil {
+		return nil, err
+	}
+	var isl *nsga2Island
+	if snap := ctrl.Resume; snap != nil {
+		isl = restoreNSGA2Island(space, eval, opt, opt.Seed, snap.States[0])
+	} else {
+		isl = newNSGA2Island(space, eval, opt, opt.Seed)
+	}
+	gens, partial, err := run.loop([]islandEvolver{isl}, opt.MaxGenerations, IslandOptions{})
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		Front:       isl.archive.Points(),
+		Evaluations: run.totalE(),
+		Iterations:  gens,
+		Partial:     partial,
+	}, nil
+}
+
+// RSGDE3IslandsControlled is RSGDE3Islands with run control. On
+// resume, every island is restored from its checkpointed state; the
+// merged front of the finished run is byte-identical to the same-seed
+// uninterrupted run.
+func RSGDE3IslandsControlled(space skeleton.Space, eval objective.Evaluator, opt Options, iopt IslandOptions, ctrl Control) (*Result, error) {
+	opt = opt.withDefaults()
+	iopt = iopt.withDefaults()
+	if err := space.Validate(); err != nil {
+		return nil, err
+	}
+	if err := iopt.validate(); err != nil {
+		return nil, err
+	}
+	run := newControlledRun(eval, ctrl, methodName(opt), gdeFingerprint(space, opt, iopt.Islands, iopt))
+	defer run.close()
+	if err := run.checkResume(iopt.Islands); err != nil {
+		return nil, err
+	}
+	islands := make([]islandEvolver, iopt.Islands)
+	if snap := ctrl.Resume; snap != nil {
+		for i := range islands {
+			islands[i] = restoreGDEIsland(space, eval, opt, opt.Seed+int64(i), snap.States[i])
+		}
+	} else {
+		spawn(len(islands), func(i int) {
+			islands[i] = newGDEIsland(space, eval, opt, opt.Seed+int64(i))
+		})
+	}
+	gens, partial, err := run.loop(islands, opt.MaxIterations, iopt)
+	if err != nil {
+		return nil, err
+	}
+	res := mergeIslands(islands, eval, gens)
+	res.Evaluations = run.totalE()
+	res.Partial = partial
+	return res, nil
+}
+
+// GDE3IslandsControlled is GDE3Islands with run control.
+func GDE3IslandsControlled(space skeleton.Space, eval objective.Evaluator, opt Options, iopt IslandOptions, ctrl Control) (*Result, error) {
+	opt.DisableRoughSet = true
+	return RSGDE3IslandsControlled(space, eval, opt, iopt, ctrl)
+}
+
+// NSGA2IslandsControlled is NSGA2Islands with run control.
+func NSGA2IslandsControlled(space skeleton.Space, eval objective.Evaluator, opt NSGA2Options, iopt IslandOptions, ctrl Control) (*Result, error) {
+	iopt = iopt.withDefaults()
+	if err := space.Validate(); err != nil {
+		return nil, err
+	}
+	if err := iopt.validate(); err != nil {
+		return nil, err
+	}
+	opt = opt.withDefaults(space.Dim())
+	run := newControlledRun(eval, ctrl, "nsga2", nsga2Fingerprint(space, opt, iopt.Islands, iopt))
+	defer run.close()
+	if err := run.checkResume(iopt.Islands); err != nil {
+		return nil, err
+	}
+	islands := make([]islandEvolver, iopt.Islands)
+	if snap := ctrl.Resume; snap != nil {
+		for i := range islands {
+			islands[i] = restoreNSGA2Island(space, eval, opt, opt.Seed+int64(i), snap.States[i])
+		}
+	} else {
+		spawn(len(islands), func(i int) {
+			islands[i] = newNSGA2Island(space, eval, opt, opt.Seed+int64(i))
+		})
+	}
+	gens, partial, err := run.loop(islands, opt.MaxGenerations, iopt)
+	if err != nil {
+		return nil, err
+	}
+	res := mergeIslands(islands, eval, gens)
+	res.Evaluations = run.totalE()
+	res.Partial = partial
+	return res, nil
+}
+
+// randomChunk is the evaluation batch size of the one-shot baselines'
+// controlled variants — the granularity at which cancellation is
+// honored.
+const randomChunk = 64
+
+// RandomControlled is Random with cancellation support: the budget is
+// evaluated in chunks and a done context stops the sweep at the next
+// chunk boundary, returning the non-dominated subset of what was
+// evaluated with Result.Partial set. The baselines keep no generation
+// state, so Checkpointer and Resume are not supported (Resume is an
+// error, Checkpointer is ignored).
+func RandomControlled(space skeleton.Space, eval objective.Evaluator, budget int, seed int64, ctrl Control) (*Result, error) {
+	if ctrl.Resume != nil {
+		return nil, fmt.Errorf("optimizer: random search keeps no generation state; resume needs an evolutionary method")
+	}
+	if err := space.Validate(); err != nil {
+		return nil, err
+	}
+	if budget <= 0 {
+		return nil, fmt.Errorf("optimizer: random search needs a positive budget")
+	}
+	run := newControlledRun(eval, ctrl, "random", "")
+	defer run.close()
+	rng := stats.NewRand(seed)
+	cfgs := make([]skeleton.Config, budget)
+	for i := range cfgs {
+		cfgs[i] = space.Random(rng)
+	}
+	front, partial := sweepChunks(ctrl.ctx(), eval, cfgs)
+	return &Result{
+		Front:       front,
+		Evaluations: run.totalE(),
+		Partial:     partial,
+	}, nil
+}
+
+// BruteForceControlled is BruteForce with cancellation support at
+// chunk granularity. Like RandomControlled it supports neither
+// Checkpointer nor Resume. AllPoints is only populated for complete
+// sweeps; a partial grid sweep reports the partial front alone.
+func BruteForceControlled(space skeleton.Space, eval objective.Evaluator, grid Grid, ctrl Control) (*Result, error) {
+	if ctrl.Resume != nil {
+		return nil, fmt.Errorf("optimizer: brute force keeps no generation state; resume needs an evolutionary method")
+	}
+	if err := space.Validate(); err != nil {
+		return nil, err
+	}
+	if len(grid) != space.Dim() {
+		return nil, fmt.Errorf("optimizer: grid dims %d != space dims %d", len(grid), space.Dim())
+	}
+	run := newControlledRun(eval, ctrl, "brute-force", "")
+	defer run.close()
+	cfgs := grid.configs(space)
+	ctx := ctrl.ctx()
+	archive := pareto.NewArchive()
+	var all []pareto.Point
+	partial := false
+	for lo := 0; lo < len(cfgs); lo += randomChunk {
+		if ctx.Err() != nil {
+			partial = true
+			break
+		}
+		hi := lo + randomChunk
+		if hi > len(cfgs) {
+			hi = len(cfgs)
+		}
+		objs := eval.Evaluate(cfgs[lo:hi])
+		for i, o := range objs {
+			if o == nil {
+				continue
+			}
+			p := pareto.Point{Payload: cfgs[lo+i], Objectives: o}
+			all = append(all, p)
+			archive.Add(p)
+		}
+	}
+	res := &Result{
+		Front:       archive.Points(),
+		Evaluations: run.totalE(),
+		Partial:     partial,
+	}
+	if !partial {
+		res.AllPoints = all
+	}
+	return res, nil
+}
+
+// sweepChunks evaluates cfgs in cancellation-checked chunks and
+// returns the non-dominated subset of the evaluated prefix.
+func sweepChunks(ctx context.Context, eval objective.Evaluator, cfgs []skeleton.Config) (front []pareto.Point, partial bool) {
+	archive := pareto.NewArchive()
+	for lo := 0; lo < len(cfgs); lo += randomChunk {
+		if ctx.Err() != nil {
+			partial = true
+			break
+		}
+		hi := lo + randomChunk
+		if hi > len(cfgs) {
+			hi = len(cfgs)
+		}
+		objs := eval.Evaluate(cfgs[lo:hi])
+		for i, o := range objs {
+			if o != nil {
+				archive.Add(pareto.Point{Payload: cfgs[lo+i], Objectives: o})
+			}
+		}
+	}
+	return archive.Points(), partial
+}

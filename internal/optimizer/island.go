@@ -85,6 +85,9 @@ type islandEvolver interface {
 	inject(migrants []individual)
 	// points returns the island's archived front.
 	points() []pareto.Point
+	// snapshot serializes the island's complete state for
+	// checkpointing.
+	snapshot() IslandState
 }
 
 // RSGDE3Islands runs W parallel RS-GDE3 islands over a shared
@@ -93,20 +96,7 @@ type islandEvolver interface {
 // stepped once per generation); Result.Evaluations is the global
 // distinct-successful-evaluation count.
 func RSGDE3Islands(space skeleton.Space, eval objective.Evaluator, opt Options, iopt IslandOptions) (*Result, error) {
-	opt = opt.withDefaults()
-	iopt = iopt.withDefaults()
-	if err := space.Validate(); err != nil {
-		return nil, err
-	}
-	if err := iopt.validate(); err != nil {
-		return nil, err
-	}
-	islands := make([]islandEvolver, iopt.Islands)
-	spawn(len(islands), func(i int) {
-		islands[i] = newGDEIsland(space, eval, opt, opt.Seed+int64(i))
-	})
-	gens := runIslands(islands, opt.MaxIterations, iopt)
-	return mergeIslands(islands, eval, gens), nil
+	return RSGDE3IslandsControlled(space, eval, opt, iopt, Control{})
 }
 
 // GDE3Islands is RSGDE3Islands with the rough-set reduction disabled.
@@ -118,20 +108,7 @@ func GDE3Islands(space skeleton.Space, eval objective.Evaluator, opt Options, io
 // NSGA2Islands runs W parallel NSGA-II islands over a shared evaluator
 // and merges their fronts into one Pareto archive.
 func NSGA2Islands(space skeleton.Space, eval objective.Evaluator, opt NSGA2Options, iopt IslandOptions) (*Result, error) {
-	iopt = iopt.withDefaults()
-	if err := space.Validate(); err != nil {
-		return nil, err
-	}
-	if err := iopt.validate(); err != nil {
-		return nil, err
-	}
-	opt = opt.withDefaults(space.Dim())
-	islands := make([]islandEvolver, iopt.Islands)
-	spawn(len(islands), func(i int) {
-		islands[i] = newNSGA2Island(space, eval, opt, opt.Seed+int64(i))
-	})
-	gens := runIslands(islands, opt.MaxGenerations, iopt)
-	return mergeIslands(islands, eval, gens), nil
+	return NSGA2IslandsControlled(space, eval, opt, iopt, Control{})
 }
 
 // spawn runs fn(0..n-1) concurrently and waits for all.
@@ -145,38 +122,6 @@ func spawn(n int, fn func(i int)) {
 		}(i)
 	}
 	wg.Wait()
-}
-
-// runIslands evolves the islands in lockstep until every island's
-// stagnation rule has fired or maxGens lockstep generations have run,
-// migrating elites around the ring every MigrationInterval
-// generations. It returns the number of lockstep generations.
-func runIslands(islands []islandEvolver, maxGens int, iopt IslandOptions) int {
-	gens := 0
-	for gens < maxGens {
-		stepped := false
-		var wg sync.WaitGroup
-		for _, isl := range islands {
-			if isl.done() {
-				continue
-			}
-			stepped = true
-			wg.Add(1)
-			go func(e islandEvolver) {
-				defer wg.Done()
-				e.step()
-			}(isl)
-		}
-		if !stepped {
-			break
-		}
-		wg.Wait()
-		gens++
-		if len(islands) > 1 && gens%iopt.MigrationInterval == 0 {
-			migrateRing(islands, iopt.Migrants)
-		}
-	}
-	return gens
 }
 
 // migrateRing synchronously copies each island's elite individuals to

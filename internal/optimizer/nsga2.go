@@ -10,7 +10,6 @@ package optimizer
 
 import (
 	"math"
-	"math/rand"
 
 	"autotune/internal/objective"
 	"autotune/internal/pareto"
@@ -68,7 +67,7 @@ type nsga2Island struct {
 	space    skeleton.Space
 	eval     objective.Evaluator
 	opt      NSGA2Options
-	rng      *rand.Rand
+	rng      *stats.CountedRand
 	pop      []individual
 	archive  *pareto.Archive
 	stagnant int
@@ -81,11 +80,11 @@ func newNSGA2Island(space skeleton.Space, eval objective.Evaluator, opt NSGA2Opt
 		space:   space,
 		eval:    eval,
 		opt:     opt,
-		rng:     stats.NewRand(seed),
+		rng:     stats.NewCountedRand(seed),
 		archive: pareto.NewArchive(),
 	}
 	n.pop = make([]individual, opt.PopSize)
-	cfgs := seededPopulation(space, opt.InitialPopulation, opt.PopSize, n.rng)
+	cfgs := seededPopulation(space, opt.InitialPopulation, opt.PopSize, n.rng.Rand)
 	objs := eval.Evaluate(cfgs)
 	for i := range n.pop {
 		n.pop[i] = individual{cfg: cfgs[i], objs: objs[i]}
@@ -181,20 +180,34 @@ func (n *nsga2Island) inject(migrants []individual) { replaceWorst(n.pop, migran
 // points returns the island's archived front.
 func (n *nsga2Island) points() []pareto.Point { return n.archive.Points() }
 
+// snapshot serializes the island's state for checkpointing.
+func (n *nsga2Island) snapshot() IslandState {
+	return snapshotState(n.pop, n.archive, n.stagnant, n.rng.Draws())
+}
+
+// restoreNSGA2Island rebuilds an island from a checkpointed state: the
+// RNG is reseeded and fast-forwarded to the checkpointed draw count,
+// and population and archive are restored verbatim (no re-evaluation —
+// objective vectors travel with the snapshot). opt must already carry
+// defaults.
+func restoreNSGA2Island(space skeleton.Space, eval objective.Evaluator, opt NSGA2Options, seed int64, st IslandState) *nsga2Island {
+	n := &nsga2Island{
+		space:    space,
+		eval:     eval,
+		opt:      opt,
+		rng:      stats.NewCountedRand(seed),
+		archive:  restoreArchive(st.Archive),
+		stagnant: st.Stagnant,
+	}
+	n.rng.Skip(st.Draws)
+	n.pop = make([]individual, len(st.Pop))
+	for i, m := range st.Pop {
+		n.pop[i] = restoreMember(m)
+	}
+	return n
+}
+
 // NSGA2 runs the NSGA-II baseline on the given space and evaluator.
 func NSGA2(space skeleton.Space, eval objective.Evaluator, opt NSGA2Options) (*Result, error) {
-	if err := space.Validate(); err != nil {
-		return nil, err
-	}
-	opt = opt.withDefaults(space.Dim())
-	isl := newNSGA2Island(space, eval, opt, opt.Seed)
-	gen := 0
-	for ; gen < opt.MaxGenerations && !isl.done(); gen++ {
-		isl.step()
-	}
-	return &Result{
-		Front:       isl.archive.Points(),
-		Evaluations: eval.Evaluations(),
-		Iterations:  gen,
-	}, nil
+	return NSGA2Controlled(space, eval, opt, Control{})
 }

@@ -12,7 +12,6 @@
 package optimizer
 
 import (
-	"errors"
 	"fmt"
 	"math"
 	"math/rand"
@@ -86,6 +85,11 @@ type Result struct {
 	// optimizer retains them (brute force does; the evolutionary
 	// optimizers do not, to bound memory).
 	AllPoints []pareto.Point
+	// Partial reports that the search was cut short by a cancelled or
+	// expired context (see Control): Front is the best-so-far valid
+	// Pareto set and Evaluations is accurate, but the stopping rule
+	// never fired.
+	Partial bool
 }
 
 // Configs extracts the configurations of the front.
@@ -110,7 +114,7 @@ type gdeIsland struct {
 	space    skeleton.Space
 	eval     objective.Evaluator
 	opt      Options
-	rng      *rand.Rand
+	rng      *stats.CountedRand
 	pop      []individual
 	archive  *pareto.Archive
 	box      skeleton.Box
@@ -124,18 +128,40 @@ func newGDEIsland(space skeleton.Space, eval objective.Evaluator, opt Options, s
 		space:   space,
 		eval:    eval,
 		opt:     opt,
-		rng:     stats.NewRand(seed),
+		rng:     stats.NewCountedRand(seed),
 		archive: pareto.NewArchive(),
 		box:     space.FullBox(),
 	}
 	g.pop = make([]individual, opt.PopSize)
-	cfgs := seededPopulation(space, opt.InitialPopulation, opt.PopSize, g.rng)
+	cfgs := seededPopulation(space, opt.InitialPopulation, opt.PopSize, g.rng.Rand)
 	objs := eval.Evaluate(cfgs)
 	for i := range g.pop {
 		g.pop[i] = individual{cfg: cfgs[i], objs: objs[i]}
 		if objs[i] != nil {
 			g.archive.Add(pareto.Point{Payload: cfgs[i], Objectives: objs[i]})
 		}
+	}
+	return g
+}
+
+// restoreGDEIsland rebuilds an island from its checkpointed state: the
+// population, archive and stagnation counter come from the snapshot,
+// and the RNG is the original seed fast-forwarded to the checkpointed
+// draw count — the island continues exactly where it stopped.
+func restoreGDEIsland(space skeleton.Space, eval objective.Evaluator, opt Options, seed int64, st IslandState) *gdeIsland {
+	g := &gdeIsland{
+		space:    space,
+		eval:     eval,
+		opt:      opt,
+		rng:      stats.NewCountedRand(seed),
+		archive:  restoreArchive(st.Archive),
+		box:      space.FullBox(),
+		stagnant: st.Stagnant,
+	}
+	g.rng.Skip(st.Draws)
+	g.pop = make([]individual, len(st.Pop))
+	for i, m := range st.Pop {
+		g.pop[i] = restoreMember(m)
 	}
 	return g
 }
@@ -210,24 +236,16 @@ func (g *gdeIsland) inject(migrants []individual) { replaceWorst(g.pop, migrants
 // points returns the island's archived front.
 func (g *gdeIsland) points() []pareto.Point { return g.archive.Points() }
 
+// snapshot serializes the island's complete state for checkpointing.
+func (g *gdeIsland) snapshot() IslandState {
+	return snapshotState(g.pop, g.archive, g.stagnant, g.rng.Draws())
+}
+
 // RSGDE3 runs the paper's search: differential evolution over the
 // (gradually reduced) search box, stopping after Options.Stagnation
 // consecutive iterations without archive improvement.
 func RSGDE3(space skeleton.Space, eval objective.Evaluator, opt Options) (*Result, error) {
-	opt = opt.withDefaults()
-	if err := space.Validate(); err != nil {
-		return nil, err
-	}
-	isl := newGDEIsland(space, eval, opt, opt.Seed)
-	iters := 0
-	for ; iters < opt.MaxIterations && !isl.done(); iters++ {
-		isl.step()
-	}
-	return &Result{
-		Front:       isl.archive.Points(),
-		Evaluations: eval.Evaluations(),
-		Iterations:  iters,
-	}, nil
+	return RSGDE3Controlled(space, eval, opt, Control{})
 }
 
 // GDE3 is RS-GDE3 with the rough-set reduction disabled.
@@ -442,28 +460,7 @@ func splitPop(pop []individual) (nonDom, dom []skeleton.Config) {
 // random configurations, evaluate them all and return the non-dominated
 // subset.
 func Random(space skeleton.Space, eval objective.Evaluator, budget int, seed int64) (*Result, error) {
-	if err := space.Validate(); err != nil {
-		return nil, err
-	}
-	if budget <= 0 {
-		return nil, errors.New("optimizer: random search needs a positive budget")
-	}
-	rng := stats.NewRand(seed)
-	cfgs := make([]skeleton.Config, budget)
-	for i := range cfgs {
-		cfgs[i] = space.Random(rng)
-	}
-	objs := eval.Evaluate(cfgs)
-	archive := pareto.NewArchive()
-	for i := range cfgs {
-		if objs[i] != nil {
-			archive.Add(pareto.Point{Payload: cfgs[i], Objectives: objs[i]})
-		}
-	}
-	return &Result{
-		Front:       archive.Points(),
-		Evaluations: eval.Evaluations(),
-	}, nil
+	return RandomControlled(space, eval, budget, seed, Control{})
 }
 
 // Grid describes an explicit brute-force sampling grid: one value list
@@ -516,16 +513,9 @@ func (g Grid) Size() int {
 	return total
 }
 
-// BruteForce exhaustively evaluates every configuration of the grid and
-// returns the Pareto front plus all evaluated points (consumed by the
-// Table II / Fig. 8 analyses).
-func BruteForce(space skeleton.Space, eval objective.Evaluator, grid Grid) (*Result, error) {
-	if err := space.Validate(); err != nil {
-		return nil, err
-	}
-	if len(grid) != space.Dim() {
-		return nil, fmt.Errorf("optimizer: grid dims %d != space dims %d", len(grid), space.Dim())
-	}
+// configs enumerates every configuration of the grid in lexicographic
+// order.
+func (g Grid) configs(space skeleton.Space) []skeleton.Config {
 	var cfgs []skeleton.Config
 	cur := make(skeleton.Config, space.Dim())
 	var rec func(d int)
@@ -534,26 +524,18 @@ func BruteForce(space skeleton.Space, eval objective.Evaluator, grid Grid) (*Res
 			cfgs = append(cfgs, cur.Clone())
 			return
 		}
-		for _, v := range grid[d] {
+		for _, v := range g[d] {
 			cur[d] = v
 			rec(d + 1)
 		}
 	}
 	rec(0)
-	objs := eval.Evaluate(cfgs)
-	archive := pareto.NewArchive()
-	var all []pareto.Point
-	for i := range cfgs {
-		if objs[i] == nil {
-			continue
-		}
-		p := pareto.Point{Payload: cfgs[i], Objectives: objs[i]}
-		all = append(all, p)
-		archive.Add(p)
-	}
-	return &Result{
-		Front:       archive.Points(),
-		Evaluations: eval.Evaluations(),
-		AllPoints:   all,
-	}, nil
+	return cfgs
+}
+
+// BruteForce exhaustively evaluates every configuration of the grid and
+// returns the Pareto front plus all evaluated points (consumed by the
+// Table II / Fig. 8 analyses).
+func BruteForce(space skeleton.Space, eval objective.Evaluator, grid Grid) (*Result, error) {
+	return BruteForceControlled(space, eval, grid, Control{})
 }

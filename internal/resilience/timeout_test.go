@@ -1,0 +1,35 @@
+package resilience_test
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"autotune/internal/resilience"
+)
+
+func TestRunWithTimeoutPassesThrough(t *testing.T) {
+	sentinel := errors.New("inner")
+	if err := resilience.RunWithTimeout(time.Second, func() error { return sentinel }); !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v, want the function's own error", err)
+	}
+	if err := resilience.RunWithTimeout(0, func() error { return nil }); err != nil {
+		t.Fatalf("disabled watchdog returned %v", err)
+	}
+}
+
+func TestRunWithTimeoutAbandonsHang(t *testing.T) {
+	hang := make(chan struct{})
+	defer close(hang)
+	start := time.Now()
+	err := resilience.RunWithTimeout(10*time.Millisecond, func() error {
+		<-hang
+		return nil
+	})
+	if !errors.Is(err, resilience.ErrTimedOut) {
+		t.Fatalf("err = %v, want ErrTimedOut", err)
+	}
+	if time.Since(start) > time.Second {
+		t.Fatal("watchdog failed to abandon the hung call promptly")
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"time"
 
 	"autotune/internal/multiversion"
 )
@@ -19,10 +20,11 @@ import (
 type Manager struct {
 	totalCores int
 
-	mu      sync.Mutex
-	regions map[string]*Runtime
-	inUse   int
-	stats   map[string]*InvocationStats
+	mu            sync.Mutex
+	regions       map[string]*Runtime
+	inUse         int
+	stats         map[string]*InvocationStats
+	invokeTimeout time.Duration
 }
 
 // NewManager builds a manager for a machine with the given core count.
@@ -47,7 +49,25 @@ func (m *Manager) Register(rt *Runtime) error {
 	}
 	m.regions[name] = rt
 	m.stats[name] = newInvocationStats()
+	if m.invokeTimeout > 0 {
+		rt.SetEntryTimeout(m.invokeTimeout)
+	}
 	return nil
+}
+
+// SetInvokeTimeout bounds every entry attempt of every registered
+// runtime (present and future) — the machine-wide guard against one
+// region's hung version stalling a shared-budget invocation. It
+// propagates through Runtime.SetEntryTimeout, so a timed-out attempt
+// falls back along the policy ranking like any other failure. Zero or
+// negative disables the bound.
+func (m *Manager) SetInvokeTimeout(d time.Duration) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.invokeTimeout = d
+	for _, rt := range m.regions {
+		rt.SetEntryTimeout(d)
+	}
 }
 
 // Regions lists the registered region names, sorted.

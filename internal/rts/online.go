@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"autotune/internal/multiversion"
+	"autotune/internal/resilience"
 	"autotune/internal/stats"
 )
 
@@ -30,6 +31,13 @@ type OnlineTuner struct {
 	// region's entry and returns the wall time. Injectable for tests
 	// and for model-backed simulations.
 	Measure func(tiles []int64, threads int) (float64, error)
+
+	// Timeout bounds one measurement: a configuration that runs longer
+	// is abandoned with resilience.ErrTimedOut and tolerated like any
+	// other failed measurement (counted in Failures, rejected as a
+	// candidate), so a pathological neighbour cannot stall online
+	// tuning. Zero disables the bound.
+	Timeout time.Duration
 
 	rng       interface{ Intn(n int) int }
 	rngF      interface{ Float64() float64 }
@@ -170,5 +178,14 @@ func (o *OnlineTuner) Run(n int) (int, error) {
 
 func (o *OnlineTuner) measure(cfg []int64) (float64, error) {
 	n := len(cfg)
-	return o.Measure(cfg[:n-1], int(cfg[n-1]))
+	var t float64
+	err := resilience.RunWithTimeout(o.Timeout, func() error {
+		var merr error
+		t, merr = o.Measure(cfg[:n-1], int(cfg[n-1]))
+		return merr
+	})
+	if err != nil {
+		return 0, err
+	}
+	return t, nil
 }

@@ -23,8 +23,10 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 
 	"autotune/internal/multiversion"
+	"autotune/internal/resilience"
 )
 
 // Context carries the runtime conditions a policy may react to.
@@ -271,14 +273,15 @@ func (s InvocationStats) clone() InvocationStats {
 
 // Runtime dispatches invocations of a multi-versioned region.
 type Runtime struct {
-	mu      sync.Mutex
-	unit    *multiversion.Unit
-	policy  Policy
-	ctx     Context
-	stats   *InvocationStats
-	health  *healthTracker
-	faults  *FaultInjector
-	onEvent func(Event)
+	mu           sync.Mutex
+	unit         *multiversion.Unit
+	policy       Policy
+	ctx          Context
+	stats        *InvocationStats
+	health       *healthTracker
+	faults       *FaultInjector
+	onEvent      func(Event)
+	entryTimeout time.Duration
 }
 
 // New builds a runtime for the unit with the given initial policy.
@@ -498,16 +501,31 @@ func (r *Runtime) invokeRanked(ctx Context, record func(func(*InvocationStats)),
 	return 0, fmt.Errorf("rts: all %d eligible versions failed, last: %w", len(eligible), lastErr)
 }
 
-// runEntry executes one version's entry through the fault injector,
-// without holding the runtime lock.
+// SetEntryTimeout bounds every version entry attempt (including any
+// fault-injected latency): an attempt exceeding d fails with
+// resilience.ErrTimedOut, which counts as an ordinary version failure —
+// the runtime falls back along the policy ranking and the health
+// tracker quarantines persistent offenders. Zero or negative disables
+// the bound. The abandoned entry goroutine drains in the background.
+func (r *Runtime) SetEntryTimeout(d time.Duration) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.entryTimeout = d
+}
+
+// runEntry executes one version's entry through the fault injector and
+// the entry watchdog, without holding the runtime lock.
 func (r *Runtime) runEntry(idx int) error {
 	r.mu.Lock()
 	f := r.faults
+	timeout := r.entryTimeout
 	r.mu.Unlock()
-	if err := f.Apply(idx); err != nil {
-		return err
-	}
-	return r.unit.Versions[idx].Entry()
+	return resilience.RunWithTimeout(timeout, func() error {
+		if err := f.Apply(idx); err != nil {
+			return err
+		}
+		return r.unit.Versions[idx].Entry()
+	})
 }
 
 // Stats returns a copy of the invocation statistics.

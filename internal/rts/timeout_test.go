@@ -1,0 +1,142 @@
+package rts
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"autotune/internal/multiversion"
+	"autotune/internal/skeleton"
+)
+
+// hangingBestUnit binds a unit whose policy-best version (highest
+// thread count under time-priority ranking) blocks forever; the others
+// return immediately.
+func hangingBestUnit(t *testing.T, hang chan struct{}) *multiversion.Unit {
+	t.Helper()
+	u := &multiversion.Unit{
+		Region:         "hang#0",
+		ObjectiveNames: []string{"time", "resources"},
+		Versions: []multiversion.Version{
+			{Meta: multiversion.Meta{Config: skeleton.Config{64, 1}, Tiles: []int64{64}, Threads: 1, Objectives: []float64{1.0, 1.0}}},
+			{Meta: multiversion.Meta{Config: skeleton.Config{32, 10}, Tiles: []int64{32}, Threads: 10, Objectives: []float64{0.12, 1.2}}},
+			{Meta: multiversion.Meta{Config: skeleton.Config{16, 40}, Tiles: []int64{16}, Threads: 40, Objectives: []float64{0.04, 1.6}}},
+		},
+	}
+	if err := u.Bind(func(m multiversion.Meta) (multiversion.Entry, error) {
+		threads := m.Threads
+		return func() error {
+			if threads == 40 {
+				<-hang
+			}
+			return nil
+		}, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return u
+}
+
+// TestEntryTimeoutFallsBack: a hung best-ranked version trips the entry
+// watchdog and the runtime falls back along the ranking instead of
+// blocking the caller forever.
+func TestEntryTimeoutFallsBack(t *testing.T) {
+	hang := make(chan struct{})
+	defer close(hang)
+	rt, err := New(hangingBestUnit(t, hang), WeightedSum{Weights: []float64{1, 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt.SetEntryTimeout(15 * time.Millisecond)
+
+	start := time.Now()
+	idx, err := rt.Invoke()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idx == 2 {
+		t.Fatal("the hung version reported success")
+	}
+	if d := time.Since(start); d > 2*time.Second {
+		t.Fatalf("invoke took %v — the watchdog never fired", d)
+	}
+	st := rt.Stats()
+	if st.Failures != 1 || st.Fallbacks != 1 {
+		t.Fatalf("stats = %+v, want 1 failure and 1 fallback", st)
+	}
+	if st.PerVersionFailures[2] != 1 {
+		t.Fatalf("per-version failures = %v, want the hung version charged", st.PerVersionFailures)
+	}
+}
+
+// TestOnlineTunerTimeoutCountsFailure: a measurement that hangs past
+// OnlineTuner.Timeout is tolerated like any failed measurement —
+// counted in Failures, never accepted — and tuning continues.
+func TestOnlineTunerTimeoutCountsFailure(t *testing.T) {
+	p := paramRegion(t)
+	o, err := NewOnlineTuner(p, []int64{1, 1, 1}, []int64{1024, 1024, 40}, 0, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hang := make(chan struct{})
+	defer close(hang)
+	var measurements atomic.Int64
+	o.Timeout = 15 * time.Millisecond
+	o.Measure = func(tiles []int64, threads int) (float64, error) {
+		if measurements.Add(1) == 1 {
+			<-hang
+		}
+		return bowl(tiles, threads)
+	}
+	if _, err := o.Run(5); err != nil {
+		t.Fatal(err)
+	}
+	if o.Failures() != 1 {
+		t.Fatalf("failures = %d, want 1 (the hung measurement)", o.Failures())
+	}
+	if _, _, best := o.Best(); best <= 0 {
+		t.Fatalf("tuning made no progress after the timeout: best = %v", best)
+	}
+}
+
+// TestManagerInvokeTimeoutPropagates: the manager's invoke bound
+// reaches runtimes registered both before and after it is set.
+func TestManagerInvokeTimeoutPropagates(t *testing.T) {
+	m, err := NewManager(40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before, _ := New(namedUnit(t, "before", nil), WeightedSum{Weights: []float64{1, 0}})
+	if err := m.Register(before); err != nil {
+		t.Fatal(err)
+	}
+	m.SetInvokeTimeout(25 * time.Millisecond)
+	after, _ := New(namedUnit(t, "after", nil), WeightedSum{Weights: []float64{1, 0}})
+	if err := m.Register(after); err != nil {
+		t.Fatal(err)
+	}
+	for _, rt := range []*Runtime{before, after} {
+		rt.mu.Lock()
+		d := rt.entryTimeout
+		rt.mu.Unlock()
+		if d != 25*time.Millisecond {
+			t.Fatalf("runtime %q entry timeout = %v, want 25ms", rt.Unit().Region, d)
+		}
+	}
+
+	// Behavioural check: a region whose versions all hang fails fast
+	// instead of wedging the manager.
+	hang := make(chan struct{})
+	defer close(hang)
+	stuck, _ := New(namedUnit(t, "stuck", hang), WeightedSum{Weights: []float64{1, 0}})
+	if err := m.Register(stuck); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	if _, err := m.Invoke("stuck"); err == nil {
+		t.Fatal("fully hung region reported success")
+	}
+	if d := time.Since(start); d > 5*time.Second {
+		t.Fatalf("manager invoke took %v — the watchdog never fired", d)
+	}
+}

@@ -1,0 +1,75 @@
+package stats
+
+import "math/rand"
+
+// countingSource wraps the standard deterministic source and counts how
+// many values have been drawn from it. Both Int63 and Uint64 advance
+// the underlying generator by exactly one state transition, so the
+// count fully describes the generator's position: an identically seeded
+// source skipped forward by the same count continues the stream
+// bit-for-bit.
+type countingSource struct {
+	src rand.Source64
+	n   uint64
+}
+
+func (c *countingSource) Int63() int64 {
+	c.n++
+	return c.src.Int63()
+}
+
+func (c *countingSource) Uint64() uint64 {
+	c.n++
+	return c.src.Uint64()
+}
+
+func (c *countingSource) Seed(seed int64) {
+	c.src.Seed(seed)
+	c.n = 0
+}
+
+// CountedRand is a *rand.Rand whose source draws are counted, so a
+// search can checkpoint its RNG position (Draws) and fast-forward an
+// identically seeded generator back to that position (Skip) on resume.
+// The stream is identical to NewRand's for the same seed.
+type CountedRand struct {
+	*rand.Rand
+	src *countingSource
+}
+
+// NewCountedRand returns a counting PRNG seeded like NewRand. The
+// wrapped source is the same one NewRand uses, so replacing NewRand
+// with NewCountedRand never changes a seeded random sequence.
+func NewCountedRand(seed int64) *CountedRand {
+	base := rand.NewSource(seed)
+	s64, ok := base.(rand.Source64)
+	if !ok {
+		// The standard library source implements Source64; a fallback
+		// keeps the wrapper total if that ever changes.
+		s64 = legacySource{base}
+	}
+	cs := &countingSource{src: s64}
+	return &CountedRand{Rand: rand.New(cs), src: cs}
+}
+
+// Draws returns how many values have been drawn from the source since
+// seeding (including skipped ones).
+func (c *CountedRand) Draws() uint64 { return c.src.n }
+
+// Skip advances the generator by n draws without using the values —
+// the resume path: a fresh CountedRand with the original seed, skipped
+// by the checkpointed draw count, continues exactly where the
+// checkpointed generator stopped.
+func (c *CountedRand) Skip(n uint64) {
+	for i := uint64(0); i < n; i++ {
+		c.src.Int63()
+	}
+}
+
+// legacySource adapts a plain rand.Source to Source64 by composing two
+// Int63 draws, mirroring math/rand's own fallback.
+type legacySource struct{ rand.Source }
+
+func (s legacySource) Uint64() uint64 {
+	return uint64(s.Int63())>>31 | uint64(s.Int63())<<32
+}

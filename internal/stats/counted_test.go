@@ -1,0 +1,98 @@
+package stats
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestCountedRandMatchesNewRand: the counting wrapper must not perturb
+// a seeded stream — swapping NewRand for NewCountedRand anywhere keeps
+// every random sequence bit-identical.
+func TestCountedRandMatchesNewRand(t *testing.T) {
+	for _, seed := range []int64{0, 1, 7, 42, -3} {
+		plain := NewRand(seed)
+		counted := NewCountedRand(seed)
+		for i := 0; i < 200; i++ {
+			switch i % 4 {
+			case 0:
+				if a, b := plain.Int63(), counted.Int63(); a != b {
+					t.Fatalf("seed %d draw %d: Int63 %d != %d", seed, i, b, a)
+				}
+			case 1:
+				if a, b := plain.Float64(), counted.Float64(); a != b {
+					t.Fatalf("seed %d draw %d: Float64 %v != %v", seed, i, b, a)
+				}
+			case 2:
+				if a, b := plain.Intn(97), counted.Intn(97); a != b {
+					t.Fatalf("seed %d draw %d: Intn %d != %d", seed, i, b, a)
+				}
+			case 3:
+				if a, b := plain.Uint64(), counted.Uint64(); a != b {
+					t.Fatalf("seed %d draw %d: Uint64 %d != %d", seed, i, b, a)
+				}
+			}
+		}
+	}
+}
+
+// TestCountedRandSkipResumesStream: Draws records the generator's
+// position and Skip fast-forwards an identically seeded generator to
+// it — the checkpoint/resume contract.
+func TestCountedRandSkipResumesStream(t *testing.T) {
+	orig := NewCountedRand(11)
+	for i := 0; i < 137; i++ {
+		orig.Float64()
+		if i%5 == 0 {
+			orig.Intn(31) // rejection sampling may draw more than once
+		}
+	}
+	pos := orig.Draws()
+	if pos == 0 {
+		t.Fatal("no draws counted")
+	}
+	resumed := NewCountedRand(11)
+	resumed.Skip(pos)
+	if resumed.Draws() != pos {
+		t.Fatalf("after Skip(%d), Draws() = %d", pos, resumed.Draws())
+	}
+	for i := 0; i < 50; i++ {
+		if a, b := orig.Int63(), resumed.Int63(); a != b {
+			t.Fatalf("draw %d after resume: %d != %d", i, b, a)
+		}
+	}
+}
+
+// TestCountedRandSeedResets: re-seeding the source resets the draw
+// count alongside the stream.
+func TestCountedRandSeedResets(t *testing.T) {
+	c := NewCountedRand(3)
+	c.Int63()
+	c.Uint64()
+	if c.Draws() != 2 {
+		t.Fatalf("Draws() = %d, want 2", c.Draws())
+	}
+	c.src.Seed(3)
+	if c.Draws() != 0 {
+		t.Fatalf("Draws() = %d after reseed, want 0", c.Draws())
+	}
+	if a, b := NewCountedRand(3).Int63(), c.Int63(); a != b {
+		t.Fatalf("reseeded stream diverged: %d != %d", b, a)
+	}
+}
+
+// plainSource hides Source64 so the legacy fallback path is exercised.
+type plainSource struct{ s rand.Source }
+
+func (p plainSource) Int63() int64    { return p.s.Int63() }
+func (p plainSource) Seed(seed int64) { p.s.Seed(seed) }
+
+// TestLegacySourceFallback: a Source without Uint64 still works through
+// the documented two-draw composition.
+func TestLegacySourceFallback(t *testing.T) {
+	ls := legacySource{plainSource{rand.NewSource(9)}}
+	ref := rand.NewSource(9)
+	a, b := uint64(ref.Int63()), uint64(ref.Int63())
+	if got, want := ls.Uint64(), a>>31|b<<32; got != want {
+		t.Fatalf("legacy Uint64 = %d, want %d", got, want)
+	}
+}

@@ -1,0 +1,66 @@
+// Exported journal framing: the CRC-32C envelope machinery of the
+// tuning database, reusable by other append-only journals — notably
+// the search checkpoints of internal/resilience, which share the
+// database's crash-safety contract (torn tails are truncated, interior
+// corruption is an error).
+
+package tunedb
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+)
+
+// EncodeRecord frames one record for an append-only journal: the
+// payload is JSON-marshalled, CRC-32C-protected and wrapped in the
+// database's versioned envelope. The returned line has no trailing
+// newline; callers append one per record.
+func EncodeRecord(t string, rec interface{}) ([]byte, error) {
+	payload, err := json.Marshal(rec)
+	if err != nil {
+		return nil, fmt.Errorf("tunedb: encoding record: %w", err)
+	}
+	env := envelope{V: schemaVersion, T: t, CRC: crc32.Checksum(payload, crcTable), D: payload}
+	line, err := json.Marshal(env)
+	if err != nil {
+		return nil, fmt.Errorf("tunedb: encoding record: %w", err)
+	}
+	return line, nil
+}
+
+// DecodeRecordLine parses and CRC-verifies one journal line (without
+// its newline), returning the record type and payload bytes.
+func DecodeRecordLine(line []byte) (string, json.RawMessage, error) {
+	return decodeRecord(line)
+}
+
+// ScanJournal replays a journal image record by record, calling fn for
+// each valid record in order. It returns the byte length of the valid
+// prefix: a torn tail — an unterminated or CRC-invalid final record,
+// the signature of a crash mid-append — stops the scan cleanly, while
+// a bad record followed by valid ones is interior corruption appending
+// cannot explain and yields an error. Callers truncate their journal
+// file to the returned length to recover from a torn tail.
+func ScanJournal(data []byte, fn func(t string, payload json.RawMessage) error) (int, error) {
+	offset := 0
+	for offset < len(data) {
+		nl := bytes.IndexByte(data[offset:], '\n')
+		if nl < 0 {
+			return offset, nil
+		}
+		t, payload, err := decodeRecord(data[offset : offset+nl])
+		if err != nil {
+			if anyValidRecord(data[offset+nl+1:]) {
+				return offset, fmt.Errorf("tunedb: corrupt journal record at byte %d: %w", offset, err)
+			}
+			return offset, nil
+		}
+		if err := fn(t, payload); err != nil {
+			return offset, err
+		}
+		offset += nl + 1
+	}
+	return offset, nil
+}
