@@ -170,11 +170,21 @@ const (
 	GDE3 = driver.MethodGDE3
 	// NSGA2 is the classic genetic-algorithm baseline.
 	NSGA2 = driver.MethodNSGA2
+	// MOTPE is the multi-objective Tree-structured Parzen Estimator
+	// sampler (cheap Bayesian strategy).
+	MOTPE = driver.MethodMOTPE
 	// RandomSearch is the random baseline.
 	RandomSearch = driver.MethodRandom
 	// BruteForce exhaustively sweeps a regular grid.
 	BruteForce = driver.MethodBruteForce
+	// MethodRace races several strategies concurrently over one shared
+	// evaluation cache, reallocating budget toward the leaders every
+	// scoring interval (see WithRace).
+	MethodRace = driver.MethodRace
 )
+
+// RaceOptions configures MethodRace (see WithRace).
+type RaceOptions = driver.RaceOptions
 
 // Westmere returns the simulated 4-socket Intel system of the paper's
 // Table I (40 cores, 30 MB shared L3 per socket).
@@ -457,6 +467,29 @@ func WithResume(path string) Option {
 			return fmt.Errorf("autotune: empty checkpoint path")
 		}
 		c.opts.ResumeFrom = path
+		return nil
+	}
+}
+
+// WithRace selects MethodRace and configures it: the named strategies
+// (empty = every registered one) run concurrently over one shared
+// evaluation cache, are scored every `opts.Interval` generations on
+// hypervolume per evaluation against a shared reference point, and the
+// trailing half is eliminated so the remaining budget flows to the
+// leaders. `opts.Budget` caps the race's total distinct successful
+// evaluations. Warm starts seed every contender; cancellation returns
+// the merged best-so-far front flagged Partial; a fixed seed yields a
+// byte-identical merged front regardless of GOMAXPROCS.
+func WithRace(opts RaceOptions) Option {
+	return func(c *tuneConfig) error {
+		if opts.Interval < 0 {
+			return fmt.Errorf("autotune: race interval must be non-negative")
+		}
+		if opts.Budget < 0 {
+			return fmt.Errorf("autotune: race budget must be non-negative")
+		}
+		c.opts.Method = MethodRace
+		c.opts.Race = opts
 		return nil
 	}
 }

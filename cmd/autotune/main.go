@@ -3,8 +3,9 @@
 //
 // Usage:
 //
-//	autotune -kernel mm -machine Westmere [-method rs-gde3|gde3|nsga2|random|brute-force]
+//	autotune -kernel mm -machine Westmere [-method rs-gde3|gde3|nsga2|motpe|random|brute-force|race]
 //	         [-islands W] [-migrate M] [-seed N] [-n N] [-energy] [-measured]
+//	         [-race-interval N] [-race-budget E] [-race-strategies a,b,c]
 //	         [-deadline D] [-eval-timeout D] [-retries N]
 //	         [-checkpoint FILE] [-resume FILE]
 //	         [-db DIR] [-warm=false] [-o unit.json] [-code]
@@ -39,7 +40,7 @@ import (
 func main() {
 	kernel := flag.String("kernel", "mm", "kernel to tune ("+strings.Join(autotune.Kernels(), ", ")+")")
 	machineName := flag.String("machine", "Westmere", "target machine (Westmere, Barcelona)")
-	method := flag.String("method", string(autotune.RSGDE3), "search method (rs-gde3, gde3, nsga2, random, brute-force)")
+	method := flag.String("method", string(autotune.RSGDE3), "search method (rs-gde3, gde3, nsga2, motpe, random, brute-force, race)")
 	islands := flag.Int("islands", 1, "parallel search islands (1 = serial)")
 	migrate := flag.Int("migrate", 0, "generations between island migrations (0 = default)")
 	seed := flag.Int64("seed", 1, "random seed")
@@ -61,6 +62,9 @@ func main() {
 	retries := flag.Int("retries", 0, "retry transiently faulted evaluations this many times with exponential backoff")
 	checkpoint := flag.String("checkpoint", "", "journal a crash-safe search snapshot to this file after every generation")
 	resume := flag.String("resume", "", "resume an interrupted search from this checkpoint file (options must match the interrupted run)")
+	raceInterval := flag.Int("race-interval", 0, "with -method race: generations between scoring/elimination rounds (0 = default 5)")
+	raceBudget := flag.Int("race-budget", 0, "with -method race: cap on total distinct evaluations (0 = race until every survivor stops)")
+	raceStrategies := flag.String("race-strategies", "", "with -method race: comma-separated contender strategies (empty = all registered)")
 	flag.Parse()
 
 	// SIGINT/SIGTERM cancel the search context: the search stops at the
@@ -79,6 +83,21 @@ func main() {
 		autotune.WithSeed(*seed),
 		autotune.WithNoise(0.01),
 		autotune.WithContext(ctx),
+	}
+	if autotune.Method(*method) == autotune.MethodRace || *raceInterval > 0 || *raceBudget > 0 || *raceStrategies != "" {
+		var names []string
+		if *raceStrategies != "" {
+			for _, s := range strings.Split(*raceStrategies, ",") {
+				if s = strings.TrimSpace(s); s != "" {
+					names = append(names, s)
+				}
+			}
+		}
+		opts = append(opts, autotune.WithRace(autotune.RaceOptions{
+			Strategies: names,
+			Interval:   *raceInterval,
+			Budget:     *raceBudget,
+		}))
 	}
 	if *evalTimeout > 0 {
 		opts = append(opts, autotune.WithEvalTimeout(*evalTimeout))

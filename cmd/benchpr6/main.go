@@ -1,0 +1,71 @@
+// Command benchpr6 runs the strategy-racing benchmark: for each kernel
+// and machine preset, every registered strategy runs alone at its full
+// budget, then the racing meta-optimizer runs all of them over one
+// shared evaluation cache with a hard cap equal to the largest single
+// run's evaluation count. The JSON report records, per run, the
+// distinct successful evaluations (E), the front size, and the
+// hypervolume normalized over the pooled objective bounds — equal-E
+// evidence that the race meets or beats the best single strategy. The
+// committed BENCH_pr6.json at the repository root is regenerated with:
+//
+//	go run ./cmd/benchpr6 -o BENCH_pr6.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"autotune/internal/experiments"
+	"autotune/internal/kernels"
+	"autotune/internal/machine"
+)
+
+func main() {
+	out := flag.String("o", "BENCH_pr6.json", "output file")
+	machList := flag.String("machines", "Westmere,Barcelona", "comma-separated machine presets")
+	kernList := flag.String("kernels", "mm,2mm", "comma-separated kernels")
+	modeName := flag.String("mode", "full", "evaluation budget (quick, full)")
+	flag.Parse()
+
+	if err := run(*out, *machList, *kernList, *modeName, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "benchpr6:", err)
+		os.Exit(1)
+	}
+}
+
+// run executes the benchmark and writes the JSON report to out; the
+// rendered tables go to w. Separate from main so it is testable.
+func run(out, machList, kernList, modeName string, w io.Writer) error {
+	mode := experiments.ModeByName(modeName)
+	report := experiments.NewBenchReport(
+		"strategy racing: portfolio meta-optimizer vs each single strategy at an equal evaluation budget",
+		machList, modeName)
+
+	for _, mName := range experiments.SplitList(machList) {
+		m, err := machine.ByName(mName)
+		if err != nil {
+			return err
+		}
+		for _, name := range experiments.SplitList(kernList) {
+			k, err := kernels.ByName(name)
+			if err != nil {
+				return err
+			}
+			res, err := experiments.RaceComparison(k, m, mode)
+			if err != nil {
+				return err
+			}
+			report.AddRaceRuns(k.Name, m.Name, res)
+			res.Render(w)
+			fmt.Fprintln(w)
+		}
+	}
+
+	if err := report.WriteFile(out); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "benchmark report written to %s\n", out)
+	return nil
+}

@@ -1,0 +1,59 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunQuick(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "bench.json")
+	var sb strings.Builder
+	if err := run(out, "Westmere", "mm", "quick", &sb); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !strings.Contains(sb.String(), "Strategy race: mm") {
+		t.Errorf("rendered output missing race table:\n%s", sb.String())
+	}
+
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatalf("ReadFile: %v", err)
+	}
+	var report struct {
+		Benchmark string `json:"benchmark"`
+		Runs      []struct {
+			Kernel      string  `json:"kernel"`
+			Label       string  `json:"label"`
+			Machine     string  `json:"machine"`
+			Evaluations int     `json:"evaluations"`
+			Hypervolume float64 `json:"hypervolume"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal(data, &report); err != nil {
+		t.Fatalf("Unmarshal: %v", err)
+	}
+	// One run per registered strategy plus the race itself.
+	if len(report.Runs) != 6 {
+		t.Fatalf("want 6 runs (5 strategies + race), got %d", len(report.Runs))
+	}
+	race := report.Runs[len(report.Runs)-1]
+	if !strings.HasPrefix(race.Label, "race") {
+		t.Fatalf("last run is %q, want the race", race.Label)
+	}
+	if race.Evaluations <= 0 || race.Hypervolume <= 0 {
+		t.Errorf("race run has no work recorded: %+v", race)
+	}
+}
+
+func TestRunBadInputs(t *testing.T) {
+	var sb strings.Builder
+	if err := run("x.json", "NoSuchMachine", "mm", "quick", &sb); err == nil {
+		t.Error("unknown machine: expected error")
+	}
+	if err := run("x.json", "Westmere", "nosuchkernel", "quick", &sb); err == nil {
+		t.Error("unknown kernel: expected error")
+	}
+}

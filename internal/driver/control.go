@@ -25,6 +25,9 @@ func buildControl(opt Options, eval objective.Evaluator) (optimizer.Control, fun
 		(method == MethodRandom || method == MethodBruteForce) {
 		return ctrl, cleanup, fmt.Errorf("driver: method %q keeps no generation state; checkpoint/resume needs an evolutionary method", method)
 	}
+	if (opt.CheckpointPath != "" || opt.ResumeFrom != "") && method == MethodRace {
+		return ctrl, cleanup, fmt.Errorf("driver: a race keeps heterogeneous per-strategy state and cannot checkpoint or resume; checkpoint a single-strategy method instead")
+	}
 	if opt.EvalTimeout > 0 || opt.Retries > 0 {
 		if sc, ok := eval.(objective.SharedCacher); ok {
 			guard := resilience.NewGuard(resilience.GuardConfig{

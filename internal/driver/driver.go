@@ -34,9 +34,27 @@ const (
 	MethodRSGDE3     Method = "rs-gde3"
 	MethodGDE3       Method = "gde3"
 	MethodNSGA2      Method = "nsga2"
+	MethodMOTPE      Method = "motpe"
 	MethodRandom     Method = "random"
 	MethodBruteForce Method = "brute-force"
+	// MethodRace races several registered strategies over one shared
+	// evaluation cache and keeps reallocating budget toward the
+	// leaders (see RaceOptions).
+	MethodRace Method = "race"
 )
+
+// RaceOptions configures MethodRace.
+type RaceOptions struct {
+	// Strategies names the contenders (default: every registered
+	// search strategy — rs-gde3, gde3, nsga2, motpe, random).
+	Strategies []string
+	// Interval is the number of lockstep generations between scoring
+	// and elimination rounds (default 5).
+	Interval int
+	// Budget caps the race's global distinct successful evaluations;
+	// 0 races until every surviving strategy's stopping rule fires.
+	Budget int
+}
 
 // Options configures one tuning run.
 type Options struct {
@@ -57,8 +75,10 @@ type Options struct {
 	// generations (default 5); ignored when Islands <= 1.
 	MigrationInterval int
 	// RandomBudget is the evaluation budget for MethodRandom
-	// (default 1000).
+	// (default 1000). Negative values are a configuration error.
 	RandomBudget int
+	// Race configures MethodRace; ignored for other methods.
+	Race RaceOptions
 	// GridPoints is the per-dimension point count for
 	// MethodBruteForce (default 12 per tile dim, all thread counts).
 	GridPoints []int
@@ -220,11 +240,22 @@ func runSearch(space skeleton.Space, eval objective.Evaluator, opt Options, ctrl
 	if method == "" {
 		method = MethodRSGDE3
 	}
+	if opt.RandomBudget < 0 {
+		return nil, fmt.Errorf("driver: random budget %d < 0", opt.RandomBudget)
+	}
 	iopt := optimizer.IslandOptions{
 		Islands:           opt.Islands,
 		MigrationInterval: opt.MigrationInterval,
 	}
 	parallel := opt.Islands > 1
+	if parallel {
+		switch method {
+		case MethodRandom, MethodBruteForce, MethodRace, MethodMOTPE:
+			// Silently falling back to a sequential search would make
+			// `-islands 4 -method random` lie about what ran.
+			return nil, fmt.Errorf("driver: method %q does not support the island model (islands=%d); use an evolutionary method (rs-gde3, gde3, nsga2) or drop Islands", method, opt.Islands)
+		}
+	}
 	switch method {
 	case MethodRSGDE3:
 		if parallel {
@@ -248,12 +279,29 @@ func runSearch(space skeleton.Space, eval objective.Evaluator, opt Options, ctrl
 			return optimizer.NSGA2IslandsControlled(space, eval, nopt, iopt, ctrl)
 		}
 		return optimizer.NSGA2Controlled(space, eval, nopt, ctrl)
+	case MethodMOTPE:
+		return optimizer.MOTPEControlled(space, eval, opt.Optimizer, ctrl)
 	case MethodRandom:
 		budget := opt.RandomBudget
 		if budget == 0 {
 			budget = 1000
 		}
 		return optimizer.RandomControlled(space, eval, budget, opt.Optimizer.Seed, ctrl)
+	case MethodRace:
+		cfg := optimizer.StrategyConfig{
+			Options:      opt.Optimizer,
+			RandomBudget: opt.RandomBudget,
+		}
+		ropt := optimizer.RaceOptions{
+			Strategies: opt.Race.Strategies,
+			Interval:   opt.Race.Interval,
+			Budget:     opt.Race.Budget,
+		}
+		rr, err := optimizer.RaceControlled(space, eval, cfg, ropt, ctrl)
+		if err != nil {
+			return nil, err
+		}
+		return rr.Result, nil
 	case MethodBruteForce:
 		points := opt.GridPoints
 		if len(points) == 0 {

@@ -199,3 +199,111 @@ func TestTuneKernelNSGA2Serial(t *testing.T) {
 		t.Fatal("empty unit")
 	}
 }
+
+// TestTuneKernelRejectsIslandOptionsForNonIslandMethods pins the fix
+// for Islands being silently ignored: a method without island support
+// must refuse the option instead of lying about what ran.
+func TestTuneKernelRejectsIslandOptionsForNonIslandMethods(t *testing.T) {
+	for _, method := range []Method{MethodRandom, MethodBruteForce, MethodRace, MethodMOTPE} {
+		opt := fastOpts()
+		opt.Method = method
+		opt.Islands = 4
+		opt.MigrationInterval = 2
+		_, err := TuneKernel("mm", opt)
+		if err == nil {
+			t.Errorf("%s: Islands=4 silently accepted", method)
+			continue
+		}
+		if !strings.Contains(err.Error(), "island") {
+			t.Errorf("%s: error does not mention the island model: %v", method, err)
+		}
+	}
+}
+
+func TestTuneKernelRejectsNegativeRandomBudget(t *testing.T) {
+	cases := []struct {
+		method Method
+		budget int
+		ok     bool
+	}{
+		{MethodRandom, -1, false},
+		{MethodRandom, -1000, false},
+		{MethodRSGDE3, -1, false}, // validated regardless of method
+		{MethodRandom, 0, true},   // zero means "use the default"
+		{MethodRandom, 100, true},
+	}
+	for _, c := range cases {
+		opt := fastOpts()
+		opt.Method = c.method
+		opt.RandomBudget = c.budget
+		_, err := TuneKernel("mm", opt)
+		if c.ok && err != nil {
+			t.Errorf("%s budget %d: %v", c.method, c.budget, err)
+		}
+		if !c.ok && err == nil {
+			t.Errorf("%s budget %d: negative budget accepted", c.method, c.budget)
+		}
+	}
+}
+
+// TestTuneKernelRace drives the racing meta-optimizer through the full
+// pipeline: non-empty multi-versioned unit, evaluation budget honored
+// exactly, and a deterministic front under a fixed seed.
+func TestTuneKernelRace(t *testing.T) {
+	opt := fastOpts()
+	opt.Method = MethodRace
+	opt.Race = RaceOptions{Interval: 2, Budget: 150}
+	out, err := TuneKernel("mm", opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Unit.Versions) == 0 {
+		t.Fatal("race produced no versions")
+	}
+	if out.Result.Evaluations > opt.Race.Budget {
+		t.Fatalf("race consumed %d evaluations, budget %d", out.Result.Evaluations, opt.Race.Budget)
+	}
+	again, err := TuneKernel("mm", opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(again.Result.Front) != len(out.Result.Front) {
+		t.Fatalf("race not deterministic: %d vs %d front points",
+			len(out.Result.Front), len(again.Result.Front))
+	}
+	for i := range out.Result.Front {
+		a, b := out.Result.Front[i], again.Result.Front[i]
+		for c := range a.Objectives {
+			if a.Objectives[c] != b.Objectives[c] {
+				t.Fatalf("race front diverged at point %d: %v vs %v", i, a.Objectives, b.Objectives)
+			}
+		}
+	}
+}
+
+func TestTuneKernelRaceRejectsCheckpoint(t *testing.T) {
+	opt := fastOpts()
+	opt.Method = MethodRace
+	opt.CheckpointPath = t.TempDir() + "/race.ckpt"
+	if _, err := TuneKernel("mm", opt); err == nil {
+		t.Fatal("race with a checkpoint path accepted")
+	}
+	opt.CheckpointPath = ""
+	opt.ResumeFrom = t.TempDir() + "/race.ckpt"
+	if _, err := TuneKernel("mm", opt); err == nil {
+		t.Fatal("race with a resume path accepted")
+	}
+}
+
+// TestTuneKernelMOTPESerial covers the serial MOTPE method selector.
+func TestTuneKernelMOTPESerial(t *testing.T) {
+	opt := fastOpts()
+	opt.Method = MethodMOTPE
+	out, err := TuneKernel("mm", opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Unit.Versions) == 0 {
+		t.Fatal("empty unit")
+	}
+}

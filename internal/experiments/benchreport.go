@@ -95,6 +95,21 @@ func (r *BenchReport) AddWarmStartRuns(kernel string, res *WarmStartResult) {
 	}
 }
 
+// AddRaceRuns folds a strategy-race comparison into the report. Every
+// row carries the kernel and machine; the race row is last.
+func (r *BenchReport) AddRaceRuns(kernel, machineName string, res *RaceComparisonResult) {
+	for _, run := range res.Runs {
+		r.Runs = append(r.Runs, BenchRun{
+			Kernel:      kernel,
+			Label:       run.Label,
+			Machine:     machineName,
+			Evaluations: run.Evaluations,
+			FrontSize:   run.FrontSize,
+			Hypervolume: run.HV,
+		})
+	}
+}
+
 // WriteFile writes the report as indented JSON.
 func (r *BenchReport) WriteFile(path string) error {
 	data, err := json.MarshalIndent(r, "", "  ")

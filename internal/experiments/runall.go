@@ -102,5 +102,14 @@ func RunAll(w io.Writer, mode Mode, reps int) error {
 		return err
 	}
 	ws.Render(w)
+	fmt.Fprintln(w)
+
+	// Strategy racing: the portfolio meta-optimizer vs. each strategy
+	// alone at an equal evaluation budget.
+	rc, err := RaceComparison(mm, machines[0], mode)
+	if err != nil {
+		return err
+	}
+	rc.Render(w)
 	return nil
 }

@@ -24,7 +24,6 @@ import (
 	"autotune/internal/objective"
 	"autotune/internal/pareto"
 	"autotune/internal/skeleton"
-	"autotune/internal/stats"
 )
 
 // Control carries the cross-cutting run controls threaded through a
@@ -376,31 +375,7 @@ func (r *controlledRun) loop(islands []islandEvolver, maxGens int, iopt IslandOp
 // resume (see Control). Cancellation returns the best-so-far front
 // with Result.Partial set rather than an error.
 func RSGDE3Controlled(space skeleton.Space, eval objective.Evaluator, opt Options, ctrl Control) (*Result, error) {
-	opt = opt.withDefaults()
-	if err := space.Validate(); err != nil {
-		return nil, err
-	}
-	run := newControlledRun(eval, ctrl, methodName(opt), gdeFingerprint(space, opt, 1, IslandOptions{}))
-	defer run.close()
-	if err := run.checkResume(1); err != nil {
-		return nil, err
-	}
-	var isl *gdeIsland
-	if snap := ctrl.Resume; snap != nil {
-		isl = restoreGDEIsland(space, eval, opt, opt.Seed, snap.States[0])
-	} else {
-		isl = newGDEIsland(space, eval, opt, opt.Seed)
-	}
-	gens, partial, err := run.loop([]islandEvolver{isl}, opt.MaxIterations, IslandOptions{})
-	if err != nil {
-		return nil, err
-	}
-	return &Result{
-		Front:       isl.archive.Points(),
-		Evaluations: run.totalE(),
-		Iterations:  gens,
-		Partial:     partial,
-	}, nil
+	return runStrategy(methodName(opt), space, eval, StrategyConfig{Options: opt}, IslandOptions{}, false, ctrl)
 }
 
 // methodName labels the GDE3 family for snapshots.
@@ -413,38 +388,22 @@ func methodName(opt Options) string {
 
 // GDE3Controlled is GDE3 with run control.
 func GDE3Controlled(space skeleton.Space, eval objective.Evaluator, opt Options, ctrl Control) (*Result, error) {
-	opt = opt.withDefaults()
-	opt.DisableRoughSet = true
-	return RSGDE3Controlled(space, eval, opt, ctrl)
+	return runStrategy("gde3", space, eval, StrategyConfig{Options: opt}, IslandOptions{}, false, ctrl)
 }
 
 // NSGA2Controlled is NSGA2 with run control.
 func NSGA2Controlled(space skeleton.Space, eval objective.Evaluator, opt NSGA2Options, ctrl Control) (*Result, error) {
-	if err := space.Validate(); err != nil {
-		return nil, err
-	}
-	opt = opt.withDefaults(space.Dim())
-	run := newControlledRun(eval, ctrl, "nsga2", nsga2Fingerprint(space, opt, 1, IslandOptions{}))
-	defer run.close()
-	if err := run.checkResume(1); err != nil {
-		return nil, err
-	}
-	var isl *nsga2Island
-	if snap := ctrl.Resume; snap != nil {
-		isl = restoreNSGA2Island(space, eval, opt, opt.Seed, snap.States[0])
-	} else {
-		isl = newNSGA2Island(space, eval, opt, opt.Seed)
-	}
-	gens, partial, err := run.loop([]islandEvolver{isl}, opt.MaxGenerations, IslandOptions{})
-	if err != nil {
-		return nil, err
-	}
-	return &Result{
-		Front:       isl.archive.Points(),
-		Evaluations: run.totalE(),
-		Iterations:  gens,
-		Partial:     partial,
-	}, nil
+	return runStrategy("nsga2", space, eval, StrategyConfig{NSGA2: opt}, IslandOptions{}, false, ctrl)
+}
+
+// MOTPEControlled is the MOTPE sampler with run control.
+func MOTPEControlled(space skeleton.Space, eval objective.Evaluator, opt Options, ctrl Control) (*Result, error) {
+	return runStrategy("motpe", space, eval, StrategyConfig{Options: opt}, IslandOptions{}, false, ctrl)
+}
+
+// MOTPE runs the multi-objective TPE sampler (see motpe.go).
+func MOTPE(space skeleton.Space, eval objective.Evaluator, opt Options) (*Result, error) {
+	return MOTPEControlled(space, eval, opt, Control{})
 }
 
 // RSGDE3IslandsControlled is RSGDE3Islands with run control. On
@@ -452,78 +411,17 @@ func NSGA2Controlled(space skeleton.Space, eval objective.Evaluator, opt NSGA2Op
 // merged front of the finished run is byte-identical to the same-seed
 // uninterrupted run.
 func RSGDE3IslandsControlled(space skeleton.Space, eval objective.Evaluator, opt Options, iopt IslandOptions, ctrl Control) (*Result, error) {
-	opt = opt.withDefaults()
-	iopt = iopt.withDefaults()
-	if err := space.Validate(); err != nil {
-		return nil, err
-	}
-	if err := iopt.validate(); err != nil {
-		return nil, err
-	}
-	run := newControlledRun(eval, ctrl, methodName(opt), gdeFingerprint(space, opt, iopt.Islands, iopt))
-	defer run.close()
-	if err := run.checkResume(iopt.Islands); err != nil {
-		return nil, err
-	}
-	islands := make([]islandEvolver, iopt.Islands)
-	if snap := ctrl.Resume; snap != nil {
-		for i := range islands {
-			islands[i] = restoreGDEIsland(space, eval, opt, opt.Seed+int64(i), snap.States[i])
-		}
-	} else {
-		spawn(len(islands), func(i int) {
-			islands[i] = newGDEIsland(space, eval, opt, opt.Seed+int64(i))
-		})
-	}
-	gens, partial, err := run.loop(islands, opt.MaxIterations, iopt)
-	if err != nil {
-		return nil, err
-	}
-	res := mergeIslands(islands, eval, gens)
-	res.Evaluations = run.totalE()
-	res.Partial = partial
-	return res, nil
+	return runStrategy(methodName(opt), space, eval, StrategyConfig{Options: opt}, iopt, true, ctrl)
 }
 
 // GDE3IslandsControlled is GDE3Islands with run control.
 func GDE3IslandsControlled(space skeleton.Space, eval objective.Evaluator, opt Options, iopt IslandOptions, ctrl Control) (*Result, error) {
-	opt.DisableRoughSet = true
-	return RSGDE3IslandsControlled(space, eval, opt, iopt, ctrl)
+	return runStrategy("gde3", space, eval, StrategyConfig{Options: opt}, iopt, true, ctrl)
 }
 
 // NSGA2IslandsControlled is NSGA2Islands with run control.
 func NSGA2IslandsControlled(space skeleton.Space, eval objective.Evaluator, opt NSGA2Options, iopt IslandOptions, ctrl Control) (*Result, error) {
-	iopt = iopt.withDefaults()
-	if err := space.Validate(); err != nil {
-		return nil, err
-	}
-	if err := iopt.validate(); err != nil {
-		return nil, err
-	}
-	opt = opt.withDefaults(space.Dim())
-	run := newControlledRun(eval, ctrl, "nsga2", nsga2Fingerprint(space, opt, iopt.Islands, iopt))
-	defer run.close()
-	if err := run.checkResume(iopt.Islands); err != nil {
-		return nil, err
-	}
-	islands := make([]islandEvolver, iopt.Islands)
-	if snap := ctrl.Resume; snap != nil {
-		for i := range islands {
-			islands[i] = restoreNSGA2Island(space, eval, opt, opt.Seed+int64(i), snap.States[i])
-		}
-	} else {
-		spawn(len(islands), func(i int) {
-			islands[i] = newNSGA2Island(space, eval, opt, opt.Seed+int64(i))
-		})
-	}
-	gens, partial, err := run.loop(islands, opt.MaxGenerations, iopt)
-	if err != nil {
-		return nil, err
-	}
-	res := mergeIslands(islands, eval, gens)
-	res.Evaluations = run.totalE()
-	res.Partial = partial
-	return res, nil
+	return runStrategy("nsga2", space, eval, StrategyConfig{NSGA2: opt}, iopt, true, ctrl)
 }
 
 // randomChunk is the evaluation batch size of the one-shot baselines'
@@ -538,28 +436,18 @@ const randomChunk = 64
 // state, so Checkpointer and Resume are not supported (Resume is an
 // error, Checkpointer is ignored).
 func RandomControlled(space skeleton.Space, eval objective.Evaluator, budget int, seed int64, ctrl Control) (*Result, error) {
-	if ctrl.Resume != nil {
-		return nil, fmt.Errorf("optimizer: random search keeps no generation state; resume needs an evolutionary method")
-	}
-	if err := space.Validate(); err != nil {
-		return nil, err
-	}
 	if budget <= 0 {
 		return nil, fmt.Errorf("optimizer: random search needs a positive budget")
 	}
-	run := newControlledRun(eval, ctrl, "random", "")
-	defer run.close()
-	rng := stats.NewRand(seed)
-	cfgs := make([]skeleton.Config, budget)
-	for i := range cfgs {
-		cfgs[i] = space.Random(rng)
+	cfg := StrategyConfig{Options: Options{Seed: seed}, RandomBudget: budget}
+	res, err := runStrategy("random", space, eval, cfg, IslandOptions{}, false, ctrl)
+	if err != nil {
+		return nil, err
 	}
-	front, partial := sweepChunks(ctrl.ctx(), eval, cfgs)
-	return &Result{
-		Front:       front,
-		Evaluations: run.totalE(),
-		Partial:     partial,
-	}, nil
+	// The one-shot baselines report Iterations as 0 (see Result), even
+	// though the chunked sweep steps through the stepping surface.
+	res.Iterations = 0
+	return res, nil
 }
 
 // BruteForceControlled is BruteForce with cancellation support at
@@ -611,27 +499,4 @@ func BruteForceControlled(space skeleton.Space, eval objective.Evaluator, grid G
 		res.AllPoints = all
 	}
 	return res, nil
-}
-
-// sweepChunks evaluates cfgs in cancellation-checked chunks and
-// returns the non-dominated subset of the evaluated prefix.
-func sweepChunks(ctx context.Context, eval objective.Evaluator, cfgs []skeleton.Config) (front []pareto.Point, partial bool) {
-	archive := pareto.NewArchive()
-	for lo := 0; lo < len(cfgs); lo += randomChunk {
-		if ctx.Err() != nil {
-			partial = true
-			break
-		}
-		hi := lo + randomChunk
-		if hi > len(cfgs) {
-			hi = len(cfgs)
-		}
-		objs := eval.Evaluate(cfgs[lo:hi])
-		for i, o := range objs {
-			if o != nil {
-				archive.Add(pareto.Point{Payload: cfgs[lo+i], Objectives: o})
-			}
-		}
-	}
-	return archive.Points(), partial
 }

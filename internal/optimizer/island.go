@@ -40,12 +40,19 @@ type IslandOptions struct {
 	// synchronous elite migrations (default 5).
 	MigrationInterval int
 	// Migrants is the number of elite individuals each island donates
-	// to its ring successor per migration (default 2, capped below the
-	// population size).
+	// to its ring successor per migration (default 2). Clamped to half
+	// the population size so one migration wave can never replace an
+	// entire island.
 	Migrants int
 }
 
-func (o IslandOptions) withDefaults() IslandOptions {
+// withDefaults fills the zero fields and clamps Migrants against the
+// effective population size: replaceWorst never displaces more than
+// half an island's population, so a larger migrant count would be
+// silently ignored there while still poisoning fingerprints and
+// snapshot compatibility. popSize <= 0 skips the clamp (unknown
+// population, e.g. option-only normalization in tests).
+func (o IslandOptions) withDefaults(popSize int) IslandOptions {
 	if o.Islands == 0 {
 		o.Islands = 4
 	}
@@ -54,6 +61,15 @@ func (o IslandOptions) withDefaults() IslandOptions {
 	}
 	if o.Migrants == 0 {
 		o.Migrants = 2
+	}
+	if popSize > 0 {
+		limit := popSize / 2
+		if limit < 1 {
+			limit = 1
+		}
+		if o.Migrants > limit {
+			o.Migrants = limit
+		}
 	}
 	return o
 }

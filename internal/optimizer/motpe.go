@@ -1,0 +1,235 @@
+// MOTPE: a multi-objective Tree-structured Parzen Estimator sampler,
+// the registry's cheap Bayesian strategy. Instead of evolving a
+// population it keeps every observation, splits them into "good" (the
+// best quartile under non-dominated sorting) and "bad", models each
+// group with a Parzen window (per-dimension gaussian kernels around
+// the observed configurations), and proposes the candidates that
+// maximize the density ratio l(x)/g(x) — sample where good
+// observations cluster and bad ones do not. One step proposes and
+// evaluates PopSize candidates, so its per-generation evaluation cost
+// matches the evolutionary strategies and racing compares like with
+// like.
+package optimizer
+
+import (
+	"math"
+
+	"autotune/internal/objective"
+	"autotune/internal/pareto"
+	"autotune/internal/skeleton"
+	"autotune/internal/stats"
+)
+
+// motpeCandidates is the number of l(x) draws scored per proposed
+// candidate (Optuna's n_ei_candidates, scaled down for cheap steps).
+const motpeCandidates = 8
+
+// motpeIsland is one self-contained MOTPE search instance, sharing the
+// islandEvolver stepping surface with the evolutionary strategies.
+type motpeIsland struct {
+	space    skeleton.Space
+	eval     objective.Evaluator
+	opt      Options
+	rng      *stats.CountedRand
+	obs      []individual // every observation, in evaluation order
+	archive  *pareto.Archive
+	stagnant int
+}
+
+// newMOTPEIsland seeds and evaluates the initial observations. opt
+// must already carry defaults.
+func newMOTPEIsland(space skeleton.Space, eval objective.Evaluator, opt Options, seed int64) *motpeIsland {
+	m := &motpeIsland{
+		space:   space,
+		eval:    eval,
+		opt:     opt,
+		rng:     stats.NewCountedRand(seed),
+		archive: pareto.NewArchive(),
+	}
+	cfgs := seededPopulation(space, opt.InitialPopulation, opt.PopSize, m.rng.Rand)
+	objs := eval.Evaluate(cfgs)
+	for i := range cfgs {
+		m.obs = append(m.obs, individual{cfg: cfgs[i], objs: objs[i]})
+		if objs[i] != nil {
+			m.archive.Add(pareto.Point{Payload: cfgs[i], Objectives: objs[i]})
+		}
+	}
+	return m
+}
+
+// restoreMOTPEIsland rebuilds an instance from its checkpointed state:
+// observations, archive and stagnation come from the snapshot and the
+// RNG is fast-forwarded to the checkpointed draw count.
+func restoreMOTPEIsland(space skeleton.Space, eval objective.Evaluator, opt Options, seed int64, st IslandState) *motpeIsland {
+	m := &motpeIsland{
+		space:    space,
+		eval:     eval,
+		opt:      opt,
+		rng:      stats.NewCountedRand(seed),
+		archive:  restoreArchive(st.Archive),
+		stagnant: st.Stagnant,
+	}
+	m.rng.Skip(st.Draws)
+	m.obs = make([]individual, len(st.Pop))
+	for i, mem := range st.Pop {
+		m.obs[i] = restoreMember(mem)
+	}
+	return m
+}
+
+// motpeFingerprint identifies a MOTPE search configuration.
+func motpeFingerprint(space skeleton.Space, opt Options, islands int, iopt IslandOptions) string {
+	parts := []interface{}{"motpe", spaceKey(space), opt.PopSize, opt.Stagnation,
+		opt.MaxIterations, opt.Seed, islands, iopt.MigrationInterval, iopt.Migrants}
+	for _, c := range opt.InitialPopulation {
+		parts = append(parts, c.Key())
+	}
+	return fingerprintOf(parts...)
+}
+
+// done reports whether the stagnation stopping rule has fired.
+func (m *motpeIsland) done() bool { return m.stagnant >= m.opt.Stagnation }
+
+// splitObservations partitions the successful observations into the
+// good set (best quartile, at least 2) and the bad set, using the same
+// rank/crowding order the migration machinery uses.
+func (m *motpeIsland) splitObservations() (good, bad []skeleton.Config) {
+	var ok []individual
+	for _, o := range m.obs {
+		if o.objs != nil {
+			ok = append(ok, o)
+		}
+	}
+	if len(ok) < 4 {
+		return nil, nil
+	}
+	nGood := (len(ok) + 3) / 4
+	if nGood < 2 {
+		nGood = 2
+	}
+	for i, idx := range orderBestToWorst(ok) {
+		if i < nGood {
+			good = append(good, ok[idx].cfg)
+		} else {
+			bad = append(bad, ok[idx].cfg)
+		}
+	}
+	return good, bad
+}
+
+// bandwidths returns the per-dimension Parzen kernel width for a set
+// of centers: a fraction of the parameter span that narrows as the set
+// grows, never below one integer step.
+func (m *motpeIsland) bandwidths(n int) []float64 {
+	bw := make([]float64, m.space.Dim())
+	shrink := 2 * math.Cbrt(float64(n))
+	for d, p := range m.space.Params {
+		w := float64(p.Max-p.Min) / shrink
+		if w < 1 {
+			w = 1
+		}
+		bw[d] = w
+	}
+	return bw
+}
+
+// logParzen evaluates the log-density of cfg under a Parzen mixture of
+// per-dimension gaussian kernels centered on the given configurations,
+// via log-sum-exp for numerical stability.
+func logParzen(cfg skeleton.Config, centers []skeleton.Config, bw []float64) float64 {
+	best := math.Inf(-1)
+	logs := make([]float64, len(centers))
+	for i, c := range centers {
+		ll := 0.0
+		for d := range cfg {
+			z := (float64(cfg[d]) - float64(c[d])) / bw[d]
+			ll += -0.5*z*z - math.Log(bw[d])
+		}
+		logs[i] = ll
+		if ll > best {
+			best = ll
+		}
+	}
+	if math.IsInf(best, -1) {
+		return best
+	}
+	sum := 0.0
+	for _, ll := range logs {
+		sum += math.Exp(ll - best)
+	}
+	return best + math.Log(sum/float64(len(centers)))
+}
+
+// step proposes and evaluates PopSize candidates: each candidate is
+// the best of motpeCandidates draws from the good-set Parzen model,
+// scored by the density ratio l(x)/g(x). With too few observations to
+// split, proposals fall back to uniform random exploration.
+func (m *motpeIsland) step() {
+	good, bad := m.splitObservations()
+	cands := make([]skeleton.Config, m.opt.PopSize)
+	if len(good) == 0 || len(bad) == 0 {
+		for i := range cands {
+			cands[i] = m.space.Random(m.rng.Rand)
+		}
+	} else {
+		bwGood := m.bandwidths(len(good))
+		bwBad := m.bandwidths(len(bad))
+		for i := range cands {
+			var pick skeleton.Config
+			bestScore := math.Inf(-1)
+			for k := 0; k < motpeCandidates; k++ {
+				center := good[m.rng.Intn(len(good))]
+				draw := make(skeleton.Config, len(center))
+				for d := range draw {
+					draw[d] = center[d] + int64(math.Round(m.rng.NormFloat64()*bwGood[d]))
+				}
+				draw = m.space.Clip(draw)
+				score := logParzen(draw, good, bwGood) - logParzen(draw, bad, bwBad)
+				if score > bestScore {
+					bestScore = score
+					pick = draw
+				}
+			}
+			cands[i] = pick
+		}
+	}
+	objs := m.eval.Evaluate(cands)
+	improved := false
+	for i := range cands {
+		m.obs = append(m.obs, individual{cfg: cands[i], objs: objs[i]})
+		if objs[i] != nil &&
+			m.archive.Add(pareto.Point{Payload: cands[i], Objectives: objs[i]}) {
+			improved = true
+		}
+	}
+	if improved {
+		m.stagnant = 0
+	} else {
+		m.stagnant++
+	}
+}
+
+// population exposes the observations for elite selection.
+func (m *motpeIsland) population() []individual { return m.obs }
+
+// inject records migrants as observations, steering the good set.
+func (m *motpeIsland) inject(migrants []individual) {
+	for _, mig := range migrants {
+		m.obs = append(m.obs, individual{
+			cfg:  mig.cfg.Clone(),
+			objs: append([]float64(nil), mig.objs...),
+		})
+		if mig.objs != nil {
+			m.archive.Add(pareto.Point{Payload: m.obs[len(m.obs)-1].cfg, Objectives: m.obs[len(m.obs)-1].objs})
+		}
+	}
+}
+
+// points returns the archived front.
+func (m *motpeIsland) points() []pareto.Point { return m.archive.Points() }
+
+// snapshot serializes the complete state for checkpointing; the
+// observation list travels as the snapshot's population.
+func (m *motpeIsland) snapshot() IslandState {
+	return snapshotState(m.obs, m.archive, m.stagnant, m.rng.Draws())
+}

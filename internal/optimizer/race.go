@@ -1,0 +1,454 @@
+// Racing meta-optimizer: run several registered strategies
+// concurrently over one shared evaluation cache, score each strategy
+// every Interval generations on hypervolume per evaluation against a
+// shared reference point, and eliminate the trailing half
+// (successive-halving style) so the remaining evaluation budget flows
+// to the leaders. The approach follows the optimizer-portfolio line of
+// ComPar (arxiv 2005.13304) and MCompiler (arxiv 1905.12755):
+// committing to a single search strategy up front is dominated by
+// racing several and reallocating toward whichever wins on THIS
+// kernel/machine pair.
+//
+// Determinism: each contender evolves from its own seeded RNG and its
+// own proposals; the shared cache changes who computes a value, never
+// the value. Contenders step in fixed order within each round and
+// scoring happens at deterministic generation barriers, so a fixed
+// seed yields a byte-identical merged front regardless of GOMAXPROCS.
+package optimizer
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"autotune/internal/objective"
+	"autotune/internal/pareto"
+	"autotune/internal/skeleton"
+)
+
+// RaceOptions configures the racing meta-optimizer. Zero values select
+// the defaults.
+type RaceOptions struct {
+	// Strategies names the registered contenders (default: every
+	// registered strategy, in sorted order).
+	Strategies []string
+	// Interval is the number of lockstep generations between scoring
+	// rounds (default 5).
+	Interval int
+	// Budget is a hard cap on the race's global distinct successful
+	// evaluations. Once reached, proposals of configurations not
+	// already in the shared cache report as failed and the race stops
+	// at the next contender-step boundary — the cap is exact, never
+	// overshot. 0 means no cap (the race ends when every surviving
+	// contender's stopping rule fires).
+	Budget int
+	// MinSurvivors is the number of contenders elimination must leave
+	// standing (default 1).
+	MinSurvivors int
+}
+
+func (o RaceOptions) withDefaults() RaceOptions {
+	if len(o.Strategies) == 0 {
+		o.Strategies = StrategyNames()
+	}
+	if o.Interval == 0 {
+		o.Interval = 5
+	}
+	if o.MinSurvivors == 0 {
+		o.MinSurvivors = 1
+	}
+	return o
+}
+
+func (o RaceOptions) validate() error {
+	if o.Interval < 1 {
+		return fmt.Errorf("optimizer: race interval %d < 1", o.Interval)
+	}
+	if o.Budget < 0 {
+		return fmt.Errorf("optimizer: race budget %d < 0", o.Budget)
+	}
+	if o.MinSurvivors < 1 {
+		return fmt.Errorf("optimizer: race needs at least one survivor, got %d", o.MinSurvivors)
+	}
+	if len(o.Strategies) < 2 {
+		return fmt.Errorf("optimizer: a race needs at least two strategies, got %v", o.Strategies)
+	}
+	seen := map[string]bool{}
+	for _, name := range o.Strategies {
+		if seen[name] {
+			return fmt.Errorf("optimizer: strategy %q raced twice", name)
+		}
+		seen[name] = true
+		if _, err := StrategyByName(name); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Standing reports one contender's final state.
+type Standing struct {
+	// Strategy is the registry name.
+	Strategy string `json:"strategy"`
+	// Evaluations counts the distinct successful configurations this
+	// contender proposed (configurations also proposed by another
+	// contender count for both — the shared cache makes the overlap
+	// free globally, but each strategy is charged for what it asked).
+	Evaluations int `json:"evaluations"`
+	// Generations is how many lockstep generations the contender ran.
+	Generations int `json:"generations"`
+	// FrontSize is the contender's own final archive size.
+	FrontSize int `json:"front_size"`
+	// HV is the contender's final hypervolume against the shared
+	// reference point.
+	HV float64 `json:"hv"`
+	// Score is HV per evaluation — the racing fitness.
+	Score float64 `json:"score"`
+	// Eliminated reports whether a scoring round stopped this
+	// contender; EliminatedAt is the generation barrier that did.
+	Eliminated   bool `json:"eliminated"`
+	EliminatedAt int  `json:"eliminated_at,omitempty"`
+}
+
+// RaceResult couples the merged search result with the per-contender
+// standings and the shared reference point behind the final scores.
+type RaceResult struct {
+	*Result
+	// Standings is ordered by final score, best first.
+	Standings []Standing `json:"standings"`
+	// Reference is the shared hypervolume reference of the final
+	// scoring (see pareto.SharedReference).
+	Reference []float64 `json:"reference"`
+}
+
+// attributedEvaluator charges a contender for the distinct successful
+// configurations it proposes while delegating the work (and the
+// caching) to the shared evaluator. No mutex: one contender steps
+// sequentially, so its own evaluator is never called concurrently.
+type attributedEvaluator struct {
+	inner objective.Evaluator
+	seen  map[string]bool
+}
+
+func newAttributedEvaluator(inner objective.Evaluator) *attributedEvaluator {
+	return &attributedEvaluator{inner: inner, seen: map[string]bool{}}
+}
+
+func (a *attributedEvaluator) Evaluate(cfgs []skeleton.Config) [][]float64 {
+	objs := a.inner.Evaluate(cfgs)
+	for i, o := range objs {
+		if o != nil {
+			a.seen[cfgs[i].Key()] = true
+		}
+	}
+	return objs
+}
+
+func (a *attributedEvaluator) ObjectiveNames() []string { return a.inner.ObjectiveNames() }
+
+// Evaluations is the contender-attributed E (distinct successful
+// proposals of this contender, not the global count).
+func (a *attributedEvaluator) Evaluations() int { return len(a.seen) }
+
+// budgetEvaluator hard-caps the global distinct successful evaluation
+// count: once the shared evaluator has consumed the budget, uncached
+// configurations are no longer evaluated and report as failed (nil
+// objectives), which every evolver tolerates. Near the boundary the
+// batch is shrunk so the cap is exact rather than approximate; cached
+// configurations stay free, so an under-filled sub-batch just loops.
+type budgetEvaluator struct {
+	inner  objective.Evaluator
+	e0     int
+	budget int
+}
+
+func (b *budgetEvaluator) Evaluate(cfgs []skeleton.Config) [][]float64 {
+	objs := make([][]float64, len(cfgs))
+	for i := 0; i < len(cfgs); {
+		rem := b.budget - (b.inner.Evaluations() - b.e0)
+		if rem <= 0 {
+			break
+		}
+		n := len(cfgs) - i
+		if n > rem {
+			n = rem
+		}
+		copy(objs[i:], b.inner.Evaluate(cfgs[i:i+n]))
+		i += n
+	}
+	return objs
+}
+
+func (b *budgetEvaluator) ObjectiveNames() []string { return b.inner.ObjectiveNames() }
+func (b *budgetEvaluator) Evaluations() int         { return b.inner.Evaluations() }
+
+// contender is one racing strategy instance.
+type contender struct {
+	strat        Strategy
+	cfg          StrategyConfig
+	eval         *attributedEvaluator
+	isl          islandEvolver
+	maxGens      int
+	gens         int
+	eliminated   bool
+	eliminatedAt int
+}
+
+// live reports whether the contender still receives budget.
+func (c *contender) live() bool { return !c.eliminated && !c.isl.done() && c.gens < c.maxGens }
+
+// Race runs the racing meta-optimizer without run control.
+func Race(space skeleton.Space, eval objective.Evaluator, cfg StrategyConfig, ropt RaceOptions) (*RaceResult, error) {
+	return RaceControlled(space, eval, cfg, ropt, Control{})
+}
+
+// RaceControlled runs registered strategies concurrently over the
+// shared evaluator under the given Control. Cancellation returns the
+// merged best-so-far front with Result.Partial set. The race keeps
+// heterogeneous per-strategy state, so Checkpointer is ignored and
+// Resume is an error; checkpoint a single strategy instead.
+//
+// The merged front folds in EVERY contender's archive — eliminated
+// ones included: their evaluations were paid for, and an early leader
+// eliminated later may still hold points the survivors never found.
+func RaceControlled(space skeleton.Space, eval objective.Evaluator, cfg StrategyConfig, ropt RaceOptions, ctrl Control) (*RaceResult, error) {
+	if ctrl.Resume != nil {
+		return nil, fmt.Errorf("optimizer: a race keeps heterogeneous per-strategy state and cannot resume; checkpoint a single strategy instead")
+	}
+	ctrl.Checkpointer = nil
+	ropt = ropt.withDefaults()
+	if err := ropt.validate(); err != nil {
+		return nil, err
+	}
+	if err := space.Validate(); err != nil {
+		return nil, err
+	}
+	run := newControlledRun(eval, ctrl, "race", "")
+	defer run.close()
+
+	// The budget is enforced at the evaluator so it can never be
+	// overshot: once it is consumed, uncached proposals fail.
+	shared := objective.Evaluator(eval)
+	if ropt.Budget > 0 {
+		shared = &budgetEvaluator{inner: eval, e0: run.e0, budget: ropt.Budget}
+	}
+
+	// Build one contender per strategy. Every contender shares the
+	// base seed: population-based strategies then start from
+	// coinciding initial draws, which the shared cache makes free —
+	// the race budget goes into where the strategies differ.
+	contenders := make([]*contender, len(ropt.Strategies))
+	for i, name := range ropt.Strategies {
+		strat, err := StrategyByName(name)
+		if err != nil {
+			return nil, err
+		}
+		ccfg := strat.Normalize(space, cfg)
+		maxGens := strat.MaxGenerations(ccfg)
+		if ropt.Budget > 0 {
+			// With a global budget the budget, not the per-strategy
+			// generation cap, is the resource being raced for: a
+			// surviving contender keeps evolving past its standalone
+			// generation budget until the evaluations run dry or its
+			// own stopping rule (stagnation, exhausted walk) fires.
+			maxGens = math.MaxInt
+		}
+		contenders[i] = &contender{
+			strat:   strat,
+			cfg:     ccfg,
+			eval:    newAttributedEvaluator(shared),
+			maxGens: maxGens,
+		}
+	}
+	// Initial states evaluate sequentially in contender order: the
+	// budget cap reads the global evaluation count, so everything that
+	// consumes budget must do so in a defined order. The shared seed
+	// keeps this cheap — later contenders hit the cache of the first.
+	for _, c := range contenders {
+		c.isl = c.strat.New(space, c.eval, c.cfg, c.cfg.Options.Seed)
+	}
+
+	ctx := ctrl.ctx()
+	globalE := func() int { return eval.Evaluations() - run.e0 }
+	gens := 0
+	partial := false
+	for {
+		if ctx.Err() != nil {
+			partial = true
+			break
+		}
+		if ropt.Budget > 0 && globalE() >= ropt.Budget {
+			break
+		}
+		// One round: step the live contenders in fixed order, checking
+		// the budget between steps so the overshoot stays within one
+		// population. Steps are sequential across contenders (the
+		// budget check needs a defined order for determinism); the
+		// shared evaluator still fans each population batch out across
+		// its workers.
+		stepped := false
+		for _, c := range contenders {
+			if !c.live() {
+				continue
+			}
+			if ropt.Budget > 0 && globalE() >= ropt.Budget {
+				break
+			}
+			c.isl.step()
+			c.gens++
+			stepped = true
+			if ctx.Err() != nil {
+				partial = true
+				break
+			}
+		}
+		if partial {
+			break
+		}
+		if !stepped {
+			break
+		}
+		gens++
+		// Scoring barrier: eliminate the trailing half of the still-
+		// live contenders (successive halving), never dropping below
+		// MinSurvivors.
+		if gens%ropt.Interval == 0 {
+			raceEliminate(contenders, ropt.MinSurvivors, gens)
+		}
+	}
+
+	// Merge every contender's archive, in fixed contender order, into
+	// one canonical front.
+	global := pareto.NewArchive()
+	for _, c := range contenders {
+		for _, p := range c.isl.points() {
+			global.Add(p)
+		}
+	}
+	front := global.Points()
+	sortFront(front)
+
+	standings, ref := raceStandings(contenders)
+	return &RaceResult{
+		Result: &Result{
+			Front:       front,
+			Evaluations: run.totalE(),
+			Iterations:  gens,
+			Partial:     partial,
+		},
+		Standings: standings,
+		Reference: ref,
+	}, nil
+}
+
+// raceScores computes HV-per-evaluation for the given contenders
+// against a reference shared across all their fronts. A contender
+// whose archive is empty (every proposal failed) scores zero.
+func raceScores(cs []*contender) (scores, hvs []float64, ref []float64) {
+	fronts := make([][]pareto.Point, len(cs))
+	for i, c := range cs {
+		fronts[i] = c.isl.points()
+	}
+	ref, err := pareto.SharedReference(fronts...)
+	scores = make([]float64, len(cs))
+	hvs = make([]float64, len(cs))
+	if err != nil {
+		return scores, hvs, nil
+	}
+	for i, c := range cs {
+		var objs [][]float64
+		for _, p := range fronts[i] {
+			objs = append(objs, p.Objectives)
+		}
+		hv, err := pareto.Hypervolume(objs, ref)
+		if err != nil {
+			continue
+		}
+		hvs[i] = hv
+		e := c.eval.Evaluations()
+		if e < 1 {
+			e = 1
+		}
+		scores[i] = hv / float64(e)
+	}
+	return scores, hvs, ref
+}
+
+// raceEliminate scores the live contenders and eliminates the trailing
+// half, keeping at least minSurvivors. Ties break by name so the
+// outcome is independent of scheduling.
+func raceEliminate(contenders []*contender, minSurvivors, gen int) {
+	var live []*contender
+	for _, c := range contenders {
+		if !c.eliminated {
+			live = append(live, c)
+		}
+	}
+	if len(live) <= minSurvivors {
+		return
+	}
+	scores, _, _ := raceScores(live)
+	order := make([]int, len(live))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		sa, sb := scores[order[a]], scores[order[b]]
+		if sa != sb {
+			return sa > sb
+		}
+		return live[order[a]].strat.Name < live[order[b]].strat.Name
+	})
+	keep := (len(live) + 1) / 2
+	if keep < minSurvivors {
+		keep = minSurvivors
+	}
+	// Elimination doubles as a hand-off: the eliminated contenders'
+	// archived fronts migrate into every survivor, so evaluations spent
+	// on a losing strategy keep working for the winners (replaceWorst
+	// caps the graft at half a population; MOTPE folds the points into
+	// its observation history instead).
+	var handoff []individual
+	for _, oi := range order[keep:] {
+		c := live[oi]
+		c.eliminated = true
+		c.eliminatedAt = gen
+		for _, p := range c.isl.points() {
+			if cfg, ok := p.Payload.(skeleton.Config); ok {
+				handoff = append(handoff, individual{cfg: cfg, objs: p.Objectives})
+			}
+		}
+	}
+	if len(handoff) == 0 {
+		return
+	}
+	for _, oi := range order[:keep] {
+		live[oi].isl.inject(handoff)
+	}
+}
+
+// raceStandings builds the final per-contender report, scored against
+// a reference shared across every contender's final front.
+func raceStandings(contenders []*contender) ([]Standing, []float64) {
+	scores, hvs, ref := raceScores(contenders)
+	standings := make([]Standing, len(contenders))
+	for i, c := range contenders {
+		standings[i] = Standing{
+			Strategy:     c.strat.Name,
+			Evaluations:  c.eval.Evaluations(),
+			Generations:  c.gens,
+			FrontSize:    len(c.isl.points()),
+			HV:           hvs[i],
+			Score:        scores[i],
+			Eliminated:   c.eliminated,
+			EliminatedAt: c.eliminatedAt,
+		}
+	}
+	sort.Slice(standings, func(a, b int) bool {
+		if standings[a].Score != standings[b].Score {
+			return standings[a].Score > standings[b].Score
+		}
+		return standings[a].Strategy < standings[b].Strategy
+	})
+	return standings, ref
+}

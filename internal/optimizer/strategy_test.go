@@ -1,0 +1,135 @@
+package optimizer
+
+import (
+	"reflect"
+	"testing"
+
+	"autotune/internal/skeleton"
+)
+
+func TestStrategyNamesSortedAndComplete(t *testing.T) {
+	want := []string{"gde3", "motpe", "nsga2", "random", "rs-gde3"}
+	if got := StrategyNames(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("StrategyNames() = %v, want %v", got, want)
+	}
+	for _, name := range want {
+		s, err := StrategyByName(name)
+		if err != nil {
+			t.Fatalf("%s not registered: %v", name, err)
+		}
+		if s.Name != name {
+			t.Fatalf("registry returned %q for %q", s.Name, name)
+		}
+	}
+}
+
+func TestStrategyByNameUnknown(t *testing.T) {
+	if _, err := StrategyByName("alien"); err == nil {
+		t.Fatal("unknown strategy resolved")
+	}
+}
+
+func TestRegisterStrategyRejectsDuplicatesAndIncomplete(t *testing.T) {
+	mustPanic := func(name string, s Strategy) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: RegisterStrategy did not panic", name)
+			}
+		}()
+		RegisterStrategy(s)
+	}
+	dup, err := StrategyByName("gde3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustPanic("duplicate", dup)
+	mustPanic("incomplete", Strategy{Name: "test-incomplete"})
+}
+
+func TestWalkerChunkFollowsPopSize(t *testing.T) {
+	if got := walkerChunk(StrategyConfig{}); got != randomChunk {
+		t.Fatalf("default chunk = %d, want %d", got, randomChunk)
+	}
+	cfg := StrategyConfig{Options: Options{PopSize: 10}}
+	if got := walkerChunk(cfg); got != 10 {
+		t.Fatalf("chunk = %d, want PopSize 10", got)
+	}
+	// The registered generation cap must agree with the chunking, or a
+	// raced random contender would stop before its budget is spent.
+	strat, err := StrategyByName("random")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.RandomBudget = 25
+	if got := strat.MaxGenerations(cfg); got != 3 {
+		t.Fatalf("MaxGenerations = %d, want ceil(25/10) = 3", got)
+	}
+}
+
+func TestIslandOptionsClampMigrantsToHalfPopulation(t *testing.T) {
+	// Regression: Migrants >= PopSize used to let one migration wave
+	// replace an entire island's population.
+	base := IslandOptions{Islands: 2, MigrationInterval: 1}
+
+	at := base
+	at.Migrants = 8 // == PopSize: the boundary case
+	if got := at.withDefaults(8).Migrants; got != 4 {
+		t.Fatalf("Migrants == PopSize clamped to %d, want half the population (4)", got)
+	}
+	over := base
+	over.Migrants = 100
+	if got := over.withDefaults(8).Migrants; got != 4 {
+		t.Fatalf("Migrants > PopSize clamped to %d, want 4", got)
+	}
+	tiny := base
+	tiny.Migrants = 5
+	if got := tiny.withDefaults(1).Migrants; got != 1 {
+		t.Fatalf("single-member population clamped to %d, want 1", got)
+	}
+	within := base
+	within.Migrants = 2
+	if got := within.withDefaults(8).Migrants; got != 2 {
+		t.Fatalf("in-range Migrants rewritten to %d, want 2 untouched", got)
+	}
+}
+
+func TestIslandsSurviveMigrantsEqualPopSize(t *testing.T) {
+	res, err := RSGDE3IslandsControlled(
+		schafferSpace(), newFuncEvaluator(schaffer),
+		Options{PopSize: 6, MaxIterations: 4, Stagnation: 5, Seed: 1},
+		IslandOptions{Islands: 2, MigrationInterval: 1, Migrants: 6},
+		Control{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Front) == 0 {
+		t.Fatal("empty front after boundary-migration run")
+	}
+}
+
+func TestRandomWalkerSeedsWarmStartFirst(t *testing.T) {
+	space := schafferSpace()
+	cfg := StrategyConfig{
+		Options: Options{
+			Seed: 1,
+			// One seed of the wrong dimension (skipped), one valid.
+			InitialPopulation: []skeleton.Config{{1}, {150, 5}},
+		},
+		RandomBudget: 8,
+	}
+	w, ok := newRandomWalker(space, newFuncEvaluator(schaffer), cfg, 1).(*randomWalker)
+	if !ok {
+		t.Fatal("random strategy no longer builds a randomWalker")
+	}
+	if len(w.cfgs) != 8 {
+		t.Fatalf("pre-drew %d configurations, want the budget of 8", len(w.cfgs))
+	}
+	if !reflect.DeepEqual(w.cfgs[0], skeleton.Config{150, 5}) {
+		t.Fatalf("first proposal %v, want the warm-start seed", w.cfgs[0])
+	}
+	for _, c := range w.cfgs {
+		if len(c) != space.Dim() {
+			t.Fatalf("proposal %v has wrong dimension", c)
+		}
+	}
+}

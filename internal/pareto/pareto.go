@@ -139,9 +139,14 @@ var ErrBadReference = errors.New("pareto: reference point dimension mismatch")
 
 // Hypervolume computes the volume of the objective-space region
 // dominated by the given points and bounded by the reference point
-// (minimization: every counted point must be component-wise <= ref;
-// others are ignored). Exact for any dimension via recursive slicing;
-// intended for the small fronts an auto-tuner produces.
+// (minimization: every counted point must be component-wise <= ref).
+// Points outside the reference box (or with NaN components) are
+// SILENTLY DROPPED, not clamped: a front scored against a reference
+// that does not cover it loses volume it legitimately dominates.
+// Comparing several fronts therefore requires one shared reference
+// covering all of them — see SharedReference. Exact for any dimension
+// via recursive slicing; intended for the small fronts an auto-tuner
+// produces.
 func Hypervolume(objs [][]float64, ref []float64) (float64, error) {
 	if len(ref) == 0 {
 		return 0, ErrBadReference
@@ -278,6 +283,41 @@ func NormalizedHypervolume(objs [][]float64, ideal, nadir []float64) (float64, e
 		norm = append(norm, v)
 	}
 	return Hypervolume(norm, ref)
+}
+
+// SharedReference derives one reference point covering every point of
+// every given front, for hypervolume comparisons across fronts.
+// Hypervolume silently drops points outside its reference box, so
+// scoring competing strategies against per-strategy references
+// compares garbage; a shared reference keeps every front fully inside
+// the box and the comparison meaningful. The reference is the pooled
+// nadir padded by 5% of the pooled objective range per dimension (so
+// boundary points contribute nonzero volume); a degenerate dimension
+// (zero range across all fronts) is padded by 1. Returns an error when
+// the fronts hold no points or mix objective dimensionalities.
+func SharedReference(fronts ...[]Point) ([]float64, error) {
+	var pool [][]float64
+	for _, f := range fronts {
+		for _, p := range f {
+			pool = append(pool, p.Objectives)
+		}
+	}
+	if len(pool) == 0 {
+		return nil, errors.New("pareto: shared reference needs at least one point")
+	}
+	ideal, nadir, err := IdealNadir(pool)
+	if err != nil {
+		return nil, err
+	}
+	ref := make([]float64, len(nadir))
+	for i := range ref {
+		pad := 0.05 * (nadir[i] - ideal[i])
+		if pad == 0 {
+			pad = 1
+		}
+		ref[i] = nadir[i] + pad
+	}
+	return ref, nil
 }
 
 // IdealNadir returns the component-wise minimum (ideal) and maximum

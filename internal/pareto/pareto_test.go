@@ -338,3 +338,117 @@ func TestArchiveInvariantProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestSharedReferenceCoversEveryFront(t *testing.T) {
+	a := []Point{{Objectives: []float64{1, 10}}, {Objectives: []float64{3, 4}}}
+	b := []Point{{Objectives: []float64{8, 2}}, {Objectives: []float64{0.5, 20}}}
+	ref, err := SharedReference(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range [][]Point{a, b} {
+		for _, p := range f {
+			for i := range p.Objectives {
+				if p.Objectives[i] >= ref[i] {
+					t.Fatalf("reference %v does not strictly cover point %v", ref, p.Objectives)
+				}
+			}
+		}
+	}
+	// Every point must contribute nonzero volume against the shared
+	// reference, including the pooled-nadir extremes.
+	for _, f := range [][]Point{a, b} {
+		for _, p := range f {
+			hv, err := Hypervolume([][]float64{p.Objectives}, ref)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if hv <= 0 {
+				t.Fatalf("point %v contributes no volume under shared reference %v", p.Objectives, ref)
+			}
+		}
+	}
+}
+
+func TestSharedReferenceDegenerateDimension(t *testing.T) {
+	// All points share objective 1: a zero range is padded by 1, not 0.
+	f := []Point{{Objectives: []float64{1, 7}}, {Objectives: []float64{2, 7}}}
+	ref, err := SharedReference(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ref[1] != 8 {
+		t.Fatalf("degenerate dimension reference = %v, want nadir+1 = 8", ref[1])
+	}
+}
+
+func TestSharedReferenceErrors(t *testing.T) {
+	if _, err := SharedReference(); err == nil {
+		t.Fatal("no fronts accepted")
+	}
+	if _, err := SharedReference([]Point{}, []Point{}); err == nil {
+		t.Fatal("empty fronts accepted")
+	}
+	mixed := []Point{{Objectives: []float64{1, 2}}, {Objectives: []float64{1, 2, 3}}}
+	if _, err := SharedReference(mixed); err == nil {
+		t.Fatal("mixed dimensionality accepted")
+	}
+}
+
+// TestSharedReferenceRankingScaleInvariant pins the property the racing
+// meta-optimizer depends on: ranking fronts by hypervolume-per-
+// evaluation against a SharedReference must not change when the raw
+// objectives are rescaled per dimension (e.g. seconds vs milliseconds,
+// joules vs kilojoules). The affine map from pooled bounds makes the
+// comparison unit-free.
+func TestSharedReferenceRankingScaleInvariant(t *testing.T) {
+	better := [][]float64{{1, 1}, {0.5, 2}, {2, 0.5}}
+	worse := [][]float64{{3, 3}, {2.5, 4}}
+	evals := map[string]int{"better": 30, "worse": 20}
+
+	// Score exactly as the race does: raw hypervolume against the one
+	// shared reference, divided by the contender's evaluation count.
+	score := func(fronts map[string][][]float64) (sb, sw float64) {
+		var all []Point
+		pts := map[string][]Point{}
+		for name, f := range fronts {
+			for _, o := range f {
+				pts[name] = append(pts[name], Point{Objectives: o})
+			}
+			all = append(all, pts[name]...)
+		}
+		ref, err := SharedReference(all)
+		if err != nil {
+			t.Fatal(err)
+		}
+		perEval := func(name string) float64 {
+			hv, err := Hypervolume(objectivesOf(pts[name]), ref)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return hv / float64(evals[name])
+		}
+		return perEval("better"), perEval("worse")
+	}
+
+	for _, scale := range [][]float64{{1, 1}, {1000, 1}, {1, 0.001}, {1e6, 1e-6}} {
+		fronts := map[string][][]float64{}
+		for name, f := range map[string][][]float64{"better": better, "worse": worse} {
+			for _, o := range f {
+				fronts[name] = append(fronts[name], []float64{o[0] * scale[0], o[1] * scale[1]})
+			}
+		}
+		sb, sw := score(fronts)
+		if sb <= sw {
+			t.Fatalf("scale %v flips the ranking: better=%g worse=%g", scale, sb, sw)
+		}
+	}
+}
+
+func objectivesOf(pts []Point) [][]float64 {
+	out := make([][]float64, len(pts))
+	for i, p := range pts {
+		out[i] = p.Objectives
+	}
+	return out
+}

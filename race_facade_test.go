@@ -1,0 +1,55 @@
+package autotune
+
+import (
+	"testing"
+)
+
+// TestTuneRaceFacade drives the racing meta-optimizer end to end
+// through the public Tune entry point.
+func TestTuneRaceFacade(t *testing.T) {
+	small := OptimizerOptions{PopSize: 8, MaxIterations: 6, Seed: 3}
+	run := func() *TuneResult {
+		res, err := Tune("mm",
+			WithRace(RaceOptions{Interval: 2, Budget: 150}),
+			WithMachineSpec(Westmere()),
+			WithOptimizerOptions(small),
+		)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a := run()
+	if len(a.Front) == 0 || a.Unit == nil {
+		t.Fatal("race tuning produced no result")
+	}
+	if a.Evaluations > 150 {
+		t.Fatalf("race consumed %d evaluations, budget 150", a.Evaluations)
+	}
+	b := run()
+	if len(a.Front) != len(b.Front) {
+		t.Fatalf("race front size diverged between identical runs: %d vs %d", len(a.Front), len(b.Front))
+	}
+	for i := range a.Front {
+		for j := range a.Front[i].Objectives {
+			if a.Front[i].Objectives[j] != b.Front[i].Objectives[j] {
+				t.Fatalf("race front point %d diverged: %v vs %v", i, a.Front[i].Objectives, b.Front[i].Objectives)
+			}
+		}
+	}
+}
+
+func TestWithRaceRejectsInvalidOptions(t *testing.T) {
+	if _, err := Tune("mm", WithRace(RaceOptions{Interval: -1})); err == nil {
+		t.Fatal("negative race interval accepted")
+	}
+	if _, err := Tune("mm", WithRace(RaceOptions{Budget: -1})); err == nil {
+		t.Fatal("negative race budget accepted")
+	}
+	if _, err := Tune("mm",
+		WithRace(RaceOptions{Strategies: []string{"rs-gde3", "alien"}}),
+		WithMachineSpec(Westmere()),
+	); err == nil {
+		t.Fatal("unregistered contender accepted")
+	}
+}
