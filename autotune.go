@@ -175,6 +175,11 @@ const (
 	MOTPE = driver.MethodMOTPE
 	// RandomSearch is the random baseline.
 	RandomSearch = driver.MethodRandom
+	// GridSearch sweeps a deterministic coarse grid subsample of the
+	// space in a low-discrepancy order, capped by WithRandomBudget —
+	// the systematic counterpart of RandomSearch, and a contender the
+	// race can include.
+	GridSearch = driver.MethodGrid
 	// BruteForce exhaustively sweeps a regular grid.
 	BruteForce = driver.MethodBruteForce
 	// MethodRace races several strategies concurrently over one shared
@@ -185,6 +190,13 @@ const (
 
 // RaceOptions configures MethodRace (see WithRace).
 type RaceOptions = driver.RaceOptions
+
+// Methods lists every search method accepted by WithMethod, sorted.
+func Methods() []string { return driver.ValidMethods() }
+
+// Strategies lists every registered optimizer strategy — the valid
+// contender names for RaceOptions.Strategies, sorted.
+func Strategies() []string { return optimizer.StrategyNames() }
 
 // Westmere returns the simulated 4-socket Intel system of the paper's
 // Table I (40 cores, 30 MB shared L3 per socket).
@@ -494,7 +506,30 @@ func WithRace(opts RaceOptions) Option {
 	}
 }
 
-// WithRandomBudget sets the evaluation budget of RandomSearch.
+// WithSurrogate layers surrogate-assisted pre-screening over the
+// evaluator: an online multi-output regression model trains
+// incrementally from every real evaluation (and from every stored
+// record a warm start primes) and pre-screens each generation's
+// candidates, sending only the topK most promising new configurations
+// — by predicted Pareto rank plus an uncertainty bonus that keeps
+// exploration alive — to the real evaluator. The rest are skipped
+// without costing Evaluations. topK = 0 picks an automatic quarter of
+// each batch; topK at or above the population size makes the screen an
+// exact pass-through. Works with every method except BruteForce.
+// Fixed-seed fronts stay byte-identical across GOMAXPROCS.
+func WithSurrogate(topK int) Option {
+	return func(c *tuneConfig) error {
+		if topK < 0 {
+			return fmt.Errorf("autotune: surrogate top-K must be non-negative")
+		}
+		c.opts.Surrogate = true
+		c.opts.ScreenTopK = topK
+		return nil
+	}
+}
+
+// WithRandomBudget sets the evaluation budget of RandomSearch and
+// GridSearch.
 func WithRandomBudget(budget int) Option {
 	return func(c *tuneConfig) error {
 		if budget < 1 {

@@ -3,8 +3,9 @@
 //
 // Usage:
 //
-//	autotune -kernel mm -machine Westmere [-method rs-gde3|gde3|nsga2|motpe|random|brute-force|race]
+//	autotune -kernel mm -machine Westmere [-method rs-gde3|gde3|nsga2|motpe|random|grid|brute-force|race]
 //	         [-islands W] [-migrate M] [-seed N] [-n N] [-energy] [-measured]
+//	         [-surrogate] [-screen-topk K]
 //	         [-race-interval N] [-race-budget E] [-race-strategies a,b,c]
 //	         [-deadline D] [-eval-timeout D] [-retries N]
 //	         [-checkpoint FILE] [-resume FILE]
@@ -40,7 +41,7 @@ import (
 func main() {
 	kernel := flag.String("kernel", "mm", "kernel to tune ("+strings.Join(autotune.Kernels(), ", ")+")")
 	machineName := flag.String("machine", "Westmere", "target machine (Westmere, Barcelona)")
-	method := flag.String("method", string(autotune.RSGDE3), "search method (rs-gde3, gde3, nsga2, motpe, random, brute-force, race)")
+	method := flag.String("method", string(autotune.RSGDE3), "search method ("+strings.Join(autotune.Methods(), ", ")+")")
 	islands := flag.Int("islands", 1, "parallel search islands (1 = serial)")
 	migrate := flag.Int("migrate", 0, "generations between island migrations (0 = default)")
 	seed := flag.Int64("seed", 1, "random seed")
@@ -65,7 +66,14 @@ func main() {
 	raceInterval := flag.Int("race-interval", 0, "with -method race: generations between scoring/elimination rounds (0 = default 5)")
 	raceBudget := flag.Int("race-budget", 0, "with -method race: cap on total distinct evaluations (0 = race until every survivor stops)")
 	raceStrategies := flag.String("race-strategies", "", "with -method race: comma-separated contender strategies (empty = all registered)")
+	surrogate := flag.Bool("surrogate", false, "pre-screen candidates with an online surrogate model: only the most promising reach the real evaluator")
+	screenTopK := flag.Int("screen-topk", 0, "with -surrogate: admitted new candidates per screened batch (0 = automatic; implies -surrogate when set)")
 	flag.Parse()
+
+	if err := validateChoices(*method, splitStrategies(*raceStrategies)); err != nil {
+		fmt.Fprintln(os.Stderr, "autotune:", err)
+		os.Exit(2)
+	}
 
 	// SIGINT/SIGTERM cancel the search context: the search stops at the
 	// next generation boundary, the last completed generation stays
@@ -85,19 +93,14 @@ func main() {
 		autotune.WithContext(ctx),
 	}
 	if autotune.Method(*method) == autotune.MethodRace || *raceInterval > 0 || *raceBudget > 0 || *raceStrategies != "" {
-		var names []string
-		if *raceStrategies != "" {
-			for _, s := range strings.Split(*raceStrategies, ",") {
-				if s = strings.TrimSpace(s); s != "" {
-					names = append(names, s)
-				}
-			}
-		}
 		opts = append(opts, autotune.WithRace(autotune.RaceOptions{
-			Strategies: names,
+			Strategies: splitStrategies(*raceStrategies),
 			Interval:   *raceInterval,
 			Budget:     *raceBudget,
 		}))
+	}
+	if *surrogate || *screenTopK > 0 {
+		opts = append(opts, autotune.WithSurrogate(*screenTopK))
 	}
 	if *evalTimeout > 0 {
 		opts = append(opts, autotune.WithEvalTimeout(*evalTimeout))
@@ -272,6 +275,43 @@ func runFaultDemo(unit *autotune.Unit, n int, rate float64, seed int64) error {
 	st := rt.Stats()
 	fmt.Printf("caller errors %d | failures absorbed %d | fallbacks %d | quarantines %d | readmissions %d\n",
 		callerErrors, st.Failures, st.Fallbacks, st.Quarantines, st.Readmissions)
+	return nil
+}
+
+// splitStrategies parses the -race-strategies comma list.
+func splitStrategies(s string) []string {
+	var names []string
+	for _, n := range strings.Split(s, ",") {
+		if n = strings.TrimSpace(n); n != "" {
+			names = append(names, n)
+		}
+	}
+	return names
+}
+
+// validateChoices rejects unknown -method and -race-strategies values
+// upfront, listing the valid names instead of failing deep inside the
+// search with a bare "unknown strategy" error.
+func validateChoices(method string, raceStrategies []string) error {
+	knownMethod := false
+	for _, m := range autotune.Methods() {
+		if m == method {
+			knownMethod = true
+			break
+		}
+	}
+	if !knownMethod {
+		return fmt.Errorf("unknown method %q (valid: %s)", method, strings.Join(autotune.Methods(), ", "))
+	}
+	valid := map[string]bool{}
+	for _, s := range autotune.Strategies() {
+		valid[s] = true
+	}
+	for _, name := range raceStrategies {
+		if !valid[name] {
+			return fmt.Errorf("unknown race strategy %q (valid: %s)", name, strings.Join(autotune.Strategies(), ", "))
+		}
+	}
 	return nil
 }
 

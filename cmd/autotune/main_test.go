@@ -1,0 +1,57 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"autotune"
+)
+
+func TestValidateChoicesAcceptsEveryRegisteredName(t *testing.T) {
+	for _, m := range autotune.Methods() {
+		if err := validateChoices(m, nil); err != nil {
+			t.Fatalf("method %q rejected: %v", m, err)
+		}
+	}
+	if err := validateChoices("race", autotune.Strategies()); err != nil {
+		t.Fatalf("full contender set rejected: %v", err)
+	}
+}
+
+func TestValidateChoicesListsValidNames(t *testing.T) {
+	err := validateChoices("alien", nil)
+	if err == nil {
+		t.Fatal("unknown method accepted")
+	}
+	for _, m := range autotune.Methods() {
+		if !strings.Contains(err.Error(), m) {
+			t.Fatalf("method error %q does not mention %q", err, m)
+		}
+	}
+
+	err = validateChoices("race", []string{"grid", "alien"})
+	if err == nil {
+		t.Fatal("unknown race strategy accepted")
+	}
+	for _, s := range autotune.Strategies() {
+		if !strings.Contains(err.Error(), s) {
+			t.Fatalf("strategy error %q does not mention %q", err, s)
+		}
+	}
+}
+
+func TestSplitStrategies(t *testing.T) {
+	got := splitStrategies(" grid, random ,,rs-gde3 ")
+	want := []string{"grid", "random", "rs-gde3"}
+	if len(got) != len(want) {
+		t.Fatalf("splitStrategies = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("splitStrategies = %v, want %v", got, want)
+		}
+	}
+	if splitStrategies("") != nil {
+		t.Fatal("empty list should parse to nil")
+	}
+}

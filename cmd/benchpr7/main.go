@@ -1,0 +1,79 @@
+// Command benchpr7 runs the surrogate pre-screening benchmark: for
+// each kernel and machine preset, an unscreened baseline search and a
+// surrogate-screened search run with identical budgets, cold and warm
+// (warm = cache primed and population seeded from a different-seed
+// priming run). The JSON report records, per run, the real evaluation
+// count (E), front size, hypervolume against the cell's shared
+// reference, and the evaluations-to-equal-hypervolume metric: how many
+// real evaluations each run spent before its front first matched the
+// baseline's final hypervolume. Surrogate rows carry the resulting
+// speedup. The committed BENCH_pr7.json at the repository root is
+// regenerated with:
+//
+//	go run ./cmd/benchpr7 -o BENCH_pr7.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"autotune/internal/experiments"
+	"autotune/internal/kernels"
+	"autotune/internal/machine"
+)
+
+func main() {
+	out := flag.String("o", "BENCH_pr7.json", "output file")
+	machList := flag.String("machines", "Westmere,Barcelona", "comma-separated machine presets")
+	kernList := flag.String("kernels", "mm,2mm,jacobi-2d", "comma-separated kernels")
+	modeName := flag.String("mode", "full", "evaluation budget (quick, full)")
+	flag.Parse()
+
+	if err := run(*out, *machList, *kernList, *modeName, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "benchpr7:", err)
+		os.Exit(1)
+	}
+}
+
+// run executes the benchmark and writes the JSON report to out; the
+// rendered tables go to w. Separate from main so it is testable.
+func run(out, machList, kernList, modeName string, w io.Writer) error {
+	mode := experiments.ModeByName(modeName)
+	report := experiments.NewBenchReport(
+		"surrogate pre-screening: online model screens candidates before real evaluation, cold and warm-started",
+		machList, modeName)
+
+	cells, twofold := 0, 0
+	for _, mName := range experiments.SplitList(machList) {
+		m, err := machine.ByName(mName)
+		if err != nil {
+			return err
+		}
+		for _, name := range experiments.SplitList(kernList) {
+			k, err := kernels.ByName(name)
+			if err != nil {
+				return err
+			}
+			res, err := experiments.SurrogateComparison(k, m, mode)
+			if err != nil {
+				return err
+			}
+			report.AddSurrogateRuns(k.Name, m.Name, res)
+			res.Render(w)
+			fmt.Fprintln(w)
+			cells++
+			if res.SpeedupCold >= 2 || res.SpeedupWarm >= 2 {
+				twofold++
+			}
+		}
+	}
+	fmt.Fprintf(w, "cells with >= 2x evaluations-to-equal-HV speedup: %d of %d\n", twofold, cells)
+
+	if err := report.WriteFile(out); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "benchmark report written to %s\n", out)
+	return nil
+}

@@ -1,0 +1,73 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunQuick(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "bench.json")
+	var sb strings.Builder
+	if err := run(out, "Westmere", "mm", "quick", &sb); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !strings.Contains(sb.String(), "Surrogate pre-screening: mm") {
+		t.Errorf("rendered output missing surrogate table:\n%s", sb.String())
+	}
+	if !strings.Contains(sb.String(), "cells with >= 2x") {
+		t.Errorf("rendered output missing the cell tally:\n%s", sb.String())
+	}
+
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatalf("ReadFile: %v", err)
+	}
+	var report struct {
+		Benchmark string `json:"benchmark"`
+		Runs      []struct {
+			Kernel        string  `json:"kernel"`
+			Label         string  `json:"label"`
+			Machine       string  `json:"machine"`
+			Evaluations   int     `json:"evaluations"`
+			Hypervolume   float64 `json:"hypervolume"`
+			EvalsToTarget int     `json:"evals_to_target"`
+			EvalSpeedup   float64 `json:"eval_speedup"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal(data, &report); err != nil {
+		t.Fatalf("Unmarshal: %v", err)
+	}
+	// Four runs per cell: baseline/surrogate, cold/warm.
+	if len(report.Runs) != 4 {
+		t.Fatalf("want 4 runs for one cell, got %d", len(report.Runs))
+	}
+	wantLabels := []string{"baseline cold", "surrogate cold", "baseline warm", "surrogate warm"}
+	for i, run := range report.Runs {
+		if run.Label != wantLabels[i] {
+			t.Fatalf("run %d label = %q, want %q", i, run.Label, wantLabels[i])
+		}
+		if run.Evaluations <= 0 || run.Hypervolume <= 0 {
+			t.Errorf("run %q has no work recorded: %+v", run.Label, run)
+		}
+	}
+	// Baselines reach their own final hypervolume by construction.
+	if report.Runs[0].EvalsToTarget == 0 || report.Runs[2].EvalsToTarget == 0 {
+		t.Errorf("baseline evals_to_target missing: %+v", report.Runs)
+	}
+	if report.Runs[0].EvalSpeedup != 0 || report.Runs[2].EvalSpeedup != 0 {
+		t.Errorf("baseline rows carry a speedup: %+v", report.Runs)
+	}
+}
+
+func TestRunBadInputs(t *testing.T) {
+	var sb strings.Builder
+	if err := run("x.json", "NoSuchMachine", "mm", "quick", &sb); err == nil {
+		t.Error("unknown machine: expected error")
+	}
+	if err := run("x.json", "Westmere", "nosuchkernel", "quick", &sb); err == nil {
+		t.Error("unknown kernel: expected error")
+	}
+}

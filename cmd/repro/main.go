@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	repro [-exp all|fig1|fig2|table1|table2|table3|table4|table5|table6|fig8|fig9|island|warmstart|race]
+//	repro [-exp all|fig1|fig2|table1|table2|table3|table4|table5|table6|fig8|fig9|island|warmstart|race|surrogate]
 //	      [-machine Westmere|Barcelona|all] [-kernel mm|...]
 //	      [-mode quick|full] [-reps N]
 //
@@ -27,7 +27,7 @@ import (
 type paretoPoint = pareto.Point
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to regenerate (all, fig1, fig2, fig8, fig9, table1..table6, island, warmstart, race, resume, extended, validate)")
+	exp := flag.String("exp", "all", "experiment to regenerate (all, fig1, fig2, fig8, fig9, table1..table6, island, warmstart, race, surrogate, resume, extended, validate)")
 	machName := flag.String("machine", "all", "target machine (Westmere, Barcelona, all)")
 	kernName := flag.String("kernel", "mm", "kernel for single-kernel experiments")
 	modeName := flag.String("mode", "full", "evaluation budget (quick, full)")
@@ -171,6 +171,15 @@ func main() {
 	case "race":
 		for _, m := range machines {
 			r, err := experiments.RaceComparison(k, m, mode)
+			if err != nil {
+				fatal(err)
+			}
+			r.Render(w)
+			fmt.Fprintln(w)
+		}
+	case "surrogate":
+		for _, m := range machines {
+			r, err := experiments.SurrogateComparison(k, m, mode)
 			if err != nil {
 				fatal(err)
 			}

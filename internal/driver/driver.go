@@ -11,6 +11,7 @@ import (
 	"context"
 	"fmt"
 	"sort"
+	"strings"
 	"sync"
 	"time"
 
@@ -23,6 +24,7 @@ import (
 	"autotune/internal/objective"
 	"autotune/internal/optimizer"
 	"autotune/internal/skeleton"
+	"autotune/internal/surrogate"
 	"autotune/internal/tunedb"
 )
 
@@ -31,11 +33,15 @@ type Method string
 
 // Search strategies.
 const (
-	MethodRSGDE3     Method = "rs-gde3"
-	MethodGDE3       Method = "gde3"
-	MethodNSGA2      Method = "nsga2"
-	MethodMOTPE      Method = "motpe"
-	MethodRandom     Method = "random"
+	MethodRSGDE3 Method = "rs-gde3"
+	MethodGDE3   Method = "gde3"
+	MethodNSGA2  Method = "nsga2"
+	MethodMOTPE  Method = "motpe"
+	MethodRandom Method = "random"
+	// MethodGrid sweeps a deterministic coarse grid subsample of at
+	// most RandomBudget configurations in a low-discrepancy order — the
+	// systematic counterpart of MethodRandom.
+	MethodGrid       Method = "grid"
 	MethodBruteForce Method = "brute-force"
 	// MethodRace races several registered strategies over one shared
 	// evaluation cache and keeps reallocating budget toward the
@@ -82,6 +88,22 @@ type Options struct {
 	// GridPoints is the per-dimension point count for
 	// MethodBruteForce (default 12 per tile dim, all thread counts).
 	GridPoints []int
+	// Surrogate layers surrogate-assisted pre-screening over the
+	// evaluator: an online regression model trains from every real
+	// evaluation (and, with WarmStart, from every stored record the
+	// database primes) and each generation only the most promising new
+	// candidates reach the real evaluator — the rest are skipped
+	// without costing E. Incompatible with MethodBruteForce, whose
+	// point is the exhaustive sweep. Fixed-seed fronts stay
+	// byte-identical across GOMAXPROCS; a resumed screened search may
+	// legitimately differ from the uninterrupted run, because the model
+	// retrains from the journaled history in one batch rather than
+	// generation by generation.
+	Surrogate bool
+	// ScreenTopK caps how many new candidates per batch survive the
+	// surrogate screen (0 = a quarter of the batch; >= PopSize makes
+	// the screen an exact pass-through). Setting it implies Surrogate.
+	ScreenTopK int
 	// NoiseAmp adds deterministic measurement noise (see
 	// objective.SimConfig).
 	NoiseAmp float64
@@ -202,7 +224,17 @@ func TuneKernel(kernelName string, opt Options) (*Output, error) {
 		eval = s
 	}
 
-	// (3b) Persistent tuning database: warm-start and journaling.
+	// (3b) Surrogate screen. Installed before the database attaches so
+	// the warm-start records primed into the cache reach the model
+	// through the prime-observer channel — stored history becomes
+	// instant training data.
+	eval, detach, err := attachSurrogate(opt, prog, space, eval)
+	if err != nil {
+		return nil, err
+	}
+	defer detach()
+
+	// (3c) Persistent tuning database: warm-start and journaling.
 	fingerprint := tunedb.ProgramFingerprint(prog, k.Name, fmt.Sprint(n),
 		region.Skeleton.Name, fmt.Sprint(opt.Measured), fmt.Sprint(opt.UnrollDim))
 	finish := attachDB(&opt, fingerprint, space, eval)
@@ -235,11 +267,51 @@ func TuneKernel(kernelName string, opt Options) (*Output, error) {
 	return &Output{Kernel: k, Region: region, Result: res, Unit: unit}, nil
 }
 
-func runSearch(space skeleton.Space, eval objective.Evaluator, opt Options, ctrl optimizer.Control) (*optimizer.Result, error) {
-	method := opt.Method
-	if method == "" {
-		method = MethodRSGDE3
+// effectiveMethod resolves the defaulted search method.
+func effectiveMethod(opt Options) Method {
+	if opt.Method == "" {
+		return MethodRSGDE3
 	}
+	return opt.Method
+}
+
+// attachSurrogate wraps eval in the surrogate pre-screen when opt asks
+// for one (Options.Surrogate, or a positive ScreenTopK, which implies
+// it). The region's static features enrich the model's basis. The
+// returned cleanup detaches the model's observers from the cache and
+// is non-nil even when no screen was installed.
+func attachSurrogate(opt Options, prog *ir.Program, space skeleton.Space,
+	eval objective.Evaluator) (objective.Evaluator, func(), error) {
+	if !opt.Surrogate && opt.ScreenTopK <= 0 {
+		return eval, func() {}, nil
+	}
+	if method := effectiveMethod(opt); method == MethodBruteForce {
+		return nil, nil, fmt.Errorf("driver: method %q enumerates its whole grid; the surrogate screen would silently hollow out the sweep — use an evolutionary method or drop Surrogate", method)
+	}
+	fmap := map[string]float64{}
+	if fs, err := features.Extract(prog); err == nil {
+		fmap = fs.AsMap()
+	}
+	scr, err := surrogate.NewScreened(space, eval, surrogate.Options{
+		TopK:     opt.ScreenTopK,
+		Features: fmap,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	return scr, scr.Close, nil
+}
+
+// ValidMethods lists every Method the driver accepts, sorted — the
+// registered strategies plus the driver-level modes.
+func ValidMethods() []string {
+	names := append(optimizer.StrategyNames(), string(MethodBruteForce), string(MethodRace))
+	sort.Strings(names)
+	return names
+}
+
+func runSearch(space skeleton.Space, eval objective.Evaluator, opt Options, ctrl optimizer.Control) (*optimizer.Result, error) {
+	method := effectiveMethod(opt)
 	if opt.RandomBudget < 0 {
 		return nil, fmt.Errorf("driver: random budget %d < 0", opt.RandomBudget)
 	}
@@ -250,7 +322,7 @@ func runSearch(space skeleton.Space, eval objective.Evaluator, opt Options, ctrl
 	parallel := opt.Islands > 1
 	if parallel {
 		switch method {
-		case MethodRandom, MethodBruteForce, MethodRace, MethodMOTPE:
+		case MethodRandom, MethodGrid, MethodBruteForce, MethodRace, MethodMOTPE:
 			// Silently falling back to a sequential search would make
 			// `-islands 4 -method random` lie about what ran.
 			return nil, fmt.Errorf("driver: method %q does not support the island model (islands=%d); use an evolutionary method (rs-gde3, gde3, nsga2) or drop Islands", method, opt.Islands)
@@ -287,6 +359,12 @@ func runSearch(space skeleton.Space, eval objective.Evaluator, opt Options, ctrl
 			budget = 1000
 		}
 		return optimizer.RandomControlled(space, eval, budget, opt.Optimizer.Seed, ctrl)
+	case MethodGrid:
+		budget := opt.RandomBudget
+		if budget == 0 {
+			budget = 1000
+		}
+		return optimizer.GridSearchControlled(space, eval, budget, ctrl)
 	case MethodRace:
 		cfg := optimizer.StrategyConfig{
 			Options:      opt.Optimizer,
@@ -323,7 +401,7 @@ func runSearch(space skeleton.Space, eval objective.Evaluator, opt Options, ctrl
 		}
 		return optimizer.BruteForceControlled(space, eval, grid, ctrl)
 	default:
-		return nil, fmt.Errorf("driver: unknown method %q", method)
+		return nil, fmt.Errorf("driver: unknown method %q (valid: %s)", method, strings.Join(ValidMethods(), ", "))
 	}
 }
 

@@ -36,6 +36,9 @@ func TuneKernels(kernelNames []string, opt Options) (*MultiOutput, error) {
 	if opt.Measured {
 		return nil, fmt.Errorf("driver: joint tuning supports the simulated evaluator only")
 	}
+	if opt.Surrogate || opt.ScreenTopK > 0 {
+		return nil, fmt.Errorf("driver: joint tuning does not support the surrogate screen (the joint evaluator couples all regions into one execution)")
+	}
 	var (
 		ks      []*kernels.Kernel
 		regions []analyzer.Region

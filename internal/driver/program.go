@@ -29,6 +29,9 @@ func TuneProgramAll(prog *ir.Program, opt Options) (*MultiOutput, error) {
 	if opt.Measured {
 		return nil, fmt.Errorf("driver: parsed programs have no measured implementation")
 	}
+	if opt.Surrogate || opt.ScreenTopK > 0 {
+		return nil, fmt.Errorf("driver: joint tuning does not support the surrogate screen (the joint evaluator couples all regions into one execution)")
+	}
 	regions, err := analyzer.Analyze(prog, analyzer.Options{MaxThreads: opt.Machine.Cores()})
 	if err != nil {
 		return nil, err
@@ -134,15 +137,20 @@ func TuneProgram(prog *ir.Program, opt Options) (*Output, error) {
 	if err != nil {
 		return nil, err
 	}
+	seval, detach, err := attachSurrogate(opt, prog, region.Skeleton.Space, eval)
+	if err != nil {
+		return nil, err
+	}
+	defer detach()
 	fingerprint := tunedb.ProgramFingerprint(prog, "source", region.Skeleton.Name,
 		fmt.Sprint(opt.UnrollDim))
-	finish := attachDB(&opt, fingerprint, region.Skeleton.Space, eval)
-	ctrl, cleanup, err := buildControl(opt, eval)
+	finish := attachDB(&opt, fingerprint, region.Skeleton.Space, seval)
+	ctrl, cleanup, err := buildControl(opt, seval)
 	if err != nil {
 		return nil, err
 	}
 	defer cleanup()
-	res, err := runSearch(region.Skeleton.Space, eval, opt, ctrl)
+	res, err := runSearch(region.Skeleton.Space, seval, opt, ctrl)
 	if err != nil {
 		return nil, err
 	}
@@ -155,7 +163,7 @@ func TuneProgram(prog *ir.Program, opt Options) (*Output, error) {
 	if err := finish(res); err != nil {
 		return nil, err
 	}
-	unit, err := EmitUnit(synth, prog, region, res, eval.ObjectiveNames(), 1)
+	unit, err := EmitUnit(synth, prog, region, res, seval.ObjectiveNames(), 1)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,188 @@
+package driver
+
+import (
+	"strings"
+	"testing"
+
+	"autotune/internal/machine"
+	"autotune/internal/optimizer"
+	"autotune/internal/tunedb"
+)
+
+// TestSurrogateThroughDriver: a screened tuning run completes, spends
+// strictly fewer real evaluations than the identical unscreened run,
+// and still emits a usable multi-versioned unit.
+func TestSurrogateThroughDriver(t *testing.T) {
+	base, err := TuneKernel("mm", fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	opt := fastOpts()
+	opt.Surrogate = true
+	opt.ScreenTopK = 3
+	scr, err := TuneKernel("mm", opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if scr.Result.Evaluations >= base.Result.Evaluations {
+		t.Fatalf("screened E=%d not below baseline E=%d",
+			scr.Result.Evaluations, base.Result.Evaluations)
+	}
+	if len(scr.Unit.Versions) == 0 {
+		t.Fatal("screened run emitted no versions")
+	}
+}
+
+// TestSurrogateScreenTopKImpliesSurrogate: setting ScreenTopK alone
+// turns the screen on.
+func TestSurrogateScreenTopKImpliesSurrogate(t *testing.T) {
+	base, err := TuneKernel("mm", fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := fastOpts()
+	opt.ScreenTopK = 3
+	scr, err := TuneKernel("mm", opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if scr.Result.Evaluations >= base.Result.Evaluations {
+		t.Fatalf("ScreenTopK alone did not engage the screen: E=%d vs baseline %d",
+			scr.Result.Evaluations, base.Result.Evaluations)
+	}
+}
+
+// TestSurrogateRejectsBruteForce: an exhaustive sweep under a screen
+// would be a contradiction — the driver must refuse it.
+func TestSurrogateRejectsBruteForce(t *testing.T) {
+	opt := fastOpts()
+	opt.Method = MethodBruteForce
+	opt.Surrogate = true
+	if _, err := TuneKernel("mm", opt); err == nil {
+		t.Fatal("brute force + surrogate accepted")
+	}
+}
+
+// TestSurrogateRejectsJointTuning: the joint evaluator couples all
+// regions into one execution, which the per-space screen cannot
+// express.
+func TestSurrogateRejectsJointTuning(t *testing.T) {
+	opt := fastOpts()
+	opt.Surrogate = true
+	if _, err := TuneKernels([]string{"mm", "jacobi-2d"}, opt); err == nil {
+		t.Fatal("joint tuning + surrogate accepted")
+	}
+}
+
+// TestSurrogateWarmStartTrainsFromDB: warm-start priming flows through
+// the prime-observer channel into the model, so the warm screened run
+// both reuses the cache (fewer evaluations than cold) and completes
+// with a front.
+func TestSurrogateWarmStartTrainsFromDB(t *testing.T) {
+	db, err := tunedb.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+
+	cold := fastOpts()
+	cold.DB = db
+	cres, err := TuneKernel("mm", cold)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	warm := fastOpts()
+	warm.DB = db
+	warm.WarmStart = true
+	warm.Surrogate = true
+	warm.ScreenTopK = 3
+	wres, err := TuneKernel("mm", warm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wres.Result.Evaluations >= cres.Result.Evaluations {
+		t.Fatalf("warm screened run evaluated %d, cold run %d",
+			wres.Result.Evaluations, cres.Result.Evaluations)
+	}
+	if len(wres.Result.Front) == 0 {
+		t.Fatal("warm screened run produced no front")
+	}
+}
+
+// TestSurrogateWithRaceThroughDriver: racing contenders share one
+// cache and one model; the driver path must complete.
+func TestSurrogateWithRaceThroughDriver(t *testing.T) {
+	opt := Options{
+		Machine:   machine.Westmere(),
+		Method:    MethodRace,
+		Optimizer: optimizer.Options{PopSize: 8, Seed: 2, MaxIterations: 6},
+		Race:      RaceOptions{Budget: 300, Interval: 2},
+		Surrogate: true,
+	}
+	out, err := TuneKernel("mm", opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Unit.Versions) == 0 {
+		t.Fatal("screened race emitted no versions")
+	}
+}
+
+// TestGridMethodThroughDriver: the grid method sweeps at most
+// RandomBudget configurations deterministically.
+func TestGridMethodThroughDriver(t *testing.T) {
+	opt := Options{
+		Machine:      machine.Westmere(),
+		Method:       MethodGrid,
+		RandomBudget: 64,
+	}
+	out, err := TuneKernel("mm", opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Result.Evaluations == 0 || out.Result.Evaluations > 64 {
+		t.Fatalf("grid consumed %d evaluations, budget 64", out.Result.Evaluations)
+	}
+	if len(out.Unit.Versions) == 0 {
+		t.Fatal("no versions")
+	}
+}
+
+// TestUnknownMethodErrorListsValidMethods: the satellite bugfix — a
+// bad method name reports every valid one.
+func TestUnknownMethodErrorListsValidMethods(t *testing.T) {
+	opt := fastOpts()
+	opt.Method = "alien"
+	_, err := TuneKernel("mm", opt)
+	if err == nil {
+		t.Fatal("unknown method accepted")
+	}
+	for _, name := range ValidMethods() {
+		if !strings.Contains(err.Error(), name) {
+			t.Fatalf("error %q does not mention %q", err, name)
+		}
+	}
+}
+
+// TestValidMethodsSorted: the list the error message relies on is
+// sorted and deduplicated.
+func TestValidMethodsSorted(t *testing.T) {
+	names := ValidMethods()
+	seen := map[string]bool{}
+	for i, n := range names {
+		if i > 0 && names[i-1] >= n {
+			t.Fatalf("ValidMethods() not strictly sorted: %v", names)
+		}
+		if seen[n] {
+			t.Fatalf("ValidMethods() repeats %q", n)
+		}
+		seen[n] = true
+	}
+	for _, want := range []string{"rs-gde3", "grid", "brute-force", "race"} {
+		if !seen[want] {
+			t.Fatalf("ValidMethods() = %v is missing %q", names, want)
+		}
+	}
+}

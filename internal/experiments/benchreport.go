@@ -22,6 +22,13 @@ type BenchRun struct {
 	EvalReductionPct float64 `json:"eval_reduction_pct,omitempty"`
 	FrontSize        int     `json:"front_size"`
 	Hypervolume      float64 `json:"hypervolume"`
+	// EvalsToTarget is the evaluation count at which this run's
+	// per-generation front first matched the baseline's final
+	// hypervolume (surrogate benchmark; 0 = not reached/not tracked).
+	EvalsToTarget int `json:"evals_to_target,omitempty"`
+	// EvalSpeedup is baseline EvalsToTarget / this run's EvalsToTarget
+	// (surrogate rows only).
+	EvalSpeedup float64 `json:"eval_speedup,omitempty"`
 }
 
 // BenchReport is the JSON envelope of one benchmark invocation.
@@ -107,6 +114,31 @@ func (r *BenchReport) AddRaceRuns(kernel, machineName string, res *RaceCompariso
 			FrontSize:   run.FrontSize,
 			Hypervolume: run.HV,
 		})
+	}
+}
+
+// AddSurrogateRuns folds a surrogate-screening comparison into the
+// report. Surrogate rows carry the evaluations-to-equal-hypervolume
+// speedup over their matching (cold or warm) baseline.
+func (r *BenchReport) AddSurrogateRuns(kernel, machineName string, res *SurrogateResult) {
+	for _, run := range res.Runs {
+		row := BenchRun{
+			Kernel:        kernel,
+			Label:         run.Label,
+			Machine:       machineName,
+			Evaluations:   run.Evaluations,
+			FrontSize:     run.FrontSize,
+			Hypervolume:   run.HV,
+			EvalsToTarget: run.EvalsToTarget,
+		}
+		if run.Surrogate {
+			if run.Warm {
+				row.EvalSpeedup = res.SpeedupWarm
+			} else {
+				row.EvalSpeedup = res.SpeedupCold
+			}
+		}
+		r.Runs = append(r.Runs, row)
 	}
 }
 

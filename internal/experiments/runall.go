@@ -111,5 +111,14 @@ func RunAll(w io.Writer, mode Mode, reps int) error {
 		return err
 	}
 	rc.Render(w)
+	fmt.Fprintln(w)
+
+	// Surrogate pre-screening: the online model vs. unscreened searches
+	// at equal real-evaluation budgets, cold and warm-started.
+	sc, err := SurrogateComparison(mm, machines[0], mode)
+	if err != nil {
+		return err
+	}
+	sc.Render(w)
 	return nil
 }

@@ -55,6 +55,8 @@ type CachingEvaluator struct {
 	evals     int
 	nextObs   int
 	observers map[int]func(cfg skeleton.Config, objs []float64)
+	nextPrime int
+	primeObs  map[int]func(cfg skeleton.Config, objs []float64)
 }
 
 // inflightEval is the rendezvous for duplicate requests of a
@@ -79,6 +81,7 @@ func NewCachingEvaluator(names []string, parallelism int, fn EvalFunc) *CachingE
 		cache:     map[string][]float64{},
 		inflight:  map[string]*inflightEval{},
 		observers: map[int]func(skeleton.Config, []float64){},
+		primeObs:  map[int]func(skeleton.Config, []float64){},
 	}
 }
 
@@ -134,20 +137,87 @@ func (c *CachingEvaluator) WrapEvalFunc(mw func(CtxEvalFunc) CtxEvalFunc) {
 // warm-start path of the persistent tuning database. A nil objs
 // records a known-failed configuration, so warm searches skip it too.
 // Entries already cached or currently in flight are left untouched.
-// Primed results are not reported to observers. It reports whether
-// the entry was inserted.
+//
+// Primed results are deliberately NOT reported to the evaluation
+// observers (SetObserver/AddObserver): those fire exactly once per
+// completed fresh evaluation, and a primed entry was produced by an
+// earlier run — re-reporting it would double-journal it in the tuning
+// database and double-charge checkpoint traces. Consumers that want
+// the warm-start data anyway (the surrogate model trains on every
+// known result) register through AddPrimeObserver, which fires exactly
+// once per *inserted* primed entry. It reports whether the entry was
+// inserted.
 func (c *CachingEvaluator) Prime(cfg skeleton.Config, objs []float64) bool {
 	key := cfg.Key()
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	if _, ok := c.cache[key]; ok {
+		c.mu.Unlock()
 		return false
 	}
 	if _, ok := c.inflight[key]; ok {
+		c.mu.Unlock()
 		return false
 	}
 	c.cache[key] = append([]float64(nil), objs...)
+	observers := c.primeObserverList()
+	c.mu.Unlock()
+	for _, observe := range observers {
+		observe(cfg, objs)
+	}
 	return true
+}
+
+// Lookup peeks at the memoization cache: it returns the cached
+// objective vector (nil for a cached failure) and whether the
+// configuration has a completed result — primed or freshly evaluated.
+// In-flight evaluations do not count as cached. Lookup never triggers
+// an evaluation; the surrogate screen uses it to pass already-known
+// configurations through for free.
+func (c *CachingEvaluator) Lookup(cfg skeleton.Config) (objs []float64, ok bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	objs, ok = c.cache[cfg.Key()]
+	return objs, ok
+}
+
+// AddPrimeObserver registers fn to be called exactly once per primed
+// entry actually inserted by Prime (duplicates of cached or in-flight
+// keys are not reported; known failures are reported with nil
+// objectives) and returns its removal function. Together with
+// AddObserver this gives a consumer the complete stream of results the
+// cache ever learns: fresh evaluations arrive through the evaluation
+// observers, warm-start insertions through the prime observers, and no
+// result is ever delivered on both channels. fn runs outside the
+// evaluator's lock but must be safe for concurrent calls.
+func (c *CachingEvaluator) AddPrimeObserver(fn func(cfg skeleton.Config, objs []float64)) (remove func()) {
+	c.mu.Lock()
+	if c.primeObs == nil {
+		c.primeObs = map[int]func(skeleton.Config, []float64){}
+	}
+	c.nextPrime++
+	id := c.nextPrime
+	c.primeObs[id] = fn
+	c.mu.Unlock()
+	return func() {
+		c.mu.Lock()
+		delete(c.primeObs, id)
+		c.mu.Unlock()
+	}
+}
+
+// primeObserverList snapshots the prime observers in registration
+// order. Callers hold c.mu.
+func (c *CachingEvaluator) primeObserverList() []func(skeleton.Config, []float64) {
+	if len(c.primeObs) == 0 {
+		return nil
+	}
+	out := make([]func(skeleton.Config, []float64), 0, len(c.primeObs))
+	for id := 1; id <= c.nextPrime; id++ {
+		if fn, ok := c.primeObs[id]; ok {
+			out = append(out, fn)
+		}
+	}
+	return out
 }
 
 // SetObserver registers fn to be called exactly once per completed

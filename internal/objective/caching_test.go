@@ -197,3 +197,94 @@ func TestCachingEvaluatorParallelismClamp(t *testing.T) {
 		t.Fatalf("E = %d, want 1", c.Evaluations())
 	}
 }
+
+// TestCachingEvaluatorPrimeObserver pins the two-channel observer
+// contract the surrogate trains on: evaluation observers fire exactly
+// once per fresh evaluation and never for primed entries; prime
+// observers fire exactly once per inserted primed entry (rejected
+// duplicates stay silent) and never for fresh evaluations. No result
+// is delivered on both channels.
+func TestCachingEvaluatorPrimeObserver(t *testing.T) {
+	var calls atomic.Int64
+	c := NewCachingEvaluator([]string{"a", "b"}, 2, countingFn(&calls))
+	var mu sync.Mutex
+	evaluated := map[string][]float64{}
+	primed := map[string][]float64{}
+	c.SetObserver(func(cfg skeleton.Config, objs []float64) {
+		mu.Lock()
+		defer mu.Unlock()
+		if _, dup := evaluated[cfg.Key()]; dup {
+			t.Errorf("evaluation observer fired twice for %v", cfg)
+		}
+		evaluated[cfg.Key()] = objs
+	})
+	remove := c.AddPrimeObserver(func(cfg skeleton.Config, objs []float64) {
+		mu.Lock()
+		defer mu.Unlock()
+		if _, dup := primed[cfg.Key()]; dup {
+			t.Errorf("prime observer fired twice for %v", cfg)
+		}
+		primed[cfg.Key()] = objs
+	})
+
+	c.Prime(skeleton.Config{3}, []float64{30, 60}) // inserted -> prime observer
+	c.Prime(skeleton.Config{3}, []float64{31, 61}) // duplicate -> silent
+	c.Prime(skeleton.Config{4}, nil)               // known failure -> prime observer, nil
+	c.Evaluate([]skeleton.Config{{1}, {3}, {4}})   // one fresh eval, two cache hits
+	c.Prime(skeleton.Config{1}, []float64{0, 0})   // evaluated key -> rejected, silent
+
+	mu.Lock()
+	if len(evaluated) != 1 || evaluated[skeleton.Config{1}.Key()] == nil {
+		t.Fatalf("evaluation observer saw %v, want exactly the fresh eval of {1}", evaluated)
+	}
+	if len(primed) != 2 {
+		t.Fatalf("prime observer saw %d keys, want 2: %v", len(primed), primed)
+	}
+	if objs, ok := primed[skeleton.Config{4}.Key()]; !ok || objs != nil {
+		t.Fatalf("known-failure prime observation = %v (present %v)", objs, ok)
+	}
+	for key := range primed {
+		if _, both := evaluated[key]; both {
+			t.Fatalf("key %s delivered on both observer channels", key)
+		}
+	}
+	mu.Unlock()
+
+	// Removal stops notifications; insertion still succeeds.
+	remove()
+	if !c.Prime(skeleton.Config{5}, []float64{50, 100}) {
+		t.Fatal("prime after observer removal rejected")
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(primed) != 2 {
+		t.Fatal("prime observer fired after removal")
+	}
+}
+
+// TestCachingEvaluatorLookup: Lookup peeks at completed results —
+// primed or evaluated, including cached failures — without ever
+// triggering an evaluation.
+func TestCachingEvaluatorLookup(t *testing.T) {
+	var calls atomic.Int64
+	c := NewCachingEvaluator([]string{"a", "b"}, 2, countingFn(&calls))
+	if _, ok := c.Lookup(skeleton.Config{1}); ok {
+		t.Fatal("Lookup hit on an empty cache")
+	}
+	c.Prime(skeleton.Config{1}, []float64{10, 20})
+	c.EvaluateOne(skeleton.Config{2})
+	c.EvaluateOne(skeleton.Config{-1})
+	before := calls.Load()
+	if objs, ok := c.Lookup(skeleton.Config{1}); !ok || objs[0] != 10 {
+		t.Fatalf("primed Lookup = %v, %v", objs, ok)
+	}
+	if objs, ok := c.Lookup(skeleton.Config{2}); !ok || objs[0] != 2 {
+		t.Fatalf("evaluated Lookup = %v, %v", objs, ok)
+	}
+	if objs, ok := c.Lookup(skeleton.Config{-1}); !ok || objs != nil {
+		t.Fatalf("failure Lookup = %v, %v", objs, ok)
+	}
+	if calls.Load() != before {
+		t.Fatal("Lookup triggered an evaluation")
+	}
+}

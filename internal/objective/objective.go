@@ -43,6 +43,17 @@ type Evaluator interface {
 	Evaluations() int
 }
 
+// GenerationSyncer is implemented by evaluator layers that maintain
+// per-generation state — the surrogate screen folds the evaluations
+// observed during a generation into its model here. The search engines
+// call SyncGeneration at deterministic generation barriers (after the
+// initial populations and after every completed generation or racing
+// round), never concurrently with Evaluate, so the layer can mutate
+// shared state in a canonical order regardless of GOMAXPROCS.
+type GenerationSyncer interface {
+	SyncGeneration()
+}
+
 // ObjectiveKind selects an objective for the simulated evaluator.
 type ObjectiveKind int
 

@@ -286,6 +286,17 @@ func (r *controlledRun) close() {
 	}
 }
 
+// sync flushes evaluator layers with per-generation state (the
+// surrogate screen) at a generation barrier: observations since the
+// last barrier fold into the model in canonical order, so the layer's
+// behavior depends on barrier counts, never on evaluation
+// interleaving. A no-op for plain evaluators.
+func (r *controlledRun) sync() {
+	if gs, ok := r.eval.(objective.GenerationSyncer); ok {
+		gs.SyncGeneration()
+	}
+}
+
 // totalE is the cumulative E: for fresh runs the evaluator's absolute
 // count (backward compatible with shared evaluators), for resumed runs
 // the checkpointed count plus this continuation's fresh evaluations.
@@ -336,6 +347,9 @@ func (r *controlledRun) loop(islands []islandEvolver, maxGens int, iopt IslandOp
 			return 0, false, err
 		}
 	}
+	// Barrier 0: the initial populations (and any warm-start priming)
+	// are in; train the surrogate before the first generation screens.
+	r.sync()
 	for gens < maxGens {
 		if ctx.Err() != nil {
 			return gens, true, nil
@@ -358,6 +372,7 @@ func (r *controlledRun) loop(islands []islandEvolver, maxGens int, iopt IslandOp
 		}
 		wg.Wait()
 		gens++
+		r.sync()
 		if len(islands) > 1 && gens%iopt.MigrationInterval == 0 {
 			migrateRing(islands, iopt.Migrants)
 		}
@@ -446,6 +461,24 @@ func RandomControlled(space skeleton.Space, eval objective.Evaluator, budget int
 	}
 	// The one-shot baselines report Iterations as 0 (see Result), even
 	// though the chunked sweep steps through the stepping surface.
+	res.Iterations = 0
+	return res, nil
+}
+
+// GridSearchControlled runs the registered "grid" strategy: a
+// deterministic coarse grid subsample of at most budget
+// configurations, visited in a low-discrepancy strided order and
+// evaluated in cancellable chunks. Like the other one-shot baselines
+// it supports neither Checkpointer nor Resume.
+func GridSearchControlled(space skeleton.Space, eval objective.Evaluator, budget int, ctrl Control) (*Result, error) {
+	if budget <= 0 {
+		return nil, fmt.Errorf("optimizer: grid search needs a positive budget")
+	}
+	cfg := StrategyConfig{RandomBudget: budget}
+	res, err := runStrategy("grid", space, eval, cfg, IslandOptions{}, false, ctrl)
+	if err != nil {
+		return nil, err
+	}
 	res.Iterations = 0
 	return res, nil
 }

@@ -267,6 +267,10 @@ func RaceControlled(space skeleton.Space, eval objective.Evaluator, cfg Strategy
 	for _, c := range contenders {
 		c.isl = c.strat.New(space, c.eval, c.cfg, c.cfg.Options.Seed)
 	}
+	// Barrier 0: all contenders' initial states are in; a surrogate
+	// screen trains before the first racing round. Contenders share one
+	// cache, so they share one model.
+	run.sync()
 
 	ctx := ctrl.ctx()
 	globalE := func() int { return eval.Evaluations() - run.e0 }
@@ -309,6 +313,9 @@ func RaceControlled(space skeleton.Space, eval objective.Evaluator, cfg Strategy
 			break
 		}
 		gens++
+		// Round barrier: contenders stepped in a fixed sequential
+		// order, so syncing the surrogate here is deterministic.
+		run.sync()
 		// Scoring barrier: eliminate the trailing half of the still-
 		// live contenders (successive halving), never dropping below
 		// MinSurvivors.

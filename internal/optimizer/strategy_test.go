@@ -2,13 +2,14 @@ package optimizer
 
 import (
 	"reflect"
+	"strings"
 	"testing"
 
 	"autotune/internal/skeleton"
 )
 
 func TestStrategyNamesSortedAndComplete(t *testing.T) {
-	want := []string{"gde3", "motpe", "nsga2", "random", "rs-gde3"}
+	want := []string{"gde3", "grid", "motpe", "nsga2", "random", "rs-gde3"}
 	if got := StrategyNames(); !reflect.DeepEqual(got, want) {
 		t.Fatalf("StrategyNames() = %v, want %v", got, want)
 	}
@@ -24,8 +25,29 @@ func TestStrategyNamesSortedAndComplete(t *testing.T) {
 }
 
 func TestStrategyByNameUnknown(t *testing.T) {
-	if _, err := StrategyByName("alien"); err == nil {
+	_, err := StrategyByName("alien")
+	if err == nil {
 		t.Fatal("unknown strategy resolved")
+	}
+	// The error must list the valid names, sorted and deduplicated, so
+	// the CLI can surface them verbatim (see cmd/autotune).
+	msg := err.Error()
+	names := StrategyNames()
+	last := -1
+	for _, name := range names {
+		at := strings.Index(msg, name)
+		if at < 0 {
+			t.Fatalf("error %q does not mention %q", msg, name)
+		}
+		if at < last {
+			t.Fatalf("error %q lists strategies out of sorted order", msg)
+		}
+		last = at
+	}
+	for _, name := range names {
+		if strings.Count(msg, " "+name) > 1 {
+			t.Fatalf("error %q lists %q more than once", msg, name)
+		}
 	}
 }
 

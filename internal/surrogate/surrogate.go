@@ -1,0 +1,210 @@
+// Package surrogate implements surrogate-assisted search: an online
+// multi-output regression model that trains incrementally from every
+// real evaluation the shared cache observes and pre-screens candidate
+// configurations each generation, so the search spends real
+// evaluations (the paper's E metric) only on the top-K most promising
+// offspring. The model is recursive least squares (ridge-regularized)
+// over a fixed nonlinear basis of the configuration parameters crossed
+// with the static region features of internal/features — cheap enough
+// to update on every result, expressive enough to rank tile/thread
+// configurations, and pluggable: anything that can predict objective
+// vectors with an uncertainty estimate can replace it (cf. the
+// GNN-based performance models of arxiv 2304.12568).
+//
+// Training targets are log1p-transformed objectives. The screen ranks
+// candidates by predicted Pareto non-domination, and domination is
+// invariant under per-objective monotone transforms, so ranking in log
+// space equals ranking in raw space while the regression works on a
+// numerically friendly scale.
+package surrogate
+
+import (
+	"math"
+	"sort"
+
+	"autotune/internal/skeleton"
+)
+
+// Model is a multi-output recursive-least-squares ridge regressor with
+// a shared inverse-covariance matrix across outputs. It is not
+// goroutine-safe; the Screened evaluator serializes access (reads
+// during a generation, writes only at generation barriers).
+type Model struct {
+	space skeleton.Space
+	// feats are the squashed region-feature values in sorted key
+	// order; constant within one search, they make the learned weights
+	// transferable across regions when a model is shared.
+	feats []float64
+	dim   int // basis size
+	nobj  int // objective count, fixed by the first sample
+	p     [][]float64
+	w     [][]float64
+	n     int
+	ridge float64
+}
+
+// NewModel builds an untrained model for the given search space.
+// features come from internal/features (AsMap); nil is a valid empty
+// feature set. ridge is the L2 regularization strength (non-positive
+// selects the default 1e-2).
+func NewModel(space skeleton.Space, features map[string]float64, ridge float64) *Model {
+	if ridge <= 0 {
+		ridge = 1e-2
+	}
+	keys := make([]string, 0, len(features))
+	for k := range features {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	feats := make([]float64, 0, len(keys))
+	for _, k := range keys {
+		// Squash into [0,1): features span many orders of magnitude
+		// (footprint bytes vs. stride fractions), and the basis keeps
+		// every term bounded.
+		v := math.Log1p(math.Abs(features[k]))
+		feats = append(feats, v/(1+v))
+	}
+	m := &Model{space: space, feats: feats, ridge: ridge}
+	d := space.Dim()
+	m.dim = 1 + 3*d + d*(d-1)/2 + len(feats)*d
+	m.p = make([][]float64, m.dim)
+	for i := range m.p {
+		m.p[i] = make([]float64, m.dim)
+		m.p[i][i] = 1 / ridge
+	}
+	return m
+}
+
+// basis maps a configuration to its feature vector: intercept,
+// normalized linear and quadratic terms, a log-scaled term per
+// parameter (tile sizes act multiplicatively), all pairwise parameter
+// interactions, and every region feature crossed with every parameter.
+func (m *Model) basis(cfg skeleton.Config) []float64 {
+	d := m.space.Dim()
+	u := make([]float64, d)
+	l := make([]float64, d)
+	for i := 0; i < d && i < len(cfg); i++ {
+		p := m.space.Params[i]
+		span := float64(p.Max - p.Min)
+		if span <= 0 {
+			span = 1
+		}
+		u[i] = float64(cfg[i]-p.Min) / span
+		ls := math.Log1p(span)
+		if ls <= 0 {
+			ls = 1
+		}
+		l[i] = math.Log1p(float64(cfg[i]-p.Min)) / ls
+	}
+	phi := make([]float64, 0, m.dim)
+	phi = append(phi, 1)
+	phi = append(phi, u...)
+	for i := range u {
+		phi = append(phi, u[i]*u[i])
+	}
+	phi = append(phi, l...)
+	for i := 0; i < d; i++ {
+		for j := i + 1; j < d; j++ {
+			phi = append(phi, u[i]*u[j])
+		}
+	}
+	for _, f := range m.feats {
+		for i := range u {
+			phi = append(phi, f*u[i])
+		}
+	}
+	return phi
+}
+
+// Observe folds one completed evaluation into the model (one RLS
+// update, O(dim^2)). Failed evaluations (nil objectives) and
+// non-finite targets are skipped — the model regresses successful
+// results only.
+func (m *Model) Observe(cfg skeleton.Config, objs []float64) {
+	if objs == nil {
+		return
+	}
+	t := make([]float64, len(objs))
+	for i, y := range objs {
+		t[i] = math.Log1p(y)
+		if math.IsNaN(t[i]) || math.IsInf(t[i], 0) {
+			return
+		}
+	}
+	if m.nobj == 0 {
+		m.nobj = len(objs)
+		m.w = make([][]float64, m.nobj)
+		for j := range m.w {
+			m.w[j] = make([]float64, m.dim)
+		}
+	}
+	if len(objs) != m.nobj {
+		return
+	}
+	phi := m.basis(cfg)
+	// k = P phi / (1 + phi' P phi); w_j += k (t_j - w_j' phi); P -= k (P phi)'
+	pphi := make([]float64, m.dim)
+	den := 1.0
+	for i := range pphi {
+		s := 0.0
+		row := m.p[i]
+		for j, pj := range phi {
+			s += row[j] * pj
+		}
+		pphi[i] = s
+	}
+	for i, pj := range phi {
+		den += pj * pphi[i]
+	}
+	for j := 0; j < m.nobj; j++ {
+		pred := 0.0
+		for i, pj := range phi {
+			pred += m.w[j][i] * pj
+		}
+		e := (t[j] - pred) / den
+		for i := range m.w[j] {
+			m.w[j][i] += pphi[i] * e
+		}
+	}
+	for i := range m.p {
+		ki := pphi[i] / den
+		row := m.p[i]
+		for j := range row {
+			row[j] -= ki * pphi[j]
+		}
+	}
+	m.n++
+}
+
+// Predict returns the predicted objective vector (in log1p space — a
+// per-objective monotone transform, so Pareto comparisons carry over)
+// and the model's uncertainty phi' P phi for the configuration: large
+// for configurations unlike anything observed, shrinking as the
+// neighborhood fills in. ok is false while the model has seen no
+// successful evaluation.
+func (m *Model) Predict(cfg skeleton.Config) (pred []float64, unc float64, ok bool) {
+	if m.n == 0 || m.nobj == 0 {
+		return nil, 0, false
+	}
+	phi := m.basis(cfg)
+	pred = make([]float64, m.nobj)
+	for j := 0; j < m.nobj; j++ {
+		s := 0.0
+		for i, pj := range phi {
+			s += m.w[j][i] * pj
+		}
+		pred[j] = s
+	}
+	for i, pi := range phi {
+		s := 0.0
+		row := m.p[i]
+		for j, pj := range phi {
+			s += row[j] * pj
+		}
+		unc += pi * s
+	}
+	return pred, unc, true
+}
+
+// Samples is the number of successful evaluations folded in so far.
+func (m *Model) Samples() int { return m.n }

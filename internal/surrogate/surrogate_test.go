@@ -1,0 +1,379 @@
+package surrogate
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"autotune/internal/objective"
+	"autotune/internal/skeleton"
+)
+
+func testSpace() skeleton.Space {
+	return skeleton.Space{Params: []skeleton.Param{
+		{Name: "t1", Min: 1, Max: 64},
+		{Name: "t2", Min: 1, Max: 64},
+		{Name: "threads", Min: 1, Max: 16},
+	}}
+}
+
+// quadratic ground truth: smooth, nonlinear, two objectives.
+func truth(cfg skeleton.Config) []float64 {
+	x, y, p := float64(cfg[0]), float64(cfg[1]), float64(cfg[2])
+	t := 1 + (x-20)*(x-20)/400 + (y-30)*(y-30)/900 + 4/p
+	return []float64{t, t * p}
+}
+
+// TestModelLearnsRanking: after enough observations the model's
+// predictions order configurations like the ground truth does.
+func TestModelLearnsRanking(t *testing.T) {
+	space := testSpace()
+	m := NewModel(space, map[string]float64{"ai": 2.5, "footprint": 1 << 20}, 0)
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 400; i++ {
+		cfg := space.Random(rng)
+		m.Observe(cfg, truth(cfg))
+	}
+	if m.Samples() != 400 {
+		t.Fatalf("Samples = %d, want 400", m.Samples())
+	}
+	good := skeleton.Config{20, 30, 16}
+	bad := skeleton.Config{64, 1, 1}
+	pg, _, ok := m.Predict(good)
+	if !ok {
+		t.Fatal("trained model not ok")
+	}
+	pb, _, _ := m.Predict(bad)
+	// Both objectives of the near-optimal point must be predicted
+	// better (log1p is monotone, so comparing in model space is fine).
+	if pg[0] >= pb[0] {
+		t.Errorf("time prediction does not separate good %v from bad %v", pg, pb)
+	}
+}
+
+// TestModelUncertaintyShrinks: uncertainty near observed data is lower
+// than at a corner the training never visited, and observing a point
+// reduces uncertainty there.
+func TestModelUncertaintyShrinks(t *testing.T) {
+	space := testSpace()
+	m := NewModel(space, nil, 0)
+	center := skeleton.Config{20, 30, 8}
+	_, u0, ok := m.Predict(center)
+	if ok || u0 != 0 {
+		// Untrained models refuse to predict.
+	}
+	for i := 0; i < 50; i++ {
+		cfg := skeleton.Config{int64(10 + i%20), int64(20 + i%20), int64(1 + i%8)}
+		m.Observe(cfg, truth(cfg))
+	}
+	_, uNear, _ := m.Predict(skeleton.Config{15, 25, 4})
+	_, uFar, _ := m.Predict(skeleton.Config{64, 64, 16})
+	if !(uNear < uFar) {
+		t.Errorf("uncertainty near data (%g) not below far corner (%g)", uNear, uFar)
+	}
+	if uNear < 0 || uFar < 0 {
+		t.Errorf("negative uncertainty: %g %g", uNear, uFar)
+	}
+}
+
+// TestModelSkipsBadTargets: failures and non-finite objectives are not
+// folded in.
+func TestModelSkipsBadTargets(t *testing.T) {
+	space := testSpace()
+	m := NewModel(space, nil, 0)
+	m.Observe(skeleton.Config{1, 1, 1}, nil)
+	m.Observe(skeleton.Config{1, 1, 1}, []float64{math.NaN(), 1})
+	m.Observe(skeleton.Config{1, 1, 1}, []float64{math.Inf(1), 1})
+	if m.Samples() != 0 {
+		t.Fatalf("bad targets trained the model: %d samples", m.Samples())
+	}
+	m.Observe(skeleton.Config{1, 1, 1}, []float64{1, 2})
+	m.Observe(skeleton.Config{2, 2, 2}, []float64{1}) // dimension mismatch
+	if m.Samples() != 1 {
+		t.Fatalf("Samples = %d, want 1", m.Samples())
+	}
+}
+
+func newScreenedCE(t *testing.T, opt Options) (*Screened, *objective.CachingEvaluator) {
+	t.Helper()
+	space := testSpace()
+	ce := objective.NewCachingEvaluator([]string{"time", "resources"}, 4, func(cfg skeleton.Config) []float64 {
+		if cfg[0] < 0 {
+			return nil
+		}
+		return truth(cfg)
+	})
+	s, err := NewScreened(space, ce, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, ce
+}
+
+// train pushes n random evaluations through the screen (pass-through
+// while untrained) and syncs them into the model.
+func train(s *Screened, n int, seed int64) {
+	space := testSpace()
+	rng := rand.New(rand.NewSource(seed))
+	var batch []skeleton.Config
+	for i := 0; i < n; i++ {
+		batch = append(batch, space.Random(rng))
+	}
+	s.Evaluate(batch)
+	s.SyncGeneration()
+}
+
+// TestScreenedPassThroughUntrained: below MinSamples every candidate
+// reaches the real evaluator.
+func TestScreenedPassThroughUntrained(t *testing.T) {
+	s, ce := newScreenedCE(t, Options{TopK: 1, MinSamples: 1000})
+	space := testSpace()
+	rng := rand.New(rand.NewSource(2))
+	var batch []skeleton.Config
+	for i := 0; i < 30; i++ {
+		batch = append(batch, space.Random(rng))
+	}
+	out := s.Evaluate(batch)
+	for i, objs := range out {
+		if objs == nil {
+			t.Fatalf("untrained screen dropped candidate %d", i)
+		}
+	}
+	if got := ce.Evaluations(); got == 0 {
+		t.Fatal("nothing evaluated")
+	}
+	if st := s.Stats(); st.ScreenedBatches != 0 || st.Skipped != 0 {
+		t.Fatalf("untrained screen recorded screening: %+v", st)
+	}
+}
+
+// TestScreenedTopK: an active screen admits exactly TopK new
+// candidates of a larger batch, and the skipped ones cost no real
+// evaluations and are not cached (they may be re-proposed later).
+func TestScreenedTopK(t *testing.T) {
+	s, ce := newScreenedCE(t, Options{TopK: 4, MinSamples: 10})
+	train(s, 40, 3)
+	e0 := ce.Evaluations()
+
+	var batch []skeleton.Config
+	for i := 0; i < 20; i++ {
+		batch = append(batch, skeleton.Config{int64(40 + i), int64(40 + i), 3})
+	}
+	out := s.Evaluate(batch)
+	admitted := 0
+	for _, objs := range out {
+		if objs != nil {
+			admitted++
+		}
+	}
+	if admitted != 4 {
+		t.Fatalf("admitted %d of 20, want TopK=4", admitted)
+	}
+	if got := ce.Evaluations() - e0; got != 4 {
+		t.Fatalf("real evaluations %d, want 4", got)
+	}
+	for i, objs := range out {
+		if objs == nil {
+			if _, cached := ce.Lookup(batch[i]); cached {
+				t.Fatalf("skipped candidate %d was cached", i)
+			}
+		}
+	}
+	st := s.Stats()
+	if st.Candidates != 20 || st.Admitted != 4 || st.Skipped != 16 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+// TestScreenedMinSurvivors is the property test of the floor: whatever
+// TopK and batch size, an active screen admits at least one new
+// candidate — it can never fail an entire batch wholesale.
+func TestScreenedMinSurvivors(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	space := testSpace()
+	for trial := 0; trial < 50; trial++ {
+		topK := rng.Intn(3)      // 0 (auto), 1, 2
+		size := 1 + rng.Intn(40) // batch sizes 1..40
+		minS := 5 + rng.Intn(20) // varying activation points
+		s, _ := newScreenedCE(t, Options{TopK: topK, MinSamples: minS})
+		train(s, minS+10, int64(trial))
+		var batch []skeleton.Config
+		for i := 0; i < size; i++ {
+			batch = append(batch, space.Random(rng))
+		}
+		out := s.Evaluate(batch)
+		survivors := 0
+		for _, objs := range out {
+			if objs != nil {
+				survivors++
+			}
+		}
+		if survivors == 0 {
+			t.Fatalf("trial %d (topK=%d size=%d): screen dropped the whole batch", trial, topK, size)
+		}
+		s.Close()
+	}
+}
+
+// TestScreenedKnownConfigsPass: configurations the cache already knows
+// (evaluated or primed, success or failure) always pass through — they
+// are free — and do not consume admitted slots.
+func TestScreenedKnownConfigsPass(t *testing.T) {
+	s, ce := newScreenedCE(t, Options{TopK: 2, MinSamples: 5})
+	train(s, 20, 5)
+	known := skeleton.Config{20, 30, 8}
+	ce.Prime(known, []float64{1, 8})
+	failed := skeleton.Config{-1, 1, 1}
+	ce.EvaluateOne(failed)
+	s.SyncGeneration()
+
+	batch := []skeleton.Config{known, failed}
+	for i := 0; i < 10; i++ {
+		batch = append(batch, skeleton.Config{int64(50 + i), 50, 2})
+	}
+	e0 := ce.Evaluations()
+	out := s.Evaluate(batch)
+	if out[0] == nil || out[0][0] != 1 {
+		t.Fatalf("primed config screened out: %v", out[0])
+	}
+	if out[1] != nil {
+		t.Fatalf("known failure returned %v", out[1])
+	}
+	fresh := 0
+	for _, objs := range out[2:] {
+		if objs != nil {
+			fresh++
+		}
+	}
+	if fresh != 2 {
+		t.Fatalf("fresh admissions %d, want TopK=2", fresh)
+	}
+	if got := ce.Evaluations() - e0; got != 2 {
+		t.Fatalf("E grew by %d, want 2", got)
+	}
+}
+
+// TestScreenedDuplicatesShareFate: in-batch duplicates of one key get
+// identical results, whether admitted or skipped.
+func TestScreenedDuplicatesShareFate(t *testing.T) {
+	s, _ := newScreenedCE(t, Options{TopK: 2, MinSamples: 5})
+	train(s, 20, 6)
+	var batch []skeleton.Config
+	for i := 0; i < 8; i++ {
+		batch = append(batch, skeleton.Config{int64(50 + i), 50, 2})
+	}
+	batch = append(batch, batch[0], batch[5]) // duplicates
+	out := s.Evaluate(batch)
+	if (out[0] == nil) != (out[8] == nil) || (out[5] == nil) != (out[9] == nil) {
+		t.Fatalf("duplicates diverged: %v vs %v, %v vs %v", out[0], out[8], out[5], out[9])
+	}
+}
+
+// TestScreenedTopKAtPopulationIsPassThrough: TopK at or above the
+// batch size admits everything — the exact-equivalence mode the
+// optimizer-level byte-for-byte test relies on.
+func TestScreenedTopKAtPopulationIsPassThrough(t *testing.T) {
+	s, ce := newScreenedCE(t, Options{TopK: 64, MinSamples: 5})
+	train(s, 20, 7)
+	var batch []skeleton.Config
+	for i := 0; i < 30; i++ {
+		batch = append(batch, skeleton.Config{int64(1 + i*2), int64(1 + i), 4})
+	}
+	e0 := ce.Evaluations()
+	out := s.Evaluate(batch)
+	for i, objs := range out {
+		if objs == nil {
+			t.Fatalf("pass-through screen dropped candidate %d", i)
+		}
+	}
+	if got := ce.Evaluations() - e0; got != 30 {
+		t.Fatalf("E grew by %d, want 30", got)
+	}
+	if st := s.Stats(); st.Skipped != 0 {
+		t.Fatalf("pass-through skipped %d", st.Skipped)
+	}
+}
+
+// TestScreenedExplorationQuota: with ExploreFrac reserved slots, at
+// least one admitted candidate is there for uncertainty, not predicted
+// rank — a batch of predictably-bad but never-seen configurations
+// still gets probed.
+func TestScreenedExplorationQuota(t *testing.T) {
+	s, _ := newScreenedCE(t, Options{TopK: 4, MinSamples: 10, ExploreFrac: 0.5})
+	// Train only in a small corner so everything else is uncertain.
+	var batch []skeleton.Config
+	for i := 0; i < 20; i++ {
+		batch = append(batch, skeleton.Config{int64(1 + i/5), int64(1 + i%5), 1})
+	}
+	s.Evaluate(batch)
+	s.SyncGeneration()
+
+	var probe []skeleton.Config
+	for i := 0; i < 20; i++ {
+		probe = append(probe, skeleton.Config{int64(30 + i), int64(30 + i), int64(2 + i%8)})
+	}
+	out := s.Evaluate(probe)
+	admitted := 0
+	for _, objs := range out {
+		if objs != nil {
+			admitted++
+		}
+	}
+	if admitted != 4 {
+		t.Fatalf("admitted %d, want 4", admitted)
+	}
+}
+
+// TestScreenedRejectsNonCaching: an evaluator without a shared cache
+// cannot be screened.
+func TestScreenedRejectsNonCaching(t *testing.T) {
+	if _, err := NewScreened(testSpace(), plainEvaluator{}, Options{}); err == nil {
+		t.Fatal("plain evaluator accepted")
+	}
+	if _, err := NewScreened(testSpace(), plainEvaluator{}, Options{TopK: -1}); err == nil {
+		t.Fatal("negative TopK accepted")
+	}
+}
+
+type plainEvaluator struct{}
+
+func (plainEvaluator) Evaluate(cfgs []skeleton.Config) [][]float64 {
+	return make([][]float64, len(cfgs))
+}
+func (plainEvaluator) ObjectiveNames() []string { return []string{"a", "b"} }
+func (plainEvaluator) Evaluations() int         { return 0 }
+
+// TestScreenedSyncCanonicalOrder: the model state after a sync must
+// not depend on the order observations arrived in.
+func TestScreenedSyncCanonicalOrder(t *testing.T) {
+	space := testSpace()
+	rng := rand.New(rand.NewSource(8))
+	var cfgs []skeleton.Config
+	for i := 0; i < 30; i++ {
+		cfgs = append(cfgs, space.Random(rng))
+	}
+	predict := func(order []skeleton.Config) []float64 {
+		s, ce := newScreenedCE(t, Options{MinSamples: 5})
+		defer s.Close()
+		for _, cfg := range order {
+			ce.EvaluateOne(cfg)
+		}
+		s.SyncGeneration()
+		pred, unc, ok := s.model.Predict(skeleton.Config{33, 17, 5})
+		if !ok {
+			t.Fatal("model not trained")
+		}
+		return append(pred, unc)
+	}
+	fwd := predict(cfgs)
+	rev := make([]skeleton.Config, len(cfgs))
+	for i, c := range cfgs {
+		rev[len(cfgs)-1-i] = c
+	}
+	got := predict(rev)
+	for i := range fwd {
+		if fwd[i] != got[i] {
+			t.Fatalf("arrival order changed the model: %v vs %v", fwd, got)
+		}
+	}
+}

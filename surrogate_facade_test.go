@@ -1,0 +1,77 @@
+package autotune
+
+import (
+	"testing"
+)
+
+// TestWithSurrogateFacade drives surrogate-assisted pre-screening end
+// to end through the public Tune entry point: the screened run spends
+// fewer real evaluations than the identical unscreened run and still
+// produces a runnable unit.
+func TestWithSurrogateFacade(t *testing.T) {
+	small := OptimizerOptions{PopSize: 12, MaxIterations: 15, Seed: 1}
+	base, err := Tune("mm", WithMachineSpec(Westmere()), WithOptimizerOptions(small))
+	if err != nil {
+		t.Fatal(err)
+	}
+	scr, err := Tune("mm",
+		WithMachineSpec(Westmere()),
+		WithOptimizerOptions(small),
+		WithSurrogate(3),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if scr.Evaluations >= base.Evaluations {
+		t.Fatalf("screened E=%d not below baseline E=%d", scr.Evaluations, base.Evaluations)
+	}
+	if len(scr.Front) == 0 || scr.Unit == nil || len(scr.Unit.Versions) == 0 {
+		t.Fatal("screened tuning produced no usable unit")
+	}
+	rt, err := NewRuntime(scr.Unit, WeightedSum{Weights: []float64{1, 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rt.Invoke(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestWithSurrogateRejectsNegativeTopK: the option validates input.
+func TestWithSurrogateRejectsNegativeTopK(t *testing.T) {
+	if _, err := Tune("mm", WithSurrogate(-1)); err == nil {
+		t.Fatal("negative top-K accepted")
+	}
+}
+
+// TestWithSurrogateRejectsBruteForce: an exhaustive sweep under a
+// screen is refused at the driver level.
+func TestWithSurrogateRejectsBruteForce(t *testing.T) {
+	_, err := Tune("mm",
+		WithMethod(BruteForce),
+		WithGridPoints([]int{2, 2}),
+		WithSurrogate(0),
+	)
+	if err == nil {
+		t.Fatal("brute force + surrogate accepted")
+	}
+}
+
+// TestGridSearchFacade: the grid method is reachable through the
+// public API and respects the budget.
+func TestGridSearchFacade(t *testing.T) {
+	res, err := Tune("mm",
+		WithMethod(GridSearch),
+		WithRandomBudget(64),
+		WithMachineSpec(Westmere()),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Evaluations == 0 || res.Evaluations > 64 {
+		t.Fatalf("grid consumed %d evaluations, budget 64", res.Evaluations)
+	}
+	if len(res.Front) == 0 {
+		t.Fatal("grid search produced no front")
+	}
+}
