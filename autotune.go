@@ -528,6 +528,21 @@ func WithSurrogate(topK int) Option {
 	}
 }
 
+// WithProgress registers a live-progress callback: fn fires after
+// every fresh (non-warm-started) evaluation with the cumulative count
+// completed so far. It may be called concurrently from evaluation
+// workers and must not block; the tuning-as-a-service front-end uses
+// it to stream search progress to clients.
+func WithProgress(fn func(evaluations int)) Option {
+	return func(c *tuneConfig) error {
+		if fn == nil {
+			return fmt.Errorf("autotune: nil progress callback")
+		}
+		c.opts.OnProgress = fn
+		return nil
+	}
+}
+
 // WithRandomBudget sets the evaluation budget of RandomSearch and
 // GridSearch.
 func WithRandomBudget(budget int) Option {

@@ -35,6 +35,7 @@ import (
 	"syscall"
 
 	"autotune"
+	"autotune/internal/export"
 	"autotune/internal/machine"
 )
 
@@ -68,9 +69,20 @@ func main() {
 	raceStrategies := flag.String("race-strategies", "", "with -method race: comma-separated contender strategies (empty = all registered)")
 	surrogate := flag.Bool("surrogate", false, "pre-screen candidates with an online surrogate model: only the most promising reach the real evaluator")
 	screenTopK := flag.Int("screen-topk", 0, "with -surrogate: admitted new candidates per screened batch (0 = automatic; implies -surrogate when set)")
+	frontJSON := flag.String("front-json", "", "write the Pareto front as byte-stable JSON to this file (diffable against the tuning service's /front)")
 	flag.Parse()
 
 	if err := validateChoices(*method, splitStrategies(*raceStrategies)); err != nil {
+		fmt.Fprintln(os.Stderr, "autotune:", err)
+		os.Exit(2)
+	}
+	screenTopKSet := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "screen-topk" {
+			screenTopKSet = true
+		}
+	})
+	if err := validateScreenTopK(*screenTopK, screenTopKSet); err != nil {
 		fmt.Fprintln(os.Stderr, "autotune:", err)
 		os.Exit(2)
 	}
@@ -209,6 +221,23 @@ func main() {
 		}
 	}
 
+	if *frontJSON != "" {
+		f, err := os.Create(*frontJSON)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "autotune:", err)
+			os.Exit(1)
+		}
+		err = export.FrontJSON(f, res.Front, res.Unit.ObjectiveNames)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "autotune:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("Pareto front JSON written to %s\n", *frontJSON)
+	}
+
 	if *emitC != "" {
 		code, err := res.EmitC(strings.ReplaceAll(*kernel, "-", "_"))
 		if err != nil {
@@ -275,6 +304,17 @@ func runFaultDemo(unit *autotune.Unit, n int, rate float64, seed int64) error {
 	st := rt.Stats()
 	fmt.Printf("caller errors %d | failures absorbed %d | fallbacks %d | quarantines %d | readmissions %d\n",
 		callerErrors, st.Failures, st.Fallbacks, st.Quarantines, st.Readmissions)
+	return nil
+}
+
+// validateScreenTopK rejects a meaningless surrogate screen upfront:
+// an explicitly passed -screen-topk must be positive — 0 is only valid
+// as the implicit "size the screen automatically" default, and a
+// negative cap would silently admit nothing.
+func validateScreenTopK(topK int, explicit bool) error {
+	if explicit && topK <= 0 {
+		return fmt.Errorf("-screen-topk must be > 0 (got %d); omit it to let -surrogate size the screen automatically", topK)
+	}
 	return nil
 }
 

@@ -55,3 +55,20 @@ func TestSplitStrategies(t *testing.T) {
 		t.Fatal("empty list should parse to nil")
 	}
 }
+
+func TestValidateScreenTopK(t *testing.T) {
+	// Implicit 0 is the automatic default and always fine.
+	if err := validateScreenTopK(0, false); err != nil {
+		t.Fatalf("implicit default rejected: %v", err)
+	}
+	if err := validateScreenTopK(5, true); err != nil {
+		t.Fatalf("positive cap rejected: %v", err)
+	}
+	// An explicit zero or negative cap would silently screen out
+	// everything; reject it upfront.
+	for _, k := range []int{0, -1, -100} {
+		if err := validateScreenTopK(k, true); err == nil {
+			t.Fatalf("explicit -screen-topk %d accepted", k)
+		}
+	}
+}

@@ -2,6 +2,8 @@ package driver
 
 import (
 	"fmt"
+	"strings"
+	"sync/atomic"
 
 	"autotune/internal/objective"
 	"autotune/internal/optimizer"
@@ -23,7 +25,8 @@ func buildControl(opt Options, eval objective.Evaluator) (optimizer.Control, fun
 	}
 	if (opt.CheckpointPath != "" || opt.ResumeFrom != "") &&
 		(method == MethodRandom || method == MethodBruteForce) {
-		return ctrl, cleanup, fmt.Errorf("driver: method %q keeps no generation state; checkpoint/resume needs an evolutionary method", method)
+		return ctrl, cleanup, fmt.Errorf("driver: method %q keeps no generation state; checkpoint/resume needs one of: %s", method,
+			strings.Join(MethodsExcluding(MethodRandom, MethodGrid, MethodBruteForce, MethodRace), ", "))
 	}
 	if (opt.CheckpointPath != "" || opt.ResumeFrom != "") && method == MethodRace {
 		return ctrl, cleanup, fmt.Errorf("driver: a race keeps heterogeneous per-strategy state and cannot checkpoint or resume; checkpoint a single-strategy method instead")
@@ -36,6 +39,15 @@ func buildControl(opt Options, eval objective.Evaluator) (optimizer.Control, fun
 				JitterSeed:  opt.Optimizer.Seed,
 			})
 			sc.SharedCache().WrapEvalFunc(guard.Middleware())
+		}
+	}
+	if opt.OnProgress != nil {
+		if sc, ok := eval.(objective.SharedCacher); ok {
+			var done atomic.Int64
+			fn := opt.OnProgress
+			sc.SharedCache().AddObserver(func(skeleton.Config, []float64) {
+				fn(int(done.Add(1)))
+			})
 		}
 	}
 	if opt.onEvaluation != nil {

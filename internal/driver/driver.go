@@ -150,6 +150,12 @@ type Options struct {
 	// run's front is byte-identical to the same-seed uninterrupted run.
 	// The snapshot must come from an identically configured search.
 	ResumeFrom string
+	// OnProgress, when set, fires after every fresh (non-primed)
+	// evaluation with the cumulative count of evaluations completed so
+	// far in this run — the live-progress feed a long-running service
+	// streams to its clients. It may be called concurrently and must
+	// not block.
+	OnProgress func(evaluations int)
 
 	// onEvaluation, when set, fires after every fresh evaluation —
 	// a test seam for provoking cancellation at a known search depth.
@@ -164,8 +170,22 @@ type Output struct {
 	Unit   *multiversion.Unit
 }
 
-// TuneKernel runs the full pipeline for a registered kernel.
-func TuneKernel(kernelName string, opt Options) (*Output, error) {
+// prepared is the analyzed form of a kernel tuning problem: everything
+// steps (1-2) of the pipeline determine before any search runs. Both
+// the full TuneKernel pipeline and the search-free ProblemKey derive
+// from it.
+type prepared struct {
+	kernel *kernels.Kernel
+	n      int64
+	prog   *ir.Program
+	region analyzer.Region
+}
+
+// prepareKernel runs pipeline steps (1-2): load the kernel's IR at the
+// effective problem size and analyze it into the tunable region with
+// its transformation skeleton (including the optional unroll
+// dimension).
+func prepareKernel(kernelName string, opt Options) (*prepared, error) {
 	k, err := kernels.ByName(kernelName)
 	if err != nil {
 		return nil, err
@@ -180,8 +200,6 @@ func TuneKernel(kernelName string, opt Options) (*Output, error) {
 			n = k.BenchN
 		}
 	}
-
-	// (1-2) Load and analyze.
 	prog := k.IR(n)
 	regions, err := analyzer.Analyze(prog, analyzer.Options{MaxThreads: opt.Machine.Cores()})
 	if err != nil {
@@ -199,6 +217,53 @@ func TuneKernel(kernelName string, opt Options) (*Output, error) {
 		region.Skeleton = skeleton.TiledParallelUnroll(region.Skeleton.Name,
 			region.Band, region.MaxTile, opt.Machine.Cores(), region.Collapsible, 8)
 	}
+	return &prepared{kernel: k, n: n, prog: prog, region: region}, nil
+}
+
+// objectiveNames resolves the objective labels the evaluator built for
+// opt will report, without building it: the measured evaluator always
+// reports time+resources, the simulated one labels opt.Objectives
+// (default time+resources).
+func objectiveNames(opt Options) []string {
+	if opt.Measured || len(opt.Objectives) == 0 {
+		return []string{"time", "resources"}
+	}
+	names := make([]string, len(opt.Objectives))
+	for i, k := range opt.Objectives {
+		names[i] = k.String()
+	}
+	return names
+}
+
+// ProblemKey derives the tuning-database key of a kernel tuning
+// problem — (program fingerprint, machine signature, objective set,
+// search-space hash) — without running any search. It is exactly the
+// key TuneKernel journals under when Options.DB is set, so a service
+// front-end can deduplicate identical tuning requests and look up
+// stored fronts before committing worker time.
+func ProblemKey(kernelName string, opt Options) (tunedb.Key, error) {
+	p, err := prepareKernel(kernelName, opt)
+	if err != nil {
+		return tunedb.Key{}, err
+	}
+	fingerprint := tunedb.ProgramFingerprint(p.prog, p.kernel.Name, fmt.Sprint(p.n),
+		p.region.Skeleton.Name, fmt.Sprint(opt.Measured), fmt.Sprint(opt.UnrollDim))
+	sig := machine.SignatureOf(opt.Machine)
+	return tunedb.Key{
+		Fingerprint: fingerprint,
+		MachineSig:  sig.Key(),
+		Objectives:  tunedb.ObjectiveKey(objectiveNames(opt)),
+		SpaceHash:   tunedb.SpaceHash(p.region.Skeleton.Space),
+	}, nil
+}
+
+// TuneKernel runs the full pipeline for a registered kernel.
+func TuneKernel(kernelName string, opt Options) (*Output, error) {
+	p, err := prepareKernel(kernelName, opt)
+	if err != nil {
+		return nil, err
+	}
+	k, n, prog, region := p.kernel, p.n, p.prog, p.region
 	space := region.Skeleton.Space
 
 	// (3) Build the evaluator.
@@ -286,7 +351,7 @@ func attachSurrogate(opt Options, prog *ir.Program, space skeleton.Space,
 		return eval, func() {}, nil
 	}
 	if method := effectiveMethod(opt); method == MethodBruteForce {
-		return nil, nil, fmt.Errorf("driver: method %q enumerates its whole grid; the surrogate screen would silently hollow out the sweep — use an evolutionary method or drop Surrogate", method)
+		return nil, nil, fmt.Errorf("driver: method %q enumerates its whole grid; the surrogate screen would silently hollow out the sweep — drop Surrogate or use one of: %s", method, strings.Join(MethodsExcluding(MethodBruteForce), ", "))
 	}
 	fmap := map[string]float64{}
 	if fs, err := features.Extract(prog); err == nil {
@@ -310,6 +375,23 @@ func ValidMethods() []string {
 	return names
 }
 
+// MethodsExcluding returns ValidMethods minus the given methods, still
+// sorted — error messages use it to list exactly the methods a feature
+// supports.
+func MethodsExcluding(exclude ...Method) []string {
+	drop := map[string]bool{}
+	for _, m := range exclude {
+		drop[string(m)] = true
+	}
+	var names []string
+	for _, n := range ValidMethods() {
+		if !drop[n] {
+			names = append(names, n)
+		}
+	}
+	return names
+}
+
 func runSearch(space skeleton.Space, eval objective.Evaluator, opt Options, ctrl optimizer.Control) (*optimizer.Result, error) {
 	method := effectiveMethod(opt)
 	if opt.RandomBudget < 0 {
@@ -325,7 +407,8 @@ func runSearch(space skeleton.Space, eval objective.Evaluator, opt Options, ctrl
 		case MethodRandom, MethodGrid, MethodBruteForce, MethodRace, MethodMOTPE:
 			// Silently falling back to a sequential search would make
 			// `-islands 4 -method random` lie about what ran.
-			return nil, fmt.Errorf("driver: method %q does not support the island model (islands=%d); use an evolutionary method (rs-gde3, gde3, nsga2) or drop Islands", method, opt.Islands)
+			return nil, fmt.Errorf("driver: method %q does not support the island model (islands=%d); drop Islands or use one of: %s", method, opt.Islands,
+				strings.Join(MethodsExcluding(MethodRandom, MethodGrid, MethodBruteForce, MethodRace, MethodMOTPE), ", "))
 		}
 	}
 	switch method {

@@ -1,0 +1,225 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+)
+
+// Client is the Go client of the tuning service, used by cmd/tuned's
+// submit/status/front/drain modes and the end-to-end tests.
+type Client struct {
+	// BaseURL is the server root, e.g. "http://127.0.0.1:8080".
+	BaseURL string
+	// HTTP overrides the transport (default http.DefaultClient).
+	HTTP *http.Client
+}
+
+func (c *Client) http() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	return http.DefaultClient
+}
+
+func (c *Client) url(path string) string {
+	return strings.TrimRight(c.BaseURL, "/") + path
+}
+
+// apiStatusError is a non-2xx server answer with its decoded message.
+type apiStatusError struct {
+	Code int
+	Msg  string
+}
+
+func (e *apiStatusError) Error() string {
+	return fmt.Sprintf("server: HTTP %d: %s", e.Code, e.Msg)
+}
+
+// StatusCode extracts the HTTP status of a server-side error (0 when
+// err is not one).
+func StatusCode(err error) int {
+	if se, ok := err.(*apiStatusError); ok {
+		return se.Code
+	}
+	return 0
+}
+
+// decode reads one response, mapping non-2xx bodies to
+// apiStatusError.
+func decode(resp *http.Response, v interface{}) error {
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, MaxRequestBytes))
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode/100 != 2 {
+		var ae apiError
+		msg := strings.TrimSpace(string(body))
+		if json.Unmarshal(body, &ae) == nil && ae.Error != "" {
+			msg = ae.Error
+		}
+		return &apiStatusError{Code: resp.StatusCode, Msg: msg}
+	}
+	if v == nil {
+		return nil
+	}
+	return json.Unmarshal(body, v)
+}
+
+// Submit posts a job and returns its status (Deduped=true when an
+// identical search already exists and was joined instead).
+func (c *Client) Submit(ctx context.Context, req *JobRequest) (JobStatus, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return JobStatus{}, err
+	}
+	hr, err := http.NewRequestWithContext(ctx, http.MethodPost, c.url("/v1/jobs"), bytes.NewReader(body))
+	if err != nil {
+		return JobStatus{}, err
+	}
+	hr.Header.Set("Content-Type", "application/json")
+	resp, err := c.http().Do(hr)
+	if err != nil {
+		return JobStatus{}, err
+	}
+	var st JobStatus
+	return st, decode(resp, &st)
+}
+
+// List fetches every job's status in submission order.
+func (c *Client) List(ctx context.Context) ([]JobStatus, error) {
+	hr, err := http.NewRequestWithContext(ctx, http.MethodGet, c.url("/v1/jobs"), nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.http().Do(hr)
+	if err != nil {
+		return nil, err
+	}
+	var out []JobStatus
+	return out, decode(resp, &out)
+}
+
+// Status fetches one job's status.
+func (c *Client) Status(ctx context.Context, id string) (JobStatus, error) {
+	hr, err := http.NewRequestWithContext(ctx, http.MethodGet, c.url("/v1/jobs/"+id), nil)
+	if err != nil {
+		return JobStatus{}, err
+	}
+	resp, err := c.http().Do(hr)
+	if err != nil {
+		return JobStatus{}, err
+	}
+	var st JobStatus
+	return st, decode(resp, &st)
+}
+
+// Front fetches a finished job's Pareto front as the byte-stable JSON
+// the server renders.
+func (c *Client) Front(ctx context.Context, id string) ([]byte, error) {
+	hr, err := http.NewRequestWithContext(ctx, http.MethodGet, c.url("/v1/jobs/"+id+"/front"), nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.http().Do(hr)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, MaxRequestBytes))
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode/100 != 2 {
+		var ae apiError
+		msg := strings.TrimSpace(string(body))
+		if json.Unmarshal(body, &ae) == nil && ae.Error != "" {
+			msg = ae.Error
+		}
+		return nil, &apiStatusError{Code: resp.StatusCode, Msg: msg}
+	}
+	return body, nil
+}
+
+// Drain asks the server to drain gracefully.
+func (c *Client) Drain(ctx context.Context) error {
+	hr, err := http.NewRequestWithContext(ctx, http.MethodPost, c.url("/v1/drain"), nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.http().Do(hr)
+	if err != nil {
+		return err
+	}
+	return decode(resp, nil)
+}
+
+// Healthz fetches the liveness status string ("ok" or "draining").
+func (c *Client) Healthz(ctx context.Context) (string, error) {
+	hr, err := http.NewRequestWithContext(ctx, http.MethodGet, c.url("/healthz"), nil)
+	if err != nil {
+		return "", err
+	}
+	resp, err := c.http().Do(hr)
+	if err != nil {
+		return "", err
+	}
+	var out map[string]string
+	if err := decode(resp, &out); err != nil {
+		return "", err
+	}
+	return out["status"], nil
+}
+
+// Metrics fetches the raw Prometheus-format metrics text.
+func (c *Client) Metrics(ctx context.Context) (string, error) {
+	hr, err := http.NewRequestWithContext(ctx, http.MethodGet, c.url("/metrics"), nil)
+	if err != nil {
+		return "", err
+	}
+	resp, err := c.http().Do(hr)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, MaxRequestBytes))
+	if err != nil {
+		return "", err
+	}
+	if resp.StatusCode/100 != 2 {
+		return "", &apiStatusError{Code: resp.StatusCode, Msg: strings.TrimSpace(string(body))}
+	}
+	return string(body), nil
+}
+
+// Wait polls a job until it reaches a terminal state, the context
+// expires, or the server stops answering. A job interrupted by a
+// server drain keeps Wait polling (it resumes after a restart), so
+// callers who do not want that should bound ctx.
+func (c *Client) Wait(ctx context.Context, id string, poll time.Duration) (JobStatus, error) {
+	if poll <= 0 {
+		poll = 200 * time.Millisecond
+	}
+	t := time.NewTicker(poll)
+	defer t.Stop()
+	for {
+		st, err := c.Status(ctx, id)
+		if err == nil && st.State.Terminal() {
+			return st, nil
+		}
+		if err != nil && StatusCode(err) == 0 && ctx.Err() != nil {
+			return JobStatus{}, ctx.Err()
+		}
+		select {
+		case <-ctx.Done():
+			return JobStatus{}, ctx.Err()
+		case <-t.C:
+		}
+	}
+}

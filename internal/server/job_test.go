@@ -1,0 +1,171 @@
+package server
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDecodeJobRequestValid(t *testing.T) {
+	req, err := DecodeJobRequest(strings.NewReader(
+		`{"kernel":"mm","machine":"Barcelona","method":"gde3","seed":7,"pop_size":8,"deadline":"30s"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if req.Kernel != "mm" || req.Machine != "Barcelona" || req.Seed != 7 {
+		t.Fatalf("decoded %+v", req)
+	}
+	if req.deadline().Seconds() != 30 {
+		t.Fatalf("deadline %v", req.deadline())
+	}
+}
+
+func TestDecodeJobRequestRejects(t *testing.T) {
+	cases := map[string]string{
+		"broken json":                       `{"kernel":`,
+		"unknown field":                     `{"kernel":"mm","bogus":1}`,
+		"no target":                         `{}`,
+		"both targets":                      `{"kernel":"mm","source":"program p"}`,
+		"unknown kernel":                    `{"kernel":"nope"}`,
+		"unknown machine":                   `{"kernel":"mm","machine":"PDP-11"}`,
+		"unknown method":                    `{"kernel":"mm","method":"simulated-annealing"}`,
+		"negative seed ok but negative pop": `{"kernel":"mm","pop_size":-1}`,
+		"negative noise":                    `{"kernel":"mm","noise":-0.5}`,
+		"bad deadline":                      `{"kernel":"mm","deadline":"soon"}`,
+		"negative deadline":                 `{"kernel":"mm","deadline":"-5s"}`,
+		"trailing garbage":                  `{"kernel":"mm"}{"kernel":"mm"}`,
+		"oversized source":                  `{"source":"` + strings.Repeat("x", MaxSourceBytes+1) + `"}`,
+	}
+	for name, body := range cases {
+		if _, err := DecodeJobRequest(strings.NewReader(body)); err == nil {
+			t.Errorf("%s: accepted", name)
+		} else if !IsRequestError(err) {
+			t.Errorf("%s: not a RequestError: %v", name, err)
+		}
+	}
+}
+
+func TestDecodeJobRequestErrorListsMethods(t *testing.T) {
+	_, err := DecodeJobRequest(strings.NewReader(`{"kernel":"mm","method":"nope"}`))
+	if err == nil {
+		t.Fatal("unknown method accepted")
+	}
+	for _, want := range []string{"rs-gde3", "gde3", "nsga2", "race", "brute-force"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("method error %q does not list %q", err, want)
+		}
+	}
+}
+
+func TestDedupKeySeparatesSearches(t *testing.T) {
+	base := JobRequest{Kernel: "mm", Seed: 1}
+	ref, err := base.DedupKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := (&JobRequest{Kernel: "mm", Seed: 1, Tenant: "other"}).DedupKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again != ref {
+		t.Fatal("tenant changed the dedup key; identical searches from two tenants must share")
+	}
+	warm := false
+	variants := []JobRequest{
+		{Kernel: "mm", Seed: 2},
+		{Kernel: "mm", Seed: 1, Method: "gde3"},
+		{Kernel: "mm", Seed: 1, PopSize: 10},
+		{Kernel: "mm", Seed: 1, Islands: 4},
+		{Kernel: "mm", Seed: 1, Energy: true},
+		{Kernel: "mm", Seed: 1, Surrogate: true},
+		{Kernel: "mm", Seed: 1, Noise: 0.01},
+		{Kernel: "mm", Seed: 1, Machine: "Barcelona"},
+		{Kernel: "2mm", Seed: 1},
+		{Kernel: "mm", Seed: 1, WarmStart: &warm},
+		{Source: "program mm\narray A[4][4] elem 8\nfor i = 0..4 { for j = 0..4 { A[i][j] = f(A[i][j]) flops 1 }}", Seed: 1},
+	}
+	seen := map[string]int{ref: 0}
+	for i, v := range variants {
+		k, err := v.DedupKey()
+		if err != nil {
+			t.Fatalf("variant %d: %v", i, err)
+		}
+		if prev, dup := seen[k]; dup {
+			t.Errorf("variant %d collides with %d", i, prev)
+		}
+		seen[k] = i + 1
+	}
+}
+
+func TestCheckpointable(t *testing.T) {
+	for method, want := range map[string]bool{
+		"": true, "rs-gde3": true, "gde3": true, "nsga2": true, "motpe": true,
+		"random": false, "grid": false, "brute-force": false, "race": false,
+	} {
+		r := JobRequest{Kernel: "mm", Method: method}
+		if got := r.checkpointable(); got != want {
+			t.Errorf("checkpointable(%q) = %v, want %v", method, got, want)
+		}
+	}
+}
+
+func TestValidTenant(t *testing.T) {
+	if err := validTenant("team-a/ci"); err != nil {
+		t.Fatal(err)
+	}
+	if err := validTenant(strings.Repeat("x", 200)); err == nil {
+		t.Error("oversized tenant accepted")
+	}
+	if err := validTenant("a\nb"); err == nil {
+		t.Error("control characters accepted")
+	}
+}
+
+// FuzzJobRequest: the submission decoder must never panic and must
+// classify every rejection as a structured RequestError — malformed
+// JSON, unknown fields/methods/kernels, oversized programs included.
+func FuzzJobRequest(f *testing.F) {
+	f.Add(`{"kernel":"mm","machine":"Westmere","seed":1}`)
+	f.Add(`{"kernel":"mm","method":"bogus"}`)
+	f.Add(`{"source":"program p\nfor i = 0..4 { }"}`)
+	f.Add(`{"kernel":`)
+	f.Add(`{"kernel":"mm","deadline":"1h","warm_start":false,"force":true}`)
+	f.Add(`{"unknown":"field"}`)
+	f.Add(`[1,2,3]`)
+	f.Add(`"just a string"`)
+	f.Add("{\"kernel\":\"mm\"}\n{\"kernel\":\"mm\"}")
+	f.Fuzz(func(t *testing.T, body string) {
+		req, err := DecodeJobRequest(strings.NewReader(body))
+		if err != nil {
+			if !IsRequestError(err) {
+				t.Fatalf("non-RequestError rejection: %v", err)
+			}
+			return
+		}
+		// Accepted requests must be internally consistent: a dedup key
+		// must derive without panicking.
+		if _, err := req.DedupKey(); err != nil && !IsRequestError(err) {
+			t.Fatalf("valid request, non-RequestError dedup failure: %v", err)
+		}
+	})
+}
+
+func TestTuneOptionsBranches(t *testing.T) {
+	for i, r := range []*JobRequest{
+		{Kernel: "mm"},
+		{Kernel: "mm", PopSize: 8, MaxIterations: 2, Stagnation: 2},
+		{Kernel: "mm", N: 64, Islands: 2, Migrate: 3},
+		{Kernel: "mm", Method: "random", RandomBudget: 50, Noise: 0.01},
+		{Kernel: "mm", Energy: true, Surrogate: true, ScreenTopK: 4},
+		{Kernel: "mm", Method: "race"},
+	} {
+		opts, err := r.tuneOptions()
+		if err != nil {
+			t.Fatalf("request %d: %v", i, err)
+		}
+		// Machine, method and seed are always present; feature flags
+		// add to them.
+		if len(opts) < 3 {
+			t.Fatalf("request %d: %d options", i, len(opts))
+		}
+	}
+}

@@ -1,0 +1,586 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"autotune"
+	"autotune/internal/resilience"
+)
+
+// Config tunes the orchestrator.
+type Config struct {
+	// StateDir is the orchestrator's durable root (required): job
+	// records under jobs/, checkpoint journals under checkpoints/ and
+	// the shared tuning database under tunedb/.
+	StateDir string
+	// Workers bounds concurrently running searches (default 2).
+	Workers int
+	// MaxQueuedPerTenant caps a tenant's waiting jobs; submissions
+	// beyond it are rejected with ErrQuota (default 16).
+	MaxQueuedPerTenant int
+	// MaxRunningPerTenant caps a tenant's simultaneously running
+	// searches; excess jobs wait in the queue (default = Workers).
+	MaxRunningPerTenant int
+	// NoWarmStart disables the shared-database warm start that
+	// otherwise lets every completed job accelerate future ones.
+	NoWarmStart bool
+
+	// EvalHook, when set, fires synchronously after every fresh
+	// evaluation of every job, before it is counted. The in-process
+	// tests use it to observe or stall a search at a known depth; it
+	// must be safe for concurrent calls.
+	EvalHook func(jobID string, evaluations int)
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = 2
+	}
+	if c.MaxQueuedPerTenant <= 0 {
+		c.MaxQueuedPerTenant = 16
+	}
+	if c.MaxRunningPerTenant <= 0 {
+		c.MaxRunningPerTenant = c.Workers
+	}
+	return c
+}
+
+// Sentinel orchestration errors, mapped to HTTP statuses by the API
+// layer.
+var (
+	// ErrQuota rejects a submission exceeding the tenant's queue
+	// quota (HTTP 429).
+	ErrQuota = fmt.Errorf("server: tenant queue quota exceeded")
+	// ErrDraining rejects submissions while the server is shutting
+	// down (HTTP 503).
+	ErrDraining = fmt.Errorf("server: draining, not accepting jobs")
+	// ErrNotFound marks an unknown job ID (HTTP 404).
+	ErrNotFound = fmt.Errorf("server: no such job")
+)
+
+// job is the in-memory state of one submitted job.
+type job struct {
+	rec    jobRecord
+	evals  atomic.Int64
+	cancel context.CancelFunc
+	done   chan struct{} // closed when the job reaches a terminal state
+
+	subMu  sync.Mutex
+	subSeq int
+	subs   map[int]chan Event
+}
+
+// Orchestrator schedules tuning jobs over a bounded worker pool with
+// per-tenant admission control, request deduplication and durable
+// state. All methods are safe for concurrent use.
+type Orchestrator struct {
+	cfg     Config
+	db      *autotune.TuningDB
+	jobsDir string
+	ckptDir string
+	start   time.Time
+
+	mu       sync.Mutex
+	cond     *sync.Cond
+	jobs     map[string]*job
+	order    []string // submission order, for listing
+	queue    []*job   // FIFO of queued jobs
+	byDedup  map[string]*job
+	running  map[string]int // tenant -> running count
+	nextID   int
+	draining bool
+
+	wg sync.WaitGroup
+
+	// counters (atomics: read by /metrics without the lock)
+	submitted   atomic.Int64
+	dedupHits   atomic.Int64
+	quotaDenied atomic.Int64
+	evaluations atomic.Int64
+}
+
+// NewOrchestrator opens (or re-opens) the orchestrator over StateDir:
+// the shared tuning database is opened, persisted jobs are reloaded,
+// and every interrupted or queued job is re-enqueued — interrupted
+// searches resume from their checkpoint to a byte-identical front.
+func NewOrchestrator(cfg Config) (*Orchestrator, error) {
+	if cfg.StateDir == "" {
+		return nil, fmt.Errorf("server: StateDir required")
+	}
+	cfg = cfg.withDefaults()
+	jobsDir := filepath.Join(cfg.StateDir, "jobs")
+	ckptDir := filepath.Join(cfg.StateDir, "checkpoints")
+	for _, d := range []string{jobsDir, ckptDir} {
+		if err := os.MkdirAll(d, 0o755); err != nil {
+			return nil, fmt.Errorf("server: %w", err)
+		}
+	}
+	db, err := autotune.OpenDB(filepath.Join(cfg.StateDir, "tunedb"))
+	if err != nil {
+		return nil, err
+	}
+	o := &Orchestrator{
+		cfg:     cfg,
+		db:      db,
+		jobsDir: jobsDir,
+		ckptDir: ckptDir,
+		start:   time.Now(),
+		jobs:    map[string]*job{},
+		byDedup: map[string]*job{},
+		running: map[string]int{},
+	}
+	o.cond = sync.NewCond(&o.mu)
+	if err := o.reload(); err != nil {
+		db.Close()
+		return nil, err
+	}
+	for i := 0; i < cfg.Workers; i++ {
+		o.wg.Add(1)
+		go o.worker()
+	}
+	return o, nil
+}
+
+// DB exposes the shared tuning database (read-mostly: stats, tests).
+func (o *Orchestrator) DB() *autotune.TuningDB { return o.db }
+
+// reload replays the persisted job records: running jobs from a crash
+// become interrupted, and interrupted/queued jobs re-enter the queue
+// in submission order.
+func (o *Orchestrator) reload() error {
+	entries, err := os.ReadDir(o.jobsDir)
+	if err != nil {
+		return fmt.Errorf("server: %w", err)
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".json") {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		data, err := os.ReadFile(filepath.Join(o.jobsDir, name))
+		if err != nil {
+			return fmt.Errorf("server: %w", err)
+		}
+		var rec jobRecord
+		if err := json.Unmarshal(data, &rec); err != nil {
+			return fmt.Errorf("server: corrupt job record %s: %w", name, err)
+		}
+		if rec.ID == "" || rec.Request == nil {
+			return fmt.Errorf("server: corrupt job record %s: missing id or request", name)
+		}
+		j := &job{rec: rec, done: make(chan struct{}), subs: map[int]chan Event{}}
+		if rec.State == StateRunning {
+			// The previous process died mid-search; its checkpoint (if
+			// any) makes the job resumable.
+			j.rec.State = StateInterrupted
+		}
+		if j.rec.State.Terminal() {
+			close(j.done)
+		}
+		if res := j.rec.Result; res != nil {
+			j.evals.Store(int64(res.Evaluations))
+		}
+		o.jobs[j.rec.ID] = j
+		o.order = append(o.order, j.rec.ID)
+		if cur, ok := o.byDedup[j.rec.DedupKey]; !ok || cur.rec.State == StateFailed {
+			o.byDedup[j.rec.DedupKey] = j
+		}
+		if n := idNumber(j.rec.ID); n >= o.nextID {
+			o.nextID = n + 1
+		}
+		if j.rec.State == StateQueued || j.rec.State == StateInterrupted {
+			o.queue = append(o.queue, j)
+		}
+	}
+	return nil
+}
+
+func idNumber(id string) int {
+	var n int
+	fmt.Sscanf(id, "j%06d", &n)
+	return n
+}
+
+// Submit validates, deduplicates and enqueues one job. A dedup hit
+// returns the existing job's status (Deduped=true) without consuming
+// quota; a quota overflow returns ErrQuota.
+func (o *Orchestrator) Submit(req *JobRequest, tenant string) (JobStatus, error) {
+	if err := validTenant(tenant); err != nil {
+		return JobStatus{}, err
+	}
+	if err := req.Validate(); err != nil {
+		return JobStatus{}, err
+	}
+	dedup, err := req.DedupKey()
+	if err != nil {
+		return JobStatus{}, err
+	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if o.draining {
+		return JobStatus{}, ErrDraining
+	}
+	o.submitted.Add(1)
+	if !req.Force {
+		if prev, ok := o.byDedup[dedup]; ok && prev.rec.State != StateFailed {
+			o.dedupHits.Add(1)
+			st := o.statusLocked(prev)
+			st.Deduped = true
+			return st, nil
+		}
+	}
+	queued := 0
+	for _, j := range o.queue {
+		if j.rec.Tenant == tenant {
+			queued++
+		}
+	}
+	if queued >= o.cfg.MaxQueuedPerTenant {
+		o.quotaDenied.Add(1)
+		return JobStatus{}, fmt.Errorf("%w: tenant %q already has %d queued jobs (max %d)",
+			ErrQuota, tenant, queued, o.cfg.MaxQueuedPerTenant)
+	}
+	id := fmt.Sprintf("j%06d", o.nextID)
+	o.nextID++
+	j := &job{
+		rec: jobRecord{
+			ID:        id,
+			Tenant:    tenant,
+			Request:   req,
+			State:     StateQueued,
+			DedupKey:  dedup,
+			Submitted: time.Now().Unix(),
+		},
+		done: make(chan struct{}),
+		subs: map[int]chan Event{},
+	}
+	if err := o.persistLocked(j); err != nil {
+		return JobStatus{}, err
+	}
+	o.jobs[id] = j
+	o.order = append(o.order, id)
+	o.byDedup[dedup] = j
+	o.queue = append(o.queue, j)
+	o.cond.Broadcast()
+	return o.statusLocked(j), nil
+}
+
+// Status returns a job's status snapshot.
+func (o *Orchestrator) Status(id string) (JobStatus, error) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	j, ok := o.jobs[id]
+	if !ok {
+		return JobStatus{}, ErrNotFound
+	}
+	return o.statusLocked(j), nil
+}
+
+// List returns every job's status in submission order.
+func (o *Orchestrator) List() []JobStatus {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	out := make([]JobStatus, 0, len(o.order))
+	for _, id := range o.order {
+		out = append(out, o.statusLocked(o.jobs[id]))
+	}
+	return out
+}
+
+func (o *Orchestrator) statusLocked(j *job) JobStatus {
+	st := JobStatus{
+		ID:          j.rec.ID,
+		Tenant:      j.rec.Tenant,
+		State:       j.rec.State,
+		Evaluations: int(j.evals.Load()),
+		Error:       j.rec.Error,
+	}
+	if j.rec.Result != nil {
+		res := *j.rec.Result
+		st.Result = &res
+		st.Evaluations = res.Evaluations
+	}
+	return st
+}
+
+// Subscribe registers a progress listener on a job. The returned
+// channel receives state/progress events (dropped under backpressure —
+// poll Status for exact totals), the done channel closes when the job
+// reaches a terminal state, and cancel unregisters.
+func (o *Orchestrator) Subscribe(id string) (<-chan Event, <-chan struct{}, func(), error) {
+	o.mu.Lock()
+	j, ok := o.jobs[id]
+	o.mu.Unlock()
+	if !ok {
+		return nil, nil, nil, ErrNotFound
+	}
+	ch := make(chan Event, 16)
+	j.subMu.Lock()
+	j.subSeq++
+	n := j.subSeq
+	j.subs[n] = ch
+	j.subMu.Unlock()
+	cancel := func() {
+		j.subMu.Lock()
+		delete(j.subs, n)
+		j.subMu.Unlock()
+	}
+	return ch, j.done, cancel, nil
+}
+
+// notify posts an event to every subscriber, dropping under
+// backpressure.
+func (j *job) notify(ev Event) {
+	j.subMu.Lock()
+	for _, ch := range j.subs {
+		select {
+		case ch <- ev:
+		default:
+		}
+	}
+	j.subMu.Unlock()
+}
+
+// worker runs queued jobs until drain.
+func (o *Orchestrator) worker() {
+	defer o.wg.Done()
+	for {
+		j := o.next()
+		if j == nil {
+			return
+		}
+		o.run(j)
+	}
+}
+
+// next blocks until a runnable job exists (FIFO, skipping tenants at
+// their running quota) or the orchestrator drains.
+func (o *Orchestrator) next() *job {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	for {
+		if o.draining {
+			return nil
+		}
+		for i, j := range o.queue {
+			if o.running[j.rec.Tenant] >= o.cfg.MaxRunningPerTenant {
+				continue
+			}
+			o.queue = append(o.queue[:i], o.queue[i+1:]...)
+			o.running[j.rec.Tenant]++
+			j.rec.State = StateRunning
+			o.persistLocked(j) // best-effort; the run result persists again
+			j.notify(Event{State: StateRunning, Evaluations: int(j.evals.Load())})
+			return j
+		}
+		o.cond.Wait()
+	}
+}
+
+// run executes one job end-to-end: options from the persisted request,
+// the shared database (warm start unless disabled), a checkpoint
+// journal for resumable methods, live progress, and drain-aware
+// terminal-state accounting.
+func (o *Orchestrator) run(j *job) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	if d := j.rec.Request.deadline(); d > 0 {
+		var tcancel context.CancelFunc
+		ctx, tcancel = context.WithTimeout(ctx, d)
+		defer tcancel()
+	}
+	o.mu.Lock()
+	// A drain that began between dequeue and here must still stop this
+	// search; registering cancel under the lock closes that window.
+	if o.draining {
+		cancel()
+	}
+	j.cancel = cancel
+	o.mu.Unlock()
+
+	res, err := o.tune(ctx, j)
+
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	j.cancel = nil
+	o.running[j.rec.Tenant]--
+	interrupted := o.draining && ctx.Err() != nil
+	switch {
+	case interrupted:
+		// The drain cancelled the search: the checkpoint (if the
+		// method keeps one) holds the last completed generation, and a
+		// restarted server resumes it to a byte-identical front.
+		j.rec.State = StateInterrupted
+		j.rec.Error = ""
+	case err != nil:
+		j.rec.State = StateFailed
+		j.rec.Error = err.Error()
+	default:
+		j.rec.State = StateDone
+		j.rec.Error = ""
+		j.rec.Result = resultFromTune(res)
+		j.evals.Store(int64(res.Evaluations))
+		if j.rec.Checkpoint != "" {
+			os.Remove(j.rec.Checkpoint)
+			j.rec.Checkpoint = ""
+		}
+	}
+	o.persistLocked(j)
+	j.notify(Event{State: j.rec.State, Evaluations: int(j.evals.Load())})
+	if j.rec.State.Terminal() {
+		close(j.done)
+	}
+	o.cond.Broadcast()
+}
+
+// tune assembles the option list and runs the library search.
+func (o *Orchestrator) tune(ctx context.Context, j *job) (*autotune.TuneResult, error) {
+	req := j.rec.Request
+	opts, err := req.tuneOptions()
+	if err != nil {
+		return nil, err
+	}
+	id := j.rec.ID
+	gate := o.cfg.EvalHook
+	opts = append(opts,
+		autotune.WithContext(ctx),
+		autotune.WithProgress(func(n int) {
+			j.evals.Store(int64(n))
+			o.evaluations.Add(1)
+			if gate != nil {
+				gate(id, n)
+			}
+			j.notify(Event{State: StateRunning, Evaluations: n})
+		}),
+		autotune.WithDB(o.db),
+	)
+	warm := !o.cfg.NoWarmStart
+	if req.WarmStart != nil {
+		warm = *req.WarmStart
+	}
+	if warm {
+		opts = append(opts, autotune.WithWarmStart())
+	}
+	if req.checkpointable() {
+		ckpt := j.rec.Checkpoint
+		if ckpt == "" {
+			ckpt = filepath.Join(o.ckptDir, id+".ckpt")
+		}
+		// Resume only from a journal holding a complete snapshot; a
+		// checkpoint cut short before the first generation restarts
+		// the search from scratch (it evaluated nothing resumable).
+		if _, lerr := resilience.LoadCheckpoint(ckpt); lerr == nil {
+			opts = append(opts, autotune.WithResume(ckpt))
+		} else {
+			opts = append(opts, autotune.WithCheckpoint(ckpt))
+		}
+		o.mu.Lock()
+		j.rec.Checkpoint = ckpt
+		o.mu.Unlock()
+	}
+	if req.Kernel != "" {
+		return autotune.Tune(req.Kernel, opts...)
+	}
+	return autotune.TuneSource(req.Source, opts...)
+}
+
+// Drain stops the orchestrator gracefully: no new submissions, every
+// running search is cancelled (checkpointing at its last completed
+// generation), queued jobs stay persisted, and the call returns once
+// all workers have stopped. The shared database is closed.
+func (o *Orchestrator) Drain() {
+	o.mu.Lock()
+	if o.draining {
+		o.mu.Unlock()
+		o.wg.Wait()
+		return
+	}
+	o.draining = true
+	for _, j := range o.jobs {
+		if j.cancel != nil {
+			j.cancel()
+		}
+	}
+	o.cond.Broadcast()
+	o.mu.Unlock()
+	o.wg.Wait()
+	o.db.Close()
+}
+
+// Draining reports whether a drain is in progress or finished.
+func (o *Orchestrator) Draining() bool {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.draining
+}
+
+// persistLocked atomically writes a job's durable record. Callers hold
+// o.mu.
+func (o *Orchestrator) persistLocked(j *job) error {
+	data, err := json.MarshalIndent(j.rec, "", "  ")
+	if err != nil {
+		return fmt.Errorf("server: %w", err)
+	}
+	path := filepath.Join(o.jobsDir, j.rec.ID+".json")
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return fmt.Errorf("server: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return fmt.Errorf("server: %w", err)
+	}
+	return nil
+}
+
+// Metrics is a point-in-time snapshot of the orchestrator's counters.
+type Metrics struct {
+	States          map[JobState]int
+	Submitted       int64
+	DedupHits       int64
+	QuotaRejections int64
+	Evaluations     int64
+	EvalsPerSec     float64
+	DedupHitRate    float64
+	UptimeSeconds   float64
+	Draining        bool
+}
+
+// Snapshot gathers the current metrics.
+func (o *Orchestrator) Snapshot() Metrics {
+	o.mu.Lock()
+	states := map[JobState]int{}
+	for _, j := range o.jobs {
+		states[j.rec.State]++
+	}
+	draining := o.draining
+	o.mu.Unlock()
+	up := time.Since(o.start).Seconds()
+	m := Metrics{
+		States:          states,
+		Submitted:       o.submitted.Load(),
+		DedupHits:       o.dedupHits.Load(),
+		QuotaRejections: o.quotaDenied.Load(),
+		Evaluations:     o.evaluations.Load(),
+		UptimeSeconds:   up,
+		Draining:        draining,
+	}
+	if up > 0 {
+		m.EvalsPerSec = float64(m.Evaluations) / up
+	}
+	if m.Submitted > 0 {
+		m.DedupHitRate = float64(m.DedupHits) / float64(m.Submitted)
+	}
+	return m
+}

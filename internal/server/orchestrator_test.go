@@ -1,0 +1,253 @@
+package server
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// smallJob is a search sized for test turnaround: a handful of
+// generations over the mm kernel.
+func smallJob(seed int64) *JobRequest {
+	return &JobRequest{Kernel: "mm", Seed: seed, PopSize: 8, MaxIterations: 2}
+}
+
+// waitTerminal blocks until the job reaches done/failed (the test
+// fails after a generous timeout) and returns its final status.
+func waitTerminal(t *testing.T, o *Orchestrator, id string) JobStatus {
+	t.Helper()
+	_, done, cancel, err := o.Subscribe(id)
+	if err != nil {
+		t.Fatalf("subscribe %s: %v", id, err)
+	}
+	defer cancel()
+	select {
+	case <-done:
+	case <-time.After(60 * time.Second):
+		t.Fatalf("job %s did not finish", id)
+	}
+	st, err := o.Status(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+func TestOrchestratorRunsJobToDone(t *testing.T) {
+	dir := t.TempDir()
+	o, err := NewOrchestrator(Config{StateDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer o.Drain()
+	st, err := o.Submit(smallJob(1), "alice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != StateQueued || st.ID == "" {
+		t.Fatalf("submit status %+v", st)
+	}
+	st = waitTerminal(t, o, st.ID)
+	if st.State != StateDone {
+		t.Fatalf("state %s, error %q", st.State, st.Error)
+	}
+	if st.Result == nil || len(st.Result.Points) == 0 {
+		t.Fatalf("no result: %+v", st)
+	}
+	if st.Evaluations <= 0 {
+		t.Fatalf("evaluations %d", st.Evaluations)
+	}
+	// The checkpoint journal of a finished job is garbage; it must not
+	// survive.
+	ckpts, _ := os.ReadDir(filepath.Join(dir, "checkpoints"))
+	if len(ckpts) != 0 {
+		t.Fatalf("stale checkpoints after completion: %v", ckpts)
+	}
+}
+
+func TestOrchestratorDedup(t *testing.T) {
+	o, err := NewOrchestrator(Config{StateDir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer o.Drain()
+	first, err := o.Submit(smallJob(3), "alice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// An identical search from another tenant joins the first job.
+	dup, err := o.Submit(smallJob(3), "bob")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !dup.Deduped || dup.ID != first.ID {
+		t.Fatalf("want dedup onto %s, got %+v", first.ID, dup)
+	}
+	// A different seed is a different search.
+	other, err := o.Submit(smallJob(4), "bob")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if other.Deduped || other.ID == first.ID {
+		t.Fatalf("distinct search deduped: %+v", other)
+	}
+	waitTerminal(t, o, first.ID)
+	// Dedup keeps answering after completion, now with the result.
+	done, err := o.Submit(smallJob(3), "carol")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !done.Deduped || done.Result == nil {
+		t.Fatalf("completed dedup hit lacks result: %+v", done)
+	}
+	// Force runs a fresh search despite the identical request.
+	forced := smallJob(3)
+	forced.Force = true
+	fst, err := o.Submit(forced, "carol")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fst.Deduped || fst.ID == first.ID {
+		t.Fatalf("forced submit deduped: %+v", fst)
+	}
+	if m := o.Snapshot(); m.DedupHits != 2 {
+		t.Fatalf("dedup hits %d, want 2", m.DedupHits)
+	}
+}
+
+func TestOrchestratorQuota(t *testing.T) {
+	release := make(chan struct{})
+	defer func() {
+		select {
+		case <-release:
+		default:
+			close(release)
+		}
+	}()
+	cfg := Config{
+		StateDir:           t.TempDir(),
+		Workers:            1,
+		MaxQueuedPerTenant: 2,
+		EvalHook: func(id string, n int) {
+			if id == "j000000" {
+				<-release
+			}
+		},
+	}
+	o, err := NewOrchestrator(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer o.Drain()
+	running, err := o.Submit(smallJob(10), "alice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Wait until the gated job occupies the only worker, so the later
+	// submissions stay queued deterministically.
+	for {
+		st, err := o.Status(running.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.State == StateRunning {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	for seed := int64(11); seed <= 12; seed++ {
+		if _, err := o.Submit(smallJob(seed), "alice"); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+	}
+	if _, err := o.Submit(smallJob(13), "alice"); !errors.Is(err, ErrQuota) {
+		t.Fatalf("over-quota submit: %v", err)
+	}
+	// Quotas are per tenant: bob is unaffected by alice's backlog.
+	bob, err := o.Submit(smallJob(13), "bob")
+	if err != nil {
+		t.Fatalf("other tenant rejected: %v", err)
+	}
+	if m := o.Snapshot(); m.QuotaRejections != 1 {
+		t.Fatalf("quota rejections %d, want 1", m.QuotaRejections)
+	}
+	close(release)
+	waitTerminal(t, o, bob.ID)
+}
+
+func TestOrchestratorRestartKeepsStateAndDedup(t *testing.T) {
+	dir := t.TempDir()
+	o, err := NewOrchestrator(Config{StateDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := o.Submit(smallJob(20), "alice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := waitTerminal(t, o, st.ID)
+	o.Drain()
+
+	o2, err := NewOrchestrator(Config{StateDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer o2.Drain()
+	got, err := o2.Status(st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.State != StateDone || got.Result == nil {
+		t.Fatalf("restart lost the result: %+v", got)
+	}
+	if len(got.Result.Points) != len(ref.Result.Points) {
+		t.Fatalf("restart changed the front: %d vs %d points",
+			len(got.Result.Points), len(ref.Result.Points))
+	}
+	// Dedup state is rebuilt from disk: the same request still joins
+	// the finished job instead of re-running it.
+	dup, err := o2.Submit(smallJob(20), "bob")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !dup.Deduped || dup.ID != st.ID {
+		t.Fatalf("dedup lost across restart: %+v", dup)
+	}
+}
+
+func TestOrchestratorDrainRejectsSubmit(t *testing.T) {
+	o, err := NewOrchestrator(Config{StateDir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	o.Drain()
+	if !o.Draining() {
+		t.Fatal("Draining() false after Drain")
+	}
+	if _, err := o.Submit(smallJob(1), "alice"); !errors.Is(err, ErrDraining) {
+		t.Fatalf("submit during drain: %v", err)
+	}
+	if _, err := o.Status("j999999"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("unknown job: %v", err)
+	}
+}
+
+func TestOrchestratorFailedJobSurfacesError(t *testing.T) {
+	o, err := NewOrchestrator(Config{StateDir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer o.Drain()
+	// Valid MiniIR syntax is not checked at submission; the search
+	// itself fails and the job must land in failed with the message.
+	st, err := o.Submit(&JobRequest{Source: "this is not a program"}, "alice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	st = waitTerminal(t, o, st.ID)
+	if st.State != StateFailed || st.Error == "" {
+		t.Fatalf("want failed with error, got %+v", st)
+	}
+}

@@ -1,0 +1,299 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"autotune"
+	"autotune/internal/export"
+)
+
+// newTestServer wires an orchestrator to an ephemeral HTTP server and
+// returns a client against it.
+func newTestServer(t *testing.T, cfg Config) (*Orchestrator, *httptest.Server, *Client) {
+	t.Helper()
+	if cfg.StateDir == "" {
+		cfg.StateDir = t.TempDir()
+	}
+	o, err := NewOrchestrator(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(New(o).Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		o.Drain()
+	})
+	return o, ts, &Client{BaseURL: ts.URL}
+}
+
+// TestServerFrontByteIdenticalToLibrary is the service's core
+// correctness claim: the front served over HTTP for a fixed seed is
+// byte-for-byte the JSON a direct library run of the same request
+// exports.
+func TestServerFrontByteIdenticalToLibrary(t *testing.T) {
+	_, _, c := newTestServer(t, Config{})
+	ctx := context.Background()
+	st, err := c.Submit(ctx, &JobRequest{Kernel: "mm", Seed: 5, PopSize: 8, MaxIterations: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wctx, cancel := context.WithTimeout(ctx, 60*time.Second)
+	defer cancel()
+	fin, err := c.Wait(wctx, st.ID, 20*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fin.State != StateDone {
+		t.Fatalf("job %s: %s (%s)", st.ID, fin.State, fin.Error)
+	}
+	served, err := c.Front(ctx, st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	res, err := autotune.Tune("mm",
+		autotune.WithMachine("Westmere"),
+		autotune.WithMethod(autotune.RSGDE3),
+		autotune.WithSeed(5),
+		autotune.WithOptimizerOptions(autotune.OptimizerOptions{
+			PopSize: 8, MaxIterations: 2, Seed: 5,
+		}),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var direct bytes.Buffer
+	if err := export.FrontJSON(&direct, res.Front, res.Unit.ObjectiveNames); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(served, direct.Bytes()) {
+		t.Fatalf("served front differs from direct library export:\nserved:\n%s\ndirect:\n%s",
+			served, direct.Bytes())
+	}
+}
+
+func TestServerRejectsBadRequests(t *testing.T) {
+	_, ts, _ := newTestServer(t, Config{})
+	post := func(body string) *http.Response {
+		resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp
+	}
+	for _, tc := range []struct {
+		name, body string
+		want       int
+	}{
+		{"broken json", `{"kernel":`, http.StatusBadRequest},
+		{"unknown kernel", `{"kernel":"nope"}`, http.StatusBadRequest},
+		{"unknown method", `{"kernel":"mm","method":"nope"}`, http.StatusBadRequest},
+		{"oversized body", `{"source":"` + strings.Repeat("x", MaxRequestBytes+1) + `"}`, http.StatusRequestEntityTooLarge},
+	} {
+		resp := post(tc.body)
+		if resp.StatusCode != tc.want {
+			t.Errorf("%s: HTTP %d, want %d", tc.name, resp.StatusCode, tc.want)
+		}
+		var ae apiError
+		if err := readJSON(resp, &ae); err != nil || ae.Error == "" {
+			t.Errorf("%s: no structured error payload (%v)", tc.name, err)
+		}
+	}
+	resp, err := http.Get(ts.URL + "/v1/jobs/j999999")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown job: HTTP %d, want 404", resp.StatusCode)
+	}
+	resp.Body.Close()
+}
+
+func readJSON(resp *http.Response, v interface{}) error {
+	defer resp.Body.Close()
+	return json.NewDecoder(resp.Body).Decode(v)
+}
+
+func TestServerQuotaAndUnfinishedFront(t *testing.T) {
+	release := make(chan struct{})
+	defer func() {
+		select {
+		case <-release:
+		default:
+			close(release)
+		}
+	}()
+	_, _, c := newTestServer(t, Config{
+		Workers:            1,
+		MaxQueuedPerTenant: 1,
+		EvalHook: func(id string, n int) {
+			if id == "j000000" {
+				<-release
+			}
+		},
+	})
+	ctx := context.Background()
+	running, err := c.Submit(ctx, smallJob(30))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The gated job has no front yet: asking for one is a conflict,
+	// not an error.
+	if _, err := c.Front(ctx, running.ID); StatusCode(err) != http.StatusConflict {
+		t.Fatalf("front of unfinished job: %v", err)
+	}
+	if _, err := c.Submit(ctx, smallJob(31)); err != nil {
+		t.Fatal(err)
+	}
+	_, err = c.Submit(ctx, smallJob(32))
+	if StatusCode(err) != http.StatusTooManyRequests {
+		t.Fatalf("over-quota submit: %v", err)
+	}
+	close(release)
+}
+
+func TestServerMetricsAndHealthz(t *testing.T) {
+	_, _, c := newTestServer(t, Config{})
+	ctx := context.Background()
+	if status, err := c.Healthz(ctx); err != nil || status != "ok" {
+		t.Fatalf("healthz: %q, %v", status, err)
+	}
+	st, err := c.Submit(ctx, smallJob(40))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wctx, cancel := context.WithTimeout(ctx, 60*time.Second)
+	defer cancel()
+	if _, err := c.Wait(wctx, st.ID, 20*time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	text, err := c.Metrics(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		`tuned_jobs{state="done"} 1`,
+		"tuned_jobs_submitted_total 1",
+		"tuned_evaluations_total",
+		"tuned_evals_per_sec",
+		"tuned_dedup_hit_rate",
+		"tuned_draining 0",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("metrics missing %q:\n%s", want, text)
+		}
+	}
+}
+
+// TestServerEvents exercises the SSE stream: it must terminate with a
+// `done` event carrying the job's terminal status.
+func TestServerEvents(t *testing.T) {
+	_, ts, c := newTestServer(t, Config{})
+	ctx := context.Background()
+	st, err := c.Submit(ctx, smallJob(50))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get(ts.URL + "/v1/jobs/" + st.ID + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("content type %q", ct)
+	}
+	var sawStatus, sawDone bool
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		switch line := sc.Text(); line {
+		case "event: status":
+			sawStatus = true
+		case "event: done":
+			sawDone = true
+		}
+	}
+	if !sawStatus || !sawDone {
+		t.Fatalf("stream missing events: status=%v done=%v", sawStatus, sawDone)
+	}
+}
+
+func TestServerDrainEndpoint(t *testing.T) {
+	_, ts, c := newTestServer(t, Config{})
+	ctx := context.Background()
+	if err := c.Drain(ctx); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		status, err := c.Healthz(ctx)
+		if err == nil && status == "draining" {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("healthz never reported draining (last %q, %v)", status, err)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	_, err := c.Submit(ctx, smallJob(60))
+	if StatusCode(err) != http.StatusServiceUnavailable {
+		t.Fatalf("submit while draining: %v", err)
+	}
+	_ = ts
+}
+
+// TestServeLifecycle drives the full Serve loop on a real listener:
+// the API answers, a drain over the API shuts the server down, and
+// Serve returns cleanly.
+func TestServeLifecycle(t *testing.T) {
+	o, err := NewOrchestrator(Config{StateDir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- New(o).Serve(context.Background(), l) }()
+	ctx := context.Background()
+	c := &Client{BaseURL: "http://" + l.Addr().String()}
+	st, err := c.Submit(ctx, smallJob(70))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wctx, cancel := context.WithTimeout(ctx, 60*time.Second)
+	defer cancel()
+	if _, err := c.Wait(wctx, st.ID, 20*time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	jobs, err := c.List(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(jobs) != 1 || jobs[0].ID != st.ID {
+		t.Fatalf("list: %+v", jobs)
+	}
+	if o.DB() == nil {
+		t.Fatal("orchestrator exposes no tuning database")
+	}
+	if err := c.Drain(ctx); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-serveErr:
+		if err != nil && err != http.ErrServerClosed {
+			t.Fatalf("serve: %v", err)
+		}
+	case <-time.After(60 * time.Second):
+		t.Fatal("Serve never returned after drain")
+	}
+}
