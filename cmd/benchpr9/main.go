@@ -1,0 +1,555 @@
+// Command benchpr9 benchmarks the tunedb storage engines against each
+// other: the frozen v1 append-only JSONL journal (internal/tunedb/v1)
+// versus the live sharded LSM store (internal/tunedb on
+// internal/store). For each database size it populates both engines
+// with an identical synthetic workload (100 evaluations plus one
+// Pareto front per program key) and measures populate, open, point-get,
+// full-iteration and merge latency, plus the heap retained by an open
+// database and its disk footprint. The report also runs two quick
+// crash sweeps — WAL truncate-at-every-byte and segment
+// truncate-at-every-stride — so the durability claims are checked by
+// the same binary that makes the performance ones.
+//
+// The committed BENCH_pr9.json at the repository root is regenerated
+// with:
+//
+//	go run ./cmd/benchpr9 -o BENCH_pr9.json
+//
+// CI runs the quick mode (-mode quick: the smallest size only).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"runtime"
+	"time"
+
+	"autotune/internal/machine"
+	"autotune/internal/skeleton"
+	"autotune/internal/store"
+	"autotune/internal/tunedb"
+	v1 "autotune/internal/tunedb/v1"
+)
+
+func main() {
+	out := flag.String("o", "BENCH_pr9.json", "output file")
+	modeName := flag.String("mode", "full", "sizes to run (quick: 1e4; full: 1e4,1e5,1e6)")
+	flag.Parse()
+	if err := run(*out, *modeName, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "benchpr9:", err)
+		os.Exit(1)
+	}
+}
+
+// EngineResult is one engine's measurements at one database size.
+type EngineResult struct {
+	PopulateMS float64 `json:"populate_ms"`
+	OpenMS     float64 `json:"open_ms"`
+	OpenHeapMB float64 `json:"open_heap_mb"`
+	GetUS      float64 `json:"get_us"`
+	IterMS     float64 `json:"iter_ms"`
+	MergeMS    float64 `json:"merge_ms"`
+	DiskBytes  int64   `json:"disk_bytes"`
+}
+
+// SizeResult compares both engines at one database size.
+type SizeResult struct {
+	Records     int          `json:"records"`
+	V1          EngineResult `json:"v1"`
+	Store       EngineResult `json:"store"`
+	OpenSpeedup float64      `json:"open_speedup"`
+}
+
+// Report is the benchpr9 JSON schema.
+type Report struct {
+	Description string `json:"description"`
+	Mode        string `json:"mode"`
+	GoVersion   string `json:"go_version"`
+
+	Sizes []SizeResult `json:"sizes"`
+
+	// StoreGetFlatness is max/min point-get latency for the store
+	// engine across sizes: the scalability claim is that lookups stay
+	// flat (within 2x) as the database grows 100x.
+	StoreGetFlatness float64 `json:"store_get_flatness"`
+
+	CrashSweeps map[string]string `json:"crash_sweeps"`
+}
+
+func run(out, modeName string, w io.Writer) error {
+	sizes := []int{10_000, 100_000, 1_000_000}
+	if modeName == "quick" {
+		sizes = []int{10_000}
+	}
+	report := Report{
+		Description: "tunedb storage engines: v1 JSONL journal vs sharded LSM store (populate/open/get/iter/merge, open-heap, disk)",
+		Mode:        modeName,
+		GoVersion:   runtime.Version(),
+		CrashSweeps: map[string]string{},
+	}
+
+	for _, n := range sizes {
+		fmt.Fprintf(w, "== %d records ==\n", n)
+		res, err := benchSize(n)
+		if err != nil {
+			return err
+		}
+		report.Sizes = append(report.Sizes, res)
+		render(w, res)
+	}
+	minGet, maxGet := report.Sizes[0].Store.GetUS, report.Sizes[0].Store.GetUS
+	for _, s := range report.Sizes {
+		if s.Store.GetUS < minGet {
+			minGet = s.Store.GetUS
+		}
+		if s.Store.GetUS > maxGet {
+			maxGet = s.Store.GetUS
+		}
+	}
+	if minGet > 0 {
+		report.StoreGetFlatness = maxGet / minGet
+	}
+	fmt.Fprintf(w, "store point-get flatness across sizes: %.2fx\n", report.StoreGetFlatness)
+
+	fmt.Fprintln(w, "== crash sweeps ==")
+	report.CrashSweeps["wal_truncate_every_byte"] = sweepStatus(walTruncateSweep())
+	report.CrashSweeps["segment_truncate"] = sweepStatus(segmentTruncateSweep())
+	for name, status := range report.CrashSweeps {
+		fmt.Fprintf(w, "%-28s %s\n", name, status)
+	}
+
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "benchmark report written to %s\n", out)
+	return nil
+}
+
+func render(w io.Writer, res SizeResult) {
+	fmt.Fprintf(w, "%-8s %12s %12s %12s %10s %10s %10s %12s\n",
+		"engine", "populate", "open", "open-heap", "get", "iter", "merge", "disk")
+	for _, row := range []struct {
+		name string
+		r    EngineResult
+	}{{"v1", res.V1}, {"store", res.Store}} {
+		fmt.Fprintf(w, "%-8s %10.1fms %10.1fms %10.2fMB %8.2fus %8.1fms %8.1fms %12d\n",
+			row.name, row.r.PopulateMS, row.r.OpenMS, row.r.OpenHeapMB,
+			row.r.GetUS, row.r.IterMS, row.r.MergeMS, row.r.DiskBytes)
+	}
+	fmt.Fprintf(w, "open speedup: %.1fx\n\n", res.OpenSpeedup)
+}
+
+func sweepStatus(err error) string {
+	if err != nil {
+		return "FAIL: " + err.Error()
+	}
+	return "pass"
+}
+
+// workload describes the synthetic dataset: nKeys program keys with
+// evalsPerKey evaluations and one front each.
+const evalsPerKey = 99 // +1 front = 100 records per key
+
+func benchKey(i int) tunedb.Key {
+	return tunedb.Key{
+		Fingerprint: fmt.Sprintf("pg%016x", i+1),
+		MachineSig:  machine.SignatureOf(machine.Westmere()).Key(),
+		Objectives:  "time+resources",
+		SpaceHash:   "sp0000000000000001",
+	}
+}
+
+func benchFront(key tunedb.Key) tunedb.FrontRecord {
+	return tunedb.FrontRecord{
+		Key:            key,
+		Machine:        machine.SignatureOf(machine.Westmere()),
+		ObjectiveNames: []string{"time", "resources"},
+		Points: []tunedb.FrontPoint{
+			{Config: []int64{64, 64, 8}, Objectives: []float64{0.5, 8}},
+			{Config: []int64{32, 32, 16}, Objectives: []float64{0.3, 16}},
+		},
+		Evaluations: evalsPerKey,
+		Iterations:  10,
+	}
+}
+
+func benchCfg(i int) skeleton.Config { return skeleton.Config{int64(i + 1), 64, 8} }
+func benchObjs(i int) []float64      { return []float64{float64(i) * 0.01, 8} }
+
+// putter is the write surface both engines share.
+type putter interface {
+	PutEval(key tunedb.Key, cfg skeleton.Config, objs []float64) error
+	PutFront(rec tunedb.FrontRecord) error
+}
+
+// populate writes nKeys*(evalsPerKey+1) records. keyOff offsets the
+// fingerprints so merge sources are disjoint from the main dataset.
+func populate(db putter, nKeys, keyOff int) error {
+	for k := 0; k < nKeys; k++ {
+		key := benchKey(k + keyOff)
+		for i := 0; i < evalsPerKey; i++ {
+			if err := db.PutEval(key, benchCfg(i), benchObjs(i)); err != nil {
+				return err
+			}
+		}
+		if err := db.PutFront(benchFront(key)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func dirBytes(dir string) int64 {
+	var total int64
+	filepath.Walk(dir, func(_ string, info os.FileInfo, err error) error {
+		if err == nil && !info.IsDir() {
+			total += info.Size()
+		}
+		return nil
+	})
+	return total
+}
+
+// heapMB returns retained heap after a GC, in MiB.
+func heapMB() float64 {
+	runtime.GC()
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return float64(ms.HeapAlloc) / (1 << 20)
+}
+
+func benchSize(records int) (SizeResult, error) {
+	nKeys := records / (evalsPerKey + 1)
+	if nKeys < 1 {
+		nKeys = 1
+	}
+	res := SizeResult{Records: nKeys * (evalsPerKey + 1)}
+	rng := rand.New(rand.NewSource(9))
+	getSamples := 2000
+	if getSamples > records {
+		getSamples = records
+	}
+
+	root, err := os.MkdirTemp("", "benchpr9-")
+	if err != nil {
+		return res, err
+	}
+	defer os.RemoveAll(root)
+
+	// ---- v1 engine ----
+	{
+		dir := filepath.Join(root, "v1")
+		start := time.Now()
+		db, err := v1.Open(dir)
+		if err != nil {
+			return res, err
+		}
+		if err := populate(db, nKeys, 0); err != nil {
+			return res, err
+		}
+		if err := db.Close(); err != nil {
+			return res, err
+		}
+		res.V1.PopulateMS = msSince(start)
+		res.V1.DiskBytes = dirBytes(dir)
+
+		before := heapMB()
+		start = time.Now()
+		db, err = v1.Open(dir)
+		if err != nil {
+			return res, err
+		}
+		res.V1.OpenMS = msSince(start)
+		res.V1.OpenHeapMB = heapMB() - before
+
+		start = time.Now()
+		for i := 0; i < getSamples; i++ {
+			key := benchKey(rng.Intn(nKeys))
+			if _, ok := db.GetEval(key, benchCfg(rng.Intn(evalsPerKey))); !ok {
+				return res, fmt.Errorf("v1 get miss")
+			}
+		}
+		res.V1.GetUS = usSince(start) / float64(getSamples)
+
+		start = time.Now()
+		count := 0
+		db.ScanEvals(func(string, skeleton.Config, []float64) bool { count++; return true })
+		res.V1.IterMS = msSince(start)
+		if count != nKeys*evalsPerKey {
+			return res, fmt.Errorf("v1 iter saw %d evals, want %d", count, nKeys*evalsPerKey)
+		}
+
+		// Merge a disjoint source a tenth the size, v1-style: adopt
+		// record by record through the public API.
+		srcDir := filepath.Join(root, "v1-src")
+		src, err := v1.Open(srcDir)
+		if err != nil {
+			return res, err
+		}
+		srcKeys := nKeys/10 + 1
+		if err := populate(src, srcKeys, nKeys); err != nil {
+			return res, err
+		}
+		srcByKS := map[string]tunedb.Key{}
+		for _, k := range src.Keys() {
+			srcByKS[k.String()] = k
+		}
+		start = time.Now()
+		err = nil
+		src.ScanEvals(func(ks string, cfg skeleton.Config, objs []float64) bool {
+			if k, ok := srcByKS[ks]; ok {
+				if _, exists := db.GetEval(k, cfg); !exists {
+					err = db.PutEval(k, cfg, objs)
+				}
+			}
+			return err == nil
+		})
+		if err != nil {
+			return res, err
+		}
+		for _, k := range src.Keys() {
+			if rec, ok := src.Front(k); ok {
+				if _, exists := db.Front(k); !exists {
+					if err := db.PutFront(rec); err != nil {
+						return res, err
+					}
+				}
+			}
+		}
+		res.V1.MergeMS = msSince(start)
+		src.Close()
+		if err := db.Close(); err != nil {
+			return res, err
+		}
+	}
+
+	// ---- store engine ----
+	{
+		dir := filepath.Join(root, "store")
+		start := time.Now()
+		db, err := tunedb.Open(dir)
+		if err != nil {
+			return res, err
+		}
+		if err := populate(db, nKeys, 0); err != nil {
+			return res, err
+		}
+		if err := db.Close(); err != nil {
+			return res, err
+		}
+		res.Store.PopulateMS = msSince(start)
+		res.Store.DiskBytes = dirBytes(dir)
+
+		before := heapMB()
+		start = time.Now()
+		db, err = tunedb.Open(dir)
+		if err != nil {
+			return res, err
+		}
+		res.Store.OpenMS = msSince(start)
+		res.Store.OpenHeapMB = heapMB() - before
+
+		start = time.Now()
+		for i := 0; i < getSamples; i++ {
+			key := benchKey(rng.Intn(nKeys))
+			if _, ok := db.GetEval(key, benchCfg(rng.Intn(evalsPerKey))); !ok {
+				return res, fmt.Errorf("store get miss")
+			}
+		}
+		res.Store.GetUS = usSince(start) / float64(getSamples)
+
+		start = time.Now()
+		count := 0
+		if err := db.ScanEvals("", func(string, skeleton.Config, []float64) bool { count++; return true }); err != nil {
+			return res, err
+		}
+		res.Store.IterMS = msSince(start)
+		if count != nKeys*evalsPerKey {
+			return res, fmt.Errorf("store iter saw %d evals, want %d", count, nKeys*evalsPerKey)
+		}
+
+		srcDir := filepath.Join(root, "store-src")
+		src, err := tunedb.Open(srcDir)
+		if err != nil {
+			return res, err
+		}
+		srcKeys := nKeys/10 + 1
+		if err := populate(src, srcKeys, nKeys); err != nil {
+			return res, err
+		}
+		if err := src.Close(); err != nil {
+			return res, err
+		}
+		start = time.Now()
+		if _, _, err := db.Merge(srcDir); err != nil {
+			return res, err
+		}
+		res.Store.MergeMS = msSince(start)
+		if err := db.Close(); err != nil {
+			return res, err
+		}
+	}
+
+	if res.Store.OpenMS > 0 {
+		res.OpenSpeedup = res.V1.OpenMS / res.Store.OpenMS
+	}
+	return res, nil
+}
+
+func msSince(t time.Time) float64 { return float64(time.Since(t).Microseconds()) / 1000 }
+func usSince(t time.Time) float64 { return float64(time.Since(t).Nanoseconds()) / 1000 }
+
+// walTruncateSweep is the in-binary durability check: a small store's
+// WAL is truncated at every byte; each cut must open cleanly and keep
+// every record whose frame lies wholly before the cut.
+func walTruncateSweep() error {
+	root, err := os.MkdirTemp("", "benchpr9-sweep-")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(root)
+	opt := store.Options{Shards: 1, NoBackgroundCompaction: true}
+	ref := filepath.Join(root, "ref")
+	st, err := store.Open(ref, opt)
+	if err != nil {
+		return err
+	}
+	const n = 6
+	frameLens := make([]int, n)
+	for i := 0; i < n; i++ {
+		k, v := fmt.Sprintf("key-%02d", i), fmt.Sprintf("val-%02d", i)
+		frameLens[i] = 8 + 4 + len(k) + 4 + len(v)
+		if err := st.Put(k, []byte(v)); err != nil {
+			return err
+		}
+	}
+	if err := st.Sync(); err != nil {
+		return err
+	}
+	walPath := filepath.Join(ref, "shard-00", "wal.log")
+	wal, err := os.ReadFile(walPath)
+	if err != nil {
+		return err
+	}
+	// Close AFTER capturing the WAL image (close flushes it away).
+	if err := st.Close(); err != nil {
+		return err
+	}
+	for cut := 0; cut <= len(wal); cut++ {
+		dir := filepath.Join(root, fmt.Sprintf("cut-%04d", cut))
+		if err := os.MkdirAll(filepath.Join(dir, "shard-00"), 0o755); err != nil {
+			return err
+		}
+		if err := copyFile(filepath.Join(ref, "meta.json"), filepath.Join(dir, "meta.json")); err != nil {
+			return err
+		}
+		if err := os.WriteFile(filepath.Join(dir, "shard-00", "wal.log"), wal[:cut], 0o644); err != nil {
+			return err
+		}
+		st, err := store.Open(dir, opt)
+		if err != nil {
+			return fmt.Errorf("cut %d: %w", cut, err)
+		}
+		want := 0
+		for sum := 0; want < n && sum+frameLens[want] <= cut; want++ {
+			sum += frameLens[want]
+		}
+		got := 0
+		it := st.Iter("")
+		for it.Next() {
+			got++
+		}
+		iterErr := it.Err()
+		it.Close()
+		st.Close()
+		if iterErr != nil {
+			return fmt.Errorf("cut %d: %w", cut, iterErr)
+		}
+		if got != want {
+			return fmt.Errorf("cut %d: recovered %d records, want %d", cut, got, want)
+		}
+		os.RemoveAll(dir)
+	}
+	return nil
+}
+
+// segmentTruncateSweep truncates a segment file at every 64-byte stride
+// (and every byte of the last 128): open must fail cleanly, never
+// panic or silently serve partial data.
+func segmentTruncateSweep() error {
+	root, err := os.MkdirTemp("", "benchpr9-sweep-")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(root)
+	opt := store.Options{Shards: 1, NoBackgroundCompaction: true}
+	ref := filepath.Join(root, "ref")
+	st, err := store.Open(ref, opt)
+	if err != nil {
+		return err
+	}
+	for i := 0; i < 50; i++ {
+		if err := st.Put(fmt.Sprintf("key-%04d", i), []byte(fmt.Sprintf("value-%04d", i))); err != nil {
+			return err
+		}
+	}
+	if err := st.Close(); err != nil { // close flushes to one segment
+		return err
+	}
+	shardDir := filepath.Join(ref, "shard-00")
+	entries, err := os.ReadDir(shardDir)
+	if err != nil {
+		return err
+	}
+	segPath := ""
+	for _, e := range entries {
+		if filepath.Ext(e.Name()) == ".seg" {
+			segPath = filepath.Join(shardDir, e.Name())
+		}
+	}
+	if segPath == "" {
+		return fmt.Errorf("no segment written")
+	}
+	seg, err := os.ReadFile(segPath)
+	if err != nil {
+		return err
+	}
+	for cut := 0; cut < len(seg); cut++ {
+		if cut%64 != 0 && cut < len(seg)-128 {
+			continue
+		}
+		dir := filepath.Join(root, "cut")
+		os.RemoveAll(dir)
+		if err := os.MkdirAll(filepath.Join(dir, "shard-00"), 0o755); err != nil {
+			return err
+		}
+		if err := copyFile(filepath.Join(ref, "meta.json"), filepath.Join(dir, "meta.json")); err != nil {
+			return err
+		}
+		if err := os.WriteFile(filepath.Join(dir, "shard-00", filepath.Base(segPath)), seg[:cut], 0o644); err != nil {
+			return err
+		}
+		if st, err := store.Open(dir, opt); err == nil {
+			st.Close()
+			return fmt.Errorf("truncated segment (cut %d/%d) opened without error", cut, len(seg))
+		}
+	}
+	return nil
+}
+
+func copyFile(src, dst string) error {
+	data, err := os.ReadFile(src)
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(dst, data, 0o644)
+}

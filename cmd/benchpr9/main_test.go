@@ -1,0 +1,64 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestRunQuick executes the full benchmark pipeline at its smallest
+// size — both engines populated, measured and merged, crash sweeps run,
+// JSON report written — and checks the report's acceptance shape.
+func TestRunQuick(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "bench.json")
+	var buf strings.Builder
+	if err := run(out, "quick", &buf); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var report Report
+	if err := json.Unmarshal(data, &report); err != nil {
+		t.Fatal(err)
+	}
+	if len(report.Sizes) != 1 {
+		t.Fatalf("quick mode ran %d sizes", len(report.Sizes))
+	}
+	res := report.Sizes[0]
+	if res.Records < 9000 {
+		t.Fatalf("quick size = %d records", res.Records)
+	}
+	// The headline claim: opening the store reads segment metadata, not
+	// the whole database; at 10^4 records it must already be >= 10x
+	// faster than replaying the v1 journal.
+	if res.OpenSpeedup < 10 {
+		t.Fatalf("open speedup %.1fx, want >= 10x", res.OpenSpeedup)
+	}
+	if res.V1.GetUS <= 0 || res.Store.GetUS <= 0 || res.Store.IterMS <= 0 {
+		t.Fatalf("missing measurements: %+v", res)
+	}
+	for name, status := range report.CrashSweeps {
+		if status != "pass" {
+			t.Fatalf("crash sweep %s: %s", name, status)
+		}
+	}
+	if len(report.CrashSweeps) != 2 {
+		t.Fatalf("expected 2 crash sweeps, got %v", report.CrashSweeps)
+	}
+	if !strings.Contains(buf.String(), "open speedup") {
+		t.Fatalf("rendered output incomplete:\n%s", buf.String())
+	}
+}
+
+func TestSweepsDirectly(t *testing.T) {
+	if err := walTruncateSweep(); err != nil {
+		t.Fatal(err)
+	}
+	if err := segmentTruncateSweep(); err != nil {
+		t.Fatal(err)
+	}
+}

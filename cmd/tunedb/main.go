@@ -5,9 +5,11 @@
 //
 //	tunedb -db DIR ls                 # list stored keys with eval/front counts
 //	tunedb -db DIR show KEYPREFIX     # print the stored front for a key
-//	tunedb -db DIR compact            # rewrite the journal keeping live entries
+//	tunedb -db DIR compact            # merge segments, dropping dead records
 //	tunedb -db DIR merge OTHERDIR     # adopt records from another database
 //	tunedb -db DIR export KEYPREFIX   # write the stored front as JSON to stdout
+//	tunedb -db DIR stats              # storage-engine state per shard
+//	tunedb -db DIR scan PGPREFIX      # list keys matching a program prefix
 //
 // KEYPREFIX matches any stored key whose canonical string starts with
 // it; an ambiguous prefix is an error, so a unique fingerprint prefix
@@ -30,7 +32,7 @@ func main() {
 	dir := flag.String("db", "", "tuning database directory (required)")
 	flag.Parse()
 	if *dir == "" || flag.NArg() == 0 {
-		fmt.Fprintln(os.Stderr, "usage: tunedb -db DIR {ls|show KEY|compact|merge OTHERDIR|export KEY}")
+		fmt.Fprintln(os.Stderr, "usage: tunedb -db DIR {ls|show KEY|compact|merge OTHERDIR|export KEY|stats|scan PREFIX}")
 		os.Exit(2)
 	}
 	if err := run(*dir, flag.Arg(0), flag.Args()[1:], os.Stdout, os.Stderr); err != nil {
@@ -64,8 +66,16 @@ func run(dir, cmd string, args []string, stdout, stderr io.Writer) error {
 		if err := db.Compact(); err != nil {
 			return err
 		}
-		fmt.Fprintln(stdout, "journal compacted")
+		fmt.Fprintln(stdout, "database compacted")
 		return nil
+	case "stats":
+		return stats(db, stdout)
+	case "scan":
+		prefix := ""
+		if len(args) > 0 {
+			prefix = args[0]
+		}
+		return scan(db, prefix, stdout)
 	case "merge":
 		if len(args) != 1 {
 			return fmt.Errorf("merge wants exactly one source directory")
@@ -110,6 +120,60 @@ func ls(db *tunedb.DB, w io.Writer) {
 		fmt.Fprintf(w, "%-20s %-30s %-16s %6d %6d\n",
 			k.Fingerprint, trim(k.MachineSig, 30), k.Objectives, db.EvalCount(k), frontSize)
 	}
+}
+
+// stats prints the storage engine's physical state: per-shard segment
+// counts, live/dead record ratios and bloom-filter effectiveness.
+func stats(db *tunedb.DB, w io.Writer) error {
+	s, err := db.Stats()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "%-6s %9s %9s %9s %9s %10s %9s\n",
+		"shard", "segments", "records", "live", "dead", "disk", "bloomFPR")
+	for _, ss := range s.Shards {
+		if ss.Segments == 0 && ss.MemtableEntries == 0 && ss.LiveKeys == 0 {
+			continue
+		}
+		fpr := "-"
+		if ss.BloomFPREstimate > 0 {
+			fpr = fmt.Sprintf("%.4f", ss.BloomFPREstimate)
+		}
+		fmt.Fprintf(w, "%-6d %9d %9d %9d %9d %10d %9s\n",
+			ss.Shard, ss.Segments, int(ss.SegmentRecords)+ss.MemtableEntries,
+			ss.LiveKeys, ss.DeadRecords, ss.DiskBytes, fpr)
+	}
+	live := float64(1)
+	if tot := s.SegmentRecords + uint64(s.MemtableEntries); tot > 0 {
+		live = float64(s.LiveKeys) / float64(tot)
+	}
+	fmt.Fprintf(w, "total: %d segments, %d live keys, %d dead records (%.1f%% live), %d bytes on disk\n",
+		s.Segments, s.LiveKeys, s.DeadRecords, 100*live, s.DiskBytes)
+	return nil
+}
+
+// scan lists every stored key whose canonical string starts with the
+// given prefix (typically a program fingerprint), with record counts —
+// a single-shard range scan, not a full database walk.
+func scan(db *tunedb.DB, prefix string, w io.Writer) error {
+	keys, err := db.ScanKeys(prefix)
+	if err != nil {
+		return err
+	}
+	if len(keys) == 0 {
+		fmt.Fprintf(w, "no keys match %q\n", prefix)
+		return nil
+	}
+	fmt.Fprintf(w, "%-20s %-30s %-16s %6s %6s\n", "fingerprint", "machine", "objectives", "evals", "front")
+	for _, k := range keys {
+		frontSize := 0
+		if rec, ok := db.Front(k); ok {
+			frontSize = len(rec.Points)
+		}
+		fmt.Fprintf(w, "%-20s %-30s %-16s %6d %6d\n",
+			k.Fingerprint, trim(k.MachineSig, 30), k.Objectives, db.EvalCount(k), frontSize)
+	}
+	return nil
 }
 
 // resolveFront finds the unique stored front whose key matches the

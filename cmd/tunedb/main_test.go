@@ -105,6 +105,45 @@ func TestRunSubcommands(t *testing.T) {
 	}
 }
 
+func TestStatsSubcommand(t *testing.T) {
+	dir := t.TempDir()
+	seedDB(t, dir)
+	out := runCmd(t, dir, "stats", nil, false)
+	for _, want := range []string{"shard", "segments", "live", "dead", "bloomFPR", "total:"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("stats output missing %q:\n%s", want, out)
+		}
+	}
+	// 2 keys: 2 evals + 1 front + 2 registry entries = 5 live keys.
+	if !strings.Contains(out, "5 live keys") {
+		t.Errorf("stats live-key count unexpected:\n%s", out)
+	}
+}
+
+func TestScanSubcommand(t *testing.T) {
+	dir := t.TempDir()
+	evalOnly, withFront := seedDB(t, dir)
+
+	// A program-fingerprint prefix selects only that program.
+	out := runCmd(t, dir, "scan", []string{evalOnly.Fingerprint}, false)
+	if !strings.Contains(out, evalOnly.Fingerprint) {
+		t.Errorf("scan output missing %q:\n%s", evalOnly.Fingerprint, out)
+	}
+	if strings.Contains(out, withFront.Fingerprint) {
+		t.Errorf("scan leaked non-matching key:\n%s", out)
+	}
+	// No prefix lists everything.
+	out = runCmd(t, dir, "scan", nil, false)
+	if !strings.Contains(out, evalOnly.Fingerprint) || !strings.Contains(out, withFront.Fingerprint) {
+		t.Errorf("unprefixed scan incomplete:\n%s", out)
+	}
+	// An unmatched prefix says so.
+	out = runCmd(t, dir, "scan", []string{"pgzzzz"}, false)
+	if !strings.Contains(out, "no keys match") {
+		t.Errorf("unmatched scan output: %q", out)
+	}
+}
+
 func TestRunErrors(t *testing.T) {
 	dir := t.TempDir()
 	seedDB(t, dir)

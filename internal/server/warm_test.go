@@ -1,0 +1,90 @@
+package server
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestWarmStartAndDedupOnStoreEngine is the end-to-end check that the
+// tuned server's behavior is unchanged on the LSM-backed database:
+// dedup still coalesces identical searches, and a forced re-run warm
+// starts from the sharded store (point-gets priming the cache) so it
+// pays far fewer real evaluations — including after a full server
+// restart, which reopens the store from segment metadata.
+func TestWarmStartAndDedupOnStoreEngine(t *testing.T) {
+	dir := t.TempDir()
+	o, err := NewOrchestrator(Config{StateDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cold, err := o.Submit(smallJob(7), "alice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	coldSt := waitTerminal(t, o, cold.ID)
+	if coldSt.State != StateDone {
+		t.Fatalf("cold run: %s %q", coldSt.State, coldSt.Error)
+	}
+	if coldSt.Evaluations <= 0 {
+		t.Fatalf("cold run evaluated nothing: %+v", coldSt)
+	}
+
+	// The shared database is the sharded store engine, not a journal.
+	if _, err := os.Stat(filepath.Join(dir, "tunedb", "store", "meta.json")); err != nil {
+		t.Fatalf("store engine not in place: %v", err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "tunedb", "journal.jsonl")); !os.IsNotExist(err) {
+		t.Fatal("v1 journal written by new engine")
+	}
+
+	// Dedup coalesces an identical search (different tenant).
+	dup, err := o.Submit(smallJob(7), "bob")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !dup.Deduped || dup.ID != cold.ID || dup.Result == nil {
+		t.Fatalf("dedup broken on store engine: %+v", dup)
+	}
+
+	// A forced identical re-run warm starts: the cache is primed by
+	// point-gets against the store, so nearly every evaluation is free.
+	forced := smallJob(7)
+	forced.Force = true
+	warm, err := o.Submit(forced, "alice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	warmSt := waitTerminal(t, o, warm.ID)
+	if warmSt.State != StateDone {
+		t.Fatalf("warm run: %s %q", warmSt.State, warmSt.Error)
+	}
+	if warmSt.Evaluations >= coldSt.Evaluations {
+		t.Fatalf("warm start paid full price: cold %d, warm %d evaluations",
+			coldSt.Evaluations, warmSt.Evaluations)
+	}
+	o.Drain()
+
+	// Restart the server on the same state: the store reopens from
+	// segment metadata and the warm start must work identically.
+	o2, err := NewOrchestrator(Config{StateDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer o2.Drain()
+	forced2 := smallJob(7)
+	forced2.Force = true
+	again, err := o2.Submit(forced2, "alice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	againSt := waitTerminal(t, o2, again.ID)
+	if againSt.State != StateDone {
+		t.Fatalf("post-restart warm run: %s %q", againSt.State, againSt.Error)
+	}
+	if againSt.Evaluations >= coldSt.Evaluations {
+		t.Fatalf("warm start lost across restart: cold %d, warm %d evaluations",
+			coldSt.Evaluations, againSt.Evaluations)
+	}
+}

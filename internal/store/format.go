@@ -1,0 +1,138 @@
+// Package store is an embedded LSM-style storage engine: string keys
+// map to byte values inside sharded logs. Each shard owns a write-ahead
+// log and an in-memory memtable; when the memtable fills it is flushed
+// to an immutable, sorted, CRC-framed segment file with a per-segment
+// bloom filter and a sparse key index, so point lookups touch only
+// probable segments and read only one small block. Size-tiered
+// background compaction merges runs of similar-sized segments, dropping
+// superseded versions of a key. Shard assignment is pluggable
+// (tunedb shards by program fingerprint), writers on different shards
+// never contend, and Iter merges every shard back into one range scan
+// in canonical (bytewise) key order.
+//
+// Crash safety follows the journal playbook of internal/tunedb: WAL
+// appends are CRC-framed so a torn tail is detected and truncated;
+// segments are written to a temp file, fsynced, renamed into place and
+// the directory fsynced, so a segment under its final name is always
+// complete; compaction output records the sequence interval of its
+// inputs, so a crash between the output rename and the input deletion
+// is healed at open by dropping any segment whose interval another
+// segment contains.
+package store
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+)
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// maxFrame bounds a single frame's payload; anything larger in a file
+// is treated as corruption rather than attempted as an allocation.
+const maxFrame = 1 << 28
+
+// errTorn marks a frame that is incomplete or CRC-invalid — the
+// signature of a crash mid-append when found at the tail of a log.
+var errTorn = fmt.Errorf("store: torn frame")
+
+// appendFrame appends one CRC-framed key/value record to buf:
+//
+//	u32 payloadLen | u32 crc32c(payload) | payload
+//	payload = u32 keyLen | key | u32 valLen | value
+func appendFrame(buf []byte, key string, val []byte) []byte {
+	payloadLen := 4 + len(key) + 4 + len(val)
+	start := len(buf)
+	buf = append(buf, make([]byte, 8+payloadLen)...)
+	p := buf[start:]
+	binary.LittleEndian.PutUint32(p[0:], uint32(payloadLen))
+	binary.LittleEndian.PutUint32(p[8:], uint32(len(key)))
+	copy(p[12:], key)
+	binary.LittleEndian.PutUint32(p[12+len(key):], uint32(len(val)))
+	copy(p[16+len(key):], val)
+	binary.LittleEndian.PutUint32(p[4:], crc32.Checksum(p[8:], crcTable))
+	return buf
+}
+
+// parseFrame decodes the frame at the start of data, returning the key,
+// value and total frame length. A short, oversized or CRC-mismatched
+// frame returns errTorn.
+func parseFrame(data []byte) (key string, val []byte, frameLen int, err error) {
+	if len(data) < 8 {
+		return "", nil, 0, errTorn
+	}
+	payloadLen := int(binary.LittleEndian.Uint32(data))
+	if payloadLen < 8 || payloadLen > maxFrame || len(data) < 8+payloadLen {
+		return "", nil, 0, errTorn
+	}
+	payload := data[8 : 8+payloadLen]
+	if crc32.Checksum(payload, crcTable) != binary.LittleEndian.Uint32(data[4:]) {
+		return "", nil, 0, errTorn
+	}
+	klen := int(binary.LittleEndian.Uint32(payload))
+	if klen < 0 || 4+klen+4 > payloadLen {
+		return "", nil, 0, errTorn
+	}
+	vlen := int(binary.LittleEndian.Uint32(payload[4+klen:]))
+	if vlen < 0 || 4+klen+4+vlen != payloadLen {
+		return "", nil, 0, errTorn
+	}
+	key = string(payload[4 : 4+klen])
+	val = append([]byte(nil), payload[8+klen:8+klen+vlen]...)
+	return key, val, 8 + payloadLen, nil
+}
+
+// readFrameAt decodes one frame from r at the current position. It
+// returns io.EOF cleanly at end of stream and errTorn on a damaged
+// frame.
+func readFrameAt(r io.Reader) (key string, val []byte, frameLen int, err error) {
+	var hdr [8]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		if err == io.EOF {
+			return "", nil, 0, io.EOF
+		}
+		return "", nil, 0, errTorn
+	}
+	payloadLen := int(binary.LittleEndian.Uint32(hdr[:]))
+	if payloadLen < 8 || payloadLen > maxFrame {
+		return "", nil, 0, errTorn
+	}
+	payload := make([]byte, payloadLen)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return "", nil, 0, errTorn
+	}
+	if crc32.Checksum(payload, crcTable) != binary.LittleEndian.Uint32(hdr[4:]) {
+		return "", nil, 0, errTorn
+	}
+	klen := int(binary.LittleEndian.Uint32(payload))
+	if klen < 0 || 4+klen+4 > payloadLen {
+		return "", nil, 0, errTorn
+	}
+	vlen := int(binary.LittleEndian.Uint32(payload[4+klen:]))
+	if vlen < 0 || 4+klen+4+vlen != payloadLen {
+		return "", nil, 0, errTorn
+	}
+	return string(payload[4 : 4+klen]), payload[8+klen : 8+klen+vlen], 8 + payloadLen, nil
+}
+
+// SyncDir flushes directory metadata so a just-renamed file cannot be
+// lost (or a just-removed one resurrected) by a crash. Exported for
+// callers performing their own atomic rename protocols around a store
+// (tunedb's v1 migration renames a whole store directory into place).
+func SyncDir(dir string) error { return fsyncDir(dir) }
+
+// fsyncDir flushes directory metadata so a just-renamed file cannot be
+// lost (or a just-removed one resurrected) by a crash.
+func fsyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}

@@ -1,0 +1,350 @@
+package store
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Segment file layout:
+//
+//	magic "TSTSEG01"                                    (8 bytes)
+//	data:   CRC frames, keys strictly increasing
+//	index:  sparse entries  u32 keyLen | key | u64 off  (every IndexInterval-th record)
+//	bloom:  u64 m | u32 k | bits
+//	footer: u64 dataEnd | u64 indexOff | u64 bloomOff |
+//	        u64 count | u64 seqMin | u64 seqMax |
+//	        u32 crc32c(first 48 footer bytes) | magic "TSTFTR01"   (60 bytes)
+//
+// [seqMin, seqMax] is the interval of write sequence numbers the
+// segment covers: a fresh memtable flush covers exactly one sequence,
+// a compaction output covers the union of its inputs. Recency order of
+// segments is seqMax order, and a segment whose interval is contained
+// in another's is superseded by it (the healed half of an interrupted
+// compaction).
+const (
+	segMagic    = "TSTSEG01"
+	footerMagic = "TSTFTR01"
+	footerSize  = 60
+	segSuffix   = ".seg"
+	tmpSuffix   = ".tmp"
+)
+
+// segment is an open, immutable, sorted segment file.
+type segment struct {
+	path     string
+	f        *os.File
+	size     int64
+	dataEnd  int64
+	count    uint64
+	seqMin   uint64
+	seqMax   uint64
+	index    []indexEntry
+	filter   *bloom
+	interval int // index interval the segment was written with
+
+	// refs/dead are guarded by the owning shard's mutex: a segment is
+	// closed and unlinked only when marked dead with no refs left.
+	refs int
+	dead bool
+}
+
+type indexEntry struct {
+	key string
+	off int64
+}
+
+// segName names a segment by the sequence interval it covers; the name
+// is unique because an interval identifies one merge (or one flush).
+func segName(seqMin, seqMax uint64) string {
+	return fmt.Sprintf("seg-%016x-%016x%s", seqMin, seqMax, segSuffix)
+}
+
+// kvSource streams sorted key/value pairs into a segment writer.
+type kvSource interface {
+	next() (key string, val []byte, ok bool, err error)
+}
+
+// writeSegment streams src (sorted, unique keys) into a new segment
+// file at dir/segName(seqMin,seqMax), going through a temp file, fsync
+// and rename so the final name only ever holds a complete segment. It
+// returns the number of records written.
+func writeSegment(dir string, seqMin, seqMax uint64, src kvSource, approxKeys, interval, bitsPerKey, hashes int) (uint64, error) {
+	if interval < 1 {
+		interval = 1
+	}
+	final := filepath.Join(dir, segName(seqMin, seqMax))
+	tmp := final + tmpSuffix
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return 0, fmt.Errorf("store: segment: %w", err)
+	}
+	w := bufio.NewWriterSize(f, 1<<16)
+	fail := func(err error) (uint64, error) {
+		f.Close()
+		os.Remove(tmp)
+		return 0, fmt.Errorf("store: segment: %w", err)
+	}
+	if _, err := w.WriteString(segMagic); err != nil {
+		return fail(err)
+	}
+	filter := newBloom(approxKeys, bitsPerKey, hashes)
+	var index []indexEntry
+	var count uint64
+	off := int64(len(segMagic))
+	var frame []byte
+	for {
+		key, val, ok, err := src.next()
+		if err != nil {
+			return fail(err)
+		}
+		if !ok {
+			break
+		}
+		if count%uint64(interval) == 0 {
+			index = append(index, indexEntry{key: key, off: off})
+		}
+		filter.add(hashKey(key))
+		frame = appendFrame(frame[:0], key, val)
+		if _, err := w.Write(frame); err != nil {
+			return fail(err)
+		}
+		off += int64(len(frame))
+		count++
+	}
+	dataEnd := off
+	indexOff := off
+	var ibuf []byte
+	for _, e := range index {
+		ibuf = binary.LittleEndian.AppendUint32(ibuf[:0], uint32(len(e.key)))
+		ibuf = append(ibuf, e.key...)
+		ibuf = binary.LittleEndian.AppendUint64(ibuf, uint64(e.off))
+		if _, err := w.Write(ibuf); err != nil {
+			return fail(err)
+		}
+		off += int64(len(ibuf))
+	}
+	bloomOff := off
+	bb := filter.marshal(nil)
+	if _, err := w.Write(bb); err != nil {
+		return fail(err)
+	}
+	var foot [footerSize]byte
+	binary.LittleEndian.PutUint64(foot[0:], uint64(dataEnd))
+	binary.LittleEndian.PutUint64(foot[8:], uint64(indexOff))
+	binary.LittleEndian.PutUint64(foot[16:], uint64(bloomOff))
+	binary.LittleEndian.PutUint64(foot[24:], count)
+	binary.LittleEndian.PutUint64(foot[32:], seqMin)
+	binary.LittleEndian.PutUint64(foot[40:], seqMax)
+	binary.LittleEndian.PutUint32(foot[48:], crc32.Checksum(foot[:48], crcTable))
+	copy(foot[52:], footerMagic)
+	if _, err := w.Write(foot[:]); err != nil {
+		return fail(err)
+	}
+	if err := w.Flush(); err != nil {
+		return fail(err)
+	}
+	if err := f.Sync(); err != nil {
+		return fail(err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return 0, fmt.Errorf("store: segment: %w", err)
+	}
+	if err := os.Rename(tmp, final); err != nil {
+		os.Remove(tmp)
+		return 0, fmt.Errorf("store: segment: %w", err)
+	}
+	if err := fsyncDir(dir); err != nil {
+		return 0, fmt.Errorf("store: segment: %w", err)
+	}
+	return count, nil
+}
+
+// openSegment validates and opens one segment file, loading its sparse
+// index and bloom filter into memory; the data section stays on disk.
+func openSegment(path string) (*segment, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	s, err := loadSegment(path, f)
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("store: segment %s: %w", filepath.Base(path), err)
+	}
+	return s, nil
+}
+
+func loadSegment(path string, f *os.File) (*segment, error) {
+	st, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	size := st.Size()
+	if size < int64(len(segMagic))+footerSize {
+		return nil, fmt.Errorf("truncated (%d bytes)", size)
+	}
+	var magic [8]byte
+	if _, err := f.ReadAt(magic[:], 0); err != nil {
+		return nil, err
+	}
+	if string(magic[:]) != segMagic {
+		return nil, fmt.Errorf("bad magic %q", magic)
+	}
+	var foot [footerSize]byte
+	if _, err := f.ReadAt(foot[:], size-footerSize); err != nil {
+		return nil, err
+	}
+	if string(foot[52:60]) != footerMagic {
+		return nil, fmt.Errorf("bad footer magic")
+	}
+	if crc32.Checksum(foot[:48], crcTable) != binary.LittleEndian.Uint32(foot[48:]) {
+		return nil, fmt.Errorf("footer CRC mismatch")
+	}
+	s := &segment{
+		path:    path,
+		f:       f,
+		size:    size,
+		dataEnd: int64(binary.LittleEndian.Uint64(foot[0:])),
+		count:   binary.LittleEndian.Uint64(foot[24:]),
+		seqMin:  binary.LittleEndian.Uint64(foot[32:]),
+		seqMax:  binary.LittleEndian.Uint64(foot[40:]),
+	}
+	indexOff := int64(binary.LittleEndian.Uint64(foot[8:]))
+	bloomOff := int64(binary.LittleEndian.Uint64(foot[16:]))
+	if s.dataEnd < int64(len(segMagic)) || indexOff < s.dataEnd || bloomOff < indexOff || bloomOff > size-footerSize || s.seqMin > s.seqMax {
+		return nil, fmt.Errorf("inconsistent footer")
+	}
+	ibuf := make([]byte, bloomOff-indexOff)
+	if _, err := io.ReadFull(io.NewSectionReader(f, indexOff, int64(len(ibuf))), ibuf); err != nil {
+		return nil, fmt.Errorf("reading index: %w", err)
+	}
+	for len(ibuf) > 0 {
+		if len(ibuf) < 4 {
+			return nil, fmt.Errorf("index entry truncated")
+		}
+		klen := int(binary.LittleEndian.Uint32(ibuf))
+		if klen < 0 || len(ibuf) < 4+klen+8 {
+			return nil, fmt.Errorf("index entry truncated")
+		}
+		key := string(ibuf[4 : 4+klen])
+		off := int64(binary.LittleEndian.Uint64(ibuf[4+klen:]))
+		if off < int64(len(segMagic)) || off >= s.dataEnd && s.count > 0 {
+			return nil, fmt.Errorf("index offset out of range")
+		}
+		s.index = append(s.index, indexEntry{key: key, off: off})
+		ibuf = ibuf[4+klen+8:]
+	}
+	bb := make([]byte, size-footerSize-bloomOff)
+	if _, err := io.ReadFull(io.NewSectionReader(f, bloomOff, int64(len(bb))), bb); err != nil {
+		return nil, fmt.Errorf("reading bloom: %w", err)
+	}
+	s.filter, err = unmarshalBloom(bb)
+	if err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+func (s *segment) close() {
+	if s.f != nil {
+		s.f.Close()
+		s.f = nil
+	}
+}
+
+// get point-looks key up: the sparse index narrows the scan to one
+// block of at most the write-time index interval, read with a single
+// positioned reader. The caller has already consulted the bloom filter.
+func (s *segment) get(key string) ([]byte, bool, error) {
+	off, ok := s.seekOffset(key)
+	if !ok {
+		return nil, false, nil
+	}
+	r := bufio.NewReaderSize(io.NewSectionReader(s.f, off, s.dataEnd-off), 4096)
+	for {
+		k, v, _, err := readFrameAt(r)
+		if err == io.EOF {
+			return nil, false, nil
+		}
+		if err != nil {
+			return nil, false, fmt.Errorf("store: segment %s: %w", filepath.Base(s.path), err)
+		}
+		if k == key {
+			return append([]byte(nil), v...), true, nil
+		}
+		if k > key {
+			return nil, false, nil
+		}
+	}
+}
+
+// seekOffset returns the data offset of the last index entry at or
+// before key; ok is false when every key in the segment is > key.
+func (s *segment) seekOffset(key string) (int64, bool) {
+	if len(s.index) == 0 {
+		return 0, false
+	}
+	// First entry strictly greater than key, then step back one.
+	i := sort.Search(len(s.index), func(i int) bool { return s.index[i].key > key })
+	if i == 0 {
+		if s.index[0].key > key {
+			return 0, false
+		}
+		return s.index[0].off, true
+	}
+	return s.index[i-1].off, true
+}
+
+// iter streams the segment's records with key >= start in order.
+func (s *segment) iter(start string) *segIter {
+	off := int64(len(segMagic))
+	if len(s.index) > 0 {
+		if i := sort.Search(len(s.index), func(i int) bool { return s.index[i].key > start }); i > 0 {
+			off = s.index[i-1].off
+		}
+	}
+	return &segIter{
+		seg:   s,
+		r:     bufio.NewReaderSize(io.NewSectionReader(s.f, off, s.dataEnd-off), 1<<16),
+		start: start,
+	}
+}
+
+type segIter struct {
+	seg     *segment
+	r       *bufio.Reader
+	start   string
+	started bool
+}
+
+func (it *segIter) next() (string, []byte, bool, error) {
+	for {
+		k, v, _, err := readFrameAt(it.r)
+		if err == io.EOF {
+			return "", nil, false, nil
+		}
+		if err != nil {
+			return "", nil, false, fmt.Errorf("store: segment %s: %w", filepath.Base(it.seg.path), err)
+		}
+		if !it.started {
+			if k < it.start {
+				continue
+			}
+			it.started = true
+		}
+		return k, append([]byte(nil), v...), true, nil
+	}
+}
+
+// isSegmentFile reports whether a directory entry names a segment.
+func isSegmentFile(name string) bool {
+	return strings.HasPrefix(name, "seg-") && strings.HasSuffix(name, segSuffix)
+}

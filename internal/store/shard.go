@@ -1,0 +1,313 @@
+package store
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// shard is one independent slice of the store: its own directory, WAL,
+// memtable and segment list. Writers on different shards share nothing.
+type shard struct {
+	st  *Store
+	id  int
+	dir string
+
+	mu       sync.RWMutex
+	wal      *os.File
+	walBytes int64
+	walDirty bool // unsynced WAL appends pending
+	mem      map[string][]byte
+	memBytes int
+	segs     []*segment // recency order: oldest first
+	nextSeq  uint64
+	closed   bool
+
+	// compactMu serializes compactions on this shard (background and
+	// explicit); it is always acquired before mu.
+	compactMu sync.Mutex
+
+	// bloom effectiveness counters (atomic): filtered = lookups a
+	// filter proved absent, falsePos = lookups a filter passed but the
+	// segment did not hold the key.
+	bloomFiltered uint64
+	bloomFalsePos uint64
+}
+
+// openShard recovers one shard directory: leftover temp files from a
+// crash mid-write are removed, segments whose sequence interval another
+// segment contains (an interrupted compaction's inputs) are dropped,
+// the rest are ordered by recency, and the WAL replays into a fresh
+// memtable with any torn tail truncated.
+func openShard(st *Store, id int, dir string) (*shard, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	sh := &shard{st: st, id: id, dir: dir, mem: map[string][]byte{}}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	cleaned := false
+	for _, e := range entries {
+		name := e.Name()
+		switch {
+		case strings.HasSuffix(name, tmpSuffix):
+			if err := os.Remove(filepath.Join(dir, name)); err != nil {
+				return nil, fmt.Errorf("store: removing stale temp file: %w", err)
+			}
+			cleaned = true
+		case isSegmentFile(name):
+			seg, err := openSegment(filepath.Join(dir, name))
+			if err != nil {
+				return nil, err
+			}
+			sh.segs = append(sh.segs, seg)
+		}
+	}
+	// Drop superseded segments: interval containment heals a crash
+	// between a compaction output's rename and its inputs' deletion.
+	live := sh.segs[:0]
+	for _, s := range sh.segs {
+		superseded := false
+		for _, o := range sh.segs {
+			if o != s && o.seqMin <= s.seqMin && s.seqMax <= o.seqMax {
+				superseded = true
+				break
+			}
+		}
+		if superseded {
+			s.close()
+			if err := os.Remove(s.path); err != nil {
+				return nil, fmt.Errorf("store: removing superseded segment: %w", err)
+			}
+			cleaned = true
+		} else {
+			live = append(live, s)
+		}
+	}
+	sh.segs = live
+	if cleaned {
+		if err := fsyncDir(dir); err != nil {
+			return nil, fmt.Errorf("store: %w", err)
+		}
+	}
+	sort.Slice(sh.segs, func(a, b int) bool {
+		if sh.segs[a].seqMax != sh.segs[b].seqMax {
+			return sh.segs[a].seqMax < sh.segs[b].seqMax
+		}
+		return sh.segs[a].seqMin < sh.segs[b].seqMin
+	})
+	sh.nextSeq = 1
+	for _, s := range sh.segs {
+		if s.seqMax >= sh.nextSeq {
+			sh.nextSeq = s.seqMax + 1
+		}
+	}
+	walPath := filepath.Join(dir, walName)
+	if sh.walBytes, err = replayWAL(walPath, sh.mem); err != nil {
+		return nil, err
+	}
+	for k, v := range sh.mem {
+		sh.memBytes += len(k) + len(v) + 16
+	}
+	if sh.wal, err = openWALAppend(walPath); err != nil {
+		return nil, err
+	}
+	return sh, nil
+}
+
+// put appends to the WAL and memtable, flushing when the memtable
+// exceeds the configured size. It reports whether a flush happened so
+// the store can schedule background compaction outside the lock.
+func (sh *shard) put(key string, val []byte) (flushed bool, err error) {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if sh.closed {
+		return false, errClosed
+	}
+	frame := appendFrame(nil, key, val)
+	if _, err := sh.wal.Write(frame); err != nil {
+		return false, fmt.Errorf("store: wal: %w", err)
+	}
+	sh.walBytes += int64(len(frame))
+	sh.walDirty = true
+	if old, ok := sh.mem[key]; ok {
+		sh.memBytes -= len(key) + len(old) + 16
+	}
+	sh.mem[key] = append([]byte(nil), val...)
+	sh.memBytes += len(key) + len(val) + 16
+	if sh.memBytes >= sh.st.opt.MemtableBytes {
+		if err := sh.flushLocked(); err != nil {
+			return false, err
+		}
+		return true, nil
+	}
+	return false, nil
+}
+
+// get returns the newest value for key: memtable first, then segments
+// newest to oldest, each consulted only when its bloom filter admits
+// the key.
+func (sh *shard) get(key string) ([]byte, bool, error) {
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	if sh.closed {
+		return nil, false, errClosed
+	}
+	if v, ok := sh.mem[key]; ok {
+		return append([]byte(nil), v...), true, nil
+	}
+	h := hashKey(key)
+	for i := len(sh.segs) - 1; i >= 0; i-- {
+		s := sh.segs[i]
+		if !s.filter.test(h) {
+			atomic.AddUint64(&sh.bloomFiltered, 1)
+			continue
+		}
+		v, ok, err := s.get(key)
+		if err != nil {
+			return nil, false, err
+		}
+		if ok {
+			return v, true, nil
+		}
+		atomic.AddUint64(&sh.bloomFalsePos, 1)
+	}
+	return nil, false, nil
+}
+
+// flushLocked writes the memtable to a new segment and resets the WAL.
+// Callers hold sh.mu. Durability order: the segment reaches its final
+// name (file and directory both fsynced) before the WAL shrinks, so a
+// crash at any point leaves the data in at least one of the two.
+func (sh *shard) flushLocked() error {
+	if len(sh.mem) == 0 {
+		return nil
+	}
+	keys := make([]string, 0, len(sh.mem))
+	for k := range sh.mem {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	seq := sh.nextSeq
+	src := &memSource{mem: sh.mem, keys: keys}
+	opt := &sh.st.opt
+	if _, err := writeSegment(sh.dir, seq, seq, src, len(keys), opt.IndexInterval, opt.BloomBitsPerKey, opt.BloomHashes); err != nil {
+		return err
+	}
+	seg, err := openSegment(filepath.Join(sh.dir, segName(seq, seq)))
+	if err != nil {
+		return err
+	}
+	sh.nextSeq++
+	sh.segs = append(sh.segs, seg)
+	sh.mem = map[string][]byte{}
+	sh.memBytes = 0
+	if err := sh.wal.Truncate(0); err != nil {
+		return fmt.Errorf("store: wal: %w", err)
+	}
+	sh.walBytes = 0
+	sh.walDirty = false
+	return nil
+}
+
+type memSource struct {
+	mem  map[string][]byte
+	keys []string
+	i    int
+}
+
+func (m *memSource) next() (string, []byte, bool, error) {
+	if m.i >= len(m.keys) {
+		return "", nil, false, nil
+	}
+	k := m.keys[m.i]
+	m.i++
+	return k, m.mem[k], true, nil
+}
+
+// sync fsyncs the WAL, making every buffered put durable. Clean shards
+// (no appends since the last sync or flush) skip the fsync, so a
+// store-wide Sync costs one fsync per dirty shard, not per shard.
+func (sh *shard) sync() error {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if sh.closed {
+		return errClosed
+	}
+	if !sh.walDirty {
+		return nil
+	}
+	if err := sh.wal.Sync(); err != nil {
+		return fmt.Errorf("store: wal: %w", err)
+	}
+	sh.walDirty = false
+	return nil
+}
+
+// snapshot pins the shard's current state for iteration: a sorted copy
+// of the memtable keys >= start and a referenced view of the segment
+// list. release must be called exactly once when iteration ends.
+func (sh *shard) snapshot(start string) (memKeys []string, memVals [][]byte, segs []*segment) {
+	sh.mu.Lock() // full lock: reference counts are mutated
+	defer sh.mu.Unlock()
+	if sh.closed {
+		return nil, nil, nil
+	}
+	for k := range sh.mem {
+		if k >= start {
+			memKeys = append(memKeys, k)
+		}
+	}
+	sort.Strings(memKeys)
+	memVals = make([][]byte, len(memKeys))
+	for i, k := range memKeys {
+		memVals[i] = sh.mem[k]
+	}
+	segs = append(segs, sh.segs...)
+	for _, s := range segs {
+		s.refs++
+	}
+	return memKeys, memVals, segs
+}
+
+// release drops iterator references; segments a compaction has since
+// superseded are closed and unlinked once the last reference is gone.
+func (sh *shard) release(segs []*segment) {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	for _, s := range segs {
+		s.refs--
+		if s.dead && s.refs == 0 {
+			s.close()
+			os.Remove(s.path)
+		}
+	}
+}
+
+// close flushes the memtable (so the next open replays no WAL) and
+// closes every file.
+func (sh *shard) close() error {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if sh.closed {
+		return nil
+	}
+	err := sh.flushLocked()
+	if serr := sh.wal.Sync(); err == nil {
+		err = serr
+	}
+	if cerr := sh.wal.Close(); err == nil {
+		err = cerr
+	}
+	for _, s := range sh.segs {
+		s.close()
+	}
+	sh.closed = true
+	return err
+}

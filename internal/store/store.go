@@ -1,0 +1,305 @@
+package store
+
+import (
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+var errClosed = fmt.Errorf("store: store is closed")
+
+// Options tunes an open store. The zero value gets sensible defaults.
+type Options struct {
+	// Shards is the number of independent shards (default 16). The
+	// count is fixed at creation and persisted in meta.json; reopening
+	// ignores a different value.
+	Shards int
+	// ShardBy maps a key to a shard-selection hash; the default hashes
+	// the whole key. Callers with structured keys (tunedb) hash only
+	// the program-fingerprint component so one program's records stay
+	// in one shard. The same function must be supplied on every open.
+	ShardBy func(key string) uint32
+	// MemtableBytes flushes a shard's memtable to a segment once its
+	// in-memory footprint exceeds this many bytes (default 1 MiB).
+	MemtableBytes int
+	// IndexInterval is the sparse-index stride in records (default 32):
+	// a point lookup scans at most this many frames.
+	IndexInterval int
+	// BloomBitsPerKey and BloomHashes size per-segment bloom filters
+	// (defaults 10 and 7: ~1% false positives).
+	BloomBitsPerKey int
+	BloomHashes     int
+	// CompactFanin is the number of contiguous same-tier segments that
+	// triggers a background merge (default 4).
+	CompactFanin int
+	// NoBackgroundCompaction disables the automatic post-flush merge;
+	// Compact still works. Benchmarks and deterministic tests use it.
+	NoBackgroundCompaction bool
+
+	// compactGate, when set (tests only), is called at named stages of
+	// a compaction so crash and concurrency scenarios can be staged.
+	compactGate func(stage string)
+}
+
+func (o Options) withDefaults() Options {
+	if o.Shards <= 0 {
+		o.Shards = 16
+	}
+	if o.ShardBy == nil {
+		o.ShardBy = func(key string) uint32 {
+			h := fnv.New32a()
+			h.Write([]byte(key))
+			return h.Sum32()
+		}
+	}
+	if o.MemtableBytes <= 0 {
+		o.MemtableBytes = 1 << 20
+	}
+	if o.IndexInterval <= 0 {
+		o.IndexInterval = 32
+	}
+	if o.BloomBitsPerKey <= 0 {
+		o.BloomBitsPerKey = 10
+	}
+	if o.BloomHashes <= 0 {
+		o.BloomHashes = 7
+	}
+	if o.CompactFanin < 2 {
+		o.CompactFanin = 4
+	}
+	return o
+}
+
+// meta is the store's persisted identity: schema version and shard
+// count, written once at creation.
+type meta struct {
+	Version int `json:"version"`
+	Shards  int `json:"shards"`
+}
+
+const metaName = "meta.json"
+
+// Store is an open storage engine rooted at one directory.
+type Store struct {
+	dir    string
+	opt    Options
+	shards []*shard
+
+	mu     sync.Mutex
+	closed bool
+	wg     sync.WaitGroup
+
+	compactErrMu sync.Mutex
+	compactErr   error
+}
+
+// Open opens (creating if necessary) the store at dir.
+func Open(dir string, opt Options) (*Store, error) {
+	opt = opt.withDefaults()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	metaPath := filepath.Join(dir, metaName)
+	if data, err := os.ReadFile(metaPath); err == nil {
+		var m meta
+		if err := json.Unmarshal(data, &m); err != nil {
+			return nil, fmt.Errorf("store: reading %s: %w", metaName, err)
+		}
+		if m.Version != 1 {
+			return nil, fmt.Errorf("store: unsupported store version %d", m.Version)
+		}
+		if m.Shards < 1 {
+			return nil, fmt.Errorf("store: %s names %d shards", metaName, m.Shards)
+		}
+		opt.Shards = m.Shards
+	} else if os.IsNotExist(err) {
+		data, err := json.Marshal(meta{Version: 1, Shards: opt.Shards})
+		if err != nil {
+			return nil, fmt.Errorf("store: %w", err)
+		}
+		tmp := metaPath + tmpSuffix
+		if err := os.WriteFile(tmp, append(data, '\n'), 0o644); err != nil {
+			return nil, fmt.Errorf("store: %w", err)
+		}
+		if err := os.Rename(tmp, metaPath); err != nil {
+			return nil, fmt.Errorf("store: %w", err)
+		}
+		if err := fsyncDir(dir); err != nil {
+			return nil, fmt.Errorf("store: %w", err)
+		}
+	} else {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	st := &Store{dir: dir, opt: opt}
+	for i := 0; i < opt.Shards; i++ {
+		sh, err := openShard(st, i, filepath.Join(dir, fmt.Sprintf("shard-%02d", i)))
+		if err != nil {
+			for _, prev := range st.shards {
+				prev.close()
+			}
+			return nil, err
+		}
+		st.shards = append(st.shards, sh)
+	}
+	return st, nil
+}
+
+// Dir returns the store's root directory.
+func (st *Store) Dir() string { return st.dir }
+
+func (st *Store) shardFor(key string) *shard {
+	return st.shards[int(st.opt.ShardBy(key))%len(st.shards)]
+}
+
+func (st *Store) gate(stage string) {
+	if st.opt.compactGate != nil {
+		st.opt.compactGate(stage)
+	}
+}
+
+func (st *Store) noteCompactErr(err error) {
+	st.compactErrMu.Lock()
+	if st.compactErr == nil {
+		st.compactErr = err
+	}
+	st.compactErrMu.Unlock()
+}
+
+// takeCompactErr returns (and clears) the first background-compaction
+// error since the last call.
+func (st *Store) takeCompactErr() error {
+	st.compactErrMu.Lock()
+	defer st.compactErrMu.Unlock()
+	err := st.compactErr
+	st.compactErr = nil
+	return err
+}
+
+// Put stores value under key, superseding any previous value. The
+// write is buffered in the OS (see Sync for durability).
+func (st *Store) Put(key string, value []byte) error {
+	sh := st.shardFor(key)
+	flushed, err := sh.put(key, value)
+	if err != nil {
+		return err
+	}
+	if flushed && !st.opt.NoBackgroundCompaction {
+		st.scheduleCompact(sh)
+	}
+	return st.takeCompactErr()
+}
+
+func (st *Store) scheduleCompact(sh *shard) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.closed {
+		return
+	}
+	st.wg.Add(1)
+	go func() {
+		defer st.wg.Done()
+		sh.maybeCompact()
+	}()
+}
+
+// Get returns the newest value stored under key.
+func (st *Store) Get(key string) ([]byte, bool, error) {
+	return st.shardFor(key).get(key)
+}
+
+// Iter returns an iterator over every key with the given prefix (the
+// whole store for ""), in canonical bytewise key order, merged across
+// shards. The iterator sees a point-in-time snapshot.
+func (st *Store) Iter(prefix string) *Iterator {
+	var streams []stream
+	type pinned struct {
+		sh   *shard
+		segs []*segment
+	}
+	var pins []pinned
+	for _, sh := range st.shards {
+		memKeys, memVals, segs := sh.snapshot(prefix)
+		pins = append(pins, pinned{sh: sh, segs: segs})
+		for _, s := range segs {
+			streams = append(streams, s.iter(prefix))
+		}
+		streams = append(streams, &memStream{keys: memKeys, vals: memVals})
+	}
+	release := func() {
+		for _, p := range pins {
+			p.sh.release(p.segs)
+		}
+	}
+	return newMergedIterator(streams, prefix, release)
+}
+
+// Sync makes every completed Put durable (fsyncs each shard WAL).
+func (st *Store) Sync() error {
+	for _, sh := range st.shards {
+		if err := sh.sync(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Flush writes every shard's memtable to a segment.
+func (st *Store) Flush() error {
+	st.mu.Lock()
+	closed := st.closed
+	st.mu.Unlock()
+	if closed {
+		return errClosed
+	}
+	for _, sh := range st.shards {
+		sh.mu.Lock()
+		err := sh.flushLocked()
+		sh.mu.Unlock()
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Compact flushes memtables and merges every shard's segments down to
+// one, dropping superseded records. Renames are followed by directory
+// fsyncs, so a crash immediately after compaction cannot resurrect
+// pre-compaction state.
+func (st *Store) Compact() error {
+	if err := st.Flush(); err != nil {
+		return err
+	}
+	for _, sh := range st.shards {
+		if _, err := sh.compactRun(true); err != nil {
+			return err
+		}
+	}
+	return st.takeCompactErr()
+}
+
+// Close waits for background compaction, flushes memtables and closes
+// every file. The store must not be used afterwards.
+func (st *Store) Close() error {
+	st.mu.Lock()
+	if st.closed {
+		st.mu.Unlock()
+		return nil
+	}
+	st.closed = true
+	st.mu.Unlock()
+	st.wg.Wait()
+	var err error
+	for _, sh := range st.shards {
+		if cerr := sh.close(); err == nil {
+			err = cerr
+		}
+	}
+	if cerr := st.takeCompactErr(); err == nil {
+		err = cerr
+	}
+	return err
+}

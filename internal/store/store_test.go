@@ -1,0 +1,357 @@
+package store
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+// small returns options that exercise flushes and compactions with few
+// records: a tiny memtable and index stride.
+func small() Options {
+	return Options{
+		Shards:        4,
+		MemtableBytes: 1 << 10,
+		IndexInterval: 4,
+		CompactFanin:  3,
+	}
+}
+
+func mustOpen(t *testing.T, dir string, opt Options) *Store {
+	t.Helper()
+	st, err := Open(dir, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+func key(i int) string          { return fmt.Sprintf("key-%06d", i) }
+func val(i, gen int) []byte     { return []byte(fmt.Sprintf("value-%d-gen-%d", i, gen)) }
+func putN(t *testing.T, st *Store, n, gen int) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		if err := st.Put(key(i), val(i, gen)); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestPutGetAcrossFlushAndReopen(t *testing.T) {
+	dir := t.TempDir()
+	st := mustOpen(t, dir, small())
+	const n = 300 // far past the 1 KiB memtable: many flushed segments
+	putN(t, st, n, 0)
+	for i := 0; i < n; i++ {
+		v, ok, err := st.Get(key(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok || string(v) != string(val(i, 0)) {
+			t.Fatalf("Get(%s) = %q, %v", key(i), v, ok)
+		}
+	}
+	if _, ok, err := st.Get("absent"); err != nil || ok {
+		t.Fatalf("Get(absent) = %v, %v", ok, err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	st2 := mustOpen(t, dir, small())
+	defer st2.Close()
+	for i := 0; i < n; i++ {
+		v, ok, err := st2.Get(key(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok || string(v) != string(val(i, 0)) {
+			t.Fatalf("after reopen Get(%s) = %q, %v", key(i), v, ok)
+		}
+	}
+}
+
+func TestNewestValueWins(t *testing.T) {
+	dir := t.TempDir()
+	st := mustOpen(t, dir, small())
+	const n = 120
+	putN(t, st, n, 0)
+	if err := st.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	putN(t, st, n, 1) // supersede every key across segment boundaries
+	for i := 0; i < n; i++ {
+		v, ok, _ := st.Get(key(i))
+		if !ok || string(v) != string(val(i, 1)) {
+			t.Fatalf("Get(%s) = %q, want gen 1", key(i), v)
+		}
+	}
+	if err := st.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	stats, err := st.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.DeadRecords != 0 {
+		t.Fatalf("dead records after full compaction: %+v", stats)
+	}
+	if stats.LiveKeys != n {
+		t.Fatalf("live keys = %d, want %d", stats.LiveKeys, n)
+	}
+	for i := 0; i < n; i++ {
+		v, ok, _ := st.Get(key(i))
+		if !ok || string(v) != string(val(i, 1)) {
+			t.Fatalf("after compact Get(%s) = %q", key(i), v)
+		}
+	}
+	st.Close()
+}
+
+func TestShardingByCustomFunc(t *testing.T) {
+	dir := t.TempDir()
+	opt := small()
+	// Everything with prefix "a" goes to one shard, "b" to another.
+	opt.ShardBy = func(k string) uint32 {
+		if k[0] == 'a' {
+			return 0
+		}
+		return 1
+	}
+	st := mustOpen(t, dir, opt)
+	for i := 0; i < 50; i++ {
+		st.Put(fmt.Sprintf("a-%03d", i), []byte("x"))
+		st.Put(fmt.Sprintf("b-%03d", i), []byte("y"))
+	}
+	if err := st.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	stats, err := st.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Shards[0].LiveKeys != 50 || stats.Shards[1].LiveKeys != 50 {
+		t.Fatalf("shard routing wrong: %+v", stats.Shards)
+	}
+	if stats.Shards[2].LiveKeys != 0 || stats.Shards[3].LiveKeys != 0 {
+		t.Fatalf("unexpected keys in unused shards: %+v", stats.Shards)
+	}
+	// Shard directories exist on disk with their own WAL.
+	if _, err := os.Stat(filepath.Join(dir, "shard-00", walName)); err != nil {
+		t.Fatal(err)
+	}
+	st.Close()
+}
+
+// TestConcurrentWritersAcrossShards exercises independent shard locks
+// under the race detector: concurrent writers on disjoint shards plus
+// readers iterating the whole store during in-flight background
+// compactions.
+func TestConcurrentWritersAcrossShards(t *testing.T) {
+	dir := t.TempDir()
+	opt := small()
+	st := mustOpen(t, dir, opt)
+	const writers = 4
+	const perWriter = 400
+	var wg sync.WaitGroup
+	errs := make(chan error, writers+2)
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				k := fmt.Sprintf("w%d-%05d", w, i)
+				if err := st.Put(k, []byte(fmt.Sprintf("v%d-%d", w, i))); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(w)
+	}
+	// Readers: point gets and full iterations while writes and
+	// background compactions are in flight.
+	for r := 0; r < 2; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for pass := 0; pass < 10; pass++ {
+				it := st.Iter("")
+				prev := ""
+				for it.Next() {
+					if it.Key() <= prev {
+						errs <- fmt.Errorf("iterator out of order: %q after %q", it.Key(), prev)
+						it.Close()
+						return
+					}
+					prev = it.Key()
+				}
+				if err := it.Err(); err != nil {
+					errs <- err
+					it.Close()
+					return
+				}
+				it.Close()
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	st2 := mustOpen(t, dir, opt)
+	defer st2.Close()
+	stats, err := st2.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.LiveKeys != writers*perWriter {
+		t.Fatalf("live keys = %d, want %d", stats.LiveKeys, writers*perWriter)
+	}
+}
+
+func TestClosedStoreRejectsUse(t *testing.T) {
+	st := mustOpen(t, t.TempDir(), small())
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Close(); err != nil { // idempotent
+		t.Fatal(err)
+	}
+	if err := st.Put("k", []byte("v")); err == nil {
+		t.Error("Put on closed store succeeded")
+	}
+	if _, _, err := st.Get("k"); err == nil {
+		t.Error("Get on closed store succeeded")
+	}
+	if err := st.Sync(); err == nil {
+		t.Error("Sync on closed store succeeded")
+	}
+}
+
+func TestMetaPinsShardCount(t *testing.T) {
+	dir := t.TempDir()
+	opt := small()
+	opt.Shards = 4
+	st := mustOpen(t, dir, opt)
+	putN(t, st, 40, 0)
+	st.Close()
+	// Reopen asking for a different shard count: meta.json wins.
+	opt2 := small()
+	opt2.Shards = 9
+	st2 := mustOpen(t, dir, opt2)
+	defer st2.Close()
+	stats, err := st2.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stats.Shards) != 4 {
+		t.Fatalf("shard count not pinned by meta: %d", len(stats.Shards))
+	}
+	if stats.LiveKeys != 40 {
+		t.Fatalf("live keys = %d", stats.LiveKeys)
+	}
+}
+
+func TestSyncAndDirAreReported(t *testing.T) {
+	dir := t.TempDir()
+	st := mustOpen(t, dir, small())
+	defer st.Close()
+	if st.Dir() != dir {
+		t.Fatalf("Dir() = %q", st.Dir())
+	}
+	if err := st.Put("k", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Sync(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSyncDirAndCompactErrBookkeeping(t *testing.T) {
+	if err := SyncDir(t.TempDir()); err != nil {
+		t.Fatal(err)
+	}
+	if err := SyncDir(filepath.Join(t.TempDir(), "missing")); err == nil {
+		t.Fatal("SyncDir on a missing directory succeeded")
+	}
+	st := mustOpen(t, t.TempDir(), small())
+	defer st.Close()
+	first, second := fmt.Errorf("first"), fmt.Errorf("second")
+	st.noteCompactErr(first)
+	st.noteCompactErr(second) // first error wins
+	if err := st.takeCompactErr(); err != first {
+		t.Fatalf("takeCompactErr = %v, want first", err)
+	}
+	if err := st.takeCompactErr(); err != nil {
+		t.Fatalf("cleared error resurfaced: %v", err)
+	}
+}
+
+func TestBloomFiltersSkipAbsentLookups(t *testing.T) {
+	dir := t.TempDir()
+	opt := small()
+	opt.Shards = 1
+	st := mustOpen(t, dir, opt)
+	defer st.Close()
+	const n = 200
+	putN(t, st, n, 0)
+	if err := st.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	// Probe many absent keys: the bloom filters should prove almost
+	// all of them absent without touching segment data.
+	for i := 0; i < 500; i++ {
+		if _, ok, err := st.Get(fmt.Sprintf("absent-%05d", i)); ok || err != nil {
+			t.Fatalf("absent key found: %v %v", ok, err)
+		}
+	}
+	stats, err := st.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ss := stats.Shards[0]
+	if ss.BloomFiltered == 0 {
+		t.Fatalf("bloom filtered nothing: %+v", ss)
+	}
+	if fpr := ss.MeasuredFPR(); fpr > 0.1 {
+		t.Fatalf("measured FPR %.3f implausibly high (est %.4f)", fpr, ss.BloomFPREstimate)
+	}
+	if ss.BloomFPREstimate <= 0 || ss.BloomFPREstimate > 0.05 {
+		t.Fatalf("estimated FPR out of range: %v", ss.BloomFPREstimate)
+	}
+}
+
+func TestBloomRoundTrip(t *testing.T) {
+	b := newBloom(100, 10, 7)
+	for i := 0; i < 100; i++ {
+		b.add(hashKey(key(i)))
+	}
+	raw := b.marshal(nil)
+	b2, err := unmarshalBloom(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		if !b2.test(hashKey(key(i))) {
+			t.Fatalf("inserted key %d missing after round trip", i)
+		}
+	}
+	fp := 0
+	for i := 0; i < 1000; i++ {
+		if b2.test(hashKey(fmt.Sprintf("other-%d", i))) {
+			fp++
+		}
+	}
+	if fp > 100 {
+		t.Fatalf("%d/1000 false positives", fp)
+	}
+	if _, err := unmarshalBloom(raw[:4]); err == nil {
+		t.Fatal("truncated bloom unmarshalled")
+	}
+}

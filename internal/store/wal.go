@@ -1,0 +1,49 @@
+package store
+
+import (
+	"fmt"
+	"os"
+)
+
+const walName = "wal.log"
+
+// replayWAL reads a shard's write-ahead log, applying every complete
+// frame in append order to mem (later frames supersede earlier ones)
+// and truncating a torn tail in place. WAL frames are length-prefixed
+// with no resync marker, so the first damaged frame ends the readable
+// prefix — exactly the crash-mid-append shape.
+func replayWAL(path string, mem map[string][]byte) (int64, error) {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return 0, nil
+	}
+	if err != nil {
+		return 0, fmt.Errorf("store: wal: %w", err)
+	}
+	valid := int64(0)
+	rest := data
+	for len(rest) > 0 {
+		key, val, n, err := parseFrame(rest)
+		if err != nil {
+			break
+		}
+		mem[key] = val
+		valid += int64(n)
+		rest = rest[n:]
+	}
+	if valid < int64(len(data)) {
+		if err := os.Truncate(path, valid); err != nil {
+			return 0, fmt.Errorf("store: wal: truncating torn tail: %w", err)
+		}
+	}
+	return valid, nil
+}
+
+// openWALAppend opens the shard WAL for appending.
+func openWALAppend(path string) (*os.File, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("store: wal: %w", err)
+	}
+	return f, nil
+}

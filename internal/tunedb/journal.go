@@ -1,0 +1,57 @@
+// The v1 journal envelope: versioned, CRC-32C-checked JSONL frames.
+// Still load-bearing after the store-engine rebase — EncodeRecord /
+// ScanJournal (scan.go) frame the resilience checkpoints, and
+// migrateV1 replays v1 journals through the same decoder.
+
+package tunedb
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+)
+
+// envelope is the on-disk frame of one journal record: schema version,
+// record type, CRC-32C of the payload bytes, and the payload itself.
+type envelope struct {
+	V   int             `json:"v"`
+	T   string          `json:"t"`
+	CRC uint32          `json:"crc"`
+	D   json.RawMessage `json:"d"`
+}
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// decodeRecord parses and CRC-verifies one journal line, returning the
+// record type and payload bytes.
+func decodeRecord(line []byte) (string, json.RawMessage, error) {
+	var env envelope
+	if err := json.Unmarshal(line, &env); err != nil {
+		return "", nil, err
+	}
+	if env.V != schemaVersion {
+		return "", nil, fmt.Errorf("unsupported schema version %d", env.V)
+	}
+	if crc32.Checksum(env.D, crcTable) != env.CRC {
+		return "", nil, fmt.Errorf("CRC mismatch")
+	}
+	return env.T, env.D, nil
+}
+
+// anyValidRecord reports whether any complete, valid record follows —
+// the discriminator between a torn tail (truncatable) and interior
+// corruption (an error).
+func anyValidRecord(rest []byte) bool {
+	for len(rest) > 0 {
+		nl := bytes.IndexByte(rest, '\n')
+		if nl < 0 {
+			return false
+		}
+		if _, _, err := decodeRecord(rest[:nl]); err == nil {
+			return true
+		}
+		rest = rest[nl+1:]
+	}
+	return false
+}

@@ -1,0 +1,159 @@
+// One-shot migration of v1 journal databases onto the store engine.
+//
+// A v1 database is a directory holding journal.jsonl. Migration builds
+// a complete store under store.migrating, atomically renames it to
+// store/, fsyncs the directory, then archives the journal as
+// journal.jsonl.v1 and fsyncs again. The protocol is crash-safe at
+// every step:
+//
+//   - crash before the store rename: store.migrating is discarded and
+//     migration restarts from the untouched journal;
+//   - crash between the renames (store/ exists AND journal.jsonl
+//     exists): the store is complete — only the archival rename is
+//     redone;
+//   - crash after both renames: nothing left to do.
+//
+// The journal is replayed through the same torn-tail/interior-
+// corruption rules as v1 recovery: a torn tail migrates the valid
+// prefix, interior corruption aborts with an error.
+
+package tunedb
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"autotune/internal/skeleton"
+	"autotune/internal/store"
+)
+
+// storeDir is where the engine lives inside a database directory.
+func storeDir(dir string) string { return filepath.Join(dir, "store") }
+
+// migratingSuffix marks a store build that has not been renamed into
+// place; such a directory is incomplete by definition and is discarded.
+const migratingSuffix = ".migrating"
+
+// archivedJournal is the name the v1 journal is preserved under after
+// migration (kept, not deleted: it is the rollback path and the
+// byte-identity audit trail).
+const archivedJournal = journalName + ".v1"
+
+// migrateV1 migrates a v1 journal database at dir onto the store
+// engine, if one is present. It is a no-op for fresh directories and
+// already-migrated databases.
+func migrateV1(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("tunedb: %w", err)
+	}
+	jpath := filepath.Join(dir, journalName)
+	sdir := storeDir(dir)
+	if _, err := os.Stat(jpath); os.IsNotExist(err) {
+		return nil // fresh or already migrated
+	} else if err != nil {
+		return fmt.Errorf("tunedb: %w", err)
+	}
+	if _, err := os.Stat(sdir); err == nil {
+		// Crash between the two renames: the store is complete, only
+		// the journal archival is outstanding.
+		return archiveJournal(dir, jpath)
+	} else if !os.IsNotExist(err) {
+		return fmt.Errorf("tunedb: %w", err)
+	}
+
+	data, err := os.ReadFile(jpath)
+	if err != nil {
+		return fmt.Errorf("tunedb: migrating: %w", err)
+	}
+	tmp := sdir + migratingSuffix
+	if err := os.RemoveAll(tmp); err != nil {
+		return fmt.Errorf("tunedb: migrating: %w", err)
+	}
+	st, err := store.Open(tmp, storeOptions())
+	if err != nil {
+		return fmt.Errorf("tunedb: migrating: %w", err)
+	}
+	replayErr := replayJournal(data, st)
+	if cerr := st.Close(); replayErr == nil {
+		replayErr = cerr
+	}
+	if replayErr != nil {
+		os.RemoveAll(tmp)
+		return replayErr
+	}
+	if err := os.Rename(tmp, sdir); err != nil {
+		return fmt.Errorf("tunedb: migrating: %w", err)
+	}
+	if err := store.SyncDir(dir); err != nil {
+		return fmt.Errorf("tunedb: migrating: %w", err)
+	}
+	return archiveJournal(dir, jpath)
+}
+
+// replayJournal folds every valid v1 journal record into st, applying
+// v1's newest-wins semantics (the store's Put supersedes naturally).
+func replayJournal(data []byte, st *store.Store) error {
+	_, err := ScanJournal(data, func(t string, payload json.RawMessage) error {
+		switch t {
+		case recEval:
+			var r evalRecord
+			if err := json.Unmarshal(payload, &r); err != nil {
+				return fmt.Errorf("tunedb: migrating eval record: %w", err)
+			}
+			ks := r.Key.String()
+			val, err := json.Marshal(evalValue{Config: r.Config, Objectives: r.Objectives})
+			if err != nil {
+				return err
+			}
+			if err := st.Put(evalStoreKey(ks, skeleton.Config(r.Config).Key()), val); err != nil {
+				return err
+			}
+			return putKeyOnce(st, r.Key, ks)
+		case recFront:
+			var r FrontRecord
+			if err := json.Unmarshal(payload, &r); err != nil {
+				return fmt.Errorf("tunedb: migrating front record: %w", err)
+			}
+			sortFrontPoints(r.Points)
+			ks := r.Key.String()
+			val, err := json.Marshal(r)
+			if err != nil {
+				return err
+			}
+			if err := st.Put(frontStoreKey(ks), val); err != nil {
+				return err
+			}
+			return putKeyOnce(st, r.Key, ks)
+		default:
+			return fmt.Errorf("tunedb: migrating: unknown record type %q", t)
+		}
+	})
+	return err
+}
+
+// putKeyOnce registers a key in the store's key namespace if absent.
+func putKeyOnce(st *store.Store, key Key, ks string) error {
+	kk := keyStoreKey(ks)
+	if _, ok, err := st.Get(kk); err != nil || ok {
+		return err
+	}
+	val, err := json.Marshal(key)
+	if err != nil {
+		return err
+	}
+	return st.Put(kk, val)
+}
+
+// archiveJournal renames the v1 journal aside and fsyncs the
+// directory, completing (or resuming) a migration.
+func archiveJournal(dir, jpath string) error {
+	if err := os.Rename(jpath, filepath.Join(dir, archivedJournal)); err != nil {
+		return fmt.Errorf("tunedb: migrating: %w", err)
+	}
+	if err := store.SyncDir(dir); err != nil {
+		return fmt.Errorf("tunedb: migrating: %w", err)
+	}
+	return nil
+}

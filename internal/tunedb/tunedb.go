@@ -8,32 +8,40 @@
 // population from stored fronts, and results tuned on one modeled
 // machine transfer to the nearest-signature neighbor.
 //
-// Storage is an append-only JSONL journal (journal.jsonl) of versioned,
-// CRC-checked records. Recovery is crash-tolerant: a torn tail — the
-// partial record a crash mid-append leaves behind — is detected by CRC
-// and truncated, keeping every complete record. Compact rewrites the
-// journal retaining only live entries (the latest front per key plus
-// the deduplicated evaluation set).
+// Storage is the internal/store LSM engine under <dir>/store: records
+// live in sharded write-ahead logs and immutable sorted segment files
+// with per-segment bloom filters, sharded by program fingerprint so
+// concurrent searches of different programs never contend, with
+// size-tiered compaction dropping superseded records in the background.
+// Opening is O(segment metadata), not O(data). Databases written by the
+// v1 append-only JSONL journal are migrated transparently (one-shot,
+// atomic) on first open; see migrate.go.
+//
+// Record namespaces inside the store, all in canonical key order:
+//
+//	k|<key>            → the structured Key (registry; Keys scans it)
+//	e|<key>|<cfg>      → one evaluated configuration's objectives
+//	f|<key>            → the latest Pareto front for the key
 package tunedb
 
 import (
-	"bytes"
 	"encoding/json"
 	"fmt"
-	"hash/crc32"
-	"os"
-	"path/filepath"
+	"hash/fnv"
 	"sort"
-	"sync"
+	"strings"
 
 	"autotune/internal/machine"
 	"autotune/internal/skeleton"
+	"autotune/internal/store"
 )
 
-// journalName is the journal file name inside the database directory.
+// journalName is the v1 journal file name inside the database
+// directory; v1 databases are migrated to the store engine on open.
 const journalName = "journal.jsonl"
 
-// schemaVersion is the journal record schema version.
+// schemaVersion is the journal record schema version (v1 journals and
+// the exported EncodeRecord framing used by checkpoint files).
 const schemaVersion = 1
 
 // Record type tags.
@@ -42,22 +50,26 @@ const (
 	recFront = "front"
 )
 
-// envelope is the on-disk frame of one journal record: schema version,
-// record type, CRC-32C of the payload bytes, and the payload itself.
-type envelope struct {
-	V   int             `json:"v"`
-	T   string          `json:"t"`
-	CRC uint32          `json:"crc"`
-	D   json.RawMessage `json:"d"`
-}
+// Store key namespace tags.
+const (
+	nsKey   = "k|"
+	nsEval  = "e|"
+	nsFront = "f|"
+)
 
-var crcTable = crc32.MakeTable(crc32.Castagnoli)
-
-// evalRecord journals one evaluated configuration. Nil objectives mark
-// a known-failed (invalid) configuration; storing failures lets warm
-// runs skip re-evaluating them.
+// evalRecord journals one evaluated configuration (the v1 journal
+// form, still used by migration). Nil objectives mark a known-failed
+// (invalid) configuration; storing failures lets warm runs skip
+// re-evaluating them.
 type evalRecord struct {
 	Key        Key       `json:"key"`
+	Config     []int64   `json:"config"`
+	Objectives []float64 `json:"objectives"`
+}
+
+// evalValue is the store-resident form of one evaluation: the key and
+// config live in the store key, only the measurement in the value.
+type evalValue struct {
 	Config     []int64   `json:"config"`
 	Objectives []float64 `json:"objectives"`
 }
@@ -81,202 +93,70 @@ type FrontRecord struct {
 	Iterations     int               `json:"iterations"`
 }
 
-// evalEntry is the in-memory form of one stored evaluation.
-type evalEntry struct {
-	cfg  skeleton.Config
-	objs []float64
-}
-
 // DB is an open tuning database. All methods are safe for concurrent
-// use; writes are serialized onto the append-only journal.
+// use; writers on different programs land on different store shards
+// and never contend.
 type DB struct {
-	dir  string
-	path string
-
-	mu     sync.Mutex
-	f      *os.File
-	evals  map[string]map[string]evalEntry // key -> config key -> entry
-	fronts map[string]FrontRecord          // key -> latest front
-	keys   map[string]Key                  // key string -> structured key
+	dir string
+	st  *store.Store
 }
 
-// Open opens (creating if necessary) the database in dir, recovering
-// from a torn journal tail left by a crash mid-append. Corruption
-// elsewhere — an unreadable record followed by readable ones — is
-// reported as an error rather than silently dropped.
+// storeOptions is the engine configuration every tunedb database uses.
+// Sharding hashes only the program-fingerprint component of a key, so
+// every record of one program — across machines, objective sets and
+// spaces — stays in one shard and a cross-machine range scan stays a
+// single-shard scan.
+func storeOptions() store.Options {
+	return store.Options{
+		Shards:  16,
+		ShardBy: shardHash,
+	}
+}
+
+// shardHash extracts the program fingerprint from a namespaced store
+// key ("e|<fingerprint>|...") and hashes it.
+func shardHash(storeKey string) uint32 {
+	rest := storeKey
+	if i := strings.IndexByte(rest, '|'); i >= 0 {
+		rest = rest[i+1:]
+	}
+	if i := strings.IndexByte(rest, '|'); i >= 0 {
+		rest = rest[:i]
+	}
+	h := fnv.New32a()
+	h.Write([]byte(rest))
+	return h.Sum32()
+}
+
+func evalStoreKey(ks, cfgKey string) string { return nsEval + ks + "|" + cfgKey }
+func frontStoreKey(ks string) string        { return nsFront + ks }
+func keyStoreKey(ks string) string          { return nsKey + ks }
+
+// Open opens (creating if necessary) the database in dir. A database
+// last written by the v1 JSONL journal engine is migrated in place
+// first: the journal (with any torn tail truncated, exactly as v1
+// recovery did) is replayed into a fresh store, atomically renamed
+// into place, and the journal archived as journal.jsonl.v1. Interior
+// journal corruption — an unreadable record followed by readable ones —
+// is reported as an error rather than silently dropped.
 func Open(dir string) (*DB, error) {
-	if err := os.MkdirAll(dir, 0o755); err != nil {
-		return nil, fmt.Errorf("tunedb: %w", err)
-	}
-	db := &DB{
-		dir:    dir,
-		path:   filepath.Join(dir, journalName),
-		evals:  map[string]map[string]evalEntry{},
-		fronts: map[string]FrontRecord{},
-		keys:   map[string]Key{},
-	}
-	if err := db.load(); err != nil {
+	if err := migrateV1(dir); err != nil {
 		return nil, err
 	}
-	f, err := os.OpenFile(db.path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	st, err := store.Open(storeDir(dir), storeOptions())
 	if err != nil {
 		return nil, fmt.Errorf("tunedb: %w", err)
 	}
-	db.f = f
-	return db, nil
+	return &DB{dir: dir, st: st}, nil
 }
 
 // Dir returns the database directory.
 func (db *DB) Dir() string { return db.dir }
 
-// Close flushes and closes the journal. The DB must not be used after.
+// Close flushes and closes the engine. The DB must not be used after;
+// Close is idempotent.
 func (db *DB) Close() error {
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	if db.f == nil {
-		return nil
-	}
-	err := db.f.Sync()
-	if cerr := db.f.Close(); err == nil {
-		err = cerr
-	}
-	db.f = nil
-	return err
-}
-
-// load replays the journal into memory, truncating a torn tail.
-func (db *DB) load() error {
-	data, err := os.ReadFile(db.path)
-	if os.IsNotExist(err) {
-		return nil
-	}
-	if err != nil {
-		return fmt.Errorf("tunedb: %w", err)
-	}
-	offset := 0
-	for offset < len(data) {
-		nl := bytes.IndexByte(data[offset:], '\n')
-		if nl < 0 {
-			// No terminating newline: the crash hit mid-append.
-			return db.truncateTail(data, offset)
-		}
-		line := data[offset : offset+nl]
-		if err := db.apply(line); err != nil {
-			// A bad record is a torn tail only if nothing readable
-			// follows it; otherwise the journal is corrupt in a way
-			// appending cannot explain.
-			if anyValidRecord(data[offset+nl+1:]) {
-				return fmt.Errorf("tunedb: corrupt journal record at byte %d: %w", offset, err)
-			}
-			return db.truncateTail(data, offset)
-		}
-		offset += nl + 1
-	}
-	return nil
-}
-
-// truncateTail cuts the journal back to offset, dropping the torn
-// record(s) beyond it.
-func (db *DB) truncateTail(data []byte, offset int) error {
-	if err := os.WriteFile(db.path+".tmp", data[:offset], 0o644); err != nil {
-		return fmt.Errorf("tunedb: recovering torn tail: %w", err)
-	}
-	if err := os.Rename(db.path+".tmp", db.path); err != nil {
-		return fmt.Errorf("tunedb: recovering torn tail: %w", err)
-	}
-	return nil
-}
-
-// anyValidRecord reports whether rest contains at least one complete,
-// CRC-valid record.
-func anyValidRecord(rest []byte) bool {
-	for len(rest) > 0 {
-		nl := bytes.IndexByte(rest, '\n')
-		if nl < 0 {
-			return false
-		}
-		if _, _, err := decodeRecord(rest[:nl]); err == nil {
-			return true
-		}
-		rest = rest[nl+1:]
-	}
-	return false
-}
-
-// decodeRecord parses and CRC-verifies one journal line, returning the
-// record type and payload bytes.
-func decodeRecord(line []byte) (string, json.RawMessage, error) {
-	var env envelope
-	if err := json.Unmarshal(line, &env); err != nil {
-		return "", nil, err
-	}
-	if env.V != schemaVersion {
-		return "", nil, fmt.Errorf("unsupported schema version %d", env.V)
-	}
-	if crc32.Checksum(env.D, crcTable) != env.CRC {
-		return "", nil, fmt.Errorf("CRC mismatch")
-	}
-	return env.T, env.D, nil
-}
-
-// apply decodes one journal line and folds it into the in-memory state.
-func (db *DB) apply(line []byte) error {
-	t, payload, err := decodeRecord(line)
-	if err != nil {
-		return err
-	}
-	switch t {
-	case recEval:
-		var r evalRecord
-		if err := json.Unmarshal(payload, &r); err != nil {
-			return err
-		}
-		db.applyEval(r)
-	case recFront:
-		var r FrontRecord
-		if err := json.Unmarshal(payload, &r); err != nil {
-			return err
-		}
-		db.applyFront(r)
-	default:
-		return fmt.Errorf("unknown record type %q", t)
-	}
-	return nil
-}
-
-func (db *DB) applyEval(r evalRecord) {
-	ks := r.Key.String()
-	m := db.evals[ks]
-	if m == nil {
-		m = map[string]evalEntry{}
-		db.evals[ks] = m
-	}
-	cfg := skeleton.Config(r.Config)
-	m[cfg.Key()] = evalEntry{cfg: cfg, objs: r.Objectives}
-	db.keys[ks] = r.Key
-}
-
-func (db *DB) applyFront(r FrontRecord) {
-	ks := r.Key.String()
-	db.fronts[ks] = r
-	db.keys[ks] = r.Key
-}
-
-// appendRecord journals one record. Callers hold db.mu.
-func (db *DB) appendRecord(t string, rec interface{}) error {
-	if db.f == nil {
-		return fmt.Errorf("tunedb: database is closed")
-	}
-	payload, err := json.Marshal(rec)
-	if err != nil {
-		return fmt.Errorf("tunedb: %w", err)
-	}
-	env := envelope{V: schemaVersion, T: t, CRC: crc32.Checksum(payload, crcTable), D: payload}
-	line, err := json.Marshal(env)
-	if err != nil {
-		return fmt.Errorf("tunedb: %w", err)
-	}
-	if _, err := db.f.Write(append(line, '\n')); err != nil {
+	if err := db.st.Close(); err != nil {
 		return fmt.Errorf("tunedb: %w", err)
 	}
 	return nil
@@ -284,37 +164,64 @@ func (db *DB) appendRecord(t string, rec interface{}) error {
 
 // PutEval stores one evaluated configuration under key. Re-storing a
 // configuration already present with the same result is a no-op, so
-// repeated cold runs do not grow the journal.
+// repeated cold runs do not grow the database.
 func (db *DB) PutEval(key Key, cfg skeleton.Config, objs []float64) error {
-	db.mu.Lock()
-	defer db.mu.Unlock()
 	ks := key.String()
-	if m := db.evals[ks]; m != nil {
-		if old, ok := m[cfg.Key()]; ok && equalObjs(old.objs, objs) {
+	sk := evalStoreKey(ks, cfg.Key())
+	if old, ok, err := db.st.Get(sk); err != nil {
+		return fmt.Errorf("tunedb: %w", err)
+	} else if ok {
+		var v evalValue
+		if json.Unmarshal(old, &v) == nil && equalObjs(v.Objectives, objs) {
 			return nil
 		}
 	}
-	rec := evalRecord{Key: key, Config: cfg, Objectives: objs}
-	if err := db.appendRecord(recEval, rec); err != nil {
-		return err
+	val, err := json.Marshal(evalValue{Config: cfg, Objectives: objs})
+	if err != nil {
+		return fmt.Errorf("tunedb: %w", err)
 	}
-	db.applyEval(rec)
+	if err := db.st.Put(sk, val); err != nil {
+		return fmt.Errorf("tunedb: %w", err)
+	}
+	return db.registerKey(key, ks)
+}
+
+// registerKey makes key discoverable by Keys()/ScanKeys().
+func (db *DB) registerKey(key Key, ks string) error {
+	kk := keyStoreKey(ks)
+	if _, ok, err := db.st.Get(kk); err != nil {
+		return fmt.Errorf("tunedb: %w", err)
+	} else if ok {
+		return nil
+	}
+	val, err := json.Marshal(key)
+	if err != nil {
+		return fmt.Errorf("tunedb: %w", err)
+	}
+	if err := db.st.Put(kk, val); err != nil {
+		return fmt.Errorf("tunedb: %w", err)
+	}
 	return nil
 }
 
 // PutFront stores a finished Pareto front, superseding any previous
 // front under the same key. Points are stored in canonical order
 // (lexicographic by objective vector, then configuration) so exports
-// are byte-stable.
+// are byte-stable. The write is made durable before PutFront returns.
 func (db *DB) PutFront(rec FrontRecord) error {
 	sortFrontPoints(rec.Points)
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	if err := db.appendRecord(recFront, rec); err != nil {
+	ks := rec.Key.String()
+	val, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("tunedb: %w", err)
+	}
+	if err := db.st.Put(frontStoreKey(ks), val); err != nil {
+		return fmt.Errorf("tunedb: %w", err)
+	}
+	if err := db.registerKey(rec.Key, ks); err != nil {
 		return err
 	}
-	db.applyFront(rec)
-	if err := db.f.Sync(); err != nil {
+	if err := db.st.Sync(); err != nil {
 		return fmt.Errorf("tunedb: %w", err)
 	}
 	return nil
@@ -347,162 +254,179 @@ func equalObjs(a, b []float64) bool {
 	return true
 }
 
-// Front returns the stored front for an exact key.
+// Front returns the stored front for an exact key — a sharded,
+// bloom-screened point lookup.
 func (db *DB) Front(key Key) (FrontRecord, bool) {
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	rec, ok := db.fronts[key.String()]
-	return rec, ok
+	data, ok, err := db.st.Get(frontStoreKey(key.String()))
+	if err != nil || !ok {
+		return FrontRecord{}, false
+	}
+	var rec FrontRecord
+	if json.Unmarshal(data, &rec) != nil {
+		return FrontRecord{}, false
+	}
+	return rec, true
+}
+
+// GetEval point-looks one stored evaluation up. ok distinguishes "not
+// stored" from a stored known-failure (ok with nil objectives).
+func (db *DB) GetEval(key Key, cfg skeleton.Config) (objs []float64, ok bool) {
+	data, ok, err := db.st.Get(evalStoreKey(key.String(), cfg.Key()))
+	if err != nil || !ok {
+		return nil, false
+	}
+	var v evalValue
+	if json.Unmarshal(data, &v) != nil {
+		return nil, false
+	}
+	return v.Objectives, true
 }
 
 // EvalCount returns the number of stored evaluations for a key.
 func (db *DB) EvalCount(key Key) int {
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	return len(db.evals[key.String()])
+	n := 0
+	it := db.st.Iter(nsEval + key.String() + "|")
+	defer it.Close()
+	for it.Next() {
+		n++
+	}
+	return n
 }
 
 // Keys lists every key with stored data, sorted by canonical string.
 func (db *DB) Keys() []Key {
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	strs := make([]string, 0, len(db.keys))
-	for ks := range db.keys {
-		strs = append(strs, ks)
-	}
-	sort.Strings(strs)
-	out := make([]Key, len(strs))
-	for i, ks := range strs {
-		out[i] = db.keys[ks]
-	}
-	return out
+	keys, _ := db.ScanKeys("")
+	return keys
 }
 
-// Compact rewrites the journal keeping only live entries: the latest
-// front per key and the deduplicated evaluation set. The rewrite goes
-// through a temp file and an atomic rename, so a crash during
-// compaction leaves either the old or the new journal intact.
-func (db *DB) Compact() error {
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	if db.f == nil {
-		return fmt.Errorf("tunedb: database is closed")
+// ScanKeys range-scans the key registry: every stored key whose
+// canonical string starts with prefix, in canonical order. A program
+// fingerprint prefix selects that program's results across every
+// machine, objective set and space — the cross-machine query the
+// portfolio work builds on.
+func (db *DB) ScanKeys(prefix string) ([]Key, error) {
+	it := db.st.Iter(nsKey + prefix)
+	defer it.Close()
+	var out []Key
+	for it.Next() {
+		var k Key
+		if err := json.Unmarshal(it.Value(), &k); err != nil {
+			return nil, fmt.Errorf("tunedb: key registry entry %q: %w", it.Key(), err)
+		}
+		out = append(out, k)
 	}
-	tmpPath := db.path + ".compact"
-	tmp, err := os.OpenFile(tmpPath, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
-	if err != nil {
+	if err := it.Err(); err != nil {
+		return nil, fmt.Errorf("tunedb: %w", err)
+	}
+	return out, nil
+}
+
+// ScanEvals streams every stored evaluation for keys matching the
+// canonical-string prefix, in canonical order, invoking fn with the
+// owning key string and the evaluation. Iteration stops early when fn
+// returns false.
+func (db *DB) ScanEvals(prefix string, fn func(keyStr string, cfg skeleton.Config, objs []float64) bool) error {
+	it := db.st.Iter(nsEval + prefix)
+	defer it.Close()
+	for it.Next() {
+		var v evalValue
+		if err := json.Unmarshal(it.Value(), &v); err != nil {
+			return fmt.Errorf("tunedb: eval entry %q: %w", it.Key(), err)
+		}
+		ks := strings.TrimPrefix(it.Key(), nsEval)
+		if i := strings.LastIndexByte(ks, '|'); i >= 0 {
+			ks = ks[:i]
+		}
+		if !fn(ks, skeleton.Config(v.Config), v.Objectives) {
+			return nil
+		}
+	}
+	if err := it.Err(); err != nil {
 		return fmt.Errorf("tunedb: %w", err)
 	}
-	write := func(t string, rec interface{}) error {
-		payload, err := json.Marshal(rec)
-		if err != nil {
-			return err
-		}
-		env := envelope{V: schemaVersion, T: t, CRC: crc32.Checksum(payload, crcTable), D: payload}
-		line, err := json.Marshal(env)
-		if err != nil {
-			return err
-		}
-		_, err = tmp.Write(append(line, '\n'))
-		return err
-	}
-	var strs []string
-	for ks := range db.keys {
-		strs = append(strs, ks)
-	}
-	sort.Strings(strs)
-	for _, ks := range strs {
-		key := db.keys[ks]
-		if rec, ok := db.fronts[ks]; ok {
-			if err := write(recFront, rec); err != nil {
-				tmp.Close()
-				return fmt.Errorf("tunedb: compact: %w", err)
-			}
-		}
-		var cfgKeys []string
-		for ck := range db.evals[ks] {
-			cfgKeys = append(cfgKeys, ck)
-		}
-		sort.Strings(cfgKeys)
-		for _, ck := range cfgKeys {
-			e := db.evals[ks][ck]
-			if err := write(recEval, evalRecord{Key: key, Config: e.cfg, Objectives: e.objs}); err != nil {
-				tmp.Close()
-				return fmt.Errorf("tunedb: compact: %w", err)
-			}
-		}
-	}
-	if err := tmp.Sync(); err != nil {
-		tmp.Close()
-		return fmt.Errorf("tunedb: compact: %w", err)
-	}
-	if err := tmp.Close(); err != nil {
-		return fmt.Errorf("tunedb: compact: %w", err)
-	}
-	if err := os.Rename(tmpPath, db.path); err != nil {
-		return fmt.Errorf("tunedb: compact: %w", err)
-	}
-	// Reopen the append handle on the new inode.
-	db.f.Close()
-	f, err := os.OpenFile(db.path, os.O_WRONLY|os.O_APPEND, 0o644)
+	return nil
+}
+
+// Stats reports the storage engine's physical state (per-shard segment
+// counts, live/dead record ratios, bloom filter effectiveness).
+func (db *DB) Stats() (store.Stats, error) {
+	s, err := db.st.Stats()
 	if err != nil {
-		db.f = nil
+		return store.Stats{}, fmt.Errorf("tunedb: %w", err)
+	}
+	return s, nil
+}
+
+// Compact flushes memtables and merges every shard's segments down to
+// one, dropping superseded eval/front records. Segment renames are
+// followed by directory fsyncs, so a crash immediately after compaction
+// cannot resurrect pre-compaction state.
+func (db *DB) Compact() error {
+	if err := db.st.Compact(); err != nil {
 		return fmt.Errorf("tunedb: compact: %w", err)
 	}
-	db.f = f
 	return nil
 }
 
 // Merge folds every record of the database at dir into this one
-// (cross-machine transfer: carry a journal over from another host and
-// merge it). It returns the number of evaluation and front records
-// adopted. Fronts already present locally are only replaced when the
-// incoming front is absent locally.
+// (cross-machine transfer: carry a database over from another host and
+// merge it; a v1 journal directory is migrated on open). It returns
+// the number of evaluation and front records adopted. Records already
+// present locally are kept: an incoming front only lands when no local
+// front exists under the same key. The adopted records are made
+// durable before Merge returns.
 func (db *DB) Merge(dir string) (evals, fronts int, err error) {
 	other, err := Open(dir)
 	if err != nil {
 		return 0, 0, err
 	}
 	defer other.Close()
-	other.mu.Lock()
-	defer other.mu.Unlock()
-	for ks, m := range other.evals {
-		key := other.keys[ks]
-		var cfgKeys []string
-		for ck := range m {
-			cfgKeys = append(cfgKeys, ck)
-		}
-		sort.Strings(cfgKeys)
-		for _, ck := range cfgKeys {
-			e := m[ck]
-			db.mu.Lock()
-			_, exists := db.evals[ks][ck]
-			db.mu.Unlock()
-			if exists {
-				continue
-			}
-			if err := db.PutEval(key, e.cfg, e.objs); err != nil {
-				return evals, fronts, err
-			}
-			evals++
-		}
+
+	byKS := map[string]Key{}
+	otherKeys, err := other.ScanKeys("")
+	if err != nil {
+		return 0, 0, err
 	}
-	var frontKeys []string
-	for ks := range other.fronts {
-		frontKeys = append(frontKeys, ks)
+	for _, k := range otherKeys {
+		byKS[k.String()] = k
 	}
-	sort.Strings(frontKeys)
-	for _, ks := range frontKeys {
-		db.mu.Lock()
-		_, exists := db.fronts[ks]
-		db.mu.Unlock()
-		if exists {
+
+	mergeErr := other.ScanEvals("", func(ks string, cfg skeleton.Config, objs []float64) bool {
+		key, ok := byKS[ks]
+		if !ok {
+			return true // unregistered record: skip
+		}
+		if _, exists := db.GetEval(key, cfg); exists {
+			return true
+		}
+		if err = db.PutEval(key, cfg, objs); err != nil {
+			return false
+		}
+		evals++
+		return true
+	})
+	if err == nil {
+		err = mergeErr
+	}
+	if err != nil {
+		return evals, fronts, err
+	}
+
+	for _, k := range otherKeys {
+		rec, ok := other.Front(k)
+		if !ok {
 			continue
 		}
-		if err := db.PutFront(other.fronts[ks]); err != nil {
+		if _, exists := db.Front(k); exists {
+			continue
+		}
+		if err := db.PutFront(rec); err != nil {
 			return evals, fronts, err
 		}
 		fronts++
+	}
+	if err := db.st.Sync(); err != nil {
+		return evals, fronts, fmt.Errorf("tunedb: %w", err)
 	}
 	return evals, fronts, nil
 }

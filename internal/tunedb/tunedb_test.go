@@ -1,10 +1,8 @@
 package tunedb
 
 import (
-	"bytes"
 	"fmt"
-	"os"
-	"path/filepath"
+	"sort"
 	"sync"
 	"testing"
 
@@ -42,6 +40,18 @@ func mustOpen(t *testing.T, dir string) *DB {
 		t.Fatal(err)
 	}
 	return db
+}
+
+// totalRecords is the physical record count across memtables and
+// segments — the store-engine analogue of "journal size" for no-growth
+// assertions.
+func totalRecords(t *testing.T, db *DB) int {
+	t.Helper()
+	stats, err := db.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return int(stats.SegmentRecords) + stats.MemtableEntries
 }
 
 func TestOpenEmptyAndReopen(t *testing.T) {
@@ -96,6 +106,30 @@ func TestEvalRoundTrip(t *testing.T) {
 	}
 }
 
+func TestGetEvalDistinguishesFailureFromAbsent(t *testing.T) {
+	db := mustOpen(t, t.TempDir())
+	defer db.Close()
+	key := testKey()
+	if err := db.PutEval(key, skeleton.Config{64, 64, 8}, []float64{0.5, 8}); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.PutEval(key, skeleton.Config{1, 1, 1}, nil); err != nil {
+		t.Fatal(err)
+	}
+	objs, ok := db.GetEval(key, skeleton.Config{64, 64, 8})
+	if !ok || len(objs) != 2 || objs[0] != 0.5 {
+		t.Fatalf("GetEval = %v %v", objs, ok)
+	}
+	// Stored known-failure: present, nil objectives.
+	objs, ok = db.GetEval(key, skeleton.Config{1, 1, 1})
+	if !ok || objs != nil {
+		t.Fatalf("known failure GetEval = %v %v", objs, ok)
+	}
+	if _, ok := db.GetEval(key, skeleton.Config{7, 7, 7}); ok {
+		t.Fatal("absent config reported present")
+	}
+}
+
 func TestPutEvalDeduplicates(t *testing.T) {
 	dir := t.TempDir()
 	key := testKey()
@@ -105,27 +139,23 @@ func TestPutEvalDeduplicates(t *testing.T) {
 	if err := db.PutEval(key, cfg, []float64{0.5, 8}); err != nil {
 		t.Fatal(err)
 	}
-	before, err := os.Stat(filepath.Join(dir, journalName))
-	if err != nil {
-		t.Fatal(err)
-	}
-	// Re-storing the identical result must not grow the journal.
+	before := totalRecords(t, db)
+	// Re-storing the identical result must not grow the database.
 	if err := db.PutEval(key, cfg, []float64{0.5, 8}); err != nil {
 		t.Fatal(err)
 	}
-	after, err := os.Stat(filepath.Join(dir, journalName))
-	if err != nil {
-		t.Fatal(err)
+	if after := totalRecords(t, db); after != before {
+		t.Fatalf("duplicate PutEval grew database %d -> %d records", before, after)
 	}
-	if before.Size() != after.Size() {
-		t.Fatalf("duplicate PutEval grew journal %d -> %d", before.Size(), after.Size())
-	}
-	// A changed result is journaled and supersedes the old one.
+	// A changed result is stored and supersedes the old one.
 	if err := db.PutEval(key, cfg, []float64{0.4, 8}); err != nil {
 		t.Fatal(err)
 	}
 	if n := db.EvalCount(key); n != 1 {
 		t.Fatalf("EvalCount = %d", n)
+	}
+	if objs, ok := db.GetEval(key, cfg); !ok || objs[0] != 0.4 {
+		t.Fatalf("superseded eval not updated: %v %v", objs, ok)
 	}
 }
 
@@ -137,7 +167,12 @@ func TestFrontSupersedesAndSorts(t *testing.T) {
 		t.Fatal(err)
 	}
 	newer := testFront(key)
-	newer.Points = append(newer.Points, FrontPoint{Config: []int64{16, 16, 32}, Objectives: []float64{0.2, 32}})
+	newer.Points = append(newer.Points,
+		FrontPoint{Config: []int64{16, 16, 32}, Objectives: []float64{0.2, 32}},
+		// Ties: equal objectives order by config; a shorter objective
+		// vector that prefixes a longer one sorts first.
+		FrontPoint{Config: []int64{1, 1, 1}, Objectives: []float64{0.3, 16}},
+		FrontPoint{Config: []int64{2, 2, 2}, Objectives: []float64{0.3}})
 	newer.Evaluations = 200
 	if err := db.PutFront(newer); err != nil {
 		t.Fatal(err)
@@ -152,7 +187,7 @@ func TestFrontSupersedesAndSorts(t *testing.T) {
 	if !ok {
 		t.Fatal("front missing after reopen")
 	}
-	if rec.Evaluations != 200 || len(rec.Points) != 3 {
+	if rec.Evaluations != 200 || len(rec.Points) != 5 {
 		t.Fatalf("latest front not retained: %+v", rec)
 	}
 	// Points stored in canonical order: lexicographic by objectives.
@@ -168,8 +203,9 @@ func TestCompact(t *testing.T) {
 	key := testKey()
 	db := mustOpen(t, dir)
 	cfg := skeleton.Config{64, 64, 8}
-	// Many superseding writes inflate the journal; compaction shrinks
-	// it back to the live set.
+	// Many superseding writes leave dead records; flushing between them
+	// pushes each generation into its own segment so the duplicates are
+	// physical, not memtable overwrites.
 	for i := 0; i < 20; i++ {
 		if err := db.PutEval(key, cfg, []float64{float64(i), 8}); err != nil {
 			t.Fatal(err)
@@ -177,14 +213,26 @@ func TestCompact(t *testing.T) {
 		if err := db.PutFront(testFront(key)); err != nil {
 			t.Fatal(err)
 		}
+		if err := db.st.Flush(); err != nil {
+			t.Fatal(err)
+		}
 	}
-	before, _ := os.Stat(filepath.Join(dir, journalName))
+	if before := totalRecords(t, db); before <= 3 {
+		t.Fatalf("superseding writes left only %d records; test is vacuous", before)
+	}
 	if err := db.Compact(); err != nil {
 		t.Fatal(err)
 	}
-	after, _ := os.Stat(filepath.Join(dir, journalName))
-	if after.Size() >= before.Size() {
-		t.Fatalf("compact did not shrink journal: %d -> %d", before.Size(), after.Size())
+	stats, err := db.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.DeadRecords != 0 {
+		t.Fatalf("compact left %d dead records: %+v", stats.DeadRecords, stats)
+	}
+	// Live set: one eval, one front, one key-registry entry.
+	if stats.LiveKeys != 3 {
+		t.Fatalf("live keys after compact = %d, want 3", stats.LiveKeys)
 	}
 	// The database stays usable after compaction.
 	if err := db.PutEval(key, skeleton.Config{1, 2, 3}, []float64{9, 9}); err != nil {
@@ -253,108 +301,19 @@ func TestMerge(t *testing.T) {
 	}
 }
 
-// TestCrashToleranceSweep simulates a crash mid-append at every byte
-// offset of the journal's last record: each truncation must open
-// without error and recover every complete record before the tear.
-func TestCrashToleranceSweep(t *testing.T) {
-	// Build a reference journal: one front plus four evaluations.
-	refDir := t.TempDir()
-	key := testKey()
-	db := mustOpen(t, refDir)
-	if err := db.PutFront(testFront(key)); err != nil {
-		t.Fatal(err)
-	}
-	for i := 0; i < 4; i++ {
-		cfg := skeleton.Config{int64(8 << i), 64, 8}
-		if err := db.PutEval(key, cfg, []float64{float64(i), 8}); err != nil {
-			t.Fatal(err)
-		}
-	}
-	if err := db.Close(); err != nil {
-		t.Fatal(err)
-	}
-	data, err := os.ReadFile(filepath.Join(refDir, journalName))
-	if err != nil {
-		t.Fatal(err)
-	}
-	// Locate the final record (the last evaluation).
-	lastStart := bytes.LastIndexByte(data[:len(data)-1], '\n') + 1
-
-	for cut := lastStart; cut < len(data); cut++ {
-		dir := t.TempDir()
-		if err := os.WriteFile(filepath.Join(dir, journalName), data[:cut], 0o644); err != nil {
-			t.Fatal(err)
-		}
-		rec, err := Open(dir)
-		if err != nil {
-			t.Fatalf("cut at byte %d/%d: %v", cut, len(data), err)
-		}
-		// All complete records survive: the front and the first three
-		// evaluations.
-		if n := rec.EvalCount(key); n != 3 {
-			t.Fatalf("cut at byte %d: recovered %d evals, want 3", cut, n)
-		}
-		if _, ok := rec.Front(key); !ok {
-			t.Fatalf("cut at byte %d: front lost", cut)
-		}
-		// Recovery truncated the torn tail on disk, so writing and
-		// reopening work normally.
-		if err := rec.PutEval(key, skeleton.Config{1, 2, 3}, []float64{9, 9}); err != nil {
-			t.Fatalf("cut at byte %d: append after recovery: %v", cut, err)
-		}
-		if err := rec.Close(); err != nil {
-			t.Fatal(err)
-		}
-		again, err := Open(dir)
-		if err != nil {
-			t.Fatalf("cut at byte %d: reopen after recovery: %v", cut, err)
-		}
-		if n := again.EvalCount(key); n != 4 {
-			t.Fatalf("cut at byte %d: post-recovery evals = %d, want 4", cut, n)
-		}
-		again.Close()
-	}
-}
-
-// TestMidJournalCorruption distinguishes real corruption from a torn
-// tail: a damaged record followed by valid ones must be an error, not a
-// silent truncation.
-func TestMidJournalCorruption(t *testing.T) {
-	dir := t.TempDir()
-	key := testKey()
-	db := mustOpen(t, dir)
-	for i := 0; i < 3; i++ {
-		if err := db.PutEval(key, skeleton.Config{int64(i + 1), 2, 3}, []float64{1, 2}); err != nil {
-			t.Fatal(err)
-		}
-	}
-	if err := db.Close(); err != nil {
-		t.Fatal(err)
-	}
-	path := filepath.Join(dir, journalName)
-	data, err := os.ReadFile(path)
-	if err != nil {
-		t.Fatal(err)
-	}
-	// Flip a payload byte inside the first record.
-	corrupt := append([]byte(nil), data...)
-	corrupt[bytes.IndexByte(corrupt, '{')+20] ^= 0xff
-	if err := os.WriteFile(path, corrupt, 0o644); err != nil {
-		t.Fatal(err)
-	}
-	if _, err := Open(dir); err == nil {
-		t.Fatal("mid-journal corruption opened without error")
-	}
-}
-
-// TestConcurrentWriters exercises the journal's write serialization
-// under -race: many goroutines storing evaluations and fronts at once.
+// TestConcurrentWriters exercises the sharded engine under -race: many
+// goroutines storing evaluations and fronts for different programs at
+// once (distinct fingerprints land on distinct shards).
 func TestConcurrentWriters(t *testing.T) {
 	dir := t.TempDir()
 	db := mustOpen(t, dir)
-	key := testKey()
 	const writers = 8
 	const perWriter = 25
+	keys := make([]Key, writers)
+	for w := range keys {
+		keys[w] = testKey()
+		keys[w].Fingerprint = fmt.Sprintf("pg%016x", w+1)
+	}
 	var wg sync.WaitGroup
 	errs := make(chan error, writers)
 	for w := 0; w < writers; w++ {
@@ -363,12 +322,12 @@ func TestConcurrentWriters(t *testing.T) {
 			defer wg.Done()
 			for i := 0; i < perWriter; i++ {
 				cfg := skeleton.Config{int64(w), int64(i), 8}
-				if err := db.PutEval(key, cfg, []float64{float64(w), float64(i)}); err != nil {
+				if err := db.PutEval(keys[w], cfg, []float64{float64(w), float64(i)}); err != nil {
 					errs <- err
 					return
 				}
 			}
-			if err := db.PutFront(testFront(key)); err != nil {
+			if err := db.PutFront(testFront(keys[w])); err != nil {
 				errs <- err
 			}
 		}(w)
@@ -378,16 +337,23 @@ func TestConcurrentWriters(t *testing.T) {
 	for err := range errs {
 		t.Fatal(err)
 	}
-	if n := db.EvalCount(key); n != writers*perWriter {
-		t.Fatalf("EvalCount = %d, want %d", n, writers*perWriter)
+	for w := 0; w < writers; w++ {
+		if n := db.EvalCount(keys[w]); n != perWriter {
+			t.Fatalf("EvalCount(writer %d) = %d, want %d", w, n, perWriter)
+		}
 	}
 	if err := db.Close(); err != nil {
 		t.Fatal(err)
 	}
 	db2 := mustOpen(t, dir)
 	defer db2.Close()
-	if n := db2.EvalCount(key); n != writers*perWriter {
-		t.Fatalf("EvalCount after reopen = %d, want %d", n, writers*perWriter)
+	for w := 0; w < writers; w++ {
+		if n := db2.EvalCount(keys[w]); n != perWriter {
+			t.Fatalf("EvalCount(writer %d) after reopen = %d, want %d", w, n, perWriter)
+		}
+	}
+	if got := len(db2.Keys()); got != writers {
+		t.Fatalf("Keys = %d, want %d", got, writers)
 	}
 }
 
@@ -407,21 +373,78 @@ func TestClosedDBRejectsWrites(t *testing.T) {
 	}
 }
 
-func TestUnsupportedSchemaVersion(t *testing.T) {
-	dir := t.TempDir()
-	line := fmt.Sprintf(`{"v":%d,"t":"eval","crc":0,"d":{}}`+"\n", schemaVersion+1)
-	if err := os.WriteFile(filepath.Join(dir, journalName), []byte(line), 0o644); err != nil {
-		t.Fatal(err)
+// TestScanKeysOrderProperty: ScanKeys("") must return exactly the
+// stored key set sorted by canonical string — the range-scan order
+// property surfaced through the tunedb API.
+func TestScanKeysOrderProperty(t *testing.T) {
+	db := mustOpen(t, t.TempDir())
+	defer db.Close()
+	var wantStrs []string
+	for i := 0; i < 40; i++ {
+		k := testKey()
+		// Scatter fingerprints so keys cross shards and sort nontrivially.
+		k.Fingerprint = fmt.Sprintf("pg%016x", (i*2654435761)%997)
+		if err := db.PutEval(k, skeleton.Config{int64(i), 2, 3}, []float64{1, 2}); err != nil {
+			t.Fatal(err)
+		}
+		wantStrs = append(wantStrs, k.String())
 	}
-	// A single unreadable record with nothing valid after it is treated
-	// as a torn tail (recovered), because nothing readable follows; but
-	// the record must not be applied.
-	db, err := Open(dir)
+	sort.Strings(wantStrs)
+	got, err := db.ScanKeys("")
 	if err != nil {
 		t.Fatal(err)
 	}
+	if len(got) != len(wantStrs) {
+		t.Fatalf("ScanKeys returned %d keys, want %d", len(got), len(wantStrs))
+	}
+	for i, k := range got {
+		if k.String() != wantStrs[i] {
+			t.Fatalf("ScanKeys[%d] = %q, want %q", i, k.String(), wantStrs[i])
+		}
+	}
+	// Prefix scan: only the matching fingerprint.
+	one := got[7]
+	sub, err := db.ScanKeys(one.Fingerprint)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range sub {
+		if k.Fingerprint != one.Fingerprint {
+			t.Fatalf("prefix scan leaked key %q", k.String())
+		}
+	}
+	if len(sub) == 0 {
+		t.Fatal("prefix scan found nothing")
+	}
+}
+
+func TestStatsReportsShards(t *testing.T) {
+	db := mustOpen(t, t.TempDir())
 	defer db.Close()
-	if got := db.Keys(); len(got) != 0 {
-		t.Fatalf("future-schema record applied: %v", got)
+	key := testKey()
+	for i := 0; i < 10; i++ {
+		if err := db.PutEval(key, skeleton.Config{int64(i), 2, 3}, []float64{1, 2}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	stats, err := db.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stats.Shards) != 16 {
+		t.Fatalf("shard count = %d, want 16", len(stats.Shards))
+	}
+	if stats.LiveKeys != 11 { // 10 evals + 1 key registry entry
+		t.Fatalf("live keys = %d, want 11", stats.LiveKeys)
+	}
+	// One program: everything lands in a single shard.
+	nonEmpty := 0
+	for _, ss := range stats.Shards {
+		if ss.LiveKeys > 0 {
+			nonEmpty++
+		}
+	}
+	if nonEmpty != 1 {
+		t.Fatalf("one program spread across %d shards", nonEmpty)
 	}
 }

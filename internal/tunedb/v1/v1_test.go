@@ -1,0 +1,139 @@
+package v1
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"autotune/internal/machine"
+	"autotune/internal/skeleton"
+	"autotune/internal/tunedb"
+)
+
+func testKey(i int) tunedb.Key {
+	return tunedb.Key{
+		Fingerprint: "pg000000000000000" + string(rune('a'+i)),
+		MachineSig:  machine.SignatureOf(machine.Westmere()).Key(),
+		Objectives:  "time+resources",
+		SpaceHash:   "sp0000000000000001",
+	}
+}
+
+func testFront(key tunedb.Key) tunedb.FrontRecord {
+	return tunedb.FrontRecord{
+		Key:            key,
+		Machine:        machine.SignatureOf(machine.Westmere()),
+		ObjectiveNames: []string{"time", "resources"},
+		Points: []tunedb.FrontPoint{
+			{Config: []int64{64, 64, 8}, Objectives: []float64{0.5, 8}},
+			{Config: []int64{32, 32, 16}, Objectives: []float64{0.3, 16}},
+		},
+		Evaluations: 10,
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	db, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := testKey(0)
+	if err := db.PutEval(key, skeleton.Config{1, 2, 3}, []float64{1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	// Identical re-put is a no-op; changed result supersedes.
+	if err := db.PutEval(key, skeleton.Config{1, 2, 3}, []float64{1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.PutEval(key, skeleton.Config{1, 2, 3}, []float64{9, 2}); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.PutFront(testFront(key)); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Close(); err != nil { // idempotent
+		t.Fatal(err)
+	}
+	if err := db.PutEval(key, skeleton.Config{4, 4, 4}, []float64{1, 1}); err == nil {
+		t.Fatal("PutEval on closed database succeeded")
+	}
+
+	db2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	if n := db2.EvalCount(key); n != 1 {
+		t.Fatalf("EvalCount = %d", n)
+	}
+	objs, ok := db2.GetEval(key, skeleton.Config{1, 2, 3})
+	if !ok || objs[0] != 9 {
+		t.Fatalf("GetEval = %v %v", objs, ok)
+	}
+	if _, ok := db2.Front(key); !ok {
+		t.Fatal("front missing")
+	}
+	keys := db2.Keys()
+	if len(keys) != 1 || keys[0] != key {
+		t.Fatalf("Keys = %v", keys)
+	}
+	seen := 0
+	db2.ScanEvals(func(ks string, cfg skeleton.Config, objs []float64) bool {
+		if ks != key.String() {
+			t.Fatalf("ScanEvals key %q", ks)
+		}
+		seen++
+		return true
+	})
+	if seen != 1 {
+		t.Fatalf("ScanEvals visited %d", seen)
+	}
+	// Early stop.
+	db2.ScanEvals(func(string, skeleton.Config, []float64) bool { return false })
+}
+
+func TestTornTailTruncated(t *testing.T) {
+	dir := t.TempDir()
+	db, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := testKey(1)
+	for i := 0; i < 3; i++ {
+		if err := db.PutEval(key, skeleton.Config{int64(i), 2, 3}, []float64{1, 2}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, JournalName)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Tear the last record mid-way.
+	if err := os.WriteFile(path, data[:len(data)-10], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	db2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	if n := db2.EvalCount(key); n != 2 {
+		t.Fatalf("recovered %d evals, want 2", n)
+	}
+	// The tail was truncated on disk.
+	after, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(after) >= len(data)-10 {
+		t.Fatalf("torn tail not truncated: %d bytes", len(after))
+	}
+}

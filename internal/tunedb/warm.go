@@ -1,6 +1,7 @@
 package tunedb
 
 import (
+	"encoding/json"
 	"math"
 
 	"autotune/internal/machine"
@@ -16,36 +17,40 @@ import (
 // never warm across machines; objective values measured (or modeled)
 // on one machine are meaningless on another.
 func (db *DB) WarmCache(key Key, ce *objective.CachingEvaluator) int {
-	db.mu.Lock()
-	entries := make([]evalEntry, 0, len(db.evals[key.String()]))
-	for _, e := range db.evals[key.String()] {
-		entries = append(entries, e)
-	}
-	db.mu.Unlock()
 	primed := 0
-	for _, e := range entries {
-		if ce.Prime(e.cfg, e.objs) {
+	db.ScanEvals(key.String(), func(_ string, cfg skeleton.Config, objs []float64) bool {
+		if ce.Prime(cfg, objs) {
 			primed++
 		}
-	}
+		return true
+	})
 	return primed
 }
 
 // NearestFront finds the stored front best matching key: an exact
 // match if present, otherwise the transferable front (same program,
 // objectives and space) whose machine signature is nearest to sig —
-// the cross-machine transfer path. The returned distance is 0 for an
-// exact match.
+// the cross-machine transfer path. Candidate fronts come from a
+// single-shard range scan: sharding is by program fingerprint, so
+// every machine's front for this program lives in one shard. The
+// returned distance is 0 for an exact match.
 func (db *DB) NearestFront(key Key, sig machine.Signature) (FrontRecord, float64, bool) {
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	if rec, ok := db.fronts[key.String()]; ok {
+	if rec, ok := db.Front(key); ok {
 		return rec, 0, true
 	}
 	best := FrontRecord{}
 	bestDist := math.Inf(1)
 	found := false
-	for _, rec := range db.fronts {
+	// All transferable fronts share key's program fingerprint — the
+	// first component of the canonical string — so a fingerprint-prefix
+	// scan covers every candidate.
+	it := db.st.Iter(nsFront + key.Fingerprint + "|")
+	defer it.Close()
+	for it.Next() {
+		var rec FrontRecord
+		if err := json.Unmarshal(it.Value(), &rec); err != nil {
+			continue
+		}
 		if !key.Transferable(rec.Key) {
 			continue
 		}
