@@ -175,6 +175,7 @@ func runSubmit(ctx context.Context, args []string, stdout, stderr io.Writer) err
 	force := fs.Bool("force", false, "run a fresh search even if an identical one exists")
 	wait := fs.Bool("wait", false, "poll until the job finishes")
 	poll := fs.Duration("poll", 200*time.Millisecond, "with -wait: polling interval")
+	retries := fs.Int("retries", 0, "retry shed submissions (429/503) with jittered backoff, honoring Retry-After (0 = fail fast)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -210,7 +211,15 @@ func runSubmit(ctx context.Context, args []string, stdout, stderr io.Writer) err
 		req.WarmStart = &f
 	}
 	c := &server.Client{BaseURL: *srv}
-	st, err := c.Submit(ctx, req)
+	var st server.JobStatus
+	var err error
+	if *retries > 0 {
+		// Safe to retry: identical requests share a dedup key, so a
+		// retry racing an accepted submission joins the existing job.
+		st, err = c.SubmitRetry(ctx, req, server.RetryPolicy{MaxAttempts: 1 + *retries})
+	} else {
+		st, err = c.Submit(ctx, req)
+	}
 	if err != nil {
 		return err
 	}

@@ -10,6 +10,7 @@
 //	tunedb -db DIR export KEYPREFIX   # write the stored front as JSON to stdout
 //	tunedb -db DIR stats              # storage-engine state per shard
 //	tunedb -db DIR scan PGPREFIX      # list keys matching a program prefix
+//	tunedb -db DIR fsck               # offline integrity check (exit 1 on corruption)
 //
 // KEYPREFIX matches any stored key whose canonical string starts with
 // it; an ambiguous prefix is an error, so a unique fingerprint prefix
@@ -32,7 +33,7 @@ func main() {
 	dir := flag.String("db", "", "tuning database directory (required)")
 	flag.Parse()
 	if *dir == "" || flag.NArg() == 0 {
-		fmt.Fprintln(os.Stderr, "usage: tunedb -db DIR {ls|show KEY|compact|merge OTHERDIR|export KEY|stats|scan PREFIX}")
+		fmt.Fprintln(os.Stderr, "usage: tunedb -db DIR {ls|show KEY|compact|merge OTHERDIR|export KEY|stats|scan PREFIX|fsck}")
 		os.Exit(2)
 	}
 	if err := run(*dir, flag.Arg(0), flag.Args()[1:], os.Stdout, os.Stderr); err != nil {
@@ -45,6 +46,12 @@ func main() {
 // separate from main so the CLI surface is testable without a process
 // boundary.
 func run(dir, cmd string, args []string, stdout, stderr io.Writer) error {
+	if cmd == "fsck" {
+		// Dispatched before Open on purpose: fsck must work on stores
+		// too corrupt to open (and must not repair anything — open
+		// truncates torn WAL tails; fsck only reports them).
+		return fsck(dir, stdout)
+	}
 	db, err := tunedb.Open(dir)
 	if err != nil {
 		return err
@@ -105,6 +112,23 @@ func run(dir, cmd string, args []string, stdout, stderr io.Writer) error {
 }
 
 // ls prints one row per stored key.
+// fsck verifies every shard's WAL frames, segment checksums, sort
+// order, bloom filters and sparse indexes offline, printing a
+// per-shard verdict. Corruption returns an error (exit 1); benign
+// crash leftovers (torn WAL tails, temp files) are warnings.
+func fsck(dir string, w io.Writer) error {
+	rep, err := tunedb.Fsck(dir)
+	if err != nil {
+		return err
+	}
+	fmt.Fprint(w, rep.String())
+	if !rep.OK() {
+		return fmt.Errorf("fsck: corruption detected in %s", dir)
+	}
+	fmt.Fprintln(w, "fsck: ok")
+	return nil
+}
+
 func ls(db *tunedb.DB, w io.Writer) {
 	keys := db.Keys()
 	if len(keys) == 0 {

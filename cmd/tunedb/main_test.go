@@ -1,6 +1,8 @@
 package main
 
 import (
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 
@@ -141,6 +143,34 @@ func TestScanSubcommand(t *testing.T) {
 	out = runCmd(t, dir, "scan", []string{"pgzzzz"}, false)
 	if !strings.Contains(out, "no keys match") {
 		t.Errorf("unmatched scan output: %q", out)
+	}
+}
+
+func TestFsckSubcommand(t *testing.T) {
+	dir := t.TempDir()
+	seedDB(t, dir)
+
+	out := runCmd(t, dir, "fsck", nil, false)
+	if !strings.Contains(out, "fsck: ok") || !strings.Contains(out, "shard 00: ok") {
+		t.Errorf("clean fsck output unexpected:\n%s", out)
+	}
+
+	// Flip one byte inside a segment's data region: fsck must detect it
+	// and exit nonzero.
+	segs, err := filepath.Glob(filepath.Join(dir, "store", "shard-*", "*.seg"))
+	if err != nil || len(segs) == 0 {
+		t.Fatalf("no segment files to corrupt: %v", err)
+	}
+	data, err := os.ReadFile(segs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[20] ^= 0xff
+	if err := os.WriteFile(segs[0], data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if msg := runCmd(t, dir, "fsck", nil, true); !strings.Contains(msg, "corruption detected") {
+		t.Errorf("fsck on corrupted store: %s", msg)
 	}
 }
 

@@ -1,0 +1,100 @@
+// Package chaos is the storage layer's filesystem seam: an FS
+// interface covering exactly the operations internal/store performs
+// (open/read/write/fsync/rename/truncate/remove/dir-sync), a
+// pass-through implementation over the real OS, and a deterministic
+// fault injector that fails scripted operations with scripted errors —
+// ENOSPC on the Nth write, a torn short append, an fsync that errors
+// once — so crash- and disk-fault-safety can be tested as ordinary,
+// seeded, repeatable unit tests instead of hoping a real disk
+// misbehaves.
+//
+// The production path pays one interface indirection and nothing else:
+// OS delegates every call to the os package unchanged.
+package chaos
+
+import (
+	"io"
+	"os"
+)
+
+// File is the subset of *os.File the storage engine uses. Reads go
+// through ReadAt (the store wraps files in io.SectionReaders), writes
+// are plain appends or streamed segment builds.
+type File interface {
+	io.Writer
+	io.ReaderAt
+	// Sync flushes the file to stable storage. A Sync error means the
+	// kernel may already have dropped the unflushed pages: the caller
+	// must never assume a later retry can still persist them.
+	Sync() error
+	Truncate(size int64) error
+	Close() error
+	Stat() (os.FileInfo, error)
+}
+
+// FS is the filesystem the storage engine runs on. All paths are
+// ordinary OS paths; implementations wrap the os package.
+type FS interface {
+	// OpenFile opens with the given flags (append for WALs, truncating
+	// create for segment builds).
+	OpenFile(name string, flag int, perm os.FileMode) (File, error)
+	// Open opens read-only.
+	Open(name string) (File, error)
+	ReadFile(name string) ([]byte, error)
+	WriteFile(name string, data []byte, perm os.FileMode) error
+	Rename(oldpath, newpath string) error
+	Remove(name string) error
+	Truncate(name string, size int64) error
+	MkdirAll(path string, perm os.FileMode) error
+	ReadDir(name string) ([]os.DirEntry, error)
+	// SyncDir fsyncs directory metadata so a completed rename or
+	// remove survives a crash.
+	SyncDir(dir string) error
+}
+
+// OS is the real filesystem: every call delegates to the os package.
+type OS struct{}
+
+func (OS) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	f, err := os.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+func (OS) Open(name string) (File, error) {
+	f, err := os.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+func (OS) ReadFile(name string) ([]byte, error) { return os.ReadFile(name) }
+
+func (OS) WriteFile(name string, data []byte, perm os.FileMode) error {
+	return os.WriteFile(name, data, perm)
+}
+
+func (OS) Rename(oldpath, newpath string) error { return os.Rename(oldpath, newpath) }
+
+func (OS) Remove(name string) error { return os.Remove(name) }
+
+func (OS) Truncate(name string, size int64) error { return os.Truncate(name, size) }
+
+func (OS) MkdirAll(path string, perm os.FileMode) error { return os.MkdirAll(path, perm) }
+
+func (OS) ReadDir(name string) ([]os.DirEntry, error) { return os.ReadDir(name) }
+
+func (OS) SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}

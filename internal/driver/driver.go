@@ -527,7 +527,11 @@ func attachDB(opt *Options, fingerprint string, space skeleton.Space, eval objec
 	var journalMu sync.Mutex
 	var journalErr error
 	ce.SetObserver(func(cfg skeleton.Config, objs []float64) {
-		if err := db.PutEval(key, cfg, objs); err != nil {
+		if err := db.PutEval(key, cfg, objs); err != nil && !tunedb.IsReadOnly(err) {
+			// A read-only database (degraded after a disk fault) loses
+			// only persistence, not correctness: the search keeps its
+			// in-memory cache and the server surfaces the degradation
+			// through health. Any other journaling error fails the run.
 			journalMu.Lock()
 			if journalErr == nil {
 				journalErr = err
@@ -563,7 +567,10 @@ func attachDB(opt *Options, fingerprint string, space skeleton.Space, eval objec
 				Objectives: append([]float64(nil), p.Objectives...),
 			})
 		}
-		return db.PutFront(rec)
+		if err := db.PutFront(rec); err != nil && !tunedb.IsReadOnly(err) {
+			return err
+		}
+		return nil
 	}
 }
 

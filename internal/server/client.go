@@ -6,7 +6,9 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
+	"strconv"
 	"strings"
 	"time"
 )
@@ -35,6 +37,9 @@ func (c *Client) url(path string) string {
 type apiStatusError struct {
 	Code int
 	Msg  string
+	// RetryAfter is the server's Retry-After hint (zero when absent);
+	// shed submissions (429/503) carry one.
+	RetryAfter time.Duration
 }
 
 func (e *apiStatusError) Error() string {
@@ -46,6 +51,15 @@ func (e *apiStatusError) Error() string {
 func StatusCode(err error) int {
 	if se, ok := err.(*apiStatusError); ok {
 		return se.Code
+	}
+	return 0
+}
+
+// RetryAfter extracts the server's Retry-After hint from a shed
+// submission's error (0 when err carries none).
+func RetryAfter(err error) time.Duration {
+	if se, ok := err.(*apiStatusError); ok {
+		return se.RetryAfter
 	}
 	return 0
 }
@@ -64,7 +78,13 @@ func decode(resp *http.Response, v interface{}) error {
 		if json.Unmarshal(body, &ae) == nil && ae.Error != "" {
 			msg = ae.Error
 		}
-		return &apiStatusError{Code: resp.StatusCode, Msg: msg}
+		se := &apiStatusError{Code: resp.StatusCode, Msg: msg}
+		if ra := resp.Header.Get("Retry-After"); ra != "" {
+			if secs, err := strconv.Atoi(ra); err == nil && secs > 0 {
+				se.RetryAfter = time.Duration(secs) * time.Second
+			}
+		}
+		return se
 	}
 	if v == nil {
 		return nil
@@ -196,6 +216,111 @@ func (c *Client) Metrics(ctx context.Context) (string, error) {
 		return "", &apiStatusError{Code: resp.StatusCode, Msg: strings.TrimSpace(string(body))}
 	}
 	return string(body), nil
+}
+
+// RetryPolicy paces SubmitRetry. The zero value gets sensible
+// defaults.
+type RetryPolicy struct {
+	// MaxAttempts bounds total submission attempts (default 5).
+	MaxAttempts int
+	// BaseDelay is the first backoff step (default 100ms); each retry
+	// doubles it, jittered over [0.5x, 1.5x), up to MaxDelay (default
+	// 5s). A server Retry-After hint overrides a shorter computed wait.
+	BaseDelay time.Duration
+	MaxDelay  time.Duration
+	// Rand supplies jitter (a fixed-seed source in tests; a shared
+	// default otherwise).
+	Rand *rand.Rand
+	// Sleep replaces the real clock in tests.
+	Sleep func(context.Context, time.Duration) error
+}
+
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	if p.MaxAttempts <= 0 {
+		p.MaxAttempts = 5
+	}
+	if p.BaseDelay <= 0 {
+		p.BaseDelay = 100 * time.Millisecond
+	}
+	if p.MaxDelay <= 0 {
+		p.MaxDelay = 5 * time.Second
+	}
+	if p.Sleep == nil {
+		p.Sleep = func(ctx context.Context, d time.Duration) error {
+			t := time.NewTimer(d)
+			defer t.Stop()
+			select {
+			case <-ctx.Done():
+				return ctx.Err()
+			case <-t.C:
+				return nil
+			}
+		}
+	}
+	return p
+}
+
+// retryableSubmit reports whether a Submit failure is worth retrying:
+// backpressure (429), unavailability (503) or a transport error (the
+// server may be restarting). 4xx validation errors are permanent.
+func retryableSubmit(err error) bool {
+	switch StatusCode(err) {
+	case http.StatusTooManyRequests, http.StatusServiceUnavailable:
+		return true
+	case 0:
+		return true // transport error, no HTTP status
+	default:
+		return false
+	}
+}
+
+// SubmitRetry posts a job, retrying shed submissions (429 quota, 503
+// draining/degraded) and transport failures with jittered exponential
+// backoff. A server Retry-After hint extends any shorter computed
+// wait. Retries are idempotent: identical requests map to the same
+// dedup key server-side, so a retry that crosses an accepted-but-
+// unanswered submission joins the existing job instead of duplicating
+// it.
+func (c *Client) SubmitRetry(ctx context.Context, req *JobRequest, pol RetryPolicy) (JobStatus, error) {
+	pol = pol.withDefaults()
+	delay := pol.BaseDelay
+	var lastErr error
+	for attempt := 0; attempt < pol.MaxAttempts; attempt++ {
+		if attempt > 0 {
+			wait := jitter(delay, pol.Rand)
+			if ra := RetryAfter(lastErr); ra > wait {
+				wait = ra
+			}
+			if err := pol.Sleep(ctx, wait); err != nil {
+				return JobStatus{}, lastErr
+			}
+			delay *= 2
+			if delay > pol.MaxDelay {
+				delay = pol.MaxDelay
+			}
+		}
+		st, err := c.Submit(ctx, req)
+		if err == nil {
+			return st, nil
+		}
+		if !retryableSubmit(err) || ctx.Err() != nil {
+			return JobStatus{}, err
+		}
+		lastErr = err
+	}
+	return JobStatus{}, lastErr
+}
+
+// jitter spreads d over [0.5x, 1.5x) so synchronized clients do not
+// retry in lockstep.
+func jitter(d time.Duration, rng *rand.Rand) time.Duration {
+	var f float64
+	if rng != nil {
+		f = rng.Float64()
+	} else {
+		f = rand.Float64()
+	}
+	return d/2 + time.Duration(f*float64(d))
 }
 
 // Wait polls a job until it reaches a terminal state, the context

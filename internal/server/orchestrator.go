@@ -13,7 +13,9 @@ import (
 	"time"
 
 	"autotune"
+	"autotune/internal/chaos"
 	"autotune/internal/resilience"
+	"autotune/internal/tunedb"
 )
 
 // Config tunes the orchestrator.
@@ -33,6 +35,23 @@ type Config struct {
 	// NoWarmStart disables the shared-database warm start that
 	// otherwise lets every completed job accelerate future ones.
 	NoWarmStart bool
+	// SpillDir receives checkpoint journals started while the tuning
+	// database is degraded/read-only (default StateDir/spill): the
+	// usual checkpoint directory may sit on the same failing volume, so
+	// drains route new journals to a separately configurable path.
+	SpillDir string
+	// RecoverInterval is how often a degraded database is probed for
+	// recovery (default 5s). Zero keeps the default; negative disables
+	// probing.
+	RecoverInterval time.Duration
+	// RetryAfter is the backoff hint attached (as a Retry-After header
+	// by the HTTP layer) to shed submissions — quota, draining or
+	// degraded (default 10s).
+	RetryAfter time.Duration
+
+	// DBFS, when set, opens the tuning database over this filesystem
+	// (chaos tests inject faults here); nil means the real OS.
+	DBFS chaos.FS
 
 	// EvalHook, when set, fires synchronously after every fresh
 	// evaluation of every job, before it is counted. The in-process
@@ -51,6 +70,12 @@ func (c Config) withDefaults() Config {
 	if c.MaxRunningPerTenant <= 0 {
 		c.MaxRunningPerTenant = c.Workers
 	}
+	if c.RecoverInterval == 0 {
+		c.RecoverInterval = 5 * time.Second
+	}
+	if c.RetryAfter <= 0 {
+		c.RetryAfter = 10 * time.Second
+	}
 	return c
 }
 
@@ -63,6 +88,10 @@ var (
 	// ErrDraining rejects submissions while the server is shutting
 	// down (HTTP 503).
 	ErrDraining = fmt.Errorf("server: draining, not accepting jobs")
+	// ErrDegraded rejects submissions while the tuning database is
+	// read-only after a disk fault (HTTP 503): reads and running jobs
+	// continue, new work is shed until recovery.
+	ErrDegraded = fmt.Errorf("server: degraded (store read-only), not accepting jobs")
 	// ErrNotFound marks an unknown job ID (HTTP 404).
 	ErrNotFound = fmt.Errorf("server: no such job")
 )
@@ -83,11 +112,15 @@ type job struct {
 // per-tenant admission control, request deduplication and durable
 // state. All methods are safe for concurrent use.
 type Orchestrator struct {
-	cfg     Config
-	db      *autotune.TuningDB
-	jobsDir string
-	ckptDir string
-	start   time.Time
+	cfg      Config
+	db       *autotune.TuningDB
+	jobsDir  string
+	ckptDir  string
+	spillDir string
+	start    time.Time
+
+	proberStop chan struct{}
+	proberWg   sync.WaitGroup
 
 	mu       sync.Mutex
 	cond     *sync.Cond
@@ -106,6 +139,11 @@ type Orchestrator struct {
 	dedupHits   atomic.Int64
 	quotaDenied atomic.Int64
 	evaluations atomic.Int64
+
+	// shed counters by reason, for tuned_jobs_shed_total
+	shedQuota    atomic.Int64
+	shedDraining atomic.Int64
+	shedDegraded atomic.Int64
 }
 
 // NewOrchestrator opens (or re-opens) the orchestrator over StateDir:
@@ -119,24 +157,30 @@ func NewOrchestrator(cfg Config) (*Orchestrator, error) {
 	cfg = cfg.withDefaults()
 	jobsDir := filepath.Join(cfg.StateDir, "jobs")
 	ckptDir := filepath.Join(cfg.StateDir, "checkpoints")
-	for _, d := range []string{jobsDir, ckptDir} {
+	spillDir := cfg.SpillDir
+	if spillDir == "" {
+		spillDir = filepath.Join(cfg.StateDir, "spill")
+	}
+	for _, d := range []string{jobsDir, ckptDir, spillDir} {
 		if err := os.MkdirAll(d, 0o755); err != nil {
 			return nil, fmt.Errorf("server: %w", err)
 		}
 	}
-	db, err := autotune.OpenDB(filepath.Join(cfg.StateDir, "tunedb"))
+	db, err := tunedb.OpenFS(filepath.Join(cfg.StateDir, "tunedb"), cfg.DBFS)
 	if err != nil {
 		return nil, err
 	}
 	o := &Orchestrator{
-		cfg:     cfg,
-		db:      db,
-		jobsDir: jobsDir,
-		ckptDir: ckptDir,
-		start:   time.Now(),
-		jobs:    map[string]*job{},
-		byDedup: map[string]*job{},
-		running: map[string]int{},
+		cfg:        cfg,
+		db:         db,
+		jobsDir:    jobsDir,
+		ckptDir:    ckptDir,
+		spillDir:   spillDir,
+		start:      time.Now(),
+		proberStop: make(chan struct{}),
+		jobs:       map[string]*job{},
+		byDedup:    map[string]*job{},
+		running:    map[string]int{},
 	}
 	o.cond = sync.NewCond(&o.mu)
 	if err := o.reload(); err != nil {
@@ -147,7 +191,46 @@ func NewOrchestrator(cfg Config) (*Orchestrator, error) {
 		o.wg.Add(1)
 		go o.worker()
 	}
+	if cfg.RecoverInterval > 0 {
+		o.proberWg.Add(1)
+		go o.recoveryProber(cfg.RecoverInterval)
+	}
 	return o, nil
+}
+
+// recoveryProber periodically probes a degraded database for recovery:
+// once the underlying fault clears (space freed, device back), the
+// store returns to writable service and /healthz to "ok" without a
+// restart.
+func (o *Orchestrator) recoveryProber(every time.Duration) {
+	defer o.proberWg.Done()
+	tick := time.NewTicker(every)
+	defer tick.Stop()
+	for {
+		select {
+		case <-o.proberStop:
+			return
+		case <-tick.C:
+			if o.db.Health().ReadOnly {
+				o.db.Recover() // best-effort; stays degraded on error
+			}
+		}
+	}
+}
+
+// Degraded reports whether the tuning database is read-only after a
+// disk fault. Reads and running jobs continue; new submissions are
+// shed.
+func (o *Orchestrator) Degraded() bool { return o.db.Health().ReadOnly }
+
+// retryAfterSeconds is the Retry-After value (whole seconds, >= 1)
+// attached to shed submissions.
+func (o *Orchestrator) retryAfterSeconds() int {
+	s := int(o.cfg.RetryAfter / time.Second)
+	if s < 1 {
+		s = 1
+	}
+	return s
 }
 
 // DB exposes the shared tuning database (read-mostly: stats, tests).
@@ -230,6 +313,7 @@ func (o *Orchestrator) Submit(req *JobRequest, tenant string) (JobStatus, error)
 	o.mu.Lock()
 	defer o.mu.Unlock()
 	if o.draining {
+		o.shedDraining.Add(1)
 		return JobStatus{}, ErrDraining
 	}
 	o.submitted.Add(1)
@@ -241,6 +325,12 @@ func (o *Orchestrator) Submit(req *JobRequest, tenant string) (JobStatus, error)
 			return st, nil
 		}
 	}
+	// Degraded shedding comes after dedup: a dedup hit is a read of
+	// existing state and reads keep working on a read-only store.
+	if h := o.db.Health(); h.ReadOnly {
+		o.shedDegraded.Add(1)
+		return JobStatus{}, fmt.Errorf("%w: %s", ErrDegraded, h.Reason)
+	}
 	queued := 0
 	for _, j := range o.queue {
 		if j.rec.Tenant == tenant {
@@ -249,6 +339,7 @@ func (o *Orchestrator) Submit(req *JobRequest, tenant string) (JobStatus, error)
 	}
 	if queued >= o.cfg.MaxQueuedPerTenant {
 		o.quotaDenied.Add(1)
+		o.shedQuota.Add(1)
 		return JobStatus{}, fmt.Errorf("%w: tenant %q already has %d queued jobs (max %d)",
 			ErrQuota, tenant, queued, o.cfg.MaxQueuedPerTenant)
 	}
@@ -476,7 +567,16 @@ func (o *Orchestrator) tune(ctx context.Context, j *job) (*autotune.TuneResult, 
 	if req.checkpointable() {
 		ckpt := j.rec.Checkpoint
 		if ckpt == "" {
-			ckpt = filepath.Join(o.ckptDir, id+".ckpt")
+			// New journals started while the database is degraded go to
+			// the spill directory: the normal checkpoint dir may share
+			// the failing volume. The absolute path persists in the job
+			// record, so a restarted server resumes the journal wherever
+			// it landed.
+			dir := o.ckptDir
+			if o.db.Health().ReadOnly {
+				dir = o.spillDir
+			}
+			ckpt = filepath.Join(dir, id+".ckpt")
 		}
 		// Resume only from a journal holding a complete snapshot; a
 		// checkpoint cut short before the first generation restarts
@@ -515,6 +615,8 @@ func (o *Orchestrator) Drain() {
 	}
 	o.cond.Broadcast()
 	o.mu.Unlock()
+	close(o.proberStop)
+	o.proberWg.Wait()
 	o.wg.Wait()
 	o.db.Close()
 }
@@ -555,6 +657,11 @@ type Metrics struct {
 	DedupHitRate    float64
 	UptimeSeconds   float64
 	Draining        bool
+	// Shed counts rejected submissions by reason: "quota", "draining",
+	// "degraded".
+	Shed map[string]int64
+	// StoreReadOnly reports a degraded (read-only) tuning database.
+	StoreReadOnly bool
 }
 
 // Snapshot gathers the current metrics.
@@ -575,6 +682,12 @@ func (o *Orchestrator) Snapshot() Metrics {
 		Evaluations:     o.evaluations.Load(),
 		UptimeSeconds:   up,
 		Draining:        draining,
+		Shed: map[string]int64{
+			"quota":    o.shedQuota.Load(),
+			"draining": o.shedDraining.Load(),
+			"degraded": o.shedDegraded.Load(),
+		},
+		StoreReadOnly: o.db.Health().ReadOnly,
 	}
 	if up > 0 {
 		m.EvalsPerSec = float64(m.Evaluations) / up

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"strconv"
 	"time"
 
 	"autotune/internal/export"
@@ -25,8 +26,13 @@ import (
 //	                         the library's export for the same seed)
 //	GET  /v1/jobs/{id}/events  SSE progress stream
 //	POST /v1/drain           begin graceful drain → 202
-//	GET  /healthz            liveness ("ok" / "draining")
+//	GET  /healthz            liveness ("ok" / "degraded" / "draining")
 //	GET  /metrics            counters, Prometheus text format
+//
+// Degraded mode: when the tuning database turns read-only after a disk
+// fault, reads (status, fronts, events, lists) keep working, new
+// submissions are shed with 503 + Retry-After, and /healthz reports
+// "degraded" with the underlying reason until recovery.
 type Server struct {
 	orch *Orchestrator
 	mux  *http.ServeMux
@@ -73,13 +79,19 @@ func errStatus(err error) int {
 		return http.StatusBadRequest
 	case errors.Is(err, ErrQuota):
 		return http.StatusTooManyRequests
-	case errors.Is(err, ErrDraining):
+	case errors.Is(err, ErrDraining), errors.Is(err, ErrDegraded):
 		return http.StatusServiceUnavailable
 	case errors.Is(err, ErrNotFound):
 		return http.StatusNotFound
 	default:
 		return http.StatusInternalServerError
 	}
+}
+
+// retryable reports whether the client should back off and retry the
+// same request later; such responses carry a Retry-After header.
+func retryable(err error) bool {
+	return errors.Is(err, ErrQuota) || errors.Is(err, ErrDraining) || errors.Is(err, ErrDegraded)
 }
 
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
@@ -104,6 +116,12 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	req.Tenant = tenant
 	st, err := s.orch.Submit(req, tenant)
 	if err != nil {
+		if retryable(err) {
+			// Header before WriteHeader: backpressure-aware clients read
+			// it to pace resubmission (dedup keys make retries
+			// idempotent).
+			w.Header().Set("Retry-After", strconv.Itoa(s.orch.retryAfterSeconds()))
+		}
 		writeError(w, errStatus(err), err)
 		return
 	}
@@ -207,10 +225,16 @@ func (s *Server) handleDrain(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	status := "ok"
+	body := map[string]string{}
+	if h := s.orch.DB().Health(); h.ReadOnly {
+		status = "degraded"
+		body["reason"] = h.Reason
+	}
 	if s.orch.Draining() {
 		status = "draining"
 	}
-	writeJSON(w, http.StatusOK, map[string]string{"status": status})
+	body["status"] = status
+	writeJSON(w, http.StatusOK, body)
 }
 
 // handleMetrics renders the counters in the Prometheus text format.
@@ -232,6 +256,14 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		draining = 1
 	}
 	fmt.Fprintf(w, "tuned_draining %d\n", draining)
+	for _, reason := range []string{"degraded", "draining", "quota"} {
+		fmt.Fprintf(w, "tuned_jobs_shed_total{reason=%q} %d\n", reason, m.Shed[reason])
+	}
+	readOnly := 0
+	if m.StoreReadOnly {
+		readOnly = 1
+	}
+	fmt.Fprintf(w, "tuned_store_read_only %d\n", readOnly)
 }
 
 // shutdownGrace bounds how long in-flight HTTP requests may linger

@@ -1,8 +1,8 @@
 package store
 
 import (
+	"fmt"
 	"math/bits"
-	"os"
 	"path/filepath"
 )
 
@@ -79,8 +79,7 @@ func (sh *shard) compactRun(all bool) (bool, error) {
 	}
 	merged := newMergedIterator(streams, "", nil)
 	seqMin, seqMax := inputs[0].seqMin, inputs[len(inputs)-1].seqMax
-	opt := &sh.st.opt
-	_, err := writeSegment(sh.dir, seqMin, seqMax, iterSource{merged}, approx, opt.IndexInterval, opt.BloomBitsPerKey, opt.BloomHashes)
+	_, err := writeSegment(sh.dir, seqMin, seqMax, iterSource{merged}, approx, &sh.st.opt)
 	if err == nil {
 		err = merged.Err()
 	}
@@ -88,7 +87,7 @@ func (sh *shard) compactRun(all bool) (bool, error) {
 		sh.release(inputs)
 		return false, err
 	}
-	out, err := openSegment(filepath.Join(sh.dir, segName(seqMin, seqMax)))
+	out, err := openSegment(sh.st.fs, filepath.Join(sh.dir, segName(seqMin, seqMax)))
 	if err != nil {
 		sh.release(inputs)
 		return false, err
@@ -111,7 +110,7 @@ func (sh *shard) compactRun(all bool) (bool, error) {
 		// deterministic.
 		sh.mu.Unlock()
 		out.close()
-		os.Remove(out.path)
+		sh.st.fs.Remove(out.path)
 		sh.release(inputs)
 		return false, nil
 	}
@@ -125,7 +124,7 @@ func (sh *shard) compactRun(all bool) (bool, error) {
 	}
 	sh.mu.Unlock()
 	sh.release(inputs) // drops our refs; unlinks inputs nobody else holds
-	if err := fsyncDir(sh.dir); err != nil {
+	if err := sh.st.fs.SyncDir(sh.dir); err != nil {
 		return true, err
 	}
 	sh.st.gate("post-swap")
@@ -142,12 +141,19 @@ func (s iterSource) next() (string, []byte, bool, error) {
 	return s.it.Key(), s.it.Value(), true, nil
 }
 
-// maybeCompact runs background compaction until no run qualifies.
+// maybeCompact runs background compaction until no run qualifies. A
+// compaction fault degrades the store to read-only: partial outputs
+// are already cleaned up and no input was removed, so reads stay
+// correct, but the write path has proven untrustworthy.
 func (sh *shard) maybeCompact() {
 	for {
+		if sh.st.writable() != nil {
+			return
+		}
 		did, err := sh.compactRun(false)
 		if err != nil {
 			sh.st.noteCompactErr(err)
+			sh.st.degrade(fmt.Errorf("shard %d compaction: %w", sh.id, err))
 			return
 		}
 		if !did {

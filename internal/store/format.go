@@ -25,7 +25,8 @@ import (
 	"fmt"
 	"hash/crc32"
 	"io"
-	"os"
+
+	"autotune/internal/chaos"
 )
 
 var crcTable = crc32.MakeTable(crc32.Castagnoli)
@@ -121,18 +122,4 @@ func readFrameAt(r io.Reader) (key string, val []byte, frameLen int, err error) 
 // lost (or a just-removed one resurrected) by a crash. Exported for
 // callers performing their own atomic rename protocols around a store
 // (tunedb's v1 migration renames a whole store directory into place).
-func SyncDir(dir string) error { return fsyncDir(dir) }
-
-// fsyncDir flushes directory metadata so a just-renamed file cannot be
-// lost (or a just-removed one resurrected) by a crash.
-func fsyncDir(dir string) error {
-	d, err := os.Open(dir)
-	if err != nil {
-		return err
-	}
-	err = d.Sync()
-	if cerr := d.Close(); err == nil {
-		err = cerr
-	}
-	return err
-}
+func SyncDir(dir string) error { return chaos.OS{}.SyncDir(dir) }

@@ -10,6 +10,8 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+
+	"autotune/internal/chaos"
 )
 
 // Segment file layout:
@@ -39,7 +41,7 @@ const (
 // segment is an open, immutable, sorted segment file.
 type segment struct {
 	path     string
-	f        *os.File
+	f        chaos.File
 	size     int64
 	dataEnd  int64
 	count    uint64
@@ -75,26 +77,28 @@ type kvSource interface {
 // file at dir/segName(seqMin,seqMax), going through a temp file, fsync
 // and rename so the final name only ever holds a complete segment. It
 // returns the number of records written.
-func writeSegment(dir string, seqMin, seqMax uint64, src kvSource, approxKeys, interval, bitsPerKey, hashes int) (uint64, error) {
+func writeSegment(dir string, seqMin, seqMax uint64, src kvSource, approxKeys int, opt *Options) (uint64, error) {
+	fs := opt.FS
+	interval := opt.IndexInterval
 	if interval < 1 {
 		interval = 1
 	}
 	final := filepath.Join(dir, segName(seqMin, seqMax))
 	tmp := final + tmpSuffix
-	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	f, err := fs.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
 	if err != nil {
 		return 0, fmt.Errorf("store: segment: %w", err)
 	}
 	w := bufio.NewWriterSize(f, 1<<16)
 	fail := func(err error) (uint64, error) {
 		f.Close()
-		os.Remove(tmp)
+		fs.Remove(tmp)
 		return 0, fmt.Errorf("store: segment: %w", err)
 	}
 	if _, err := w.WriteString(segMagic); err != nil {
 		return fail(err)
 	}
-	filter := newBloom(approxKeys, bitsPerKey, hashes)
+	filter := newBloom(approxKeys, opt.BloomBitsPerKey, opt.BloomHashes)
 	var index []indexEntry
 	var count uint64
 	off := int64(len(segMagic))
@@ -154,14 +158,14 @@ func writeSegment(dir string, seqMin, seqMax uint64, src kvSource, approxKeys, i
 		return fail(err)
 	}
 	if err := f.Close(); err != nil {
-		os.Remove(tmp)
+		fs.Remove(tmp)
 		return 0, fmt.Errorf("store: segment: %w", err)
 	}
-	if err := os.Rename(tmp, final); err != nil {
-		os.Remove(tmp)
+	if err := fs.Rename(tmp, final); err != nil {
+		fs.Remove(tmp)
 		return 0, fmt.Errorf("store: segment: %w", err)
 	}
-	if err := fsyncDir(dir); err != nil {
+	if err := fs.SyncDir(dir); err != nil {
 		return 0, fmt.Errorf("store: segment: %w", err)
 	}
 	return count, nil
@@ -169,8 +173,8 @@ func writeSegment(dir string, seqMin, seqMax uint64, src kvSource, approxKeys, i
 
 // openSegment validates and opens one segment file, loading its sparse
 // index and bloom filter into memory; the data section stays on disk.
-func openSegment(path string) (*segment, error) {
-	f, err := os.Open(path)
+func openSegment(fs chaos.FS, path string) (*segment, error) {
+	f, err := fs.Open(path)
 	if err != nil {
 		return nil, fmt.Errorf("store: %w", err)
 	}
@@ -182,7 +186,7 @@ func openSegment(path string) (*segment, error) {
 	return s, nil
 }
 
-func loadSegment(path string, f *os.File) (*segment, error) {
+func loadSegment(path string, f chaos.File) (*segment, error) {
 	st, err := f.Stat()
 	if err != nil {
 		return nil, err

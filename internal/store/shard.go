@@ -2,12 +2,13 @@ package store
 
 import (
 	"fmt"
-	"os"
 	"path/filepath"
 	"sort"
 	"strings"
 	"sync"
 	"sync/atomic"
+
+	"autotune/internal/chaos"
 )
 
 // shard is one independent slice of the store: its own directory, WAL,
@@ -18,7 +19,7 @@ type shard struct {
 	dir string
 
 	mu       sync.RWMutex
-	wal      *os.File
+	wal      chaos.File
 	walBytes int64
 	walDirty bool // unsynced WAL appends pending
 	mem      map[string][]byte
@@ -26,6 +27,14 @@ type shard struct {
 	segs     []*segment // recency order: oldest first
 	nextSeq  uint64
 	closed   bool
+
+	// failErr marks the shard failed/read-only after a WAL append,
+	// fsync or truncate fault: the WAL file can no longer be trusted to
+	// hold what a retry would assume (a failed fsync may already have
+	// dropped the pages), so the shard takes no further writes until
+	// recoverLocked rebuilds its WAL from the memtable. Reads keep
+	// working: the memtable holds a superset of the suspect WAL.
+	failErr error
 
 	// compactMu serializes compactions on this shard (background and
 	// explicit); it is always acquired before mu.
@@ -44,11 +53,12 @@ type shard struct {
 // the rest are ordered by recency, and the WAL replays into a fresh
 // memtable with any torn tail truncated.
 func openShard(st *Store, id int, dir string) (*shard, error) {
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	fs := st.fs
+	if err := fs.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("store: %w", err)
 	}
 	sh := &shard{st: st, id: id, dir: dir, mem: map[string][]byte{}}
-	entries, err := os.ReadDir(dir)
+	entries, err := fs.ReadDir(dir)
 	if err != nil {
 		return nil, fmt.Errorf("store: %w", err)
 	}
@@ -57,12 +67,12 @@ func openShard(st *Store, id int, dir string) (*shard, error) {
 		name := e.Name()
 		switch {
 		case strings.HasSuffix(name, tmpSuffix):
-			if err := os.Remove(filepath.Join(dir, name)); err != nil {
+			if err := fs.Remove(filepath.Join(dir, name)); err != nil {
 				return nil, fmt.Errorf("store: removing stale temp file: %w", err)
 			}
 			cleaned = true
 		case isSegmentFile(name):
-			seg, err := openSegment(filepath.Join(dir, name))
+			seg, err := openSegment(fs, filepath.Join(dir, name))
 			if err != nil {
 				return nil, err
 			}
@@ -82,7 +92,7 @@ func openShard(st *Store, id int, dir string) (*shard, error) {
 		}
 		if superseded {
 			s.close()
-			if err := os.Remove(s.path); err != nil {
+			if err := fs.Remove(s.path); err != nil {
 				return nil, fmt.Errorf("store: removing superseded segment: %w", err)
 			}
 			cleaned = true
@@ -92,7 +102,7 @@ func openShard(st *Store, id int, dir string) (*shard, error) {
 	}
 	sh.segs = live
 	if cleaned {
-		if err := fsyncDir(dir); err != nil {
+		if err := fs.SyncDir(dir); err != nil {
 			return nil, fmt.Errorf("store: %w", err)
 		}
 	}
@@ -109,29 +119,53 @@ func openShard(st *Store, id int, dir string) (*shard, error) {
 		}
 	}
 	walPath := filepath.Join(dir, walName)
-	if sh.walBytes, err = replayWAL(walPath, sh.mem); err != nil {
+	if sh.walBytes, err = replayWAL(fs, walPath, sh.mem); err != nil {
 		return nil, err
 	}
 	for k, v := range sh.mem {
 		sh.memBytes += len(k) + len(v) + 16
 	}
-	if sh.wal, err = openWALAppend(walPath); err != nil {
+	if sh.wal, err = openWALAppend(fs, walPath); err != nil {
 		return nil, err
 	}
 	return sh, nil
 }
 
+// fail marks the shard read-only; the first cause wins. Callers hold
+// sh.mu.
+func (sh *shard) fail(cause error) {
+	if sh.failErr == nil {
+		sh.failErr = cause
+	}
+}
+
+func (sh *shard) failedErr() error {
+	return fmt.Errorf("%w (shard %d failed: %v)", ErrReadOnly, sh.id, sh.failErr)
+}
+
 // put appends to the WAL and memtable, flushing when the memtable
 // exceeds the configured size. It reports whether a flush happened so
 // the store can schedule background compaction outside the lock.
+//
+// Fault handling follows the acknowledgement invariant: a non-nil
+// error means the put did NOT take effect. A WAL append fault (maybe a
+// torn partial frame on disk) fails the shard and returns an error —
+// reopen truncates the torn tail so the key stays absent. A flush
+// fault after a successful append degrades the whole store but returns
+// nil: the put itself is in WAL and memtable, so acknowledging it is
+// honest.
 func (sh *shard) put(key string, val []byte) (flushed bool, err error) {
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
 	if sh.closed {
 		return false, errClosed
 	}
+	if sh.failErr != nil {
+		return false, sh.failedErr()
+	}
 	frame := appendFrame(nil, key, val)
 	if _, err := sh.wal.Write(frame); err != nil {
+		sh.fail(fmt.Errorf("wal append: %w", err))
 		return false, fmt.Errorf("store: wal: %w", err)
 	}
 	sh.walBytes += int64(len(frame))
@@ -143,7 +177,10 @@ func (sh *shard) put(key string, val []byte) (flushed bool, err error) {
 	sh.memBytes += len(key) + len(val) + 16
 	if sh.memBytes >= sh.st.opt.MemtableBytes {
 		if err := sh.flushLocked(); err != nil {
-			return false, err
+			// The put succeeded (WAL + memtable); only the background
+			// reorganization failed, and flushLocked already recorded
+			// the degradation. Acknowledge the put.
+			return false, nil
 		}
 		return true, nil
 	}
@@ -185,7 +222,16 @@ func (sh *shard) get(key string) ([]byte, bool, error) {
 // Callers hold sh.mu. Durability order: the segment reaches its final
 // name (file and directory both fsynced) before the WAL shrinks, so a
 // crash at any point leaves the data in at least one of the two.
+//
+// A fault while building the segment leaves memtable and WAL intact
+// (the partial temp file is removed) and degrades the store to
+// read-only. A fault truncating the WAL after the segment landed fails
+// the shard: the data is safe in the segment, but the WAL handle can
+// no longer be trusted for further appends.
 func (sh *shard) flushLocked() error {
+	if sh.failErr != nil {
+		return sh.failedErr()
+	}
 	if len(sh.mem) == 0 {
 		return nil
 	}
@@ -196,12 +242,13 @@ func (sh *shard) flushLocked() error {
 	sort.Strings(keys)
 	seq := sh.nextSeq
 	src := &memSource{mem: sh.mem, keys: keys}
-	opt := &sh.st.opt
-	if _, err := writeSegment(sh.dir, seq, seq, src, len(keys), opt.IndexInterval, opt.BloomBitsPerKey, opt.BloomHashes); err != nil {
+	if _, err := writeSegment(sh.dir, seq, seq, src, len(keys), &sh.st.opt); err != nil {
+		sh.st.degrade(fmt.Errorf("shard %d flush: %w", sh.id, err))
 		return err
 	}
-	seg, err := openSegment(filepath.Join(sh.dir, segName(seq, seq)))
+	seg, err := openSegment(sh.st.fs, filepath.Join(sh.dir, segName(seq, seq)))
 	if err != nil {
+		sh.st.degrade(fmt.Errorf("shard %d flush: %w", sh.id, err))
 		return err
 	}
 	sh.nextSeq++
@@ -209,6 +256,7 @@ func (sh *shard) flushLocked() error {
 	sh.mem = map[string][]byte{}
 	sh.memBytes = 0
 	if err := sh.wal.Truncate(0); err != nil {
+		sh.fail(fmt.Errorf("wal truncate after flush: %w", err))
 		return fmt.Errorf("store: wal: %w", err)
 	}
 	sh.walBytes = 0
@@ -233,20 +281,76 @@ func (m *memSource) next() (string, []byte, bool, error) {
 
 // sync fsyncs the WAL, making every buffered put durable. Clean shards
 // (no appends since the last sync or flush) skip the fsync, so a
-// store-wide Sync costs one fsync per dirty shard, not per shard.
+// store-wide Sync costs one fsync per dirty shard, not per shard. A
+// failed fsync fails the shard — the pages the fsync was meant to
+// persist may already be gone from the kernel, so walDirty must NOT
+// clear and no later fsync may pretend to cover them.
 func (sh *shard) sync() error {
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
 	if sh.closed {
 		return errClosed
 	}
+	if sh.failErr != nil {
+		return sh.failedErr()
+	}
 	if !sh.walDirty {
 		return nil
 	}
 	if err := sh.wal.Sync(); err != nil {
+		sh.fail(fmt.Errorf("wal fsync: %w", err))
 		return fmt.Errorf("store: wal: %w", err)
 	}
 	sh.walDirty = false
+	return nil
+}
+
+// recoverLocked returns a failed shard to service. The memtable holds
+// a superset of whatever the suspect WAL contains, so it is flushed to
+// a fresh fsynced segment and the WAL is recreated empty through a new
+// handle — nothing afterwards depends on a file a failed fsync may not
+// have persisted. Callers hold sh.mu. No-op on healthy shards.
+func (sh *shard) recoverLocked() error {
+	if sh.closed {
+		return errClosed
+	}
+	if sh.failErr == nil {
+		return nil
+	}
+	if len(sh.mem) > 0 {
+		keys := make([]string, 0, len(sh.mem))
+		for k := range sh.mem {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		seq := sh.nextSeq
+		src := &memSource{mem: sh.mem, keys: keys}
+		if _, err := writeSegment(sh.dir, seq, seq, src, len(keys), &sh.st.opt); err != nil {
+			return fmt.Errorf("store: recovering shard %d: %w", sh.id, err)
+		}
+		seg, err := openSegment(sh.st.fs, filepath.Join(sh.dir, segName(seq, seq)))
+		if err != nil {
+			return fmt.Errorf("store: recovering shard %d: %w", sh.id, err)
+		}
+		sh.nextSeq++
+		sh.segs = append(sh.segs, seg)
+		sh.mem = map[string][]byte{}
+		sh.memBytes = 0
+	}
+	sh.wal.Close()
+	wal, err := recreateWAL(sh.st.fs, filepath.Join(sh.dir, walName))
+	if err != nil {
+		// The old handle is closed; reopen in append mode so the shard
+		// stays readable and a later Recover can retry.
+		if reopened, rerr := openWALAppend(sh.st.fs, filepath.Join(sh.dir, walName)); rerr == nil {
+			sh.wal = reopened
+		}
+		return fmt.Errorf("store: recovering shard %d: %w", sh.id, err)
+	}
+	sh.wal = wal
+	sh.walBytes = 0
+	sh.walDirty = false
+	sh.failErr = nil
 	return nil
 }
 
@@ -285,22 +389,31 @@ func (sh *shard) release(segs []*segment) {
 		s.refs--
 		if s.dead && s.refs == 0 {
 			s.close()
-			os.Remove(s.path)
+			sh.st.fs.Remove(s.path)
 		}
 	}
 }
 
 // close flushes the memtable (so the next open replays no WAL) and
 // closes every file.
-func (sh *shard) close() error {
+func (sh *shard) close() error { return sh.closeSkippingFlush(false) }
+
+// closeSkippingFlush closes the shard; when the store is degraded (or
+// the shard itself failed) the final flush and fsync are skipped —
+// every acknowledged write is already in WAL or segment, and writing
+// through a handle a fault made untrustworthy could do harm.
+func (sh *shard) closeSkippingFlush(degraded bool) error {
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
 	if sh.closed {
 		return nil
 	}
-	err := sh.flushLocked()
-	if serr := sh.wal.Sync(); err == nil {
-		err = serr
+	var err error
+	if !degraded && sh.failErr == nil {
+		err = sh.flushLocked()
+		if serr := sh.wal.Sync(); err == nil {
+			err = serr
+		}
 	}
 	if cerr := sh.wal.Close(); err == nil {
 		err = cerr

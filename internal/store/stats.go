@@ -18,6 +18,9 @@ type ShardStats struct {
 	// segment; FalsePositives passed the filter but missed.
 	BloomFiltered       uint64 `json:"bloom_filtered"`
 	BloomFalsePositives uint64 `json:"bloom_false_positives"`
+	// Failed carries the fault that made the shard read-only (empty on
+	// healthy shards).
+	Failed string `json:"failed,omitempty"`
 }
 
 // Stats aggregates ShardStats.
@@ -30,6 +33,11 @@ type Stats struct {
 	LiveKeys        uint64 `json:"live_keys"`
 	DeadRecords     uint64 `json:"dead_records"`
 	DiskBytes       int64  `json:"disk_bytes"`
+
+	// ReadOnly and DegradedReason mirror Health: set when the store (or
+	// any shard) refuses writes after an I/O fault.
+	ReadOnly       bool   `json:"read_only,omitempty"`
+	DegradedReason string `json:"degraded_reason,omitempty"`
 }
 
 // MeasuredFPR returns the observed bloom false-positive rate across
@@ -66,6 +74,9 @@ func (st *Store) Stats() (Stats, error) {
 		ss.MemtableEntries = len(memKeys)
 		sh.mu.RLock()
 		ss.WALBytes = sh.walBytes
+		if sh.failErr != nil {
+			ss.Failed = sh.failErr.Error()
+		}
 		sh.mu.RUnlock()
 		ss.DiskBytes += ss.WALBytes
 		it := newMergedIterator(streams, "", func() { sh.release(segs) })
@@ -88,5 +99,8 @@ func (st *Store) Stats() (Stats, error) {
 		out.DeadRecords += ss.DeadRecords
 		out.DiskBytes += ss.DiskBytes
 	}
+	h := st.Health()
+	out.ReadOnly = h.ReadOnly
+	out.DegradedReason = h.Reason
 	return out, nil
 }

@@ -2,14 +2,24 @@ package store
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"hash/fnv"
 	"os"
 	"path/filepath"
 	"sync"
+
+	"autotune/internal/chaos"
 )
 
 var errClosed = fmt.Errorf("store: store is closed")
+
+// ErrReadOnly marks writes rejected because the store (or the target
+// shard) has degraded to read-only after an I/O failure. Match with
+// errors.Is; the wrapped message names the original fault. A degraded
+// store keeps serving reads and can be returned to service by Recover
+// (or by a clean reopen) once the underlying fault is gone.
+var ErrReadOnly = errors.New("store: read-only")
 
 // Options tunes an open store. The zero value gets sensible defaults.
 type Options struct {
@@ -38,6 +48,10 @@ type Options struct {
 	// NoBackgroundCompaction disables the automatic post-flush merge;
 	// Compact still works. Benchmarks and deterministic tests use it.
 	NoBackgroundCompaction bool
+	// FS is the filesystem the store runs on (default the real OS).
+	// Chaos tests inject a scripted chaos.Injector here; production
+	// never sets it.
+	FS chaos.FS
 
 	// compactGate, when set (tests only), is called at named stages of
 	// a compaction so crash and concurrency scenarios can be staged.
@@ -70,6 +84,9 @@ func (o Options) withDefaults() Options {
 	if o.CompactFanin < 2 {
 		o.CompactFanin = 4
 	}
+	if o.FS == nil {
+		o.FS = chaos.OS{}
+	}
 	return o
 }
 
@@ -86,11 +103,19 @@ const metaName = "meta.json"
 type Store struct {
 	dir    string
 	opt    Options
+	fs     chaos.FS
 	shards []*shard
 
 	mu     sync.Mutex
 	closed bool
 	wg     sync.WaitGroup
+
+	// degradedErr, when set, puts the whole store in read-only mode:
+	// an I/O failure during a flush or compaction means newly written
+	// segments cannot be trusted to land, so writes are refused until
+	// Recover clears the fault. Reads keep working throughout.
+	degradedMu  sync.Mutex
+	degradedErr error
 
 	compactErrMu sync.Mutex
 	compactErr   error
@@ -99,11 +124,12 @@ type Store struct {
 // Open opens (creating if necessary) the store at dir.
 func Open(dir string, opt Options) (*Store, error) {
 	opt = opt.withDefaults()
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	fs := opt.FS
+	if err := fs.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("store: %w", err)
 	}
 	metaPath := filepath.Join(dir, metaName)
-	if data, err := os.ReadFile(metaPath); err == nil {
+	if data, err := fs.ReadFile(metaPath); err == nil {
 		var m meta
 		if err := json.Unmarshal(data, &m); err != nil {
 			return nil, fmt.Errorf("store: reading %s: %w", metaName, err)
@@ -115,25 +141,25 @@ func Open(dir string, opt Options) (*Store, error) {
 			return nil, fmt.Errorf("store: %s names %d shards", metaName, m.Shards)
 		}
 		opt.Shards = m.Shards
-	} else if os.IsNotExist(err) {
+	} else if errors.Is(err, os.ErrNotExist) {
 		data, err := json.Marshal(meta{Version: 1, Shards: opt.Shards})
 		if err != nil {
 			return nil, fmt.Errorf("store: %w", err)
 		}
 		tmp := metaPath + tmpSuffix
-		if err := os.WriteFile(tmp, append(data, '\n'), 0o644); err != nil {
+		if err := fs.WriteFile(tmp, append(data, '\n'), 0o644); err != nil {
 			return nil, fmt.Errorf("store: %w", err)
 		}
-		if err := os.Rename(tmp, metaPath); err != nil {
+		if err := fs.Rename(tmp, metaPath); err != nil {
 			return nil, fmt.Errorf("store: %w", err)
 		}
-		if err := fsyncDir(dir); err != nil {
+		if err := fs.SyncDir(dir); err != nil {
 			return nil, fmt.Errorf("store: %w", err)
 		}
 	} else {
 		return nil, fmt.Errorf("store: %w", err)
 	}
-	st := &Store{dir: dir, opt: opt}
+	st := &Store{dir: dir, opt: opt, fs: fs}
 	for i := 0; i < opt.Shards; i++ {
 		sh, err := openShard(st, i, filepath.Join(dir, fmt.Sprintf("shard-%02d", i)))
 		if err != nil {
@@ -160,6 +186,29 @@ func (st *Store) gate(stage string) {
 	}
 }
 
+// degrade puts the whole store in read-only mode; the first cause
+// wins. It is called on flush and compaction failures, where a partial
+// segment may have been cleaned up but the shared invariant — every
+// acknowledged write is in WAL or segment — still holds, so serving
+// reads stays safe while writes must stop.
+func (st *Store) degrade(cause error) {
+	st.degradedMu.Lock()
+	if st.degradedErr == nil {
+		st.degradedErr = cause
+	}
+	st.degradedMu.Unlock()
+}
+
+// writable returns nil when store-level writes are admitted.
+func (st *Store) writable() error {
+	st.degradedMu.Lock()
+	defer st.degradedMu.Unlock()
+	if st.degradedErr != nil {
+		return fmt.Errorf("%w (degraded: %v)", ErrReadOnly, st.degradedErr)
+	}
+	return nil
+}
+
 func (st *Store) noteCompactErr(err error) {
 	st.compactErrMu.Lock()
 	if st.compactErr == nil {
@@ -179,8 +228,15 @@ func (st *Store) takeCompactErr() error {
 }
 
 // Put stores value under key, superseding any previous value. The
-// write is buffered in the OS (see Sync for durability).
+// write is buffered in the OS (see Sync for durability). An error
+// means the write did NOT take effect: the key is not stored and will
+// not reappear on reopen. Writes that fail at the disk degrade the
+// owning shard (WAL faults) or the whole store (flush faults) to
+// read-only; see Health and Recover.
 func (st *Store) Put(key string, value []byte) error {
+	if err := st.writable(); err != nil {
+		return err
+	}
 	sh := st.shardFor(key)
 	flushed, err := sh.put(key, value)
 	if err != nil {
@@ -189,7 +245,7 @@ func (st *Store) Put(key string, value []byte) error {
 	if flushed && !st.opt.NoBackgroundCompaction {
 		st.scheduleCompact(sh)
 	}
-	return st.takeCompactErr()
+	return nil
 }
 
 func (st *Store) scheduleCompact(sh *shard) {
@@ -205,7 +261,8 @@ func (st *Store) scheduleCompact(sh *shard) {
 	}()
 }
 
-// Get returns the newest value stored under key.
+// Get returns the newest value stored under key. Reads keep working on
+// degraded (read-only) stores and failed shards.
 func (st *Store) Get(key string) ([]byte, bool, error) {
 	return st.shardFor(key).get(key)
 }
@@ -236,8 +293,14 @@ func (st *Store) Iter(prefix string) *Iterator {
 	return newMergedIterator(streams, prefix, release)
 }
 
-// Sync makes every completed Put durable (fsyncs each shard WAL).
+// Sync makes every completed Put durable (fsyncs each shard WAL). A
+// failed fsync marks the shard failed/read-only: the kernel may have
+// dropped the dirty pages, so retrying the fsync as if it could still
+// persist them would silently lose data (the fsyncgate failure mode).
 func (st *Store) Sync() error {
+	if err := st.writable(); err != nil {
+		return err
+	}
 	for _, sh := range st.shards {
 		if err := sh.sync(); err != nil {
 			return err
@@ -253,6 +316,9 @@ func (st *Store) Flush() error {
 	st.mu.Unlock()
 	if closed {
 		return errClosed
+	}
+	if err := st.writable(); err != nil {
+		return err
 	}
 	for _, sh := range st.shards {
 		sh.mu.Lock()
@@ -275,14 +341,87 @@ func (st *Store) Compact() error {
 	}
 	for _, sh := range st.shards {
 		if _, err := sh.compactRun(true); err != nil {
+			st.degrade(err)
 			return err
 		}
 	}
 	return st.takeCompactErr()
 }
 
+// Health describes the store's degradation state.
+type Health struct {
+	// ReadOnly reports whether any write path has failed: the store
+	// serves reads but refuses (some or all) writes until Recover or a
+	// clean reopen.
+	ReadOnly bool `json:"read_only"`
+	// Reason is the first fault that caused the degradation.
+	Reason string `json:"reason,omitempty"`
+	// FailedShards lists shards whose WAL hit an append or fsync
+	// fault; writes hashing to them are refused.
+	FailedShards []int `json:"failed_shards,omitempty"`
+}
+
+// Health reports whether the store is fully writable, degraded
+// store-wide (flush/compaction fault) or degraded on specific shards
+// (WAL faults). Reads work in every state.
+func (st *Store) Health() Health {
+	var h Health
+	st.degradedMu.Lock()
+	if st.degradedErr != nil {
+		h.ReadOnly = true
+		h.Reason = st.degradedErr.Error()
+	}
+	st.degradedMu.Unlock()
+	for _, sh := range st.shards {
+		sh.mu.RLock()
+		failed := sh.failErr
+		sh.mu.RUnlock()
+		if failed != nil {
+			h.ReadOnly = true
+			h.FailedShards = append(h.FailedShards, sh.id)
+			if h.Reason == "" {
+				h.Reason = failed.Error()
+			}
+		}
+	}
+	return h
+}
+
+// Recover attempts to return a degraded store to writable service once
+// the underlying fault (a full disk, a flaky device) has cleared. For
+// every failed shard the memtable — which holds a superset of the
+// suspect WAL's records — is flushed to a fresh fsynced segment and
+// the WAL is recreated empty, so no acknowledged write depends on a
+// file a failed fsync may not have persisted. Store-level degradation
+// then clears and every memtable is flushed to prove the write path
+// works. On error the store stays (or returns to) read-only; Recover
+// may be retried.
+func (st *Store) Recover() error {
+	st.mu.Lock()
+	if st.closed {
+		st.mu.Unlock()
+		return errClosed
+	}
+	st.mu.Unlock()
+	for _, sh := range st.shards {
+		sh.mu.Lock()
+		err := sh.recoverLocked()
+		sh.mu.Unlock()
+		if err != nil {
+			return err
+		}
+	}
+	st.degradedMu.Lock()
+	st.degradedErr = nil
+	st.degradedMu.Unlock()
+	return st.Flush()
+}
+
 // Close waits for background compaction, flushes memtables and closes
-// every file. The store must not be used afterwards.
+// every file. The store must not be used afterwards. Degraded stores
+// and failed shards skip the flush — their WAL and segments already
+// hold every acknowledged write — so Close never writes through a
+// handle a fault made untrustworthy.
 func (st *Store) Close() error {
 	st.mu.Lock()
 	if st.closed {
@@ -293,8 +432,9 @@ func (st *Store) Close() error {
 	st.mu.Unlock()
 	st.wg.Wait()
 	var err error
+	degraded := st.writable() != nil
 	for _, sh := range st.shards {
-		if cerr := sh.close(); err == nil {
+		if cerr := sh.closeSkippingFlush(degraded); err == nil {
 			err = cerr
 		}
 	}

@@ -1,8 +1,11 @@
 package store
 
 import (
+	"errors"
 	"fmt"
 	"os"
+
+	"autotune/internal/chaos"
 )
 
 const walName = "wal.log"
@@ -12,9 +15,9 @@ const walName = "wal.log"
 // and truncating a torn tail in place. WAL frames are length-prefixed
 // with no resync marker, so the first damaged frame ends the readable
 // prefix — exactly the crash-mid-append shape.
-func replayWAL(path string, mem map[string][]byte) (int64, error) {
-	data, err := os.ReadFile(path)
-	if os.IsNotExist(err) {
+func replayWAL(fs chaos.FS, path string, mem map[string][]byte) (int64, error) {
+	data, err := fs.ReadFile(path)
+	if errors.Is(err, os.ErrNotExist) {
 		return 0, nil
 	}
 	if err != nil {
@@ -32,7 +35,7 @@ func replayWAL(path string, mem map[string][]byte) (int64, error) {
 		rest = rest[n:]
 	}
 	if valid < int64(len(data)) {
-		if err := os.Truncate(path, valid); err != nil {
+		if err := fs.Truncate(path, valid); err != nil {
 			return 0, fmt.Errorf("store: wal: truncating torn tail: %w", err)
 		}
 	}
@@ -40,9 +43,25 @@ func replayWAL(path string, mem map[string][]byte) (int64, error) {
 }
 
 // openWALAppend opens the shard WAL for appending.
-func openWALAppend(path string) (*os.File, error) {
-	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+func openWALAppend(fs chaos.FS, path string) (chaos.File, error) {
+	f, err := fs.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
+		return nil, fmt.Errorf("store: wal: %w", err)
+	}
+	return f, nil
+}
+
+// recreateWAL replaces the WAL with a fresh empty file, used when the
+// existing one cannot be trusted (a torn append or failed fsync): the
+// truncation is itself fsynced so the discarded bytes cannot
+// resurrect.
+func recreateWAL(fs chaos.FS, path string) (chaos.File, error) {
+	f, err := fs.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("store: wal: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
 		return nil, fmt.Errorf("store: wal: %w", err)
 	}
 	return f, nil

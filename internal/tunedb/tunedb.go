@@ -26,11 +26,13 @@ package tunedb
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"hash/fnv"
 	"sort"
 	"strings"
 
+	"autotune/internal/chaos"
 	"autotune/internal/machine"
 	"autotune/internal/skeleton"
 	"autotune/internal/store"
@@ -139,16 +141,50 @@ func keyStoreKey(ks string) string          { return nsKey + ks }
 // into place, and the journal archived as journal.jsonl.v1. Interior
 // journal corruption — an unreadable record followed by readable ones —
 // is reported as an error rather than silently dropped.
-func Open(dir string) (*DB, error) {
+func Open(dir string) (*DB, error) { return OpenFS(dir, nil) }
+
+// OpenFS opens the database over an explicit filesystem (the real OS
+// when nil). Chaos tests inject a scripted chaos.Injector; production
+// callers use Open.
+func OpenFS(dir string, fsys chaos.FS) (*DB, error) {
 	if err := migrateV1(dir); err != nil {
 		return nil, err
 	}
-	st, err := store.Open(storeDir(dir), storeOptions())
+	opt := storeOptions()
+	opt.FS = fsys
+	st, err := store.Open(storeDir(dir), opt)
 	if err != nil {
 		return nil, fmt.Errorf("tunedb: %w", err)
 	}
 	return &DB{dir: dir, st: st}, nil
 }
+
+// Health reports the underlying store's degradation state: whether any
+// write path has failed (the database serves reads but refuses writes)
+// and why.
+func (db *DB) Health() store.Health { return db.st.Health() }
+
+// Recover attempts to return a degraded database to writable service
+// once the underlying fault has cleared; see store.Recover.
+func (db *DB) Recover() error {
+	if err := db.st.Recover(); err != nil {
+		return fmt.Errorf("tunedb: %w", err)
+	}
+	return nil
+}
+
+// IsReadOnly reports whether err means the database has degraded to
+// read-only after an I/O fault (the write was refused, not lost in an
+// unknown state). Callers that can proceed without persistence — a
+// running search recording progress — may treat such errors as
+// non-fatal and rely on Health for surfacing.
+func IsReadOnly(err error) bool { return errors.Is(err, store.ErrReadOnly) }
+
+// Fsck verifies the database's on-disk store offline — CRC frames,
+// segment sort order and footers, bloom and index consistency — without
+// opening it for writing. It works (by design) on databases too
+// damaged for Open.
+func Fsck(dir string) (store.FsckReport, error) { return store.Fsck(storeDir(dir)) }
 
 // Dir returns the database directory.
 func (db *DB) Dir() string { return db.dir }
